@@ -1,0 +1,25 @@
+//! Baseline file systems the paper compares SCFS against (§4.1):
+//!
+//! * [`localfs`] — **LocalFS**, a FUSE-J-based local file system used as the
+//!   baseline that isolates the user-level file system overhead.
+//! * [`s3fs`] — **S3FS**, an open-source cloud-backed file system that
+//!   accesses Amazon S3 *blockingly* on most calls and keeps no main-memory
+//!   cache for open files.
+//! * [`s3ql`] — **S3QL**, an open-source single-user cloud-backed file
+//!   system that writes locally and uploads in the background, with a
+//!   chunk-oriented data layout that penalizes small writes.
+//! * [`dropbox`] — a model of a **personal file-synchronization service**
+//!   (Dropbox-like), used only in the sharing experiment (Figure 9).
+//!
+//! All of them implement the same [`scfs::fs::FileSystem`] trait as the SCFS
+//! agent, so the workload generators drive every system identically.
+
+pub mod dropbox;
+pub mod localfs;
+pub mod s3fs;
+pub mod s3ql;
+
+pub use dropbox::DropboxModel;
+pub use localfs::LocalFs;
+pub use s3fs::S3fsLike;
+pub use s3ql::S3qlLike;

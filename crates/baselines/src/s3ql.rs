@@ -1,0 +1,227 @@
+//! S3QL-like baseline: a single-user, write-back, chunked cloud file system.
+//!
+//! S3QL keeps all metadata locally, caches data aggressively and uploads to
+//! the cloud in the background, so its metadata-intensive workloads run at
+//! local speed (Table 3, Figure 8(a)). Its weak spot, called out explicitly
+//! by the paper, is small random writes: data is organized in large chunks
+//! (128 KiB recommended) and a FUSE issue makes sub-chunk writes very slow.
+//! It supports no sharing — which is exactly the design point SCFS-NS
+//! matches, minus the cloud-of-clouds option.
+
+use std::sync::Arc;
+
+use cloud_store::store::{ObjectStore, OpCtx};
+use cloud_store::types::{AccountId, Acl, Permission};
+use scfs::error::ScfsError;
+use scfs::fs::FileSystem;
+use scfs::types::{normalize_path, FileHandle, FileMetadata, OpenFlags};
+use sim_core::latency::LatencyModel;
+use sim_core::rng::DetRng;
+use sim_core::time::{Clock, SimDuration, SimInstant};
+
+use crate::localfs::{FsOverheads, LocalFs};
+
+/// The S3QL-like baseline file system.
+pub struct S3qlLike {
+    inner: LocalFs,
+    cloud: Arc<dyn ObjectStore>,
+    account: AccountId,
+    chunk_size: usize,
+    sub_chunk_penalty: LatencyModel,
+    rng: DetRng,
+    background_cursor: SimInstant,
+    uploads: u64,
+}
+
+impl S3qlLike {
+    /// Creates an S3QL-like mount over the given cloud with the recommended
+    /// 128 KiB chunk size.
+    pub fn new(user: AccountId, cloud: Arc<dyn ObjectStore>, seed: u64) -> Self {
+        S3qlLike {
+            inner: LocalFs::with_overheads("S3QL", user.clone(), FsOverheads::fuse_j(), seed),
+            cloud,
+            account: user,
+            chunk_size: 128 * 1024,
+            // The known FUSE issue: each write smaller than the chunk size
+            // pays a read-modify-write of the enclosing chunk.
+            sub_chunk_penalty: LatencyModel::uniform_ms(0.42, 0.50),
+            rng: DetRng::new(seed ^ 0x5A5A),
+            background_cursor: SimInstant::EPOCH,
+            uploads: 0,
+        }
+    }
+
+    /// Number of background uploads performed so far.
+    pub fn upload_count(&self) -> u64 {
+        self.uploads
+    }
+
+    /// Instant at which all queued background uploads complete.
+    pub fn background_drain_instant(&self) -> SimInstant {
+        self.background_cursor
+    }
+
+    fn background_upload(&mut self, path: &str) {
+        let data = self.inner.raw_contents(path).unwrap_or(&[]).to_vec();
+        let start = self.inner.clock().now().max(self.background_cursor);
+        let mut bg_clock = Clock::starting_at(start);
+        let mut ctx = OpCtx::new(&mut bg_clock, self.account.clone());
+        // One object per chunk, as S3QL's block layout does.
+        for (i, chunk) in data.chunks(self.chunk_size.max(1)).enumerate() {
+            let key = format!("s3ql{path}/chunk{i}");
+            let _ = self.cloud.put(&mut ctx, &key, chunk);
+        }
+        if data.is_empty() {
+            let _ = self.cloud.put(&mut ctx, &format!("s3ql{path}/chunk0"), &[]);
+        }
+        self.uploads += 1;
+        self.background_cursor = bg_clock.now();
+    }
+}
+
+impl FileSystem for S3qlLike {
+    fn name(&self) -> String {
+        "S3QL".to_string()
+    }
+
+    fn clock(&self) -> &Clock {
+        self.inner.clock()
+    }
+
+    fn sleep(&mut self, duration: SimDuration) {
+        self.inner.sleep(duration);
+    }
+
+    fn open(&mut self, path: &str, flags: OpenFlags) -> Result<FileHandle, ScfsError> {
+        self.inner.open(path, flags)
+    }
+
+    fn read(&mut self, handle: FileHandle, offset: u64, len: usize) -> Result<Vec<u8>, ScfsError> {
+        self.inner.read(handle, offset, len)
+    }
+
+    fn write(&mut self, handle: FileHandle, offset: u64, data: &[u8]) -> Result<usize, ScfsError> {
+        if data.len() < self.chunk_size {
+            let penalty = self.sub_chunk_penalty.sample(&mut self.rng);
+            self.inner.clock_mut().advance(penalty);
+        }
+        self.inner.write(handle, offset, data)
+    }
+
+    fn truncate(&mut self, handle: FileHandle, size: u64) -> Result<(), ScfsError> {
+        self.inner.truncate(handle, size)
+    }
+
+    fn fsync(&mut self, handle: FileHandle) -> Result<(), ScfsError> {
+        self.inner.fsync(handle)
+    }
+
+    fn close(&mut self, handle: FileHandle) -> Result<(), ScfsError> {
+        let path = self.inner.handle_path(handle);
+        let writable = self.inner.handle_writable(handle);
+        self.inner.close(handle)?;
+        if let (Some(path), true) = (path, writable) {
+            // Data is already safe locally; the upload happens in background.
+            self.background_upload(&path);
+        }
+        Ok(())
+    }
+
+    fn stat(&mut self, path: &str) -> Result<FileMetadata, ScfsError> {
+        self.inner.stat(path)
+    }
+
+    fn mkdir(&mut self, path: &str) -> Result<(), ScfsError> {
+        self.inner.mkdir(path)
+    }
+
+    fn readdir(&mut self, path: &str) -> Result<Vec<String>, ScfsError> {
+        self.inner.readdir(path)
+    }
+
+    fn unlink(&mut self, path: &str) -> Result<(), ScfsError> {
+        self.inner.unlink(path)
+    }
+
+    fn rename(&mut self, from: &str, to: &str) -> Result<(), ScfsError> {
+        self.inner.rename(from, to)
+    }
+
+    fn setfacl(
+        &mut self,
+        _path: &str,
+        _user: &AccountId,
+        _permission: Permission,
+    ) -> Result<(), ScfsError> {
+        // S3QL is strictly single-user: there is no sharing to grant.
+        Err(ScfsError::invalid("S3QL does not support file sharing"))
+    }
+
+    fn getfacl(&mut self, path: &str) -> Result<Acl, ScfsError> {
+        let path = normalize_path(path)?;
+        self.inner.getfacl(&path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloud_store::sim_cloud::SimulatedCloud;
+
+    fn fs() -> (S3qlLike, Arc<SimulatedCloud>) {
+        let cloud = Arc::new(SimulatedCloud::test("s3"));
+        (
+            S3qlLike::new("alice".into(), cloud.clone() as Arc<dyn ObjectStore>, 1),
+            cloud,
+        )
+    }
+
+    #[test]
+    fn close_uploads_in_background() {
+        let (mut fs, cloud) = fs();
+        fs.write_file("/doc", &vec![7u8; 300 * 1024]).unwrap();
+        assert_eq!(fs.upload_count(), 1);
+        // 300 KiB at a 128 KiB chunk size -> 3 chunk objects.
+        assert_eq!(cloud.metrics().snapshot().puts, 3);
+        assert_eq!(fs.read_file("/doc").unwrap().len(), 300 * 1024);
+    }
+
+    #[test]
+    fn metadata_operations_stay_local() {
+        let (mut fs, cloud) = fs();
+        fs.mkdir("/d").unwrap();
+        fs.write_file("/d/f", b"x").unwrap();
+        fs.stat("/d/f").unwrap();
+        fs.readdir("/d").unwrap();
+        // Only the data upload touched the cloud.
+        assert_eq!(cloud.metrics().snapshot().heads, 0);
+        assert_eq!(cloud.metrics().snapshot().lists, 0);
+    }
+
+    #[test]
+    fn small_writes_pay_the_chunk_penalty() {
+        let (mut fs, _) = fs();
+        let h = fs.open("/f", OpenFlags::create()).unwrap();
+        let start = fs.now();
+        for i in 0..100u64 {
+            fs.write(h, i * 4096, &[0u8; 4096]).unwrap();
+        }
+        let small = fs.now().duration_since(start);
+
+        let start = fs.now();
+        fs.write(h, 0, &vec![0u8; 4096 * 100]).unwrap();
+        let large = fs.now().duration_since(start);
+        assert!(
+            small.as_millis_f64() > large.as_millis_f64() * 5.0,
+            "small-chunk writes should be much slower ({small} vs {large})"
+        );
+        fs.close(h).unwrap();
+    }
+
+    #[test]
+    fn sharing_is_not_supported() {
+        let (mut fs, _) = fs();
+        fs.write_file("/f", b"x").unwrap();
+        assert!(fs.setfacl("/f", &"bob".into(), Permission::Read).is_err());
+    }
+}

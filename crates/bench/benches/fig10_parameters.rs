@@ -1,0 +1,27 @@
+//! Criterion bench for Figure 10: metadata-cache and PNS parameter sweeps.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sim_core::time::SimDuration;
+use workloads::sweeps::{metadata_cache_point, pns_sharing_point, SweepConfig};
+
+fn bench_fig10(c: &mut Criterion) {
+    let cfg = SweepConfig::quick();
+    let mut group = c.benchmark_group("fig10_parameters");
+    group.sample_size(10);
+    group.bench_function("metadata_cache_0ms", |b| {
+        b.iter(|| metadata_cache_point(SimDuration::ZERO, cfg, 5))
+    });
+    group.bench_function("metadata_cache_500ms", |b| {
+        b.iter(|| metadata_cache_point(SimDuration::from_millis(500), cfg, 5))
+    });
+    group.bench_function("pns_0pct_shared", |b| {
+        b.iter(|| pns_sharing_point(0.0, cfg, 5))
+    });
+    group.bench_function("pns_100pct_shared", |b| {
+        b.iter(|| pns_sharing_point(1.0, cfg, 5))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig10);
+criterion_main!(benches);

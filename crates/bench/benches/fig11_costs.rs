@@ -1,0 +1,17 @@
+//! Criterion bench for Figure 11 and Table 1: cost model and durability table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use workloads::costs::{figure11a, figure11b, figure11c, table1};
+
+fn bench_fig11(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_costs");
+    group.sample_size(20);
+    group.bench_function("table1", |b| b.iter(table1));
+    group.bench_function("figure11a", |b| b.iter(figure11a));
+    group.bench_function("figure11b", |b| b.iter(figure11b));
+    group.bench_function("figure11c", |b| b.iter(figure11c));
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig11);
+criterion_main!(benches);

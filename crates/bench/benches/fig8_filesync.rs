@@ -1,0 +1,29 @@
+//! Criterion bench for Figure 8: the file-synchronization benchmark.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sim_core::units::Bytes;
+use workloads::filesync::{run_file_sync, LockFilePlacement};
+use workloads::setup::{build_system, SystemKind};
+
+fn bench_fig8(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_filesync");
+    group.sample_size(10);
+    for kind in [SystemKind::ScfsAwsNb, SystemKind::ScfsCocB, SystemKind::S3ql] {
+        group.bench_function(kind.label(), |b| {
+            b.iter(|| {
+                let mut fs = build_system(kind, 3);
+                run_file_sync(
+                    fs.as_mut(),
+                    Bytes::new(1_200 * 1024),
+                    LockFilePlacement::InFileSystem,
+                    3,
+                )
+                .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

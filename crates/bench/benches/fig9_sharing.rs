@@ -1,0 +1,23 @@
+//! Criterion bench for Figure 9: the two-client sharing experiment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sim_core::units::Bytes;
+use workloads::sharing::{measure_sharing, SharingSystem};
+
+fn bench_fig9(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_sharing");
+    group.sample_size(10);
+    for system in [
+        SharingSystem::AwsBlocking,
+        SharingSystem::CocNonBlocking,
+        SharingSystem::Dropbox,
+    ] {
+        group.bench_function(system.label(), |b| {
+            b.iter(|| measure_sharing(system, Bytes::kib(256), 2, 9));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig9);
+criterion_main!(benches);

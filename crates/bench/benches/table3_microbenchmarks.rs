@@ -1,0 +1,27 @@
+//! Criterion bench for Table 3: the Filebench micro-benchmarks.
+//!
+//! Measures the wall-clock cost of running the (reduced) micro-benchmark
+//! suite on three representative systems; the virtual-time results that
+//! reproduce the paper's table come from `reproduce table3`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use workloads::filebench::{run_microbenchmarks, MicroBenchConfig};
+use workloads::setup::{build_system, SystemKind};
+
+fn bench_table3(c: &mut Criterion) {
+    let cfg = MicroBenchConfig::quick();
+    let mut group = c.benchmark_group("table3_microbenchmarks");
+    group.sample_size(10);
+    for kind in [SystemKind::LocalFs, SystemKind::ScfsAwsB, SystemKind::ScfsCocNb] {
+        group.bench_function(kind.label(), |b| {
+            b.iter(|| {
+                let mut fs = build_system(kind, 7);
+                run_microbenchmarks(fs.as_mut(), &cfg, 7)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

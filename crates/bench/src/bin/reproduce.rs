@@ -1,0 +1,82 @@
+//! Regenerates every table and figure of the SCFS paper's evaluation.
+//!
+//! Usage:
+//!
+//! ```text
+//! reproduce                # everything
+//! reproduce table3 fig9    # only the listed experiments
+//! reproduce --quick        # reduced workload sizes (for smoke testing)
+//! ```
+//!
+//! The output is a set of plain-text tables whose shapes are compared with
+//! the paper in EXPERIMENTS.md.
+
+use sim_core::units::Bytes;
+use workloads::costs::{figure11a, figure11b, figure11c, table1};
+use workloads::filebench::{table3, MicroBenchConfig};
+use workloads::filesync::{figure8, figure8a_systems, figure8b_systems};
+use workloads::sharing::figure9;
+use workloads::sweeps::{figure10a, figure10b, SweepConfig};
+
+const SEED: u64 = 20140614;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let selected: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|a| a.to_lowercase())
+        .collect();
+    let want = |name: &str| selected.is_empty() || selected.iter().any(|s| s == name);
+
+    let micro_cfg = if quick {
+        MicroBenchConfig::quick()
+    } else {
+        MicroBenchConfig::paper()
+    };
+    let sweep_cfg = if quick {
+        SweepConfig::quick()
+    } else {
+        SweepConfig::paper()
+    };
+    let sharing_runs = if quick { 3 } else { 15 };
+    let doc_size = Bytes::new(1_200 * 1024);
+
+    println!("SCFS reproduction — regenerating the paper's tables and figures");
+    println!("(virtual-time simulation; see EXPERIMENTS.md for the comparison)\n");
+
+    if want("table1") {
+        println!("{}", table1().render());
+    }
+    if want("table3") {
+        eprintln!("[running] Table 3: Filebench micro-benchmarks ...");
+        println!("{}", table3(&micro_cfg, SEED).render());
+    }
+    if want("fig8") {
+        eprintln!("[running] Figure 8: file synchronization benchmark ...");
+        println!("{}", figure8(&figure8a_systems(), doc_size, SEED).render());
+        println!("{}", figure8(&figure8b_systems(), doc_size, SEED).render());
+    }
+    if want("fig9") {
+        eprintln!("[running] Figure 9: sharing latency ...");
+        println!("{}", figure9(sharing_runs, SEED).render());
+    }
+    if want("fig10a") || want("fig10") {
+        eprintln!("[running] Figure 10(a): metadata cache sweep ...");
+        println!("{}", figure10a(sweep_cfg, SEED).render());
+    }
+    if want("fig10b") || want("fig10") {
+        eprintln!("[running] Figure 10(b): private name space sweep ...");
+        println!("{}", figure10b(sweep_cfg, SEED).render());
+    }
+    if want("fig11a") || want("fig11") {
+        println!("{}", figure11a().render());
+    }
+    if want("fig11b") || want("fig11") {
+        println!("{}", figure11b().render());
+    }
+    if want("fig11c") || want("fig11") {
+        println!("{}", figure11c().render());
+    }
+}

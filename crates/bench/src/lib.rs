@@ -1,0 +1,33 @@
+//! Shared helpers for the SCFS reproduction benchmarks.
+//!
+//! The real deliverable of this crate is the [`reproduce`](../reproduce)
+//! binary, which regenerates every table and figure of the paper's
+//! evaluation on the simulated substrate, plus one Criterion bench target per
+//! table/figure that exercises the same harnesses on reduced workloads.
+
+use workloads::results::Table;
+
+/// Renders a list of tables into one report string.
+pub fn render_report(tables: &[Table]) -> String {
+    let mut out = String::new();
+    for table in tables {
+        out.push_str(&table.render());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_concatenates_tables() {
+        let mut t1 = Table::new("one", vec!["a".into()]);
+        t1.push_row(vec!["1".into()]);
+        let t2 = Table::new("two", vec!["b".into()]);
+        let report = render_report(&[t1, t2]);
+        assert!(report.contains("one"));
+        assert!(report.contains("two"));
+    }
+}

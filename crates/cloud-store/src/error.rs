@@ -1,0 +1,132 @@
+//! Error type shared by all simulated storage services.
+
+use std::fmt;
+
+/// Errors returned by object stores and, transitively, by the storage layers
+/// built on top of them (DepSky, the SCFS storage service).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// The object does not exist or is not yet visible (eventual consistency).
+    NotFound {
+        /// Key that was requested.
+        key: String,
+    },
+    /// The requesting account does not have the required permission.
+    AccessDenied {
+        /// Key that was requested.
+        key: String,
+        /// Account that made the request.
+        account: String,
+    },
+    /// The provider is unreachable (outage, crash, dropped request).
+    Unavailable {
+        /// Human-readable provider name.
+        provider: String,
+    },
+    /// Returned data failed an integrity check performed by a higher layer.
+    IntegrityViolation {
+        /// Key whose content did not match its expected hash.
+        key: String,
+    },
+    /// Fewer than a quorum of providers responded (cloud-of-clouds only).
+    QuorumNotReached {
+        /// Responses needed.
+        needed: usize,
+        /// Responses obtained.
+        obtained: usize,
+    },
+    /// The request was malformed (empty key, oversized payload, ...).
+    InvalidRequest {
+        /// Why the request was rejected.
+        reason: String,
+    },
+}
+
+impl StorageError {
+    /// Convenience constructor for [`StorageError::NotFound`].
+    pub fn not_found(key: impl Into<String>) -> Self {
+        StorageError::NotFound { key: key.into() }
+    }
+
+    /// Convenience constructor for [`StorageError::Unavailable`].
+    pub fn unavailable(provider: impl Into<String>) -> Self {
+        StorageError::Unavailable {
+            provider: provider.into(),
+        }
+    }
+
+    /// Convenience constructor for [`StorageError::InvalidRequest`].
+    pub fn invalid(reason: impl Into<String>) -> Self {
+        StorageError::InvalidRequest {
+            reason: reason.into(),
+        }
+    }
+
+    /// Whether the error is transient, i.e. a retry may succeed later
+    /// (the consistency-anchor read loop retries on these).
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            StorageError::NotFound { .. }
+                | StorageError::Unavailable { .. }
+                | StorageError::QuorumNotReached { .. }
+        )
+    }
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::NotFound { key } => write!(f, "object not found: {key}"),
+            StorageError::AccessDenied { key, account } => {
+                write!(f, "access denied for account {account} on {key}")
+            }
+            StorageError::Unavailable { provider } => {
+                write!(f, "storage provider unavailable: {provider}")
+            }
+            StorageError::IntegrityViolation { key } => {
+                write!(f, "integrity violation for object {key}")
+            }
+            StorageError::QuorumNotReached { needed, obtained } => {
+                write!(f, "quorum not reached: needed {needed}, obtained {obtained}")
+            }
+            StorageError::InvalidRequest { reason } => write!(f, "invalid request: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transient_classification() {
+        assert!(StorageError::not_found("x").is_transient());
+        assert!(StorageError::unavailable("s3").is_transient());
+        assert!(StorageError::QuorumNotReached {
+            needed: 3,
+            obtained: 1
+        }
+        .is_transient());
+        assert!(!StorageError::AccessDenied {
+            key: "x".into(),
+            account: "a".into()
+        }
+        .is_transient());
+        assert!(!StorageError::invalid("bad").is_transient());
+    }
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            StorageError::not_found("files/a").to_string(),
+            "object not found: files/a"
+        );
+        assert!(StorageError::unavailable("azure").to_string().contains("azure"));
+        assert!(StorageError::IntegrityViolation { key: "k".into() }
+            .to_string()
+            .contains("integrity"));
+    }
+}

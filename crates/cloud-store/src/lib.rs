@@ -1,0 +1,37 @@
+//! Simulated cloud object storage for the SCFS reproduction.
+//!
+//! The paper's SCFS stores whole files as objects in commercial storage
+//! clouds (Amazon S3, Windows Azure Blob, Google Cloud Storage, Rackspace
+//! Cloud Files), either individually (the AWS backend) or combined into a
+//! cloud-of-clouds through DepSky (the CoC backend). Those services expose a
+//! simple REST object API with three properties SCFS cares about:
+//!
+//! 1. **Eventual consistency** — after a PUT completes, a GET may not see the
+//!    object for a while (paper §2.4 motivates consistency anchors with this).
+//! 2. **WAN latency and bandwidth** — every access pays an Internet round
+//!    trip plus a per-byte transfer cost (paper §4.2's latency analysis).
+//! 3. **A charging model** — inbound traffic is free, outbound traffic and
+//!    storage are charged per GB, which is what motivates the *always write /
+//!    avoid reading* design principle (paper §1, §4.5).
+//!
+//! This crate provides [`SimulatedCloud`], an in-process object store that
+//! reproduces exactly those three properties on virtual time, plus the ACL
+//! and per-account ownership model SCFS's security design relies on
+//! (paper §2.6), per-provider latency/price profiles, and fault injection to
+//! exercise the cloud-of-clouds fault tolerance.
+
+pub mod error;
+pub mod metrics;
+pub mod pricing;
+pub mod providers;
+pub mod sim_cloud;
+pub mod store;
+pub mod types;
+
+pub use error::StorageError;
+pub use metrics::CloudMetrics;
+pub use pricing::{CostLedger, PriceBook, VmInstanceSize, VmPricing};
+pub use providers::{ConsistencyMode, ProviderProfile, ProviderSet};
+pub use sim_cloud::SimulatedCloud;
+pub use store::{ObjectStore, OpCtx};
+pub use types::{AccountId, Acl, ObjectMeta, Permission};

@@ -1,0 +1,138 @@
+//! Per-cloud operation counters.
+//!
+//! Used by the experiment harnesses to report how many remote accesses each
+//! file-system design performs (the paper repeatedly explains latency
+//! differences by the *number* of coordination-service and cloud accesses per
+//! file-system call, e.g. §4.2).
+
+use parking_lot::Mutex;
+use sim_core::units::Bytes;
+
+/// Snapshot of the counters of one cloud.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MetricsSnapshot {
+    /// Number of PUT operations.
+    pub puts: u64,
+    /// Number of GET operations.
+    pub gets: u64,
+    /// Number of DELETE operations.
+    pub deletes: u64,
+    /// Number of LIST operations.
+    pub lists: u64,
+    /// Number of HEAD / metadata operations.
+    pub heads: u64,
+    /// Number of ACL updates.
+    pub acl_updates: u64,
+    /// Number of operations rejected (access denied, unavailable, not found).
+    pub errors: u64,
+    /// Total bytes uploaded.
+    pub bytes_in: u64,
+    /// Total bytes downloaded.
+    pub bytes_out: u64,
+}
+
+impl MetricsSnapshot {
+    /// Total number of operations attempted.
+    pub fn total_ops(&self) -> u64 {
+        self.puts + self.gets + self.deletes + self.lists + self.heads + self.acl_updates
+    }
+}
+
+/// Thread-safe counters for one simulated cloud.
+#[derive(Debug, Default)]
+pub struct CloudMetrics {
+    inner: Mutex<MetricsSnapshot>,
+}
+
+impl CloudMetrics {
+    /// Creates zeroed metrics.
+    pub fn new() -> Self {
+        CloudMetrics::default()
+    }
+
+    /// Records a PUT of `size` bytes.
+    pub fn record_put(&self, size: Bytes) {
+        let mut m = self.inner.lock();
+        m.puts += 1;
+        m.bytes_in += size.get();
+    }
+
+    /// Records a GET returning `size` bytes.
+    pub fn record_get(&self, size: Bytes) {
+        let mut m = self.inner.lock();
+        m.gets += 1;
+        m.bytes_out += size.get();
+    }
+
+    /// Records a DELETE.
+    pub fn record_delete(&self) {
+        self.inner.lock().deletes += 1;
+    }
+
+    /// Records a LIST.
+    pub fn record_list(&self) {
+        self.inner.lock().lists += 1;
+    }
+
+    /// Records a HEAD.
+    pub fn record_head(&self) {
+        self.inner.lock().heads += 1;
+    }
+
+    /// Records an ACL update.
+    pub fn record_acl_update(&self) {
+        self.inner.lock().acl_updates += 1;
+    }
+
+    /// Records a failed operation.
+    pub fn record_error(&self) {
+        self.inner.lock().errors += 1;
+    }
+
+    /// Returns a copy of the current counters.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        *self.inner.lock()
+    }
+
+    /// Resets all counters to zero.
+    pub fn reset(&self) {
+        *self.inner.lock() = MetricsSnapshot::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = CloudMetrics::new();
+        m.record_put(Bytes::kib(4));
+        m.record_put(Bytes::kib(4));
+        m.record_get(Bytes::kib(8));
+        m.record_delete();
+        m.record_list();
+        m.record_head();
+        m.record_acl_update();
+        m.record_error();
+        let s = m.snapshot();
+        assert_eq!(s.puts, 2);
+        assert_eq!(s.gets, 1);
+        assert_eq!(s.deletes, 1);
+        assert_eq!(s.lists, 1);
+        assert_eq!(s.heads, 1);
+        assert_eq!(s.acl_updates, 1);
+        assert_eq!(s.errors, 1);
+        assert_eq!(s.bytes_in, 8192);
+        assert_eq!(s.bytes_out, 8192);
+        assert_eq!(s.total_ops(), 7);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let m = CloudMetrics::new();
+        m.record_put(Bytes::mib(1));
+        m.reset();
+        assert_eq!(m.snapshot(), MetricsSnapshot::default());
+    }
+}

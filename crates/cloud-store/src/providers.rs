@@ -1,0 +1,321 @@
+//! Provider profiles: latency, consistency and pricing of each simulated cloud.
+//!
+//! The paper's evaluation (§4.1) uses Amazon S3 (US), Google Cloud Storage
+//! (US), Rackspace Cloud Files (UK) and Windows Azure Blob (UK), accessed
+//! from a cluster in Portugal. The latency profiles below are calibrated so
+//! that the reproduced tables have the same shape as the paper's: a small
+//! object PUT/GET costs roughly half a second to a second (dominated by the
+//! SSL/REST round trip over the WAN), large transfers are bandwidth-bound at
+//! a few MiB/s, and object visibility after a PUT is only eventual.
+
+use sim_core::latency::{BandwidthModel, LatencyModel, LatencyProfile};
+use sim_core::rng::DetRng;
+use sim_core::time::SimDuration;
+
+use crate::pricing::{PriceBook, VmPricing};
+
+/// Consistency guarantees offered by a provider for newly written objects.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConsistencyMode {
+    /// Writes are immediately visible to all readers (used in unit tests and
+    /// to model a hypothetical strongly-consistent provider).
+    Strong,
+    /// Writes of *new* keys are immediately visible, overwrites are eventual.
+    /// This matches Amazon S3's 2014 "read-after-write for new objects"
+    /// guarantee. SCFS always writes new keys (`id|hash`), so under this mode
+    /// the consistency-anchor retry loop rarely spins — exactly as observed
+    /// by the authors.
+    ReadAfterCreate {
+        /// Visibility delay distribution for overwritten keys.
+        overwrite_visibility: LatencyModel,
+    },
+    /// Every write (new key or overwrite) becomes visible only after a delay.
+    Eventual {
+        /// Visibility delay distribution.
+        visibility: LatencyModel,
+    },
+}
+
+impl ConsistencyMode {
+    /// Samples the visibility delay of a write under this mode.
+    pub fn sample_visibility(&self, rng: &mut DetRng, is_new_key: bool) -> SimDuration {
+        match self {
+            ConsistencyMode::Strong => SimDuration::ZERO,
+            ConsistencyMode::ReadAfterCreate {
+                overwrite_visibility,
+            } => {
+                if is_new_key {
+                    SimDuration::ZERO
+                } else {
+                    overwrite_visibility.sample(rng)
+                }
+            }
+            ConsistencyMode::Eventual { visibility } => visibility.sample(rng),
+        }
+    }
+}
+
+/// Static description of one storage provider.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProviderProfile {
+    /// Short identifier (e.g. `"s3"`).
+    pub id: String,
+    /// Human-readable name (e.g. `"Amazon S3 (US)"`).
+    pub name: String,
+    /// Region string, informational only.
+    pub region: String,
+    /// Latency and bandwidth of object operations as seen from the client.
+    pub latency: LatencyProfile,
+    /// Consistency model of the object store.
+    pub consistency: ConsistencyMode,
+    /// Storage price book.
+    pub prices: PriceBook,
+    /// Compute (VM) price book for this provider's cloud, used when hosting
+    /// coordination-service replicas (Figure 11(a)).
+    pub vm_prices: VmPricing,
+}
+
+impl ProviderProfile {
+    /// Amazon S3, US Standard region, seen from a client in Portugal.
+    pub fn amazon_s3() -> Self {
+        ProviderProfile {
+            id: "s3".into(),
+            name: "Amazon S3 (US)".into(),
+            region: "us-east".into(),
+            latency: LatencyProfile {
+                request: LatencyModel::LogNormal {
+                    median_millis: 520.0,
+                    sigma: 0.25,
+                },
+                upload: BandwidthModel::mib_per_sec(5.0),
+                download: BandwidthModel::mib_per_sec(8.0),
+            },
+            consistency: ConsistencyMode::ReadAfterCreate {
+                overwrite_visibility: LatencyModel::LogNormal {
+                    median_millis: 900.0,
+                    sigma: 0.5,
+                },
+            },
+            prices: PriceBook::amazon_s3(),
+            vm_prices: VmPricing::ec2(),
+        }
+    }
+
+    /// Google Cloud Storage, US, seen from a client in Portugal.
+    pub fn google_cloud_storage() -> Self {
+        ProviderProfile {
+            id: "gcs".into(),
+            name: "Google Cloud Storage (US)".into(),
+            region: "us".into(),
+            latency: LatencyProfile {
+                request: LatencyModel::LogNormal {
+                    median_millis: 600.0,
+                    sigma: 0.3,
+                },
+                upload: BandwidthModel::mib_per_sec(4.5),
+                download: BandwidthModel::mib_per_sec(7.0),
+            },
+            consistency: ConsistencyMode::Eventual {
+                visibility: LatencyModel::LogNormal {
+                    median_millis: 600.0,
+                    sigma: 0.5,
+                },
+            },
+            prices: PriceBook::google_cloud_storage(),
+            vm_prices: VmPricing::ec2(),
+        }
+    }
+
+    /// Windows Azure Blob storage, Western Europe (UK), close to the client.
+    pub fn windows_azure() -> Self {
+        ProviderProfile {
+            id: "azure".into(),
+            name: "Windows Azure (UK)".into(),
+            region: "eu-west".into(),
+            latency: LatencyProfile {
+                request: LatencyModel::LogNormal {
+                    median_millis: 380.0,
+                    sigma: 0.25,
+                },
+                upload: BandwidthModel::mib_per_sec(6.0),
+                download: BandwidthModel::mib_per_sec(9.0),
+            },
+            consistency: ConsistencyMode::Strong,
+            prices: PriceBook::windows_azure(),
+            vm_prices: VmPricing::azure(),
+        }
+    }
+
+    /// Rackspace Cloud Files, UK.
+    pub fn rackspace() -> Self {
+        ProviderProfile {
+            id: "rackspace".into(),
+            name: "Rackspace Cloud Files (UK)".into(),
+            region: "uk".into(),
+            latency: LatencyProfile {
+                request: LatencyModel::LogNormal {
+                    median_millis: 450.0,
+                    sigma: 0.3,
+                },
+                upload: BandwidthModel::mib_per_sec(4.0),
+                download: BandwidthModel::mib_per_sec(6.0),
+            },
+            consistency: ConsistencyMode::Eventual {
+                visibility: LatencyModel::LogNormal {
+                    median_millis: 700.0,
+                    sigma: 0.5,
+                },
+            },
+            prices: PriceBook::rackspace(),
+            vm_prices: VmPricing::rackspace(),
+        }
+    }
+
+    /// A profile with no latency and strong consistency, for functional tests.
+    pub fn instantaneous(id: &str) -> Self {
+        ProviderProfile {
+            id: id.into(),
+            name: format!("instantaneous-{id}"),
+            region: "local".into(),
+            latency: LatencyProfile::instantaneous(),
+            consistency: ConsistencyMode::Strong,
+            prices: PriceBook::amazon_s3(),
+            vm_prices: VmPricing::ec2(),
+        }
+    }
+
+    /// Elastichosts, UK — used only as a *compute* cloud in the paper (one of
+    /// the four coordination-service hosts); it has no blob-storage service,
+    /// so its storage latency profile is never exercised.
+    pub fn elastichosts() -> Self {
+        ProviderProfile {
+            id: "elastichosts".into(),
+            name: "Elastichosts (UK)".into(),
+            region: "uk".into(),
+            latency: LatencyProfile {
+                request: LatencyModel::LogNormal {
+                    median_millis: 400.0,
+                    sigma: 0.3,
+                },
+                upload: BandwidthModel::mib_per_sec(4.0),
+                download: BandwidthModel::mib_per_sec(6.0),
+            },
+            consistency: ConsistencyMode::Strong,
+            prices: PriceBook::rackspace(),
+            vm_prices: VmPricing::elastichosts(),
+        }
+    }
+}
+
+/// Named sets of providers matching the paper's two backends (Figure 5).
+#[derive(Debug, Clone)]
+pub struct ProviderSet;
+
+impl ProviderSet {
+    /// The single-cloud AWS backend: Amazon S3 for data.
+    pub fn aws_backend() -> Vec<ProviderProfile> {
+        vec![ProviderProfile::amazon_s3()]
+    }
+
+    /// The cloud-of-clouds storage backend: S3, GCS, Rackspace and Azure.
+    pub fn coc_storage_backend() -> Vec<ProviderProfile> {
+        vec![
+            ProviderProfile::amazon_s3(),
+            ProviderProfile::google_cloud_storage(),
+            ProviderProfile::rackspace(),
+            ProviderProfile::windows_azure(),
+        ]
+    }
+
+    /// The four *compute* clouds that host coordination-service replicas in
+    /// the CoC backend: EC2, Rackspace, Azure and Elastichosts.
+    pub fn coc_compute_backend() -> Vec<ProviderProfile> {
+        vec![
+            ProviderProfile::amazon_s3(),
+            ProviderProfile::rackspace(),
+            ProviderProfile::windows_azure(),
+            ProviderProfile::elastichosts(),
+        ]
+    }
+
+    /// Four identical instantaneous providers for functional tests of the
+    /// cloud-of-clouds protocols.
+    pub fn test_backend(n: usize) -> Vec<ProviderProfile> {
+        (0..n)
+            .map(|i| ProviderProfile::instantaneous(&format!("cloud{i}")))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coc_backend_has_four_distinct_providers() {
+        let set = ProviderSet::coc_storage_backend();
+        assert_eq!(set.len(), 4);
+        let ids: std::collections::BTreeSet<_> = set.iter().map(|p| p.id.clone()).collect();
+        assert_eq!(ids.len(), 4);
+    }
+
+    #[test]
+    fn aws_backend_is_s3_only() {
+        let set = ProviderSet::aws_backend();
+        assert_eq!(set.len(), 1);
+        assert_eq!(set[0].id, "s3");
+    }
+
+    #[test]
+    fn strong_consistency_has_zero_visibility_delay() {
+        let mut rng = DetRng::new(1);
+        assert_eq!(
+            ConsistencyMode::Strong.sample_visibility(&mut rng, false),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn read_after_create_distinguishes_new_keys() {
+        let mut rng = DetRng::new(2);
+        let mode = ConsistencyMode::ReadAfterCreate {
+            overwrite_visibility: LatencyModel::constant_ms(1000.0),
+        };
+        assert_eq!(mode.sample_visibility(&mut rng, true), SimDuration::ZERO);
+        assert_eq!(
+            mode.sample_visibility(&mut rng, false),
+            SimDuration::from_millis(1000)
+        );
+    }
+
+    #[test]
+    fn eventual_consistency_always_delays() {
+        let mut rng = DetRng::new(3);
+        let mode = ConsistencyMode::Eventual {
+            visibility: LatencyModel::constant_ms(500.0),
+        };
+        assert_eq!(
+            mode.sample_visibility(&mut rng, true),
+            SimDuration::from_millis(500)
+        );
+    }
+
+    #[test]
+    fn wan_providers_are_much_slower_than_instantaneous() {
+        use sim_core::units::Bytes;
+        let s3 = ProviderProfile::amazon_s3();
+        let mean = s3.latency.mean_op(Bytes::kib(16), Bytes::ZERO);
+        assert!(mean.as_millis_f64() > 300.0, "S3 small put should take hundreds of ms");
+        let inst = ProviderProfile::instantaneous("t");
+        assert_eq!(
+            inst.latency.mean_op(Bytes::mib(10), Bytes::ZERO),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn test_backend_sizes() {
+        assert_eq!(ProviderSet::test_backend(4).len(), 4);
+        assert_eq!(ProviderSet::coc_compute_backend().len(), 4);
+    }
+}

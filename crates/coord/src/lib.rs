@@ -1,0 +1,47 @@
+//! Modular coordination service for SCFS.
+//!
+//! One of the paper's four novel techniques is *modular coordination*
+//! (paper §1, §2.3): instead of embedding a lock and metadata manager in the
+//! file system, SCFS stores all metadata and locks in an off-the-shelf
+//! fault-tolerant coordination service — ZooKeeper or DepSpace replicated
+//! with BFT-SMaRt. The coordination service plays the role of the
+//! *consistency anchor* (paper §2.4): it is small, strongly consistent, and
+//! supports operations with synchronization power (compare-and-swap,
+//! ephemeral entries) that implement locking.
+//!
+//! This crate reproduces that component:
+//!
+//! * [`store`] — the single-replica state machine: a versioned, ACL-protected
+//!   tuple store with ephemeral entries (DepSpace tuples / ZooKeeper znodes).
+//! * [`commands`] — the deterministic command/reply language applied by the
+//!   state machine.
+//! * [`replication`] — a simulated replicated deployment of the state
+//!   machine, with crash-fault-tolerant (2f+1, ZooKeeper/Zab-like) and
+//!   Byzantine-fault-tolerant (3f+1, DepSpace/BFT-SMaRt-like) modes, WAN
+//!   latency between the client and geo-distributed replicas, and reply
+//!   voting that masks faulty replicas.
+//! * [`service`] — the [`service::CoordinationService`] trait used by the
+//!   SCFS agent, with [`replication::ReplicatedCoordinator`] as the main
+//!   implementation.
+//! * [`lock`] — lock recipes built from ephemeral entries, with session
+//!   leases so that locks held by crashed clients expire automatically
+//!   (paper §2.5.1, "Locking service").
+//! * [`deployment`] — deployment descriptions (which clouds host replicas,
+//!   which VM sizes) and their fixed cost / capacity, reproducing
+//!   Figure 11(a).
+
+pub mod commands;
+pub mod deployment;
+pub mod error;
+pub mod lock;
+pub mod replication;
+pub mod service;
+pub mod store;
+
+pub use commands::{Command, Reply};
+pub use deployment::CoordDeployment;
+pub use error::CoordError;
+pub use lock::LockManager;
+pub use replication::{ReplicatedCoordinator, ReplicationConfig, ReplicationMode};
+pub use service::{CoordinationService, Entry, SessionId};
+pub use store::TupleStore;

@@ -1,0 +1,785 @@
+//! The single-replica state machine: a versioned, ACL-protected tuple store.
+//!
+//! This is the deterministic core that the replication layer
+//! ([`crate::replication`]) orders commands for. It corresponds to the data
+//! model shared by ZooKeeper znodes and DepSpace tuples as used by SCFS
+//! (paper §2.5.1): small named entries holding serialized metadata, with
+//! per-entry ACLs and *ephemeral* entries that disappear when the owning
+//! session's lease expires (the primitive behind file locks).
+//!
+//! The store is **time-indexed**: every committed change records the virtual
+//! instant at which it became effective, and reads take the reader's instant
+//! as a parameter. This is what lets the simulation answer questions such as
+//! "what did client B observe at t = 3 s, given that client A's background
+//! upload only updated the metadata at t = 5 s?" — the crux of the
+//! non-blocking mode and of the sharing experiment (Figure 9).
+
+use std::collections::BTreeMap;
+
+use cloud_store::types::{AccountId, Acl, Permission};
+use sim_core::time::SimInstant;
+
+use crate::commands::{Command, Reply, SignedCommand};
+use crate::error::CoordError;
+use crate::service::{Entry, SessionId};
+
+/// The live content of an entry at some point in time.
+#[derive(Debug, Clone, PartialEq)]
+struct EntryState {
+    value: Vec<u8>,
+    version: u64,
+    owner: AccountId,
+    acl: Acl,
+    ephemeral: Option<(SessionId, SimInstant)>,
+}
+
+/// One committed change to a key: the instant it became effective and the new
+/// state (`None` = deleted).
+#[derive(Debug, Clone)]
+struct HistoryEvent {
+    at: SimInstant,
+    state: Option<EntryState>,
+}
+
+/// History of one key.
+#[derive(Debug, Clone, Default)]
+struct KeyHistory {
+    events: Vec<HistoryEvent>,
+}
+
+impl KeyHistory {
+    /// Inserts an event keeping the history sorted by commit instant.
+    fn push(&mut self, event: HistoryEvent) {
+        let pos = self
+            .events
+            .iter()
+            .rposition(|e| e.at <= event.at)
+            .map(|p| p + 1)
+            .unwrap_or(0);
+        self.events.insert(pos, event);
+    }
+
+    /// The state visible at instant `t`, accounting for ephemeral expiry.
+    fn state_at(&self, t: SimInstant) -> Option<&EntryState> {
+        let state = self
+            .events
+            .iter()
+            .rev()
+            .find(|e| e.at <= t)
+            .and_then(|e| e.state.as_ref())?;
+        if let Some((_, expires_at)) = &state.ephemeral {
+            if *expires_at <= t {
+                return None;
+            }
+        }
+        Some(state)
+    }
+
+    /// Instant of the last committed change at or before `t`.
+    fn updated_at(&self, t: SimInstant) -> Option<SimInstant> {
+        self.events.iter().rev().find(|e| e.at <= t).map(|e| e.at)
+    }
+
+    /// The highest version number ever assigned to this key.
+    fn max_version(&self) -> u64 {
+        self.events
+            .iter()
+            .filter_map(|e| e.state.as_ref().map(|s| s.version))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// The tuple store: the replicated state machine of the coordination service.
+#[derive(Debug, Clone, Default)]
+pub struct TupleStore {
+    keys: BTreeMap<String, KeyHistory>,
+}
+
+impl TupleStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        TupleStore::default()
+    }
+
+    /// Applies one command at commit instant `now` and returns its reply.
+    pub fn apply(&mut self, signed: &SignedCommand, now: SimInstant) -> Reply {
+        let who = &signed.issuer;
+        match &signed.command {
+            Command::Put { key, value } => self.apply_put(key, value.clone(), who, None, now),
+            Command::Cas {
+                key,
+                expected,
+                value,
+            } => self.apply_put(key, value.clone(), who, Some(*expected), now),
+            Command::CreateEphemeral {
+                key,
+                value,
+                session,
+                expires_at,
+            } => self.apply_create_ephemeral(key, value.clone(), session, *expires_at, who, now),
+            Command::Delete { key } => self.apply_delete(key, who, now),
+            Command::SetAcl { key, acl } => self.apply_set_acl(key, acl.clone(), who, now),
+            Command::RenamePrefix {
+                old_prefix,
+                new_prefix,
+            } => self.apply_rename(old_prefix, new_prefix, who, now),
+        }
+    }
+
+    /// Reads the entry stored under `key` as seen at instant `now`.
+    pub fn get(&self, key: &str, who: &AccountId, now: SimInstant) -> Result<Entry, CoordError> {
+        let history = self
+            .keys
+            .get(key)
+            .ok_or_else(|| CoordError::not_found(key))?;
+        let state = history
+            .state_at(now)
+            .ok_or_else(|| CoordError::not_found(key))?;
+        if &state.owner != who && !state.acl.allows(who, Permission::Read) {
+            return Err(CoordError::AccessDenied {
+                key: key.to_string(),
+                account: who.to_string(),
+            });
+        }
+        Ok(Entry {
+            key: key.to_string(),
+            value: state.value.clone(),
+            version: state.version,
+            owner: state.owner.clone(),
+            acl: state.acl.clone(),
+            ephemeral: state.ephemeral.clone(),
+            updated_at: history.updated_at(now).unwrap_or(SimInstant::EPOCH),
+        })
+    }
+
+    /// Lists the keys with `prefix` that `who` may read, as seen at `now`.
+    pub fn list(&self, prefix: &str, who: &AccountId, now: SimInstant) -> Vec<String> {
+        self.keys
+            .iter()
+            .filter(|(k, _)| k.starts_with(prefix))
+            .filter_map(|(k, h)| {
+                h.state_at(now).and_then(|s| {
+                    if &s.owner == who || s.acl.allows(who, Permission::Read) {
+                        Some(k.clone())
+                    } else {
+                        None
+                    }
+                })
+            })
+            .collect()
+    }
+
+    /// Number of live entries at instant `now`.
+    pub fn entry_count(&self, now: SimInstant) -> usize {
+        self.keys
+            .values()
+            .filter(|h| h.state_at(now).is_some())
+            .count()
+    }
+
+    /// Total bytes of live values at instant `now` (memory-capacity analyses).
+    pub fn stored_bytes(&self, now: SimInstant) -> u64 {
+        self.keys
+            .values()
+            .filter_map(|h| h.state_at(now).map(|s| s.value.len() as u64))
+            .sum()
+    }
+
+    fn apply_put(
+        &mut self,
+        key: &str,
+        value: Vec<u8>,
+        who: &AccountId,
+        expected: Option<Option<u64>>,
+        now: SimInstant,
+    ) -> Reply {
+        if key.is_empty() {
+            return Reply::Error(CoordError::invalid("empty key"));
+        }
+        let history = self.keys.entry(key.to_string()).or_default();
+        let current = history.state_at(now).cloned();
+
+        // Conditional-update checks.
+        if let Some(expected) = expected {
+            match (&expected, &current) {
+                (None, Some(_)) => {
+                    return Reply::Error(CoordError::AlreadyExists {
+                        key: key.to_string(),
+                    })
+                }
+                (Some(_), None) => {
+                    return Reply::Error(CoordError::VersionMismatch {
+                        key: key.to_string(),
+                        expected,
+                        actual: None,
+                    })
+                }
+                (Some(v), Some(cur)) if *v != cur.version => {
+                    return Reply::Error(CoordError::VersionMismatch {
+                        key: key.to_string(),
+                        expected,
+                        actual: Some(cur.version),
+                    })
+                }
+                _ => {}
+            }
+        }
+
+        // Access control for overwrites.
+        if let Some(cur) = &current {
+            if &cur.owner != who && !cur.acl.allows(who, Permission::Write) {
+                return Reply::Error(CoordError::AccessDenied {
+                    key: key.to_string(),
+                    account: who.to_string(),
+                });
+            }
+        }
+
+        let new_version = history.max_version() + 1;
+        let state = EntryState {
+            value,
+            version: new_version,
+            owner: current
+                .as_ref()
+                .map(|c| c.owner.clone())
+                .unwrap_or_else(|| who.clone()),
+            acl: current.map(|c| c.acl).unwrap_or_else(Acl::private),
+            ephemeral: None,
+        };
+        history.push(HistoryEvent {
+            at: now,
+            state: Some(state),
+        });
+        Reply::Version(new_version)
+    }
+
+    fn apply_create_ephemeral(
+        &mut self,
+        key: &str,
+        value: Vec<u8>,
+        session: &SessionId,
+        expires_at: SimInstant,
+        who: &AccountId,
+        now: SimInstant,
+    ) -> Reply {
+        if key.is_empty() {
+            return Reply::Error(CoordError::invalid("empty key"));
+        }
+        let history = self.keys.entry(key.to_string()).or_default();
+        if let Some(current) = history.state_at(now) {
+            let holder = current
+                .ephemeral
+                .as_ref()
+                .map(|(s, _)| s.to_string())
+                .unwrap_or_else(|| "non-ephemeral entry".to_string());
+            return Reply::Error(CoordError::LockHeld {
+                key: key.to_string(),
+                holder,
+            });
+        }
+        let new_version = history.max_version() + 1;
+        history.push(HistoryEvent {
+            at: now,
+            state: Some(EntryState {
+                value,
+                version: new_version,
+                owner: who.clone(),
+                acl: Acl::private(),
+                ephemeral: Some((session.clone(), expires_at)),
+            }),
+        });
+        Reply::Version(new_version)
+    }
+
+    fn apply_delete(&mut self, key: &str, who: &AccountId, now: SimInstant) -> Reply {
+        let Some(history) = self.keys.get_mut(key) else {
+            return Reply::Error(CoordError::not_found(key));
+        };
+        let Some(current) = history.state_at(now) else {
+            return Reply::Error(CoordError::not_found(key));
+        };
+        if &current.owner != who && !current.acl.allows(who, Permission::Write) {
+            return Reply::Error(CoordError::AccessDenied {
+                key: key.to_string(),
+                account: who.to_string(),
+            });
+        }
+        history.push(HistoryEvent { at: now, state: None });
+        Reply::Unit
+    }
+
+    fn apply_set_acl(&mut self, key: &str, acl: Acl, who: &AccountId, now: SimInstant) -> Reply {
+        let Some(history) = self.keys.get_mut(key) else {
+            return Reply::Error(CoordError::not_found(key));
+        };
+        let Some(current) = history.state_at(now).cloned() else {
+            return Reply::Error(CoordError::not_found(key));
+        };
+        if &current.owner != who {
+            return Reply::Error(CoordError::AccessDenied {
+                key: key.to_string(),
+                account: who.to_string(),
+            });
+        }
+        let new_version = history.max_version() + 1;
+        history.push(HistoryEvent {
+            at: now,
+            state: Some(EntryState {
+                acl,
+                version: new_version,
+                ..current
+            }),
+        });
+        Reply::Version(new_version)
+    }
+
+    fn apply_rename(
+        &mut self,
+        old_prefix: &str,
+        new_prefix: &str,
+        who: &AccountId,
+        now: SimInstant,
+    ) -> Reply {
+        if old_prefix.is_empty() {
+            return Reply::Error(CoordError::invalid("empty rename prefix"));
+        }
+        let affected: Vec<String> = self
+            .keys
+            .iter()
+            .filter(|(k, h)| k.starts_with(old_prefix) && h.state_at(now).is_some())
+            .map(|(k, _)| k.clone())
+            .collect();
+
+        // Check permissions up front so the rename is all-or-nothing.
+        for key in &affected {
+            let state = self.keys[key].state_at(now).expect("filtered above");
+            if &state.owner != who && !state.acl.allows(who, Permission::Write) {
+                return Reply::Error(CoordError::AccessDenied {
+                    key: key.clone(),
+                    account: who.to_string(),
+                });
+            }
+        }
+
+        for key in &affected {
+            let state = self.keys[key].state_at(now).expect("filtered above").clone();
+            let new_key = format!("{new_prefix}{}", &key[old_prefix.len()..]);
+            // Delete the old entry.
+            self.keys
+                .get_mut(key)
+                .expect("key exists")
+                .push(HistoryEvent { at: now, state: None });
+            // Create the new one, preserving value, owner and ACL.
+            let target = self.keys.entry(new_key).or_default();
+            let version = target.max_version() + 1;
+            target.push(HistoryEvent {
+                at: now,
+                state: Some(EntryState { version, ..state }),
+            });
+        }
+        Reply::Count(affected.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::time::SimDuration;
+
+    fn signed(issuer: &str, command: Command) -> SignedCommand {
+        SignedCommand {
+            issuer: issuer.into(),
+            command,
+        }
+    }
+
+    fn t(secs: u64) -> SimInstant {
+        SimInstant::from_secs(secs)
+    }
+
+    #[test]
+    fn put_and_get_round_trip() {
+        let mut store = TupleStore::new();
+        let r = store.apply(
+            &signed(
+                "alice",
+                Command::Put {
+                    key: "/f".into(),
+                    value: b"meta".to_vec(),
+                },
+            ),
+            t(1),
+        );
+        assert_eq!(r, Reply::Version(1));
+        let e = store.get("/f", &"alice".into(), t(2)).unwrap();
+        assert_eq!(e.value, b"meta");
+        assert_eq!(e.version, 1);
+        assert_eq!(e.owner, AccountId::new("alice"));
+    }
+
+    #[test]
+    fn reads_respect_commit_time() {
+        let mut store = TupleStore::new();
+        store.apply(
+            &signed(
+                "alice",
+                Command::Put {
+                    key: "/f".into(),
+                    value: b"v1".to_vec(),
+                },
+            ),
+            t(1),
+        );
+        store.apply(
+            &signed(
+                "alice",
+                Command::Put {
+                    key: "/f".into(),
+                    value: b"v2".to_vec(),
+                },
+            ),
+            t(10),
+        );
+        // A reader at t=5 still sees v1; a reader at t=11 sees v2; a reader at
+        // t=0 sees nothing. This is what makes non-blocking-mode visibility
+        // measurable in the sharing experiment.
+        assert_eq!(store.get("/f", &"alice".into(), t(5)).unwrap().value, b"v1");
+        assert_eq!(store.get("/f", &"alice".into(), t(11)).unwrap().value, b"v2");
+        assert!(store.get("/f", &"alice".into(), SimInstant::EPOCH).is_err());
+    }
+
+    #[test]
+    fn cas_exclusive_create_and_version_check() {
+        let mut store = TupleStore::new();
+        // Exclusive create succeeds the first time.
+        let r = store.apply(
+            &signed(
+                "alice",
+                Command::Cas {
+                    key: "/f".into(),
+                    expected: None,
+                    value: b"v1".to_vec(),
+                },
+            ),
+            t(1),
+        );
+        assert_eq!(r, Reply::Version(1));
+        // Second exclusive create fails.
+        let r = store.apply(
+            &signed(
+                "alice",
+                Command::Cas {
+                    key: "/f".into(),
+                    expected: None,
+                    value: b"v1".to_vec(),
+                },
+            ),
+            t(2),
+        );
+        assert!(matches!(r, Reply::Error(CoordError::AlreadyExists { .. })));
+        // Wrong-version CAS fails, right-version CAS succeeds.
+        let r = store.apply(
+            &signed(
+                "alice",
+                Command::Cas {
+                    key: "/f".into(),
+                    expected: Some(9),
+                    value: b"v2".to_vec(),
+                },
+            ),
+            t(3),
+        );
+        assert!(matches!(r, Reply::Error(CoordError::VersionMismatch { .. })));
+        let r = store.apply(
+            &signed(
+                "alice",
+                Command::Cas {
+                    key: "/f".into(),
+                    expected: Some(1),
+                    value: b"v2".to_vec(),
+                },
+            ),
+            t(4),
+        );
+        assert_eq!(r, Reply::Version(2));
+    }
+
+    #[test]
+    fn cas_on_missing_entry_reports_mismatch() {
+        let mut store = TupleStore::new();
+        let r = store.apply(
+            &signed(
+                "alice",
+                Command::Cas {
+                    key: "/missing".into(),
+                    expected: Some(1),
+                    value: vec![],
+                },
+            ),
+            t(1),
+        );
+        assert!(matches!(r, Reply::Error(CoordError::VersionMismatch { .. })));
+    }
+
+    #[test]
+    fn acl_enforced_on_reads_and_writes() {
+        let mut store = TupleStore::new();
+        store.apply(
+            &signed(
+                "alice",
+                Command::Put {
+                    key: "/f".into(),
+                    value: b"v".to_vec(),
+                },
+            ),
+            t(1),
+        );
+        // Bob cannot read or write.
+        assert!(matches!(
+            store.get("/f", &"bob".into(), t(2)),
+            Err(CoordError::AccessDenied { .. })
+        ));
+        let r = store.apply(
+            &signed(
+                "bob",
+                Command::Put {
+                    key: "/f".into(),
+                    value: b"x".to_vec(),
+                },
+            ),
+            t(2),
+        );
+        assert!(matches!(r, Reply::Error(CoordError::AccessDenied { .. })));
+        // Alice grants read; bob can read but still not write.
+        let mut acl = Acl::private();
+        acl.grant("bob".into(), Permission::Read);
+        store.apply(&signed("alice", Command::SetAcl { key: "/f".into(), acl }), t(3));
+        assert!(store.get("/f", &"bob".into(), t(4)).is_ok());
+        let r = store.apply(
+            &signed(
+                "bob",
+                Command::Put {
+                    key: "/f".into(),
+                    value: b"x".to_vec(),
+                },
+            ),
+            t(4),
+        );
+        assert!(matches!(r, Reply::Error(CoordError::AccessDenied { .. })));
+        // Only the owner may change the ACL.
+        let r = store.apply(
+            &signed(
+                "bob",
+                Command::SetAcl {
+                    key: "/f".into(),
+                    acl: Acl::private(),
+                },
+            ),
+            t(5),
+        );
+        assert!(matches!(r, Reply::Error(CoordError::AccessDenied { .. })));
+    }
+
+    #[test]
+    fn ephemeral_entries_expire() {
+        let mut store = TupleStore::new();
+        let r = store.apply(
+            &signed(
+                "alice",
+                Command::CreateEphemeral {
+                    key: "/lock/f".into(),
+                    value: vec![],
+                    session: SessionId::new("s1"),
+                    expires_at: t(10),
+                },
+            ),
+            t(1),
+        );
+        assert_eq!(r, Reply::Version(1));
+        // While alive, a second create is rejected.
+        let r = store.apply(
+            &signed(
+                "bob",
+                Command::CreateEphemeral {
+                    key: "/lock/f".into(),
+                    value: vec![],
+                    session: SessionId::new("s2"),
+                    expires_at: t(20),
+                },
+            ),
+            t(5),
+        );
+        assert!(matches!(r, Reply::Error(CoordError::LockHeld { .. })));
+        // After expiry, the entry is gone and bob can acquire it.
+        assert!(store.get("/lock/f", &"alice".into(), t(11)).is_err());
+        let r = store.apply(
+            &signed(
+                "bob",
+                Command::CreateEphemeral {
+                    key: "/lock/f".into(),
+                    value: vec![],
+                    session: SessionId::new("s2"),
+                    expires_at: t(30),
+                },
+            ),
+            t(12),
+        );
+        assert_eq!(r, Reply::Version(2));
+    }
+
+    #[test]
+    fn delete_and_not_found() {
+        let mut store = TupleStore::new();
+        assert!(matches!(
+            store.apply(&signed("a", Command::Delete { key: "/x".into() }), t(1)),
+            Reply::Error(CoordError::NotFound { .. })
+        ));
+        store.apply(
+            &signed(
+                "a",
+                Command::Put {
+                    key: "/x".into(),
+                    value: vec![1],
+                },
+            ),
+            t(1),
+        );
+        assert_eq!(
+            store.apply(&signed("a", Command::Delete { key: "/x".into() }), t(2)),
+            Reply::Unit
+        );
+        assert!(store.get("/x", &"a".into(), t(3)).is_err());
+        // The entry existed at t=1.5 though.
+        assert!(store
+            .get("/x", &"a".into(), t(1) + SimDuration::from_millis(500))
+            .is_ok());
+    }
+
+    #[test]
+    fn rename_prefix_moves_entries() {
+        let mut store = TupleStore::new();
+        for (k, v) in [("/dir/a", "1"), ("/dir/b", "2"), ("/other/c", "3")] {
+            store.apply(
+                &signed(
+                    "alice",
+                    Command::Put {
+                        key: k.into(),
+                        value: v.as_bytes().to_vec(),
+                    },
+                ),
+                t(1),
+            );
+        }
+        let r = store.apply(
+            &signed(
+                "alice",
+                Command::RenamePrefix {
+                    old_prefix: "/dir/".into(),
+                    new_prefix: "/renamed/".into(),
+                },
+            ),
+            t(2),
+        );
+        assert_eq!(r, Reply::Count(2));
+        assert!(store.get("/dir/a", &"alice".into(), t(3)).is_err());
+        assert_eq!(
+            store.get("/renamed/a", &"alice".into(), t(3)).unwrap().value,
+            b"1"
+        );
+        assert_eq!(
+            store.get("/renamed/b", &"alice".into(), t(3)).unwrap().value,
+            b"2"
+        );
+        assert!(store.get("/other/c", &"alice".into(), t(3)).is_ok());
+        assert_eq!(store.entry_count(t(3)), 3);
+    }
+
+    #[test]
+    fn rename_requires_write_permission_on_all_entries() {
+        let mut store = TupleStore::new();
+        store.apply(
+            &signed(
+                "alice",
+                Command::Put {
+                    key: "/dir/a".into(),
+                    value: vec![],
+                },
+            ),
+            t(1),
+        );
+        let r = store.apply(
+            &signed(
+                "bob",
+                Command::RenamePrefix {
+                    old_prefix: "/dir/".into(),
+                    new_prefix: "/stolen/".into(),
+                },
+            ),
+            t(2),
+        );
+        assert!(matches!(r, Reply::Error(CoordError::AccessDenied { .. })));
+        assert!(store.get("/dir/a", &"alice".into(), t(3)).is_ok());
+    }
+
+    #[test]
+    fn list_and_counts() {
+        let mut store = TupleStore::new();
+        store.apply(
+            &signed(
+                "alice",
+                Command::Put {
+                    key: "/m/a".into(),
+                    value: vec![0; 100],
+                },
+            ),
+            t(1),
+        );
+        store.apply(
+            &signed(
+                "alice",
+                Command::Put {
+                    key: "/m/b".into(),
+                    value: vec![0; 50],
+                },
+            ),
+            t(1),
+        );
+        assert_eq!(store.list("/m/", &"alice".into(), t(2)).len(), 2);
+        assert!(store.list("/m/", &"bob".into(), t(2)).is_empty());
+        assert_eq!(store.entry_count(t(2)), 2);
+        assert_eq!(store.stored_bytes(t(2)), 150);
+        assert_eq!(store.entry_count(SimInstant::EPOCH), 0);
+    }
+
+    #[test]
+    fn empty_keys_rejected() {
+        let mut store = TupleStore::new();
+        assert!(matches!(
+            store.apply(
+                &signed(
+                    "a",
+                    Command::Put {
+                        key: "".into(),
+                        value: vec![]
+                    }
+                ),
+                t(1)
+            ),
+            Reply::Error(CoordError::InvalidRequest { .. })
+        ));
+        assert!(matches!(
+            store.apply(
+                &signed(
+                    "a",
+                    Command::RenamePrefix {
+                        old_prefix: "".into(),
+                        new_prefix: "/x".into()
+                    }
+                ),
+                t(1)
+            ),
+            Reply::Error(CoordError::InvalidRequest { .. })
+        ));
+    }
+}

@@ -1,0 +1,41 @@
+//! DepSky: dependable and secure storage on a cloud-of-clouds.
+//!
+//! The SCFS cloud-of-clouds backend stores every file through an extended
+//! version of DepSky (paper §3.2, Figures 5 and 6). A *data unit* is a
+//! single-writer, multi-reader register replicated over `n = 3f + 1` clouds
+//! that tolerates `f` arbitrarily faulty providers (unavailable, erasing,
+//! corrupting or fabricating data). The DepSky-CA protocol implemented here
+//! combines:
+//!
+//! 1. a fresh random key per write and symmetric encryption of the file;
+//! 2. a systematic Reed–Solomon erasure code producing one block per cloud,
+//!    so that any `f + 1` clouds can rebuild the ciphertext at roughly half
+//!    the storage cost of full replication;
+//! 3. Shamir secret sharing of the key, one share per cloud, so no single
+//!    provider can decrypt the data;
+//! 4. Byzantine quorum protocols: writes wait for `n − f` acknowledgements,
+//!    reads gather enough verifiable blocks to reconstruct.
+//!
+//! SCFS additionally required a new operation — *read the version with a
+//! given hash* — to implement its consistency anchor on top of DepSky; this
+//! is [`register::DepSkyClient::read_by_hash`].
+//!
+//! Modules:
+//!
+//! * [`wire`] — a tiny length-prefixed binary codec for metadata objects.
+//! * [`metadata`] — the per-data-unit metadata object stored in every cloud.
+//! * [`quorum`] — parallel cloud access with virtual-clock forking and
+//!   quorum waits.
+//! * [`config`] — protocol selection (replication vs. erasure-coded), `f`,
+//!   preferred quorums.
+//! * [`register`] — the [`register::DepSkyClient`] register implementation.
+
+pub mod config;
+pub mod metadata;
+pub mod quorum;
+pub mod register;
+pub mod wire;
+
+pub use config::{DepSkyConfig, Protocol};
+pub use metadata::{DataUnitMetadata, VersionInfo};
+pub use register::{DepSkyClient, WriteReceipt};

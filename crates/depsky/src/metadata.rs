@@ -1,0 +1,212 @@
+//! The per-data-unit metadata object stored in every cloud.
+//!
+//! DepSky keeps, for each data unit, a small metadata object listing every
+//! written version: its number, the content hash of the plaintext, its size,
+//! and the size of the encoded blocks. SCFS's consistency anchor stores the
+//! hash of the current version in the coordination service and asks DepSky
+//! to *read the version with that hash*, which is resolved against this
+//! metadata (paper §3.2: "The hashes of all versions of the data are stored
+//! in DepSky's internal metadata object, stored in the clouds").
+
+use scfs_crypto::ContentHash;
+
+use crate::wire::{DecodeError, Reader, Writer};
+
+/// Description of one written version of a data unit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VersionInfo {
+    /// Monotonically increasing version number (single writer).
+    pub version: u64,
+    /// SHA-256 of the plaintext contents.
+    pub hash: ContentHash,
+    /// Plaintext size in bytes.
+    pub size: u64,
+    /// Size of each erasure-coded block in bytes.
+    pub block_size: u64,
+    /// Number of clouds holding a data block for this version.
+    pub data_clouds: u32,
+    /// SHA-256 of each stored block, indexed by data-cloud position. Readers
+    /// use these to discard blocks corrupted by a Byzantine cloud before
+    /// attempting reconstruction.
+    pub block_hashes: Vec<ContentHash>,
+}
+
+/// The metadata object of a data unit.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DataUnitMetadata {
+    /// Name of the data unit.
+    pub name: String,
+    /// All written versions, oldest first.
+    pub versions: Vec<VersionInfo>,
+}
+
+impl DataUnitMetadata {
+    /// Creates empty metadata for a new data unit.
+    pub fn new(name: impl Into<String>) -> Self {
+        DataUnitMetadata {
+            name: name.into(),
+            versions: Vec::new(),
+        }
+    }
+
+    /// The most recent version, if any.
+    pub fn latest(&self) -> Option<&VersionInfo> {
+        self.versions.last()
+    }
+
+    /// Finds the (most recent) version whose plaintext hash is `hash`.
+    pub fn find_by_hash(&self, hash: &ContentHash) -> Option<&VersionInfo> {
+        self.versions.iter().rev().find(|v| &v.hash == hash)
+    }
+
+    /// The next version number to assign.
+    pub fn next_version(&self) -> u64 {
+        self.latest().map_or(1, |v| v.version + 1)
+    }
+
+    /// Appends a new version record.
+    pub fn push_version(&mut self, info: VersionInfo) {
+        self.versions.push(info);
+    }
+
+    /// Removes all versions older than the newest `keep` versions and returns
+    /// the removed records (used by the SCFS garbage collector).
+    pub fn prune_old_versions(&mut self, keep: usize) -> Vec<VersionInfo> {
+        if self.versions.len() <= keep {
+            return Vec::new();
+        }
+        let cut = self.versions.len() - keep;
+        self.versions.drain(..cut).collect()
+    }
+
+    /// Serializes the metadata object.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_str(&self.name);
+        w.put_u64(self.versions.len() as u64);
+        for v in &self.versions {
+            w.put_u64(v.version);
+            w.put_bytes(&v.hash);
+            w.put_u64(v.size);
+            w.put_u64(v.block_size);
+            w.put_u32(v.data_clouds);
+            w.put_u64(v.block_hashes.len() as u64);
+            for h in &v.block_hashes {
+                w.put_bytes(h);
+            }
+        }
+        w.finish()
+    }
+
+    /// Deserializes a metadata object.
+    pub fn decode(buf: &[u8]) -> Result<Self, DecodeError> {
+        let mut r = Reader::new(buf);
+        let name = r.get_str()?;
+        let count = r.get_u64()? as usize;
+        let mut versions = Vec::with_capacity(count.min(1024));
+        for _ in 0..count {
+            let version = r.get_u64()?;
+            let hash_bytes = r.get_bytes()?;
+            let mut hash = [0u8; 32];
+            if hash_bytes.len() != 32 {
+                return Err(DecodeError {
+                    reason: format!("hash must be 32 bytes, got {}", hash_bytes.len()),
+                });
+            }
+            hash.copy_from_slice(&hash_bytes);
+            let size = r.get_u64()?;
+            let block_size = r.get_u64()?;
+            let data_clouds = r.get_u32()?;
+            let hash_count = r.get_u64()? as usize;
+            let mut block_hashes = Vec::with_capacity(hash_count.min(64));
+            for _ in 0..hash_count {
+                let bytes = r.get_bytes()?;
+                if bytes.len() != 32 {
+                    return Err(DecodeError {
+                        reason: format!("block hash must be 32 bytes, got {}", bytes.len()),
+                    });
+                }
+                let mut h = [0u8; 32];
+                h.copy_from_slice(&bytes);
+                block_hashes.push(h);
+            }
+            versions.push(VersionInfo {
+                version,
+                hash,
+                size,
+                block_size,
+                data_clouds,
+                block_hashes,
+            });
+        }
+        Ok(DataUnitMetadata { name, versions })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scfs_crypto::sha256;
+
+    fn info(v: u64, content: &[u8]) -> VersionInfo {
+        VersionInfo {
+            version: v,
+            hash: sha256(content),
+            size: content.len() as u64,
+            block_size: (content.len() as u64).div_ceil(2),
+            data_clouds: 3,
+            block_hashes: vec![sha256(b"block0"), sha256(b"block1"), sha256(b"block2")],
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let mut md = DataUnitMetadata::new("files/doc.odt");
+        md.push_version(info(1, b"version one"));
+        md.push_version(info(2, b"version two"));
+        let decoded = DataUnitMetadata::decode(&md.encode()).unwrap();
+        assert_eq!(decoded, md);
+    }
+
+    #[test]
+    fn empty_metadata_round_trips() {
+        let md = DataUnitMetadata::new("x");
+        assert_eq!(DataUnitMetadata::decode(&md.encode()).unwrap(), md);
+        assert!(md.latest().is_none());
+        assert_eq!(md.next_version(), 1);
+    }
+
+    #[test]
+    fn latest_and_find_by_hash() {
+        let mut md = DataUnitMetadata::new("f");
+        md.push_version(info(1, b"a"));
+        md.push_version(info(2, b"b"));
+        assert_eq!(md.latest().unwrap().version, 2);
+        assert_eq!(md.next_version(), 3);
+        assert_eq!(md.find_by_hash(&sha256(b"a")).unwrap().version, 1);
+        assert!(md.find_by_hash(&sha256(b"zzz")).is_none());
+    }
+
+    #[test]
+    fn prune_keeps_newest_versions() {
+        let mut md = DataUnitMetadata::new("f");
+        for v in 1..=5 {
+            md.push_version(info(v, format!("v{v}").as_bytes()));
+        }
+        let removed = md.prune_old_versions(2);
+        assert_eq!(removed.len(), 3);
+        assert_eq!(md.versions.len(), 2);
+        assert_eq!(md.versions[0].version, 4);
+        // Pruning with enough slack removes nothing.
+        assert!(md.prune_old_versions(10).is_empty());
+    }
+
+    #[test]
+    fn corrupted_buffer_fails_to_decode() {
+        let mut md = DataUnitMetadata::new("f");
+        md.push_version(info(1, b"a"));
+        let mut buf = md.encode();
+        buf.truncate(buf.len() - 3);
+        assert!(DataUnitMetadata::decode(&buf).is_err());
+    }
+}

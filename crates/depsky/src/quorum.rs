@@ -1,0 +1,165 @@
+//! Parallel cloud access with quorum waits on virtual time.
+//!
+//! DepSky issues requests to all clouds concurrently and proceeds as soon as
+//! a quorum of them has answered (paper §3.2). On virtual time this is
+//! modelled by *forking* the caller's clock once per cloud, running each
+//! request on its own fork, and then advancing the caller's clock to the
+//! completion instant of the k-th request it actually had to wait for.
+
+use std::sync::Arc;
+
+use cloud_store::error::StorageError;
+use cloud_store::store::{ObjectStore, OpCtx};
+use sim_core::time::SimInstant;
+
+/// The outcome of one cloud request issued in parallel with others.
+#[derive(Debug)]
+pub struct CloudOutcome<T> {
+    /// Index of the cloud in the client's cloud list.
+    pub cloud_index: usize,
+    /// Virtual instant at which the request completed (successfully or not).
+    pub completed_at: SimInstant,
+    /// The result of the request.
+    pub result: Result<T, StorageError>,
+}
+
+impl<T> CloudOutcome<T> {
+    /// Whether the request succeeded.
+    pub fn is_ok(&self) -> bool {
+        self.result.is_ok()
+    }
+}
+
+/// Issues `op` against every cloud in `indices` in parallel (each on a forked
+/// clock) and returns the outcomes sorted by completion time. The caller's
+/// clock is *not* advanced; use [`advance_to_nth_success`] or
+/// [`advance_to_all`] afterwards.
+pub fn parallel_access<T>(
+    ctx: &mut OpCtx<'_>,
+    clouds: &[Arc<dyn ObjectStore>],
+    indices: &[usize],
+    mut op: impl FnMut(usize, &dyn ObjectStore, &mut OpCtx<'_>) -> Result<T, StorageError>,
+) -> Vec<CloudOutcome<T>> {
+    let mut outcomes: Vec<CloudOutcome<T>> = indices
+        .iter()
+        .map(|&i| {
+            let mut fork = ctx.clock.fork();
+            let mut fork_ctx = OpCtx::new(&mut fork, ctx.account.clone());
+            let result = op(i, clouds[i].as_ref(), &mut fork_ctx);
+            CloudOutcome {
+                cloud_index: i,
+                completed_at: fork.now(),
+                result,
+            }
+        })
+        .collect();
+    outcomes.sort_by_key(|o| o.completed_at);
+    outcomes
+}
+
+/// Advances the caller's clock to the completion instant of the `n`-th
+/// successful outcome (1-based). Returns `true` if at least `n` outcomes
+/// succeeded; otherwise the clock is advanced to the last completion and
+/// `false` is returned (the operation could not reach its quorum).
+pub fn advance_to_nth_success<T>(
+    ctx: &mut OpCtx<'_>,
+    outcomes: &[CloudOutcome<T>],
+    n: usize,
+) -> bool {
+    if n == 0 {
+        return true;
+    }
+    let mut successes = 0usize;
+    for o in outcomes {
+        if o.is_ok() {
+            successes += 1;
+            if successes == n {
+                ctx.clock.advance_to(o.completed_at);
+                return true;
+            }
+        }
+    }
+    advance_to_all(ctx, outcomes);
+    false
+}
+
+/// Advances the caller's clock to the completion instant of the slowest
+/// outcome (used when the protocol must wait for every targeted cloud).
+pub fn advance_to_all<T>(ctx: &mut OpCtx<'_>, outcomes: &[CloudOutcome<T>]) {
+    if let Some(last) = outcomes.iter().map(|o| o.completed_at).max() {
+        ctx.clock.advance_to(last);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloud_store::providers::ProviderProfile;
+    use cloud_store::sim_cloud::SimulatedCloud;
+    use sim_core::latency::LatencyModel;
+    use sim_core::time::Clock;
+
+    fn cloud_with_latency(id: &str, ms: f64) -> Arc<dyn ObjectStore> {
+        let mut profile = ProviderProfile::instantaneous(id);
+        profile.latency.request = LatencyModel::constant_ms(ms);
+        Arc::new(SimulatedCloud::new(profile, 1))
+    }
+
+    #[test]
+    fn parallel_access_waits_only_for_the_quorum() {
+        let clouds: Vec<Arc<dyn ObjectStore>> = vec![
+            cloud_with_latency("fast", 10.0),
+            cloud_with_latency("medium", 50.0),
+            cloud_with_latency("slow", 200.0),
+            cloud_with_latency("slowest", 900.0),
+        ];
+        let mut clock = Clock::new();
+        let mut ctx = OpCtx::new(&mut clock, "alice".into());
+        let outcomes = parallel_access(&mut ctx, &clouds, &[0, 1, 2, 3], |_, cloud, c| {
+            cloud.put(c, "k", b"v")
+        });
+        assert_eq!(outcomes.len(), 4);
+        // Waiting for 3 of 4 means the slowest cloud is not on the critical path.
+        assert!(advance_to_nth_success(&mut ctx, &outcomes, 3));
+        let elapsed = clock.now().as_millis_f64();
+        assert!((elapsed - 200.0).abs() < 1.0, "elapsed {elapsed} ms");
+    }
+
+    #[test]
+    fn quorum_failure_advances_to_all_and_reports_false() {
+        let clouds: Vec<Arc<dyn ObjectStore>> = vec![
+            cloud_with_latency("a", 10.0),
+            cloud_with_latency("b", 20.0),
+        ];
+        let mut clock = Clock::new();
+        let mut ctx = OpCtx::new(&mut clock, "alice".into());
+        // A GET of a missing key fails on every cloud.
+        let outcomes = parallel_access(&mut ctx, &clouds, &[0, 1], |_, cloud, c| cloud.get(c, "missing"));
+        assert!(!advance_to_nth_success(&mut ctx, &outcomes, 1));
+        assert!((clock.now().as_millis_f64() - 20.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn zero_quorum_is_trivially_satisfied() {
+        let mut clock = Clock::new();
+        let mut ctx = OpCtx::new(&mut clock, "alice".into());
+        let outcomes: Vec<CloudOutcome<()>> = Vec::new();
+        assert!(advance_to_nth_success(&mut ctx, &outcomes, 0));
+        assert_eq!(clock.now(), SimInstant::EPOCH);
+    }
+
+    #[test]
+    fn subset_of_clouds_can_be_targeted() {
+        let clouds: Vec<Arc<dyn ObjectStore>> = vec![
+            cloud_with_latency("a", 10.0),
+            cloud_with_latency("b", 9999.0),
+            cloud_with_latency("c", 30.0),
+        ];
+        let mut clock = Clock::new();
+        let mut ctx = OpCtx::new(&mut clock, "alice".into());
+        let outcomes = parallel_access(&mut ctx, &clouds, &[0, 2], |_, cloud, c| cloud.put(c, "k", b"v"));
+        assert_eq!(outcomes.len(), 2);
+        advance_to_all(&mut ctx, &outcomes);
+        assert!((clock.now().as_millis_f64() - 30.0).abs() < 1.0);
+    }
+}

@@ -1,0 +1,798 @@
+//! The DepSky single-writer register over a cloud-of-clouds.
+//!
+//! [`DepSkyClient`] implements the DepSky-CA write and read protocols
+//! (paper §3.2, Figure 6) plus the extension SCFS required: reading the
+//! version with a given content hash, so the consistency anchor in the
+//! coordination service — not the eventually-consistent clouds — decides
+//! which version a reader observes.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use cloud_store::error::StorageError;
+use cloud_store::store::{ObjectStore, OpCtx};
+use cloud_store::types::Acl;
+use parking_lot::Mutex;
+use scfs_crypto::{
+    combine_shares, sha256, split_secret, ChaCha20, ContentHash, ErasureCoder, KeyGenerator, Share,
+};
+
+use crate::config::{DepSkyConfig, Protocol};
+use crate::metadata::{DataUnitMetadata, VersionInfo};
+use crate::quorum::{advance_to_nth_success, parallel_access, CloudOutcome};
+use crate::wire::{Reader, Writer};
+
+/// Receipt returned by a successful write.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WriteReceipt {
+    /// Version number assigned to the write.
+    pub version: u64,
+    /// SHA-256 of the written plaintext (what SCFS stores in its consistency
+    /// anchor).
+    pub hash: ContentHash,
+    /// Plaintext size in bytes.
+    pub size: u64,
+}
+
+/// One decoded block object fetched from a cloud.
+#[derive(Debug, Clone)]
+struct BlockPayload {
+    slot: u8,
+    share_index: u8,
+    nonce: [u8; 12],
+    share_data: Vec<u8>,
+    shard: Vec<u8>,
+}
+
+/// The DepSky client: a single-writer multi-reader register per data unit.
+pub struct DepSkyClient {
+    clouds: Vec<Arc<dyn ObjectStore>>,
+    config: DepSkyConfig,
+    coder: ErasureCoder,
+    keygen: Mutex<KeyGenerator>,
+    metadata_cache: Mutex<HashMap<String, DataUnitMetadata>>,
+}
+
+impl std::fmt::Debug for DepSkyClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DepSkyClient")
+            .field("clouds", &self.clouds.len())
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+impl DepSkyClient {
+    /// Creates a client over `clouds` (which must match the configuration's
+    /// required cloud count).
+    pub fn new(
+        clouds: Vec<Arc<dyn ObjectStore>>,
+        config: DepSkyConfig,
+        seed: u64,
+    ) -> Result<Self, StorageError> {
+        if clouds.len() != config.total_clouds() {
+            return Err(StorageError::invalid(format!(
+                "configuration requires {} clouds, got {}",
+                config.total_clouds(),
+                clouds.len()
+            )));
+        }
+        let data_shards = config.data_shards();
+        let parity = config.data_clouds() - data_shards;
+        let coder = ErasureCoder::new(data_shards, parity)
+            .map_err(|e| StorageError::invalid(e.to_string()))?;
+        Ok(DepSkyClient {
+            clouds,
+            config,
+            coder,
+            keygen: Mutex::new(KeyGenerator::from_seed(seed)),
+            metadata_cache: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// The configuration of this client.
+    pub fn config(&self) -> &DepSkyConfig {
+        &self.config
+    }
+
+    /// The clouds backing this client.
+    pub fn clouds(&self) -> &[Arc<dyn ObjectStore>] {
+        &self.clouds
+    }
+
+    fn metadata_key(name: &str) -> String {
+        format!("depsky/{name}/metadata")
+    }
+
+    fn block_key(name: &str, version: u64, slot: usize) -> String {
+        format!("depsky/{name}/v{version}/block{slot}")
+    }
+
+    /// Writes a new version of the data unit `name`, reading the current
+    /// metadata from the clouds first if it is not cached locally.
+    pub fn write(
+        &self,
+        ctx: &mut OpCtx<'_>,
+        name: &str,
+        data: &[u8],
+    ) -> Result<WriteReceipt, StorageError> {
+        let metadata = match self.cached_metadata(name) {
+            Some(md) => md,
+            None => match self.read_metadata(ctx, name) {
+                Ok(md) => md,
+                Err(StorageError::NotFound { .. }) => DataUnitMetadata::new(name),
+                Err(e) => return Err(e),
+            },
+        };
+        self.write_with_metadata(ctx, name, data, metadata)
+    }
+
+    /// Writes the *first* version of a data unit known to be new, skipping
+    /// the metadata read phase (SCFS uses this on file creation).
+    pub fn write_new(
+        &self,
+        ctx: &mut OpCtx<'_>,
+        name: &str,
+        data: &[u8],
+    ) -> Result<WriteReceipt, StorageError> {
+        let metadata = self
+            .cached_metadata(name)
+            .unwrap_or_else(|| DataUnitMetadata::new(name));
+        self.write_with_metadata(ctx, name, data, metadata)
+    }
+
+    fn cached_metadata(&self, name: &str) -> Option<DataUnitMetadata> {
+        self.metadata_cache.lock().get(name).cloned()
+    }
+
+    fn write_with_metadata(
+        &self,
+        ctx: &mut OpCtx<'_>,
+        name: &str,
+        data: &[u8],
+        mut metadata: DataUnitMetadata,
+    ) -> Result<WriteReceipt, StorageError> {
+        let version = metadata.next_version();
+        let hash = sha256(data);
+        let data_clouds = self.config.data_clouds();
+        let data_shards = self.config.data_shards();
+
+        // Prepare the per-cloud block payloads.
+        let (key, nonce) = {
+            let mut kg = self.keygen.lock();
+            (kg.next_key(), kg.next_nonce())
+        };
+        let payloads: Vec<Vec<u8>> = match self.config.protocol {
+            Protocol::ConfidentialAvailable => {
+                let cipher = ChaCha20::new(&key, &nonce);
+                let ciphertext = cipher.encrypt(data);
+                let shards = self.coder.encode(&ciphertext);
+                let shares = {
+                    let mut kg = self.keygen.lock();
+                    split_secret(&key, data_shards, data_clouds, move || {
+                        (kg.next_key()[0]) ^ (kg.next_nonce()[0])
+                    })
+                    .map_err(|e| StorageError::invalid(e.to_string()))?
+                };
+                shards
+                    .into_iter()
+                    .take(data_clouds)
+                    .zip(shares)
+                    .enumerate()
+                    .map(|(slot, (shard, share))| {
+                        encode_block(slot as u8, share.index, &nonce, &share.data, &shard)
+                    })
+                    .collect()
+            }
+            Protocol::Available => (0..data_clouds)
+                .map(|slot| encode_block(slot as u8, 0, &nonce, &[], data))
+                .collect(),
+        };
+        let block_size = payloads.first().map_or(0, |p| p.len() as u64);
+        let block_hashes: Vec<ContentHash> = payloads.iter().map(|p| sha256(p)).collect();
+
+        // Phase 1: store the data blocks in parallel.
+        let slots: Vec<usize> = (0..data_clouds).collect();
+        let outcomes = parallel_access(ctx, &self.clouds, &slots, |slot, cloud, c| {
+            // The cloud index equals the slot index for data blocks.
+            cloud.put(c, &Self::block_key(name, version, slot), &payloads[slot])
+        });
+        let needed = if self.config.preferred_quorum {
+            data_clouds
+        } else {
+            self.config.write_quorum()
+        };
+        if !advance_to_nth_success(ctx, &outcomes, needed) {
+            return Err(quorum_error(&outcomes, needed));
+        }
+
+        // Phase 2: update and store the metadata object in every cloud.
+        metadata.push_version(VersionInfo {
+            version,
+            hash,
+            size: data.len() as u64,
+            block_size,
+            data_clouds: data_clouds as u32,
+            block_hashes,
+        });
+        let encoded_md = metadata.encode();
+        let all: Vec<usize> = (0..self.clouds.len()).collect();
+        let outcomes = parallel_access(ctx, &self.clouds, &all, |_, cloud, c| {
+            cloud.put(c, &Self::metadata_key(name), &encoded_md)
+        });
+        if !advance_to_nth_success(ctx, &outcomes, self.config.write_quorum()) {
+            return Err(quorum_error(&outcomes, self.config.write_quorum()));
+        }
+
+        self.metadata_cache
+            .lock()
+            .insert(name.to_string(), metadata);
+        Ok(WriteReceipt {
+            version,
+            hash,
+            size: data.len() as u64,
+        })
+    }
+
+    /// Reads the data-unit metadata from the clouds (quorum read).
+    pub fn read_metadata(
+        &self,
+        ctx: &mut OpCtx<'_>,
+        name: &str,
+    ) -> Result<DataUnitMetadata, StorageError> {
+        let all: Vec<usize> = (0..self.clouds.len()).collect();
+        let key = Self::metadata_key(name);
+        let outcomes = parallel_access(ctx, &self.clouds, &all, |_, cloud, c| cloud.get(c, &key));
+        // Wait for n − f responses of any kind before deciding.
+        let quorum = self.config.write_quorum();
+        if outcomes.len() >= quorum {
+            ctx.clock.advance_to(outcomes[quorum - 1].completed_at);
+        }
+        let mut best: Option<DataUnitMetadata> = None;
+        for outcome in &outcomes {
+            if let Ok(bytes) = &outcome.result {
+                if let Ok(md) = DataUnitMetadata::decode(bytes) {
+                    let better = match &best {
+                        None => true,
+                        Some(b) => md.versions.len() > b.versions.len(),
+                    };
+                    if better {
+                        best = Some(md);
+                    }
+                }
+            }
+        }
+        match best {
+            Some(md) => {
+                self.metadata_cache
+                    .lock()
+                    .insert(name.to_string(), md.clone());
+                Ok(md)
+            }
+            None => Err(StorageError::not_found(key)),
+        }
+    }
+
+    /// Reads the latest version of the data unit.
+    pub fn read_latest(
+        &self,
+        ctx: &mut OpCtx<'_>,
+        name: &str,
+    ) -> Result<(Vec<u8>, VersionInfo), StorageError> {
+        let md = self.read_metadata(ctx, name)?;
+        // Try versions from newest to oldest: a Byzantine cloud may have
+        // advertised a version whose blocks cannot be verified.
+        for info in md.versions.iter().rev() {
+            match self.read_version(ctx, name, info) {
+                Ok(data) => return Ok((data, info.clone())),
+                Err(e) if e.is_transient() => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Err(StorageError::not_found(name))
+    }
+
+    /// Reads the version whose plaintext hash is `hash` — the operation SCFS
+    /// added to DepSky to implement consistency anchors.
+    pub fn read_by_hash(
+        &self,
+        ctx: &mut OpCtx<'_>,
+        name: &str,
+        hash: &ContentHash,
+    ) -> Result<Vec<u8>, StorageError> {
+        // Prefer cached metadata if it already knows this hash; otherwise do
+        // a quorum metadata read (the version may not be visible yet, in
+        // which case the caller retries — the consistency-anchor loop).
+        let cached = self
+            .cached_metadata(name)
+            .filter(|md| md.find_by_hash(hash).is_some());
+        let md = match cached {
+            Some(md) => md,
+            None => self.read_metadata(ctx, name)?,
+        };
+        let info = md
+            .find_by_hash(hash)
+            .ok_or_else(|| StorageError::not_found(format!("{name}@{}", scfs_crypto::to_hex(hash))))?
+            .clone();
+        self.read_version(ctx, name, &info)
+    }
+
+    /// Fetches and reconstructs one specific version.
+    fn read_version(
+        &self,
+        ctx: &mut OpCtx<'_>,
+        name: &str,
+        info: &VersionInfo,
+    ) -> Result<Vec<u8>, StorageError> {
+        let slots: Vec<usize> = (0..info.data_clouds as usize).collect();
+        let outcomes = parallel_access(ctx, &self.clouds, &slots, |slot, cloud, c| {
+            cloud.get(c, &Self::block_key(name, info.version, slot))
+        });
+
+        let needed = match self.config.protocol {
+            Protocol::ConfidentialAvailable => self.config.data_shards(),
+            Protocol::Available => 1,
+        };
+
+        // Walk the outcomes in completion order, keeping only blocks whose
+        // hash matches the metadata, until enough valid blocks are gathered.
+        let mut valid: Vec<BlockPayload> = Vec::new();
+        let mut reached_at = None;
+        for outcome in &outcomes {
+            if let Ok(bytes) = &outcome.result {
+                let slot = outcome.cloud_index;
+                let expected = info.block_hashes.get(slot);
+                if expected.is_some_and(|h| h == &sha256(bytes)) {
+                    if let Ok(block) = decode_block(bytes) {
+                        valid.push(block);
+                        if valid.len() == needed {
+                            reached_at = Some(outcome.completed_at);
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        match reached_at {
+            Some(at) => {
+                ctx.clock.advance_to(at);
+            }
+            None => {
+                if let Some(last) = outcomes.last() {
+                    ctx.clock.advance_to(last.completed_at);
+                }
+                return Err(StorageError::QuorumNotReached {
+                    needed,
+                    obtained: valid.len(),
+                });
+            }
+        }
+
+        let plaintext = match self.config.protocol {
+            Protocol::Available => valid[0].shard.clone(),
+            Protocol::ConfidentialAvailable => {
+                // Reassemble the ciphertext from the erasure-coded shards.
+                let mut shards: Vec<Option<Vec<u8>>> =
+                    vec![None; self.coder.total_shards()];
+                for block in &valid {
+                    if (block.slot as usize) < shards.len() {
+                        shards[block.slot as usize] = Some(block.shard.clone());
+                    }
+                }
+                let ciphertext = self
+                    .coder
+                    .decode(&shards, info.size as usize)
+                    .map_err(|e| StorageError::invalid(e.to_string()))?;
+                // Recover the key from the secret shares and decrypt.
+                let shares: Vec<Share> = valid
+                    .iter()
+                    .map(|b| Share {
+                        index: b.share_index,
+                        data: b.share_data.clone(),
+                    })
+                    .collect();
+                let key_bytes = combine_shares(&shares, self.config.data_shards())
+                    .map_err(|e| StorageError::invalid(e.to_string()))?;
+                let mut key = [0u8; 32];
+                if key_bytes.len() != 32 {
+                    return Err(StorageError::IntegrityViolation {
+                        key: name.to_string(),
+                    });
+                }
+                key.copy_from_slice(&key_bytes);
+                let cipher = ChaCha20::new(&key, &valid[0].nonce);
+                cipher.decrypt(&ciphertext)
+            }
+        };
+
+        if sha256(&plaintext) != info.hash {
+            return Err(StorageError::IntegrityViolation {
+                key: name.to_string(),
+            });
+        }
+        Ok(plaintext)
+    }
+
+    /// Deletes every version except the newest `keep`, updating the metadata
+    /// object; returns the number of versions removed. Used by the SCFS
+    /// garbage collector.
+    pub fn delete_old_versions(
+        &self,
+        ctx: &mut OpCtx<'_>,
+        name: &str,
+        keep: usize,
+    ) -> Result<usize, StorageError> {
+        let mut md = match self.cached_metadata(name) {
+            Some(md) => md,
+            None => self.read_metadata(ctx, name)?,
+        };
+        let removed = md.prune_old_versions(keep);
+        if removed.is_empty() {
+            return Ok(0);
+        }
+        for info in &removed {
+            let slots: Vec<usize> = (0..info.data_clouds as usize).collect();
+            let outcomes = parallel_access(ctx, &self.clouds, &slots, |slot, cloud, c| {
+                cloud.delete(c, &Self::block_key(name, info.version, slot))
+            });
+            // Deletions are best-effort; advance past the slowest attempt.
+            crate::quorum::advance_to_all(ctx, &outcomes);
+        }
+        let encoded = md.encode();
+        let all: Vec<usize> = (0..self.clouds.len()).collect();
+        let outcomes = parallel_access(ctx, &self.clouds, &all, |_, cloud, c| {
+            cloud.put(c, &Self::metadata_key(name), &encoded)
+        });
+        if !advance_to_nth_success(ctx, &outcomes, self.config.write_quorum()) {
+            return Err(quorum_error(&outcomes, self.config.write_quorum()));
+        }
+        self.metadata_cache.lock().insert(name.to_string(), md);
+        Ok(removed.len())
+    }
+
+    /// Deletes the whole data unit (all versions and the metadata object).
+    pub fn delete_all(&self, ctx: &mut OpCtx<'_>, name: &str) -> Result<(), StorageError> {
+        let md = match self.cached_metadata(name) {
+            Some(md) => md,
+            None => match self.read_metadata(ctx, name) {
+                Ok(md) => md,
+                Err(StorageError::NotFound { .. }) => DataUnitMetadata::new(name),
+                Err(e) => return Err(e),
+            },
+        };
+        for info in &md.versions {
+            let slots: Vec<usize> = (0..info.data_clouds as usize).collect();
+            let outcomes = parallel_access(ctx, &self.clouds, &slots, |slot, cloud, c| {
+                cloud.delete(c, &Self::block_key(name, info.version, slot))
+            });
+            crate::quorum::advance_to_all(ctx, &outcomes);
+        }
+        let all: Vec<usize> = (0..self.clouds.len()).collect();
+        let key = Self::metadata_key(name);
+        let outcomes = parallel_access(ctx, &self.clouds, &all, |_, cloud, c| cloud.delete(c, &key));
+        crate::quorum::advance_to_all(ctx, &outcomes);
+        self.metadata_cache.lock().remove(name);
+        Ok(())
+    }
+
+    /// Propagates an ACL change to the metadata and all block objects in all
+    /// clouds (the cloud-level half of SCFS `setfacl`, paper §2.6).
+    pub fn set_acl(&self, ctx: &mut OpCtx<'_>, name: &str, acl: &Acl) -> Result<(), StorageError> {
+        let md = match self.cached_metadata(name) {
+            Some(md) => md,
+            None => self.read_metadata(ctx, name)?,
+        };
+        let all: Vec<usize> = (0..self.clouds.len()).collect();
+        let md_key = Self::metadata_key(name);
+        let outcomes = parallel_access(ctx, &self.clouds, &all, |slot, cloud, c| {
+            cloud.set_acl(c, &md_key, acl.clone()).or(Ok(()))?;
+            // Each cloud also updates the ACL of the blocks it holds.
+            for info in &md.versions {
+                if slot < info.data_clouds as usize {
+                    let _ = cloud.set_acl(c, &Self::block_key(name, info.version, slot), acl.clone());
+                }
+            }
+            Ok(())
+        });
+        if !advance_to_nth_success(ctx, &outcomes, self.config.write_quorum()) {
+            return Err(quorum_error(&outcomes, self.config.write_quorum()));
+        }
+        Ok(())
+    }
+}
+
+fn quorum_error<T>(outcomes: &[CloudOutcome<T>], needed: usize) -> StorageError {
+    StorageError::QuorumNotReached {
+        needed,
+        obtained: outcomes.iter().filter(|o| o.is_ok()).count(),
+    }
+}
+
+fn encode_block(slot: u8, share_index: u8, nonce: &[u8; 12], share: &[u8], shard: &[u8]) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_u8(slot)
+        .put_u8(share_index)
+        .put_bytes(nonce)
+        .put_bytes(share)
+        .put_bytes(shard);
+    w.finish()
+}
+
+fn decode_block(bytes: &[u8]) -> Result<BlockPayload, StorageError> {
+    let mut r = Reader::new(bytes);
+    let mut parse = || -> Result<BlockPayload, crate::wire::DecodeError> {
+        let slot = r.get_u8()?;
+        let share_index = r.get_u8()?;
+        let nonce_bytes = r.get_bytes()?;
+        let mut nonce = [0u8; 12];
+        if nonce_bytes.len() == 12 {
+            nonce.copy_from_slice(&nonce_bytes);
+        }
+        let share_data = r.get_bytes()?;
+        let shard = r.get_bytes()?;
+        Ok(BlockPayload {
+            slot,
+            share_index,
+            nonce,
+            share_data,
+            shard,
+        })
+    };
+    parse().map_err(|e| StorageError::invalid(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloud_store::providers::{ProviderProfile, ProviderSet};
+    use cloud_store::sim_cloud::SimulatedCloud;
+    use sim_core::fault::FaultPlan;
+    use sim_core::latency::LatencyModel;
+    use sim_core::time::{Clock, SimInstant};
+
+    fn sim_clouds(n: usize) -> Vec<Arc<SimulatedCloud>> {
+        ProviderSet::test_backend(n)
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| Arc::new(SimulatedCloud::new(p, i as u64)))
+            .collect()
+    }
+
+    fn as_stores(clouds: &[Arc<SimulatedCloud>]) -> Vec<Arc<dyn ObjectStore>> {
+        clouds
+            .iter()
+            .map(|c| c.clone() as Arc<dyn ObjectStore>)
+            .collect()
+    }
+
+    fn test_clouds(n: usize) -> Vec<Arc<dyn ObjectStore>> {
+        as_stores(&sim_clouds(n))
+    }
+
+    fn client(clouds: Vec<Arc<dyn ObjectStore>>) -> DepSkyClient {
+        DepSkyClient::new(clouds, DepSkyConfig::scfs_default(), 42).unwrap()
+    }
+
+    fn ctx<'a>(clock: &'a mut Clock) -> OpCtx<'a> {
+        OpCtx::new(clock, "alice".into())
+    }
+
+    #[test]
+    fn write_then_read_latest_round_trips() {
+        let ds = client(test_clouds(4));
+        let mut clock = Clock::new();
+        let mut c = ctx(&mut clock);
+        let data = b"the contents of a shared document".to_vec();
+        let receipt = ds.write_new(&mut c, "files/doc", &data).unwrap();
+        assert_eq!(receipt.version, 1);
+        assert_eq!(receipt.hash, sha256(&data));
+        let (read, info) = ds.read_latest(&mut c, "files/doc").unwrap();
+        assert_eq!(read, data);
+        assert_eq!(info.version, 1);
+    }
+
+    #[test]
+    fn read_by_hash_returns_the_right_version() {
+        let ds = client(test_clouds(4));
+        let mut clock = Clock::new();
+        let mut c = ctx(&mut clock);
+        let v1 = b"version one".to_vec();
+        let v2 = b"version two, longer".to_vec();
+        let r1 = ds.write_new(&mut c, "f", &v1).unwrap();
+        let r2 = ds.write(&mut c, "f", &v2).unwrap();
+        assert_eq!(r2.version, 2);
+        assert_eq!(ds.read_by_hash(&mut c, "f", &r1.hash).unwrap(), v1);
+        assert_eq!(ds.read_by_hash(&mut c, "f", &r2.hash).unwrap(), v2);
+        let missing = sha256(b"never written");
+        assert!(ds.read_by_hash(&mut c, "f", &missing).is_err());
+    }
+
+    #[test]
+    fn wrong_cloud_count_is_rejected() {
+        let err = DepSkyClient::new(test_clouds(3), DepSkyConfig::scfs_default(), 1).unwrap_err();
+        assert!(matches!(err, StorageError::InvalidRequest { .. }));
+    }
+
+    #[test]
+    fn data_survives_one_byzantine_cloud() {
+        let sims = sim_clouds(4);
+        let ds = client(as_stores(&sims));
+        let mut clock = Clock::new();
+        let mut c = ctx(&mut clock);
+        let data = vec![7u8; 4096];
+        let receipt = ds.write_new(&mut c, "f", &data).unwrap();
+
+        // Cloud 0 turns Byzantine after the write and corrupts everything it
+        // returns; the quorum read must mask it.
+        sims[0].set_fault_plan(FaultPlan::always_byzantine(), 99);
+
+        // A fresh client (no metadata cache) must still read the data.
+        let reader = client(as_stores(&sims));
+        let mut clock_b = Clock::new();
+        let mut cb = ctx(&mut clock_b);
+        assert_eq!(reader.read_by_hash(&mut cb, "f", &receipt.hash).unwrap(), data);
+    }
+
+    #[test]
+    fn data_survives_one_unavailable_cloud() {
+        let sims = sim_clouds(4);
+        let ds = client(as_stores(&sims));
+        let mut clock = Clock::new();
+        let mut c = ctx(&mut clock);
+        let data = vec![3u8; 1000];
+        let receipt = ds.write_new(&mut c, "f", &data).unwrap();
+
+        sims[1].set_fault_plan(
+            FaultPlan::outage(SimInstant::EPOCH, SimInstant::from_secs(1_000_000)),
+            5,
+        );
+
+        let reader = client(as_stores(&sims));
+        let mut clock_b = Clock::new();
+        let mut cb = ctx(&mut clock_b);
+        assert_eq!(reader.read_by_hash(&mut cb, "f", &receipt.hash).unwrap(), data);
+    }
+
+    #[test]
+    fn no_single_cloud_stores_the_plaintext() {
+        let clouds = test_clouds(4);
+        let ds = client(clouds.clone());
+        let mut clock = Clock::new();
+        let mut c = ctx(&mut clock);
+        let secret = b"TOP-SECRET corporate budget 2014".to_vec();
+        ds.write_new(&mut c, "budget", &secret).unwrap();
+        // Inspect every object in every cloud: none of them may contain the
+        // plaintext (confidentiality against a curious provider).
+        for cloud in &clouds {
+            let mut clk = Clock::new();
+            let mut cc = OpCtx::new(&mut clk, "alice".into());
+            for key in cloud.list(&mut cc, "depsky/").unwrap() {
+                let bytes = cloud.get(&mut cc, &key).unwrap();
+                assert!(
+                    !contains_subslice(&bytes, &secret),
+                    "cloud {} leaked the plaintext in {key}",
+                    cloud.id()
+                );
+            }
+        }
+    }
+
+    fn contains_subslice(haystack: &[u8], needle: &[u8]) -> bool {
+        haystack.windows(needle.len()).any(|w| w == needle)
+    }
+
+    #[test]
+    fn storage_overhead_is_about_1_5x_with_preferred_quorum() {
+        let sims = sim_clouds(4);
+        let ds = client(as_stores(&sims));
+        let mut clock = Clock::new();
+        let mut c = ctx(&mut clock);
+        let data = vec![0u8; 1_000_000];
+        ds.write_new(&mut c, "big", &data).unwrap();
+        let stored: u64 = sims.iter().map(|cl| cl.stored_bytes().get()).sum();
+        let overhead = stored as f64 / data.len() as f64;
+        assert!(
+            (1.4..1.7).contains(&overhead),
+            "storage overhead was {overhead}"
+        );
+    }
+
+    #[test]
+    fn quorum_write_latency_hides_the_slowest_cloud() {
+        // Four clouds with very different latencies; with preferred_quorum
+        // disabled the write waits for 3 of 4, so the 5-second cloud is off
+        // the critical path.
+        let latencies = [100.0, 200.0, 300.0, 5_000.0];
+        let clouds: Vec<Arc<dyn ObjectStore>> = latencies
+            .iter()
+            .enumerate()
+            .map(|(i, ms)| {
+                let mut p = ProviderProfile::instantaneous(&format!("c{i}"));
+                p.latency.request = LatencyModel::constant_ms(*ms);
+                Arc::new(SimulatedCloud::new(p, i as u64)) as Arc<dyn ObjectStore>
+            })
+            .collect();
+        let config = DepSkyConfig {
+            preferred_quorum: false,
+            ..DepSkyConfig::scfs_default()
+        };
+        let ds = DepSkyClient::new(clouds, config, 1).unwrap();
+        let mut clock = Clock::new();
+        let mut c = ctx(&mut clock);
+        ds.write_new(&mut c, "f", b"x").unwrap();
+        // Two phases, each bounded by the third-slowest cloud (300 ms).
+        let elapsed = clock.now().as_millis_f64();
+        assert!(elapsed < 1_000.0, "write took {elapsed} ms");
+    }
+
+    #[test]
+    fn garbage_collection_removes_old_versions() {
+        let sims = sim_clouds(4);
+        let ds = client(as_stores(&sims));
+        let mut clock = Clock::new();
+        let mut c = ctx(&mut clock);
+        for i in 0..5u8 {
+            ds.write(&mut c, "f", &vec![i; 100]).unwrap();
+        }
+        let before: u64 = sims.iter().map(|cl| cl.stored_bytes().get()).sum();
+        let removed = ds.delete_old_versions(&mut c, "f", 2).unwrap();
+        assert_eq!(removed, 3);
+        let after: u64 = sims.iter().map(|cl| cl.stored_bytes().get()).sum();
+        assert!(after < before);
+        // The remaining versions are still readable.
+        assert!(ds.read_latest(&mut c, "f").is_ok());
+        // Running the GC again removes nothing.
+        assert_eq!(ds.delete_old_versions(&mut c, "f", 2).unwrap(), 0);
+    }
+
+    #[test]
+    fn delete_all_removes_the_data_unit() {
+        let clouds = test_clouds(4);
+        let ds = client(clouds.clone());
+        let mut clock = Clock::new();
+        let mut c = ctx(&mut clock);
+        ds.write_new(&mut c, "f", b"data").unwrap();
+        ds.delete_all(&mut c, "f").unwrap();
+        let reader = client(clouds);
+        let mut clock_b = Clock::new();
+        let mut cb = ctx(&mut clock_b);
+        assert!(reader.read_latest(&mut cb, "f").is_err());
+    }
+
+    #[test]
+    fn replication_protocol_also_round_trips() {
+        let config = DepSkyConfig {
+            f: 1,
+            protocol: Protocol::Available,
+            preferred_quorum: false,
+        };
+        let ds = DepSkyClient::new(test_clouds(4), config, 7).unwrap();
+        let mut clock = Clock::new();
+        let mut c = ctx(&mut clock);
+        let data = b"plain replication".to_vec();
+        let r = ds.write_new(&mut c, "f", &data).unwrap();
+        assert_eq!(ds.read_by_hash(&mut c, "f", &r.hash).unwrap(), data);
+    }
+
+    #[test]
+    fn acl_propagation_lets_another_account_read() {
+        use cloud_store::types::Permission;
+        let clouds = test_clouds(4);
+        let ds = client(clouds.clone());
+        let mut clock = Clock::new();
+        let mut c = ctx(&mut clock);
+        let data = b"shared doc".to_vec();
+        let receipt = ds.write_new(&mut c, "shared/doc", &data).unwrap();
+
+        let mut acl = Acl::private();
+        acl.grant("bob".into(), Permission::Read);
+        ds.set_acl(&mut c, "shared/doc", &acl).unwrap();
+
+        // Bob, with his own client and account, can now read the file.
+        let bob = client(clouds);
+        let mut clock_b = Clock::new();
+        clock_b.advance(sim_core::time::SimDuration::from_secs(5));
+        let mut cb = OpCtx::new(&mut clock_b, "bob".into());
+        assert_eq!(bob.read_by_hash(&mut cb, "shared/doc", &receipt.hash).unwrap(), data);
+    }
+}

@@ -1,0 +1,79 @@
+//! HMAC-SHA-256 (RFC 2104).
+//!
+//! Used by the simulated cloud providers to authenticate requests (standing
+//! in for the SSL/REST request signing that the real providers' Java SDKs
+//! perform, paper §3.2) and by the key generator to derive per-file nonces.
+
+use crate::sha256::Sha256;
+
+const BLOCK_SIZE: usize = 64;
+
+/// Computes HMAC-SHA-256 of `message` under `key`.
+pub fn hmac_sha256(key: &[u8], message: &[u8]) -> [u8; 32] {
+    // Keys longer than the block size are hashed first.
+    let mut key_block = [0u8; BLOCK_SIZE];
+    if key.len() > BLOCK_SIZE {
+        let digest = crate::sha256::sha256(key);
+        key_block[..32].copy_from_slice(&digest);
+    } else {
+        key_block[..key.len()].copy_from_slice(key);
+    }
+
+    let mut ipad = [0x36u8; BLOCK_SIZE];
+    let mut opad = [0x5cu8; BLOCK_SIZE];
+    for i in 0..BLOCK_SIZE {
+        ipad[i] ^= key_block[i];
+        opad[i] ^= key_block[i];
+    }
+
+    let mut inner = Sha256::new();
+    inner.update(&ipad);
+    inner.update(message);
+    let inner_digest = inner.finalize();
+
+    let mut outer = Sha256::new();
+    outer.update(&opad);
+    outer.update(&inner_digest);
+    outer.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::to_hex;
+
+    #[test]
+    fn rfc4231_test_case_1() {
+        // Key = 0x0b * 20, Data = "Hi There".
+        let key = [0x0bu8; 20];
+        let mac = hmac_sha256(&key, b"Hi There");
+        assert_eq!(
+            to_hex(&mac),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_test_case_2() {
+        // Key = "Jefe", Data = "what do ya want for nothing?".
+        let mac = hmac_sha256(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            to_hex(&mac),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn long_key_is_hashed_first() {
+        let key = vec![0xaau8; 131];
+        let a = hmac_sha256(&key, b"msg");
+        let b = hmac_sha256(&crate::sha256::sha256(&key), b"msg");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_keys_give_different_macs() {
+        assert_ne!(hmac_sha256(b"k1", b"m"), hmac_sha256(b"k2", b"m"));
+        assert_ne!(hmac_sha256(b"k", b"m1"), hmac_sha256(b"k", b"m2"));
+    }
+}

@@ -1,0 +1,236 @@
+//! Shamir secret sharing over GF(2⁸).
+//!
+//! DepSky-CA splits the random file-encryption key into `n` shares with
+//! threshold `t = f + 1`, storing one share in each cloud next to the erasure
+//! coded block (paper §3.2, Figure 6, step 4). No coalition of `f` or fewer
+//! clouds learns anything about the key, yet any `f + 1` responsive clouds
+//! allow the client to recover it.
+
+use crate::gf256;
+
+/// One share of a secret: the evaluation point `x` and the share bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Share {
+    /// The (non-zero) evaluation point identifying this share.
+    pub index: u8,
+    /// One byte of share data per byte of secret.
+    pub data: Vec<u8>,
+}
+
+/// Errors returned by the secret sharing functions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShamirError {
+    /// The (threshold, shares) configuration is invalid.
+    InvalidConfig {
+        /// Requested threshold.
+        threshold: usize,
+        /// Requested number of shares.
+        shares: usize,
+    },
+    /// Fewer shares than the threshold were provided for reconstruction.
+    NotEnoughShares {
+        /// Threshold needed.
+        needed: usize,
+        /// Shares provided.
+        available: usize,
+    },
+    /// Shares have inconsistent lengths or duplicate indices.
+    InconsistentShares,
+}
+
+impl std::fmt::Display for ShamirError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShamirError::InvalidConfig { threshold, shares } => {
+                write!(f, "invalid configuration: threshold {threshold} of {shares} shares")
+            }
+            ShamirError::NotEnoughShares { needed, available } => {
+                write!(f, "not enough shares: need {needed}, have {available}")
+            }
+            ShamirError::InconsistentShares => write!(f, "shares are inconsistent"),
+        }
+    }
+}
+
+impl std::error::Error for ShamirError {}
+
+/// Splits `secret` into `shares` shares with reconstruction threshold
+/// `threshold`, using `entropy` as the randomness source for the polynomial
+/// coefficients.
+///
+/// `entropy` must supply `(threshold - 1) * secret.len()` bytes; a closure
+/// over a deterministic RNG is fine for the simulation (the security of the
+/// reproduction is not the point — the structure is).
+pub fn split_secret(
+    secret: &[u8],
+    threshold: usize,
+    shares: usize,
+    mut entropy: impl FnMut() -> u8,
+) -> Result<Vec<Share>, ShamirError> {
+    if threshold == 0 || shares == 0 || threshold > shares || shares > 255 {
+        return Err(ShamirError::InvalidConfig { threshold, shares });
+    }
+
+    // For each secret byte build a random polynomial of degree threshold-1
+    // with the secret byte as the constant term.
+    let mut coefficients: Vec<Vec<u8>> = Vec::with_capacity(secret.len());
+    for &byte in secret {
+        let mut poly = Vec::with_capacity(threshold);
+        poly.push(byte);
+        for _ in 1..threshold {
+            poly.push(entropy());
+        }
+        coefficients.push(poly);
+    }
+
+    let out = (1..=shares as u8)
+        .map(|x| Share {
+            index: x,
+            data: coefficients
+                .iter()
+                .map(|poly| gf256::poly_eval(poly, x))
+                .collect(),
+        })
+        .collect();
+    Ok(out)
+}
+
+/// Reconstructs the secret from at least `threshold` shares using Lagrange
+/// interpolation at `x = 0`.
+pub fn combine_shares(shares: &[Share], threshold: usize) -> Result<Vec<u8>, ShamirError> {
+    if shares.len() < threshold {
+        return Err(ShamirError::NotEnoughShares {
+            needed: threshold,
+            available: shares.len(),
+        });
+    }
+    let selected = &shares[..threshold];
+    let len = selected[0].data.len();
+    if selected.iter().any(|s| s.data.len() != len || s.index == 0) {
+        return Err(ShamirError::InconsistentShares);
+    }
+    // Duplicate indices make interpolation ill-defined.
+    for i in 0..selected.len() {
+        for j in (i + 1)..selected.len() {
+            if selected[i].index == selected[j].index {
+                return Err(ShamirError::InconsistentShares);
+            }
+        }
+    }
+
+    let mut secret = vec![0u8; len];
+    for (i, share_i) in selected.iter().enumerate() {
+        // Lagrange basis polynomial evaluated at x = 0:
+        //   l_i(0) = prod_{j != i} x_j / (x_j - x_i)
+        let mut num = 1u8;
+        let mut den = 1u8;
+        for (j, share_j) in selected.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            num = gf256::mul(num, share_j.index);
+            den = gf256::mul(den, gf256::sub(share_j.index, share_i.index));
+        }
+        let basis = gf256::div(num, den);
+        for (s, &b) in secret.iter_mut().zip(share_i.data.iter()) {
+            *s = gf256::add(*s, gf256::mul(basis, b));
+        }
+    }
+    Ok(secret)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn entropy_from_seed(seed: u64) -> impl FnMut() -> u8 {
+        let mut s = seed;
+        move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (s >> 56) as u8
+        }
+    }
+
+    #[test]
+    fn split_and_combine_round_trip() {
+        let secret = b"a 32-byte file encryption key!!!".to_vec();
+        let shares = split_secret(&secret, 2, 4, entropy_from_seed(1)).unwrap();
+        assert_eq!(shares.len(), 4);
+        let recovered = combine_shares(&shares[..2], 2).unwrap();
+        assert_eq!(recovered, secret);
+        // Any pair works.
+        let pair = vec![shares[1].clone(), shares[3].clone()];
+        assert_eq!(combine_shares(&pair, 2).unwrap(), secret);
+    }
+
+    #[test]
+    fn single_share_below_threshold_reveals_nothing_useful() {
+        let secret = vec![0x42u8; 16];
+        let shares = split_secret(&secret, 2, 4, entropy_from_seed(7)).unwrap();
+        // A single share is (with overwhelming probability for random coeffs)
+        // different from the secret and cannot be combined.
+        assert!(combine_shares(&shares[..1], 2).is_err());
+        assert_ne!(shares[0].data, secret);
+    }
+
+    #[test]
+    fn invalid_configurations_rejected() {
+        let e = entropy_from_seed(0);
+        assert!(split_secret(b"s", 0, 3, e).is_err());
+        assert!(split_secret(b"s", 4, 3, entropy_from_seed(0)).is_err());
+        assert!(split_secret(b"s", 1, 0, entropy_from_seed(0)).is_err());
+    }
+
+    #[test]
+    fn inconsistent_shares_rejected() {
+        let secret = vec![1, 2, 3];
+        let mut shares = split_secret(&secret, 2, 3, entropy_from_seed(3)).unwrap();
+        shares[1].data.pop();
+        assert_eq!(
+            combine_shares(&shares[..2], 2).unwrap_err(),
+            ShamirError::InconsistentShares
+        );
+        // Duplicate indices.
+        let shares2 = split_secret(&secret, 2, 3, entropy_from_seed(3)).unwrap();
+        let dup = vec![shares2[0].clone(), shares2[0].clone()];
+        assert_eq!(
+            combine_shares(&dup, 2).unwrap_err(),
+            ShamirError::InconsistentShares
+        );
+    }
+
+    #[test]
+    fn threshold_one_degenerates_to_replication() {
+        let secret = vec![9, 8, 7];
+        let shares = split_secret(&secret, 1, 3, entropy_from_seed(5)).unwrap();
+        for s in &shares {
+            assert_eq!(combine_shares(&[s.clone()], 1).unwrap(), secret);
+        }
+    }
+
+    #[test]
+    fn empty_secret_round_trips() {
+        let shares = split_secret(&[], 2, 3, entropy_from_seed(9)).unwrap();
+        assert_eq!(combine_shares(&shares[..2], 2).unwrap(), Vec::<u8>::new());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_any_threshold_subset_recovers(
+            secret in proptest::collection::vec(any::<u8>(), 1..64),
+            seed in any::<u64>(),
+        ) {
+            let threshold = 2;
+            let n = 4;
+            let shares = split_secret(&secret, threshold, n, entropy_from_seed(seed)).unwrap();
+            for i in 0..n {
+                for j in 0..n {
+                    if i == j { continue; }
+                    let subset = vec![shares[i].clone(), shares[j].clone()];
+                    prop_assert_eq!(combine_shares(&subset, threshold).unwrap(), secret.clone());
+                }
+            }
+        }
+    }
+}

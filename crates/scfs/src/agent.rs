@@ -1,0 +1,960 @@
+//! The SCFS Agent: the client-side implementation of the file system
+//! (paper §2.5), combining the storage, metadata and locking services with
+//! the two cache levels, the three operation modes, private name spaces and
+//! the background garbage collector.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use cloud_store::store::OpCtx;
+use cloud_store::types::{AccountId, Acl, Permission};
+use coord::lock::LockManager;
+use coord::service::{CoordinationService, SessionId};
+use sim_core::latency::LatencyProfile;
+use sim_core::rng::DetRng;
+use sim_core::time::{Clock, SimDuration, SimInstant};
+use sim_core::units::Bytes;
+
+use crate::anchor::anchored_read;
+use crate::backend::FileStorage;
+use crate::cache::FileCache;
+use crate::config::{Mode, ScfsConfig};
+use crate::error::ScfsError;
+use crate::fs::FileSystem;
+use crate::metadata_service::MetadataService;
+use crate::types::{normalize_path, FileHandle, FileMetadata, FileType, OpenFlags};
+
+/// Counters describing the agent's activity, used by the experiment
+/// harnesses to explain latency results.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AgentStats {
+    /// Number of file-system calls served.
+    pub syscalls: u64,
+    /// Whole-file uploads to the cloud backend (foreground + background).
+    pub cloud_uploads: u64,
+    /// Whole-file downloads from the cloud backend.
+    pub cloud_downloads: u64,
+    /// Reads served from the memory or disk cache without touching the cloud.
+    pub cache_served_reads: u64,
+    /// Total retries spent in the consistency-anchor read loop.
+    pub anchor_retries: u64,
+    /// Garbage-collection cycles executed.
+    pub gc_runs: u64,
+    /// File versions reclaimed by the garbage collector.
+    pub gc_reclaimed_versions: u64,
+}
+
+/// State of one open file.
+#[derive(Debug, Clone)]
+struct OpenFile {
+    path: String,
+    flags: OpenFlags,
+    metadata: FileMetadata,
+    buffer: Vec<u8>,
+    dirty: bool,
+    locked: bool,
+    never_uploaded: bool,
+}
+
+/// The SCFS agent: one per mounted client.
+pub struct ScfsAgent {
+    user: AccountId,
+    config: ScfsConfig,
+    clock: Clock,
+    rng: DetRng,
+    storage: Arc<dyn FileStorage>,
+    metadata: MetadataService,
+    locks: Option<LockManager>,
+    mem_cache: FileCache,
+    disk_cache: FileCache,
+    mem_latency: LatencyProfile,
+    open_files: HashMap<FileHandle, OpenFile>,
+    next_handle: u64,
+    next_storage_id: u64,
+    /// Completion instant of the last queued background upload; background
+    /// work is serialized behind this cursor (one uploader thread).
+    background_cursor: SimInstant,
+    written_since_gc: u64,
+    /// Files this agent has written: storage id → (path, deleted?).
+    owned_files: HashMap<String, (String, bool)>,
+    stats: AgentStats,
+}
+
+impl std::fmt::Debug for ScfsAgent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScfsAgent")
+            .field("user", &self.user)
+            .field("mode", &self.config.mode)
+            .field("backend", &self.storage.label())
+            .finish()
+    }
+}
+
+impl ScfsAgent {
+    /// Mounts a new agent for `user` over the given backend and (optional)
+    /// coordination service.
+    ///
+    /// The coordination service is required in the blocking and non-blocking
+    /// modes and ignored in the non-sharing mode (paper §3.1).
+    pub fn mount(
+        user: AccountId,
+        config: ScfsConfig,
+        storage: Arc<dyn FileStorage>,
+        coord: Option<Arc<dyn CoordinationService>>,
+        seed: u64,
+    ) -> Result<Self, ScfsError> {
+        if config.mode.uses_coordination() && coord.is_none() {
+            return Err(ScfsError::invalid(format!(
+                "mode {:?} requires a coordination service",
+                config.mode
+            )));
+        }
+        let coord = if config.mode.uses_coordination() {
+            coord
+        } else {
+            None
+        };
+        let session = SessionId::new(format!("{}-{}", user.as_str(), seed));
+        let locks = coord
+            .clone()
+            .map(|c| LockManager::new(c, session, config.lock_lease));
+        let use_pns = config.private_name_spaces || !config.mode.uses_coordination();
+        let metadata = MetadataService::new(
+            coord,
+            use_pns,
+            user.clone(),
+            config.metadata_cache_expiry,
+        );
+        Ok(ScfsAgent {
+            mem_cache: FileCache::memory(config.memory_cache_capacity, seed ^ 0x11),
+            disk_cache: FileCache::disk(config.disk_cache_capacity, seed ^ 0x22),
+            mem_latency: LatencyProfile::main_memory(),
+            user,
+            config,
+            clock: Clock::new(),
+            rng: DetRng::new(seed),
+            storage,
+            metadata,
+            locks,
+            open_files: HashMap::new(),
+            next_handle: 1,
+            next_storage_id: 1,
+            background_cursor: SimInstant::EPOCH,
+            written_since_gc: 0,
+            owned_files: HashMap::new(),
+            stats: AgentStats::default(),
+        })
+    }
+
+    /// The agent's activity counters.
+    pub fn stats(&self) -> AgentStats {
+        self.stats
+    }
+
+    /// The agent's metadata service (exposes PNS and cache statistics).
+    pub fn metadata_service(&self) -> &MetadataService {
+        &self.metadata
+    }
+
+    /// The agent's configuration.
+    pub fn config(&self) -> &ScfsConfig {
+        &self.config
+    }
+
+    /// Overrides which path prefixes are treated as shared when PNSs are
+    /// enabled (used by the Figure 10(b) sweep).
+    pub fn set_shared_prefixes(&mut self, prefixes: Vec<String>) {
+        self.metadata.set_shared_prefixes(prefixes);
+    }
+
+    /// Instant at which all currently queued background uploads will have
+    /// completed (the durability horizon of non-blocking mode).
+    pub fn background_drain_instant(&self) -> SimInstant {
+        self.background_cursor
+    }
+
+    fn charge_syscall(&mut self) {
+        self.stats.syscalls += 1;
+        let d = self.config.syscall_overhead.sample(&mut self.rng);
+        self.clock.advance(d);
+    }
+
+    fn charge_memory(&mut self, bytes: usize) {
+        let d = self
+            .mem_latency
+            .sample_op(&mut self.rng, Bytes::new(bytes as u64), Bytes::ZERO);
+        self.clock.advance(d);
+    }
+
+    fn alloc_handle(&mut self) -> FileHandle {
+        let h = FileHandle(self.next_handle);
+        self.next_handle += 1;
+        h
+    }
+
+    fn alloc_storage_id(&mut self) -> String {
+        let id = format!("{}-f{}", self.user.as_str(), self.next_storage_id);
+        self.next_storage_id += 1;
+        id
+    }
+
+    fn lock_id(metadata: &FileMetadata) -> String {
+        metadata.storage_id.clone()
+    }
+
+    /// Uploads `data` as the new version of `metadata`'s object and commits
+    /// the metadata update and unlock, all on the clock inside `ctx`
+    /// (foreground clock for blocking mode, background clock otherwise).
+    #[allow(clippy::too_many_arguments)]
+    fn upload_and_commit(
+        storage: &Arc<dyn FileStorage>,
+        metadata_svc: &mut MetadataService,
+        locks: &Option<LockManager>,
+        ctx: &mut OpCtx<'_>,
+        mut metadata: FileMetadata,
+        data: &[u8],
+        never_uploaded: bool,
+        unlock: bool,
+        stats: &mut AgentStats,
+    ) -> Result<FileMetadata, ScfsError> {
+        let hash = storage.write_version(ctx, &metadata.storage_id, data, never_uploaded)?;
+        stats.cloud_uploads += 1;
+        // Propagate the file ACL to the freshly written objects so that every
+        // user the file is shared with — including its owner, when the writer
+        // is a grantee — can read the new version.
+        if metadata.is_shared() || metadata.owner != ctx.account {
+            let mut cloud_acl = metadata.acl.clone();
+            cloud_acl.grant(metadata.owner.clone(), Permission::Write);
+            cloud_acl.grant(ctx.account.clone(), Permission::Write);
+            storage.set_acl(ctx, &metadata.storage_id, &cloud_acl)?;
+        }
+        metadata.version_hash = Some(hash);
+        metadata.size = data.len() as u64;
+        metadata.modified_at = ctx.clock.now();
+        metadata.version_count += 1;
+        metadata_svc.update(ctx, metadata.clone())?;
+        if unlock {
+            if let Some(locks) = locks {
+                locks.unlock(ctx, &Self::lock_id(&metadata))?;
+            }
+        }
+        Ok(metadata)
+    }
+
+    /// Runs the garbage collector if the written-bytes threshold was crossed
+    /// (paper §2.5.3). The collector runs on a background clock so it does
+    /// not add latency to foreground operations.
+    fn maybe_run_gc(&mut self) {
+        if !self.config.gc.enabled
+            || self.written_since_gc < self.config.gc.written_bytes_threshold.get()
+        {
+            return;
+        }
+        self.written_since_gc = 0;
+        self.stats.gc_runs += 1;
+        let mut bg_clock = Clock::starting_at(self.clock.now().max(self.background_cursor));
+        let mut ctx = OpCtx::new(&mut bg_clock, self.user.clone());
+        let keep = self.config.gc.versions_to_keep;
+        let mut reclaimed = 0u64;
+        let mut fully_deleted: Vec<String> = Vec::new();
+        for (storage_id, (path, deleted)) in &self.owned_files {
+            if *deleted {
+                if self.storage.delete_all(&mut ctx, storage_id).is_ok() {
+                    let _ = self.metadata.delete(&mut ctx, path);
+                    fully_deleted.push(storage_id.clone());
+                }
+            } else if let Ok(n) = self.storage.delete_old_versions(&mut ctx, storage_id, keep) {
+                reclaimed += n as u64;
+            }
+        }
+        for id in fully_deleted {
+            self.owned_files.remove(&id);
+        }
+        self.stats.gc_reclaimed_versions += reclaimed;
+        self.background_cursor = self.background_cursor.max(bg_clock.now());
+    }
+
+    fn get_open(&self, handle: FileHandle) -> Result<&OpenFile, ScfsError> {
+        self.open_files
+            .get(&handle)
+            .ok_or(ScfsError::BadHandle { handle: handle.0 })
+    }
+
+    fn get_open_mut(&mut self, handle: FileHandle) -> Result<&mut OpenFile, ScfsError> {
+        self.open_files
+            .get_mut(&handle)
+            .ok_or(ScfsError::BadHandle { handle: handle.0 })
+    }
+}
+
+impl FileSystem for ScfsAgent {
+    fn name(&self) -> String {
+        format!("SCFS-{}-{}", self.storage.label(), self.config.mode.label())
+    }
+
+    fn clock(&self) -> &Clock {
+        &self.clock
+    }
+
+    fn sleep(&mut self, duration: SimDuration) {
+        self.clock.advance(duration);
+    }
+
+    fn open(&mut self, path: &str, flags: OpenFlags) -> Result<FileHandle, ScfsError> {
+        self.charge_syscall();
+        let path = normalize_path(path)?;
+
+        // Step 1: read the file metadata (or create it).
+        let mut ctx = OpCtx::new(&mut self.clock, self.user.clone());
+        let existing = match self.metadata.get(&mut ctx, &path) {
+            Ok(md) if !md.deleted => Some(md),
+            _ => None,
+        };
+        let (mut metadata, never_uploaded) = match existing {
+            Some(md) => {
+                if md.file_type != FileType::File {
+                    return Err(ScfsError::WrongType {
+                        path,
+                        expected: "file",
+                    });
+                }
+                let never = md.version_hash.is_none();
+                (md, never)
+            }
+            None => {
+                if !flags.create {
+                    return Err(ScfsError::not_found(path));
+                }
+                let storage_id = {
+                    // `alloc_storage_id` needs `&mut self`; end the ctx borrow first.
+                    drop(ctx);
+                    self.alloc_storage_id()
+                };
+                let now = self.clock.now();
+                let md = FileMetadata::new_file(&path, self.user.clone(), storage_id, now);
+                let mut ctx2 = OpCtx::new(&mut self.clock, self.user.clone());
+                self.metadata.create(&mut ctx2, md.clone())?;
+                self.owned_files
+                    .insert(md.storage_id.clone(), (path.clone(), false));
+                (md, true)
+            }
+        };
+
+        // Step 2: acquire the write lock for shared files opened for writing.
+        let mut locked = false;
+        if flags.write
+            && self.config.mode.uses_coordination()
+            && !self.metadata.is_private(&path, Some(&metadata))
+        {
+            if let Some(locks) = &self.locks {
+                let mut ctx = OpCtx::new(&mut self.clock, self.user.clone());
+                locks.try_lock(&mut ctx, &Self::lock_id(&metadata))?;
+                locked = true;
+            }
+        }
+
+        // Step 3: bring the file data into the local caches.
+        let buffer = if flags.truncate || metadata.version_hash.is_none() {
+            Vec::new()
+        } else {
+            let expected = metadata.version_hash;
+            let from_mem = self
+                .mem_cache
+                .get(&mut self.clock, &path, expected.as_ref());
+            match from_mem {
+                Some(data) => {
+                    self.stats.cache_served_reads += 1;
+                    data
+                }
+                None => {
+                    let from_disk = self
+                        .disk_cache
+                        .get(&mut self.clock, &path, expected.as_ref());
+                    match from_disk {
+                        Some(data) => {
+                            self.stats.cache_served_reads += 1;
+                            self.mem_cache
+                                .put(&mut self.clock, &path, data.clone(), expected);
+                            data
+                        }
+                        None => {
+                            // Not cached (or stale): fetch from the cloud via
+                            // the consistency-anchor read.
+                            let hash = expected.expect("checked above");
+                            let mut ctx = OpCtx::new(&mut self.clock, self.user.clone());
+                            let result = anchored_read(
+                                &mut ctx,
+                                self.storage.as_ref(),
+                                &metadata.storage_id,
+                                &hash,
+                                self.config.anchor_read_retries,
+                                self.config.anchor_retry_backoff,
+                            )?;
+                            self.stats.cloud_downloads += 1;
+                            self.stats.anchor_retries += result.retries as u64;
+                            self.disk_cache.put(
+                                &mut self.clock,
+                                &path,
+                                result.data.clone(),
+                                Some(hash),
+                            );
+                            self.mem_cache.put(
+                                &mut self.clock,
+                                &path,
+                                result.data.clone(),
+                                Some(hash),
+                            );
+                            result.data
+                        }
+                    }
+                }
+            }
+        };
+
+        if flags.truncate {
+            metadata.size = 0;
+        }
+
+        let handle = self.alloc_handle();
+        let dirty = flags.truncate && metadata.version_hash.is_some();
+        self.open_files.insert(
+            handle,
+            OpenFile {
+                path,
+                flags,
+                metadata,
+                buffer,
+                dirty,
+                locked,
+                never_uploaded,
+            },
+        );
+        Ok(handle)
+    }
+
+    fn read(&mut self, handle: FileHandle, offset: u64, len: usize) -> Result<Vec<u8>, ScfsError> {
+        self.charge_syscall();
+        let file = self.get_open(handle)?;
+        if !file.flags.read {
+            return Err(ScfsError::PermissionDenied {
+                path: file.path.clone(),
+            });
+        }
+        let start = (offset as usize).min(file.buffer.len());
+        let end = (start + len).min(file.buffer.len());
+        let data = file.buffer[start..end].to_vec();
+        self.charge_memory(data.len());
+        Ok(data)
+    }
+
+    fn write(&mut self, handle: FileHandle, offset: u64, data: &[u8]) -> Result<usize, ScfsError> {
+        self.charge_syscall();
+        let file = self.get_open_mut(handle)?;
+        if !file.flags.write {
+            return Err(ScfsError::PermissionDenied {
+                path: file.path.clone(),
+            });
+        }
+        let end = offset as usize + data.len();
+        if file.buffer.len() < end {
+            file.buffer.resize(end, 0);
+        }
+        file.buffer[offset as usize..end].copy_from_slice(data);
+        file.dirty = true;
+        file.metadata.size = file.buffer.len() as u64;
+        let len = data.len();
+        self.charge_memory(len);
+        Ok(len)
+    }
+
+    fn truncate(&mut self, handle: FileHandle, size: u64) -> Result<(), ScfsError> {
+        self.charge_syscall();
+        let file = self.get_open_mut(handle)?;
+        if !file.flags.write {
+            return Err(ScfsError::PermissionDenied {
+                path: file.path.clone(),
+            });
+        }
+        file.buffer.resize(size as usize, 0);
+        file.dirty = true;
+        file.metadata.size = size;
+        Ok(())
+    }
+
+    fn fsync(&mut self, handle: FileHandle) -> Result<(), ScfsError> {
+        self.charge_syscall();
+        let file = self.get_open(handle)?;
+        if !file.dirty {
+            return Ok(());
+        }
+        let (path, buffer) = (file.path.clone(), file.buffer.clone());
+        // Durability level 1: the data reaches the local disk.
+        self.disk_cache.put(&mut self.clock, &path, buffer, None);
+        Ok(())
+    }
+
+    fn close(&mut self, handle: FileHandle) -> Result<(), ScfsError> {
+        self.charge_syscall();
+        let file = self
+            .open_files
+            .remove(&handle)
+            .ok_or(ScfsError::BadHandle { handle: handle.0 })?;
+
+        if !file.dirty {
+            // Nothing to synchronize; just release the lock if we held it.
+            if file.locked {
+                if let Some(locks) = &self.locks {
+                    let mut ctx = OpCtx::new(&mut self.clock, self.user.clone());
+                    locks.unlock(&mut ctx, &Self::lock_id(&file.metadata))?;
+                }
+            }
+            return Ok(());
+        }
+
+        let OpenFile {
+            path,
+            metadata,
+            buffer,
+            locked,
+            never_uploaded,
+            ..
+        } = file;
+
+        // The data always reaches the local disk first (level 1), and the
+        // content hash is known immediately.
+        let new_hash = scfs_crypto::sha256(&buffer);
+        self.disk_cache
+            .put(&mut self.clock, &path, buffer.clone(), Some(new_hash));
+        self.mem_cache
+            .put(&mut self.clock, &path, buffer.clone(), Some(new_hash));
+        self.written_since_gc += buffer.len() as u64;
+
+        match self.config.mode {
+            Mode::Blocking => {
+                // Consistency-anchor write, fully synchronous: data to the
+                // cloud(s), then metadata to the coordination service, then
+                // unlock (Figure 4, close path).
+                let mut ctx = OpCtx::new(&mut self.clock, self.user.clone());
+                Self::upload_and_commit(
+                    &self.storage,
+                    &mut self.metadata,
+                    &self.locks,
+                    &mut ctx,
+                    metadata,
+                    &buffer,
+                    never_uploaded,
+                    locked,
+                    &mut self.stats,
+                )?;
+            }
+            Mode::NonBlocking | Mode::NonSharing => {
+                // The close returns now; the upload, metadata update and
+                // unlock happen on the background timeline. This client's own
+                // view is updated immediately through the local caches.
+                let mut updated = metadata.clone();
+                updated.version_hash = Some(new_hash);
+                updated.size = buffer.len() as u64;
+                updated.modified_at = self.clock.now();
+                updated.version_count += 1;
+                let now = self.clock.now();
+                self.metadata.update_local(updated, now);
+
+                let bg_start = self.clock.now().max(self.background_cursor);
+                let mut bg_clock = Clock::starting_at(bg_start);
+                let mut bg_ctx = OpCtx::new(&mut bg_clock, self.user.clone());
+                Self::upload_and_commit(
+                    &self.storage,
+                    &mut self.metadata,
+                    &self.locks,
+                    &mut bg_ctx,
+                    metadata,
+                    &buffer,
+                    never_uploaded,
+                    locked,
+                    &mut self.stats,
+                )?;
+                self.background_cursor = bg_clock.now();
+            }
+        }
+
+        self.maybe_run_gc();
+        Ok(())
+    }
+
+    fn stat(&mut self, path: &str) -> Result<FileMetadata, ScfsError> {
+        self.charge_syscall();
+        let path = normalize_path(path)?;
+        // An open, dirty file is described by its in-memory state.
+        if let Some(open) = self.open_files.values().find(|f| f.path == path && f.dirty) {
+            let mut md = open.metadata.clone();
+            md.size = open.buffer.len() as u64;
+            return Ok(md);
+        }
+        let mut ctx = OpCtx::new(&mut self.clock, self.user.clone());
+        let md = self.metadata.get(&mut ctx, &path)?;
+        if md.deleted {
+            return Err(ScfsError::not_found(path));
+        }
+        Ok(md)
+    }
+
+    fn mkdir(&mut self, path: &str) -> Result<(), ScfsError> {
+        self.charge_syscall();
+        let path = normalize_path(path)?;
+        let now = self.clock.now();
+        let md = FileMetadata::new_directory(&path, self.user.clone(), now);
+        let mut ctx = OpCtx::new(&mut self.clock, self.user.clone());
+        if !self.metadata.parent_exists(&mut ctx, &path) {
+            return Err(ScfsError::not_found(crate::types::parent_of(&path)));
+        }
+        self.metadata.create(&mut ctx, md)
+    }
+
+    fn readdir(&mut self, path: &str) -> Result<Vec<String>, ScfsError> {
+        self.charge_syscall();
+        let path = normalize_path(path)?;
+        let mut ctx = OpCtx::new(&mut self.clock, self.user.clone());
+        self.metadata.list_children(&mut ctx, &path)
+    }
+
+    fn unlink(&mut self, path: &str) -> Result<(), ScfsError> {
+        self.charge_syscall();
+        let path = normalize_path(path)?;
+        let mut ctx = OpCtx::new(&mut self.clock, self.user.clone());
+        let mut md = self.metadata.get(&mut ctx, &path)?;
+        if md.deleted {
+            return Err(ScfsError::not_found(path));
+        }
+        if md.file_type == FileType::Directory {
+            return Err(ScfsError::WrongType {
+                path,
+                expected: "file",
+            });
+        }
+        // Files are only marked as deleted; the garbage collector reclaims
+        // the cloud objects later (paper §2.5.3).
+        md.deleted = true;
+        self.metadata.update(&mut ctx, md.clone())?;
+        if let Some(entry) = self.owned_files.get_mut(&md.storage_id) {
+            entry.1 = true;
+        }
+        self.mem_cache.remove(&path);
+        self.disk_cache.remove(&path);
+        Ok(())
+    }
+
+    fn rename(&mut self, from: &str, to: &str) -> Result<(), ScfsError> {
+        self.charge_syscall();
+        let from = normalize_path(from)?;
+        let to = normalize_path(to)?;
+        let mut ctx = OpCtx::new(&mut self.clock, self.user.clone());
+        self.metadata.rename(&mut ctx, &from, &to)?;
+        self.mem_cache.remove(&from);
+        self.disk_cache.remove(&from);
+        Ok(())
+    }
+
+    fn setfacl(
+        &mut self,
+        path: &str,
+        user: &AccountId,
+        permission: Permission,
+    ) -> Result<(), ScfsError> {
+        self.charge_syscall();
+        let path = normalize_path(path)?;
+        // Permission changes are applied after any pending background upload
+        // of this agent has committed, so the grant cannot be overwritten by
+        // an in-flight metadata update from an earlier non-blocking close.
+        let drain = self.background_cursor;
+        self.clock.advance_to(drain);
+        let mut ctx = OpCtx::new(&mut self.clock, self.user.clone());
+        let metadata = self.metadata.get(&mut ctx, &path)?;
+        if metadata.owner != self.user {
+            return Err(ScfsError::PermissionDenied { path });
+        }
+        let mut acl = metadata.acl.clone();
+        acl.grant(user.clone(), permission);
+        // (i) update the ACLs of the cloud objects holding the file data;
+        // (ii) update the metadata tuple (and its coordination-service ACL).
+        if metadata.file_type == FileType::File && metadata.version_hash.is_some() {
+            self.storage.set_acl(&mut ctx, &metadata.storage_id, &acl)?;
+        }
+        self.metadata.set_acl(&mut ctx, metadata, acl)?;
+        Ok(())
+    }
+
+    fn getfacl(&mut self, path: &str) -> Result<Acl, ScfsError> {
+        self.charge_syscall();
+        let path = normalize_path(path)?;
+        let mut ctx = OpCtx::new(&mut self.clock, self.user.clone());
+        Ok(self.metadata.get(&mut ctx, &path)?.acl)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::SingleCloudStorage;
+    use cloud_store::sim_cloud::SimulatedCloud;
+    use coord::replication::ReplicatedCoordinator;
+
+    fn test_agent(mode: Mode) -> ScfsAgent {
+        let cloud = Arc::new(SimulatedCloud::test("s3"));
+        let storage = Arc::new(SingleCloudStorage::new(cloud));
+        let coord: Arc<dyn CoordinationService> = Arc::new(ReplicatedCoordinator::test());
+        ScfsAgent::mount(
+            "alice".into(),
+            ScfsConfig::test(mode),
+            storage,
+            Some(coord),
+            7,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn create_write_read_round_trip() {
+        let mut fs = test_agent(Mode::Blocking);
+        fs.write_file("/docs/report.txt", b"hello SCFS").unwrap();
+        assert_eq!(fs.read_file("/docs/report.txt").unwrap(), b"hello SCFS");
+        let md = fs.stat("/docs/report.txt").unwrap();
+        assert_eq!(md.size, 10);
+        assert_eq!(md.version_count, 1);
+        assert!(md.version_hash.is_some());
+    }
+
+    #[test]
+    fn open_missing_file_without_create_fails() {
+        let mut fs = test_agent(Mode::Blocking);
+        assert!(matches!(
+            fs.open("/nope", OpenFlags::read_only()),
+            Err(ScfsError::NotFound { .. })
+        ));
+    }
+
+    #[test]
+    fn reads_and_writes_use_offsets() {
+        let mut fs = test_agent(Mode::Blocking);
+        let h = fs.open("/f", OpenFlags::create()).unwrap();
+        fs.write(h, 0, b"0123456789").unwrap();
+        fs.write(h, 4, b"XY").unwrap();
+        assert_eq!(fs.read(h, 3, 4).unwrap(), b"3XY6");
+        fs.truncate(h, 5).unwrap();
+        assert_eq!(fs.read(h, 0, 100).unwrap(), b"0123X");
+        fs.close(h).unwrap();
+        assert_eq!(fs.stat("/f").unwrap().size, 5);
+    }
+
+    #[test]
+    fn consistency_on_close_second_client_sees_update() {
+        // Two agents for two users sharing one cloud + coordination service.
+        let cloud = Arc::new(SimulatedCloud::test("s3"));
+        let storage = Arc::new(SingleCloudStorage::new(cloud));
+        let coord: Arc<dyn CoordinationService> = Arc::new(ReplicatedCoordinator::test());
+        let mut alice = ScfsAgent::mount(
+            "alice".into(),
+            ScfsConfig::test(Mode::Blocking),
+            storage.clone(),
+            Some(coord.clone()),
+            1,
+        )
+        .unwrap();
+        let mut bob = ScfsAgent::mount(
+            "bob".into(),
+            ScfsConfig::test(Mode::Blocking),
+            storage,
+            Some(coord),
+            2,
+        )
+        .unwrap();
+
+        alice.write_file("/shared/doc", b"v1 from alice").unwrap();
+        alice
+            .setfacl("/shared/doc", &"bob".into(), Permission::Write)
+            .unwrap();
+        // Bob opens after Alice's close: he must observe the latest version.
+        bob.sleep(SimDuration::from_secs(1));
+        assert_eq!(bob.read_file("/shared/doc").unwrap(), b"v1 from alice");
+    }
+
+    #[test]
+    fn write_write_conflicts_are_prevented_by_locks() {
+        let cloud = Arc::new(SimulatedCloud::test("s3"));
+        let storage = Arc::new(SingleCloudStorage::new(cloud));
+        let coord: Arc<dyn CoordinationService> = Arc::new(ReplicatedCoordinator::test());
+        let mut alice = ScfsAgent::mount(
+            "alice".into(),
+            ScfsConfig::test(Mode::Blocking),
+            storage.clone(),
+            Some(coord.clone()),
+            1,
+        )
+        .unwrap();
+        let mut bob = ScfsAgent::mount(
+            "bob".into(),
+            ScfsConfig::test(Mode::Blocking),
+            storage,
+            Some(coord),
+            2,
+        )
+        .unwrap();
+
+        alice.write_file("/shared/doc", b"v1").unwrap();
+        alice
+            .setfacl("/shared/doc", &"bob".into(), Permission::Write)
+            .unwrap();
+        let h = alice.open("/shared/doc", OpenFlags::read_write()).unwrap();
+        // Bob cannot open the same file for writing while Alice holds it.
+        bob.sleep(SimDuration::from_secs(1));
+        assert!(matches!(
+            bob.open("/shared/doc", OpenFlags::read_write()),
+            Err(ScfsError::Locked { .. })
+        ));
+        // Reading does not require the lock.
+        assert_eq!(bob.read_file("/shared/doc").unwrap(), b"v1");
+        alice.close(h).unwrap();
+        bob.sleep(SimDuration::from_secs(1));
+        let h2 = bob.open("/shared/doc", OpenFlags::read_write()).unwrap();
+        bob.close(h2).unwrap();
+    }
+
+    #[test]
+    fn non_blocking_close_is_fast_but_eventually_durable() {
+        let mut fs = test_agent(Mode::NonBlocking);
+        let start = fs.now();
+        fs.write_file("/f", &vec![1u8; 100_000]).unwrap();
+        let foreground = fs.now().duration_since(start);
+        // The upload still happened (on the background timeline).
+        assert_eq!(fs.stats().cloud_uploads, 1);
+        assert!(fs.background_drain_instant() >= fs.now());
+        // And the file remains readable by this client.
+        assert_eq!(fs.read_file("/f").unwrap().len(), 100_000);
+        // Foreground latency must not include a cloud round trip: with the
+        // instantaneous test cloud this is just local work.
+        assert!(foreground < SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn non_sharing_mode_needs_no_coordination_service() {
+        let cloud = Arc::new(SimulatedCloud::test("s3"));
+        let storage = Arc::new(SingleCloudStorage::new(cloud));
+        let mut fs = ScfsAgent::mount(
+            "alice".into(),
+            ScfsConfig::test(Mode::NonSharing),
+            storage,
+            None,
+            3,
+        )
+        .unwrap();
+        fs.write_file("/private/notes", b"only mine").unwrap();
+        assert_eq!(fs.read_file("/private/notes").unwrap(), b"only mine");
+        assert_eq!(fs.name(), "SCFS-AWS-NS");
+    }
+
+    #[test]
+    fn blocking_mode_requires_coordination_service() {
+        let cloud = Arc::new(SimulatedCloud::test("s3"));
+        let storage = Arc::new(SingleCloudStorage::new(cloud));
+        assert!(ScfsAgent::mount(
+            "alice".into(),
+            ScfsConfig::test(Mode::Blocking),
+            storage,
+            None,
+            3,
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn directories_mkdir_readdir_unlink() {
+        let mut fs = test_agent(Mode::Blocking);
+        fs.mkdir("/projects").unwrap();
+        fs.write_file("/projects/a.txt", b"a").unwrap();
+        fs.write_file("/projects/b.txt", b"b").unwrap();
+        let listing = fs.readdir("/projects").unwrap();
+        assert_eq!(listing.len(), 2);
+        fs.unlink("/projects/a.txt").unwrap();
+        assert!(matches!(
+            fs.stat("/projects/a.txt"),
+            Err(ScfsError::NotFound { .. })
+        ));
+        assert_eq!(fs.readdir("/projects").unwrap().len(), 2, "tombstone remains until GC");
+        // mkdir under a missing parent fails.
+        assert!(fs.mkdir("/does/not/exist").is_err());
+    }
+
+    #[test]
+    fn rename_moves_files() {
+        let mut fs = test_agent(Mode::Blocking);
+        fs.write_file("/old-name", b"data").unwrap();
+        fs.rename("/old-name", "/new-name").unwrap();
+        assert_eq!(fs.read_file("/new-name").unwrap(), b"data");
+        assert!(fs.stat("/old-name").is_err());
+    }
+
+    #[test]
+    fn stat_of_open_dirty_file_reflects_buffer() {
+        let mut fs = test_agent(Mode::Blocking);
+        let h = fs.open("/f", OpenFlags::create()).unwrap();
+        fs.write(h, 0, &vec![0u8; 4096]).unwrap();
+        assert_eq!(fs.stat("/f").unwrap().size, 4096);
+        fs.close(h).unwrap();
+    }
+
+    #[test]
+    fn getfacl_and_setfacl() {
+        let mut fs = test_agent(Mode::Blocking);
+        fs.write_file("/doc", b"x").unwrap();
+        assert!(fs.getfacl("/doc").unwrap().is_empty());
+        fs.setfacl("/doc", &"bob".into(), Permission::Read).unwrap();
+        assert!(fs.getfacl("/doc").unwrap().allows(&"bob".into(), Permission::Read));
+    }
+
+    #[test]
+    fn garbage_collector_reclaims_old_versions() {
+        let cloud = Arc::new(SimulatedCloud::test("s3"));
+        let storage = Arc::new(SingleCloudStorage::new(cloud.clone()));
+        let coord: Arc<dyn CoordinationService> = Arc::new(ReplicatedCoordinator::test());
+        let mut config = ScfsConfig::test(Mode::Blocking);
+        config.gc.written_bytes_threshold = Bytes::new(50_000);
+        config.gc.versions_to_keep = 2;
+        let mut fs =
+            ScfsAgent::mount("alice".into(), config, storage, Some(coord), 5).unwrap();
+        for _ in 0..10 {
+            fs.write_file("/big", &vec![7u8; 10_000]).unwrap();
+        }
+        assert!(fs.stats().gc_runs >= 1);
+        assert!(fs.stats().gc_reclaimed_versions > 0);
+        // The latest version is still readable.
+        assert_eq!(fs.read_file("/big").unwrap().len(), 10_000);
+    }
+
+    #[test]
+    fn cache_serves_repeated_reads_without_cloud_access() {
+        let mut fs = test_agent(Mode::Blocking);
+        fs.write_file("/f", &vec![1u8; 10_000]).unwrap();
+        let downloads_before = fs.stats().cloud_downloads;
+        for _ in 0..5 {
+            fs.read_file("/f").unwrap();
+        }
+        assert_eq!(
+            fs.stats().cloud_downloads,
+            downloads_before,
+            "reads of an unmodified file must be served locally (avoid reading principle)"
+        );
+        assert!(fs.stats().cache_served_reads >= 5);
+    }
+
+    #[test]
+    fn bad_handles_are_rejected() {
+        let mut fs = test_agent(Mode::Blocking);
+        assert!(matches!(
+            fs.read(FileHandle(99), 0, 1),
+            Err(ScfsError::BadHandle { .. })
+        ));
+        assert!(matches!(
+            fs.close(FileHandle(99)),
+            Err(ScfsError::BadHandle { .. })
+        ));
+    }
+}

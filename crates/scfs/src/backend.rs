@@ -1,0 +1,338 @@
+//! Storage backends: single cloud (AWS) and cloud-of-clouds (CoC).
+//!
+//! SCFS provides a pluggable backplane (paper §3.2, Figure 5): file data can
+//! go to a single storage cloud (Amazon S3 in the paper's AWS backend) or to
+//! a DepSky cloud-of-clouds. Both are hidden behind [`FileStorage`], whose
+//! operations are exactly what the storage service of the agent needs:
+//! write a new immutable version, read the version with a given hash
+//! (the storage-service half of the consistency-anchor algorithm), delete old
+//! versions, and propagate ACL changes.
+
+use std::sync::Arc;
+
+use cloud_store::error::StorageError;
+use cloud_store::store::{ObjectStore, OpCtx};
+use cloud_store::types::Acl;
+use depsky::register::DepSkyClient;
+use parking_lot::Mutex;
+use scfs_crypto::{sha256, to_hex, ContentHash};
+
+use crate::error::ScfsError;
+
+/// Whole-file versioned storage, the "SS" of the consistency-anchor algorithm.
+pub trait FileStorage: Send + Sync {
+    /// Short backend label for result tables (`"AWS"` or `"CoC"`).
+    fn label(&self) -> &'static str;
+
+    /// Stores a new version of the object identified by `id` and returns the
+    /// content hash under which it can later be read. `is_new` is a hint that
+    /// the object was never written before (lets the CoC backend skip its
+    /// metadata-read phase on file creation).
+    fn write_version(
+        &self,
+        ctx: &mut OpCtx<'_>,
+        id: &str,
+        data: &[u8],
+        is_new: bool,
+    ) -> Result<ContentHash, ScfsError>;
+
+    /// Reads the version of `id` whose content hash is `hash`. Returns
+    /// [`StorageError::NotFound`] (wrapped) while the version is not yet
+    /// visible — the caller runs the consistency-anchor retry loop.
+    fn read_version(
+        &self,
+        ctx: &mut OpCtx<'_>,
+        id: &str,
+        hash: &ContentHash,
+    ) -> Result<Vec<u8>, ScfsError>;
+
+    /// Deletes all but the newest `keep` versions of `id`; returns how many
+    /// versions were removed.
+    fn delete_old_versions(
+        &self,
+        ctx: &mut OpCtx<'_>,
+        id: &str,
+        keep: usize,
+    ) -> Result<usize, ScfsError>;
+
+    /// Deletes every version of `id`.
+    fn delete_all(&self, ctx: &mut OpCtx<'_>, id: &str) -> Result<(), ScfsError>;
+
+    /// Propagates an ACL to the objects storing `id` in the cloud(s).
+    fn set_acl(&self, ctx: &mut OpCtx<'_>, id: &str, acl: &Acl) -> Result<(), ScfsError>;
+}
+
+/// Single-cloud backend: whole files stored as objects under `id|hash` keys
+/// in one provider (the paper's AWS backend uses Amazon S3).
+pub struct SingleCloudStorage {
+    cloud: Arc<dyn ObjectStore>,
+    /// Versions written per object id, newest last (used by the GC to know
+    /// which keys to delete without listing the cloud).
+    versions: Mutex<std::collections::HashMap<String, Vec<ContentHash>>>,
+}
+
+impl SingleCloudStorage {
+    /// Creates a backend over one cloud.
+    pub fn new(cloud: Arc<dyn ObjectStore>) -> Self {
+        SingleCloudStorage {
+            cloud,
+            versions: Mutex::new(std::collections::HashMap::new()),
+        }
+    }
+
+    /// The underlying cloud.
+    pub fn cloud(&self) -> &Arc<dyn ObjectStore> {
+        &self.cloud
+    }
+
+    fn object_key(id: &str, hash: &ContentHash) -> String {
+        format!("scfs/{id}/{}", to_hex(hash))
+    }
+}
+
+impl FileStorage for SingleCloudStorage {
+    fn label(&self) -> &'static str {
+        "AWS"
+    }
+
+    fn write_version(
+        &self,
+        ctx: &mut OpCtx<'_>,
+        id: &str,
+        data: &[u8],
+        _is_new: bool,
+    ) -> Result<ContentHash, ScfsError> {
+        let hash = sha256(data);
+        self.cloud.put(ctx, &Self::object_key(id, &hash), data)?;
+        self.versions
+            .lock()
+            .entry(id.to_string())
+            .or_default()
+            .push(hash);
+        Ok(hash)
+    }
+
+    fn read_version(
+        &self,
+        ctx: &mut OpCtx<'_>,
+        id: &str,
+        hash: &ContentHash,
+    ) -> Result<Vec<u8>, ScfsError> {
+        let data = self.cloud.get(ctx, &Self::object_key(id, hash))?;
+        // Verify the content against the anchor hash (step r3 of Figure 3).
+        if &sha256(&data) != hash {
+            return Err(StorageError::IntegrityViolation { key: id.to_string() }.into());
+        }
+        Ok(data)
+    }
+
+    fn delete_old_versions(
+        &self,
+        ctx: &mut OpCtx<'_>,
+        id: &str,
+        keep: usize,
+    ) -> Result<usize, ScfsError> {
+        let old: Vec<ContentHash> = {
+            let mut versions = self.versions.lock();
+            let list = versions.entry(id.to_string()).or_default();
+            if list.len() <= keep {
+                return Ok(0);
+            }
+            let cut = list.len() - keep;
+            list.drain(..cut).collect()
+        };
+        let mut removed = 0;
+        for hash in &old {
+            match self.cloud.delete(ctx, &Self::object_key(id, hash)) {
+                Ok(()) | Err(StorageError::NotFound { .. }) => removed += 1,
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Ok(removed)
+    }
+
+    fn delete_all(&self, ctx: &mut OpCtx<'_>, id: &str) -> Result<(), ScfsError> {
+        let all: Vec<ContentHash> = self.versions.lock().remove(id).unwrap_or_default();
+        for hash in &all {
+            match self.cloud.delete(ctx, &Self::object_key(id, hash)) {
+                Ok(()) | Err(StorageError::NotFound { .. }) => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Ok(())
+    }
+
+    fn set_acl(&self, ctx: &mut OpCtx<'_>, id: &str, acl: &Acl) -> Result<(), ScfsError> {
+        let hashes: Vec<ContentHash> = self
+            .versions
+            .lock()
+            .get(id)
+            .cloned()
+            .unwrap_or_default();
+        for hash in &hashes {
+            match self
+                .cloud
+                .set_acl(ctx, &Self::object_key(id, hash), acl.clone())
+            {
+                // Versions written by other collaborators are owned by them;
+                // only their writer can retag those objects, so skip them.
+                Ok(()) | Err(StorageError::NotFound { .. }) | Err(StorageError::AccessDenied { .. }) => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Cloud-of-clouds backend: whole files stored through DepSky-CA.
+pub struct CloudOfCloudsStorage {
+    depsky: DepSkyClient,
+}
+
+impl CloudOfCloudsStorage {
+    /// Creates a backend over a DepSky client.
+    pub fn new(depsky: DepSkyClient) -> Self {
+        CloudOfCloudsStorage { depsky }
+    }
+
+    /// The underlying DepSky client.
+    pub fn depsky(&self) -> &DepSkyClient {
+        &self.depsky
+    }
+}
+
+impl FileStorage for CloudOfCloudsStorage {
+    fn label(&self) -> &'static str {
+        "CoC"
+    }
+
+    fn write_version(
+        &self,
+        ctx: &mut OpCtx<'_>,
+        id: &str,
+        data: &[u8],
+        is_new: bool,
+    ) -> Result<ContentHash, ScfsError> {
+        let receipt = if is_new {
+            self.depsky.write_new(ctx, id, data)?
+        } else {
+            self.depsky.write(ctx, id, data)?
+        };
+        Ok(receipt.hash)
+    }
+
+    fn read_version(
+        &self,
+        ctx: &mut OpCtx<'_>,
+        id: &str,
+        hash: &ContentHash,
+    ) -> Result<Vec<u8>, ScfsError> {
+        Ok(self.depsky.read_by_hash(ctx, id, hash)?)
+    }
+
+    fn delete_old_versions(
+        &self,
+        ctx: &mut OpCtx<'_>,
+        id: &str,
+        keep: usize,
+    ) -> Result<usize, ScfsError> {
+        Ok(self.depsky.delete_old_versions(ctx, id, keep)?)
+    }
+
+    fn delete_all(&self, ctx: &mut OpCtx<'_>, id: &str) -> Result<(), ScfsError> {
+        Ok(self.depsky.delete_all(ctx, id)?)
+    }
+
+    fn set_acl(&self, ctx: &mut OpCtx<'_>, id: &str, acl: &Acl) -> Result<(), ScfsError> {
+        Ok(self.depsky.set_acl(ctx, id, acl)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloud_store::providers::ProviderSet;
+    use cloud_store::sim_cloud::SimulatedCloud;
+    use depsky::config::DepSkyConfig;
+    use sim_core::time::Clock;
+
+    fn single() -> SingleCloudStorage {
+        SingleCloudStorage::new(Arc::new(SimulatedCloud::test("s3")))
+    }
+
+    fn coc() -> CloudOfCloudsStorage {
+        let clouds: Vec<Arc<dyn ObjectStore>> = ProviderSet::test_backend(4)
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| Arc::new(SimulatedCloud::new(p, i as u64)) as Arc<dyn ObjectStore>)
+            .collect();
+        CloudOfCloudsStorage::new(DepSkyClient::new(clouds, DepSkyConfig::scfs_default(), 1).unwrap())
+    }
+
+    fn run_round_trip(storage: &dyn FileStorage) {
+        let mut clock = Clock::new();
+        let mut ctx = OpCtx::new(&mut clock, "alice".into());
+        let v1 = b"first version".to_vec();
+        let v2 = b"second, different version".to_vec();
+        let h1 = storage.write_version(&mut ctx, "file-1", &v1, true).unwrap();
+        let h2 = storage.write_version(&mut ctx, "file-1", &v2, false).unwrap();
+        assert_ne!(h1, h2);
+        assert_eq!(storage.read_version(&mut ctx, "file-1", &h1).unwrap(), v1);
+        assert_eq!(storage.read_version(&mut ctx, "file-1", &h2).unwrap(), v2);
+    }
+
+    #[test]
+    fn single_cloud_round_trip() {
+        run_round_trip(&single());
+    }
+
+    #[test]
+    fn cloud_of_clouds_round_trip() {
+        run_round_trip(&coc());
+    }
+
+    #[test]
+    fn labels_identify_backends() {
+        assert_eq!(single().label(), "AWS");
+        assert_eq!(coc().label(), "CoC");
+    }
+
+    #[test]
+    fn single_cloud_gc_removes_old_versions() {
+        let storage = single();
+        let mut clock = Clock::new();
+        let mut ctx = OpCtx::new(&mut clock, "alice".into());
+        let mut hashes = Vec::new();
+        for i in 0..5u8 {
+            hashes.push(storage.write_version(&mut ctx, "f", &[i; 64], i == 0).unwrap());
+        }
+        let removed = storage.delete_old_versions(&mut ctx, "f", 2).unwrap();
+        assert_eq!(removed, 3);
+        // Newest versions survive, oldest are gone.
+        assert!(storage.read_version(&mut ctx, "f", &hashes[4]).is_ok());
+        assert!(storage.read_version(&mut ctx, "f", &hashes[0]).is_err());
+        assert_eq!(storage.delete_old_versions(&mut ctx, "f", 2).unwrap(), 0);
+    }
+
+    #[test]
+    fn single_cloud_delete_all() {
+        let storage = single();
+        let mut clock = Clock::new();
+        let mut ctx = OpCtx::new(&mut clock, "alice".into());
+        let h = storage.write_version(&mut ctx, "f", b"data", true).unwrap();
+        storage.delete_all(&mut ctx, "f").unwrap();
+        assert!(storage.read_version(&mut ctx, "f", &h).is_err());
+    }
+
+    #[test]
+    fn missing_version_is_transient_not_found() {
+        let storage = single();
+        let mut clock = Clock::new();
+        let mut ctx = OpCtx::new(&mut clock, "alice".into());
+        let missing = sha256(b"never written");
+        match storage.read_version(&mut ctx, "f", &missing) {
+            Err(ScfsError::Storage(e)) => assert!(e.is_transient()),
+            other => panic!("expected transient storage error, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,307 @@
+//! The two levels of client-side data cache (paper §2.5.1, "Storage service").
+//!
+//! SCFS keeps every file it reads or writes locally:
+//!
+//! * a **main-memory LRU cache** (hundreds of MB) holds the contents of open
+//!   files; reads and writes of open files touch only this cache;
+//! * the **local disk** acts as a large, long-term LRU file cache (GBs); its
+//!   content is validated against the coordination service (the version hash)
+//!   before being returned, so a stale copy is never served.
+//!
+//! Both caches charge realistic local latencies to the client's virtual clock
+//! (microseconds for memory, milliseconds for disk) so that the workloads'
+//! local operations — the vast majority under the *always write / avoid
+//! reading* principle — cost what they would on the paper's testbed.
+
+use std::collections::HashMap;
+
+use scfs_crypto::ContentHash;
+use sim_core::latency::LatencyProfile;
+use sim_core::rng::DetRng;
+use sim_core::time::Clock;
+use sim_core::units::Bytes;
+
+/// One cached file: its contents and the version hash they correspond to.
+#[derive(Debug, Clone)]
+struct CachedFile {
+    data: Vec<u8>,
+    hash: Option<ContentHash>,
+    last_used: u64,
+}
+
+/// Statistics of one cache level.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found a usable entry.
+    pub hits: u64,
+    /// Lookups that missed (absent or stale).
+    pub misses: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+}
+
+/// An LRU cache of whole files bounded by total bytes, with a latency profile
+/// charged on every access.
+#[derive(Debug)]
+pub struct FileCache {
+    name: &'static str,
+    capacity: Bytes,
+    used: u64,
+    entries: HashMap<String, CachedFile>,
+    tick: u64,
+    latency: LatencyProfile,
+    rng: DetRng,
+    stats: CacheStats,
+}
+
+impl FileCache {
+    /// Creates a main-memory cache of the given capacity.
+    pub fn memory(capacity: Bytes, seed: u64) -> Self {
+        FileCache::new("memory", capacity, LatencyProfile::main_memory(), seed)
+    }
+
+    /// Creates a local-disk cache of the given capacity.
+    pub fn disk(capacity: Bytes, seed: u64) -> Self {
+        FileCache::new("disk", capacity, LatencyProfile::local_disk(), seed)
+    }
+
+    fn new(name: &'static str, capacity: Bytes, latency: LatencyProfile, seed: u64) -> Self {
+        FileCache {
+            name,
+            capacity,
+            used: 0,
+            entries: HashMap::new(),
+            tick: 0,
+            latency,
+            rng: DetRng::new(seed),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The cache level name (`"memory"` or `"disk"`).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Bytes currently cached.
+    pub fn used_bytes(&self) -> Bytes {
+        Bytes::new(self.used)
+    }
+
+    /// Access statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Number of cached files.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    fn charge(&mut self, clock: &mut Clock, upload: Bytes, download: Bytes) {
+        let latency = self.latency.sample_op(&mut self.rng, upload, download);
+        clock.advance(latency);
+    }
+
+    /// Looks up `path` and returns its contents if the cached entry matches
+    /// `expected_hash` (a `None` expectation accepts any entry — used for
+    /// freshly created files that have no cloud version yet).
+    pub fn get(
+        &mut self,
+        clock: &mut Clock,
+        path: &str,
+        expected_hash: Option<&ContentHash>,
+    ) -> Option<Vec<u8>> {
+        self.tick += 1;
+        let tick = self.tick;
+        let hit = match self.entries.get_mut(path) {
+            Some(entry) => {
+                let fresh = match expected_hash {
+                    None => true,
+                    Some(h) => entry.hash.as_ref() == Some(h),
+                };
+                if fresh {
+                    entry.last_used = tick;
+                    Some(entry.data.clone())
+                } else {
+                    None
+                }
+            }
+            None => None,
+        };
+        match hit {
+            Some(data) => {
+                self.stats.hits += 1;
+                self.charge(clock, Bytes::ZERO, Bytes::new(data.len() as u64));
+                Some(data)
+            }
+            None => {
+                self.stats.misses += 1;
+                self.charge(clock, Bytes::ZERO, Bytes::ZERO);
+                None
+            }
+        }
+    }
+
+    /// Inserts (or replaces) `path` with `data` tagged by `hash`, evicting
+    /// least-recently-used entries if needed.
+    pub fn put(
+        &mut self,
+        clock: &mut Clock,
+        path: &str,
+        data: Vec<u8>,
+        hash: Option<ContentHash>,
+    ) {
+        self.tick += 1;
+        self.charge(clock, Bytes::new(data.len() as u64), Bytes::ZERO);
+        if let Some(old) = self.entries.remove(path) {
+            self.used -= old.data.len() as u64;
+        }
+        let size = data.len() as u64;
+        // A single file larger than the whole cache bypasses it.
+        if size > self.capacity.get() {
+            return;
+        }
+        while self.used + size > self.capacity.get() {
+            if !self.evict_lru() {
+                break;
+            }
+        }
+        self.used += size;
+        self.entries.insert(
+            path.to_string(),
+            CachedFile {
+                data,
+                hash,
+                last_used: self.tick,
+            },
+        );
+    }
+
+    /// Removes `path` from the cache (e.g. on unlink).
+    pub fn remove(&mut self, path: &str) {
+        if let Some(old) = self.entries.remove(path) {
+            self.used -= old.data.len() as u64;
+        }
+    }
+
+    /// Whether the cache holds an entry for `path` matching `expected_hash`
+    /// (no latency charged; used for accounting only).
+    pub fn contains(&self, path: &str, expected_hash: Option<&ContentHash>) -> bool {
+        match self.entries.get(path) {
+            Some(e) => match expected_hash {
+                None => true,
+                Some(h) => e.hash.as_ref() == Some(h),
+            },
+            None => false,
+        }
+    }
+
+    fn evict_lru(&mut self) -> bool {
+        let victim = self
+            .entries
+            .iter()
+            .min_by_key(|(_, e)| e.last_used)
+            .map(|(k, _)| k.clone());
+        match victim {
+            Some(key) => {
+                if let Some(e) = self.entries.remove(&key) {
+                    self.used -= e.data.len() as u64;
+                }
+                self.stats.evictions += 1;
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scfs_crypto::sha256;
+
+    #[test]
+    fn put_get_round_trip_and_stats() {
+        let mut cache = FileCache::memory(Bytes::mib(1), 1);
+        let mut clock = Clock::new();
+        let data = vec![1u8; 1000];
+        let hash = sha256(&data);
+        cache.put(&mut clock, "/f", data.clone(), Some(hash));
+        assert_eq!(cache.get(&mut clock, "/f", Some(&hash)).unwrap(), data);
+        assert!(cache.get(&mut clock, "/missing", None).is_none());
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn stale_entries_are_not_served() {
+        let mut cache = FileCache::disk(Bytes::mib(1), 2);
+        let mut clock = Clock::new();
+        let old = vec![1u8; 100];
+        cache.put(&mut clock, "/f", old.clone(), Some(sha256(&old)));
+        // The coordination service now says the file has a newer hash.
+        let new_hash = sha256(b"newer version");
+        assert!(cache.get(&mut clock, "/f", Some(&new_hash)).is_none());
+        // With no expectation the stale data is still retrievable (fresh
+        // files that were never uploaded have no hash to validate).
+        assert!(cache.get(&mut clock, "/f", None).is_some());
+    }
+
+    #[test]
+    fn lru_eviction_respects_capacity() {
+        let mut cache = FileCache::memory(Bytes::new(300), 3);
+        let mut clock = Clock::new();
+        cache.put(&mut clock, "/a", vec![0u8; 100], None);
+        cache.put(&mut clock, "/b", vec![0u8; 100], None);
+        cache.put(&mut clock, "/c", vec![0u8; 100], None);
+        // Touch /a so /b becomes the LRU victim.
+        assert!(cache.get(&mut clock, "/a", None).is_some());
+        cache.put(&mut clock, "/d", vec![0u8; 100], None);
+        assert!(cache.contains("/a", None));
+        assert!(!cache.contains("/b", None));
+        assert!(cache.contains("/d", None));
+        assert!(cache.stats().evictions >= 1);
+        assert!(cache.used_bytes().get() <= 300);
+    }
+
+    #[test]
+    fn oversized_files_bypass_the_cache() {
+        let mut cache = FileCache::memory(Bytes::new(100), 4);
+        let mut clock = Clock::new();
+        cache.put(&mut clock, "/huge", vec![0u8; 1000], None);
+        assert!(!cache.contains("/huge", None));
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn remove_frees_space() {
+        let mut cache = FileCache::memory(Bytes::new(200), 5);
+        let mut clock = Clock::new();
+        cache.put(&mut clock, "/a", vec![0u8; 150], None);
+        cache.remove("/a");
+        assert_eq!(cache.used_bytes(), Bytes::ZERO);
+        cache.remove("/a"); // idempotent
+    }
+
+    #[test]
+    fn memory_is_faster_than_disk() {
+        let mut mem = FileCache::memory(Bytes::mib(64), 6);
+        let mut disk = FileCache::disk(Bytes::mib(64), 6);
+        let mut mem_clock = Clock::new();
+        let mut disk_clock = Clock::new();
+        let data = vec![0u8; 64 * 1024];
+        for i in 0..20 {
+            mem.put(&mut mem_clock, &format!("/f{i}"), data.clone(), None);
+            disk.put(&mut disk_clock, &format!("/f{i}"), data.clone(), None);
+        }
+        assert!(mem_clock.now() < disk_clock.now());
+    }
+}

@@ -1,0 +1,161 @@
+//! SCFS agent configuration: operation modes, cache sizes, garbage
+//! collection policy and the knobs varied in the paper's §4.4.
+
+use sim_core::latency::LatencyModel;
+use sim_core::time::SimDuration;
+use sim_core::units::Bytes;
+
+/// The three modes of operation supported by the prototype (paper §3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// `close` blocks until the file data is in the cloud(s) and the metadata
+    /// and lock updates are committed (full consistency-on-close).
+    Blocking,
+    /// `close` returns once the data is safely on the local disk and queued
+    /// for upload; the metadata update and unlock happen when the background
+    /// upload completes, so mutual exclusion and consistency-on-close for
+    /// *observers* are preserved, at reduced durability for the writer.
+    NonBlocking,
+    /// Single-user mode: no coordination service at all, all metadata lives
+    /// in a private name space, uploads happen in the background (a design
+    /// similar to S3QL but optionally cloud-of-clouds backed).
+    NonSharing,
+}
+
+impl Mode {
+    /// Short label used by the experiment harnesses ("B", "NB", "NS").
+    pub fn label(&self) -> &'static str {
+        match self {
+            Mode::Blocking => "B",
+            Mode::NonBlocking => "NB",
+            Mode::NonSharing => "NS",
+        }
+    }
+
+    /// Whether this mode uses the coordination service.
+    pub fn uses_coordination(&self) -> bool {
+        !matches!(self, Mode::NonSharing)
+    }
+
+    /// Whether `close` waits for the cloud upload.
+    pub fn blocking_close(&self) -> bool {
+        matches!(self, Mode::Blocking)
+    }
+}
+
+/// Garbage-collection policy (paper §2.5.3): once an agent has written more
+/// than `written_bytes_threshold`, a background collector deletes all but the
+/// newest `versions_to_keep` versions of each file it owns, as well as the
+/// files the user removed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GcConfig {
+    /// Number of written bytes (W) that triggers a collection cycle.
+    pub written_bytes_threshold: Bytes,
+    /// Number of versions (V) to keep per file.
+    pub versions_to_keep: usize,
+    /// Whether the collector runs at all.
+    pub enabled: bool,
+}
+
+impl Default for GcConfig {
+    fn default() -> Self {
+        GcConfig {
+            written_bytes_threshold: Bytes::mib(256),
+            versions_to_keep: 4,
+            enabled: true,
+        }
+    }
+}
+
+/// Full SCFS agent configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScfsConfig {
+    /// Operation mode.
+    pub mode: Mode,
+    /// Expiration time of the short-lived metadata cache (paper §2.5.1 and
+    /// Figure 10(a); 500 ms in all headline experiments).
+    pub metadata_cache_expiry: SimDuration,
+    /// Capacity of the main-memory cache holding open files (hundreds of MB).
+    pub memory_cache_capacity: Bytes,
+    /// Capacity of the local-disk file cache (GBs).
+    pub disk_cache_capacity: Bytes,
+    /// Whether private name spaces are used for non-shared files (§2.7,
+    /// Figure 10(b)). The headline experiments disable PNS (worst case).
+    pub private_name_spaces: bool,
+    /// Garbage-collection policy.
+    pub gc: GcConfig,
+    /// Lease duration of file write locks.
+    pub lock_lease: SimDuration,
+    /// Per-system-call dispatch overhead (the FUSE-J user-level file system
+    /// overhead the paper controls for with its LocalFS baseline).
+    pub syscall_overhead: LatencyModel,
+    /// Maximum number of retries of the consistency-anchor read loop before
+    /// giving up, and the back-off between retries.
+    pub anchor_read_retries: usize,
+    /// Back-off between consistency-anchor read retries.
+    pub anchor_retry_backoff: SimDuration,
+}
+
+impl ScfsConfig {
+    /// The configuration used by the paper's headline experiments: blocking
+    /// mode, 500 ms metadata cache, no PNS.
+    pub fn paper_default(mode: Mode) -> Self {
+        ScfsConfig {
+            mode,
+            metadata_cache_expiry: SimDuration::from_millis(500),
+            memory_cache_capacity: Bytes::mib(512),
+            disk_cache_capacity: Bytes::gib(16),
+            private_name_spaces: false,
+            gc: GcConfig::default(),
+            lock_lease: SimDuration::from_secs(120),
+            syscall_overhead: LatencyModel::Uniform {
+                lo_millis: 0.11,
+                hi_millis: 0.16,
+            },
+            anchor_read_retries: 50,
+            anchor_retry_backoff: SimDuration::from_millis(200),
+        }
+    }
+
+    /// A configuration with no syscall overhead and no caches expiring, for
+    /// functional unit tests.
+    pub fn test(mode: Mode) -> Self {
+        ScfsConfig {
+            syscall_overhead: LatencyModel::zero(),
+            ..ScfsConfig::paper_default(mode)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_labels_and_properties() {
+        assert_eq!(Mode::Blocking.label(), "B");
+        assert_eq!(Mode::NonBlocking.label(), "NB");
+        assert_eq!(Mode::NonSharing.label(), "NS");
+        assert!(Mode::Blocking.uses_coordination());
+        assert!(Mode::NonBlocking.uses_coordination());
+        assert!(!Mode::NonSharing.uses_coordination());
+        assert!(Mode::Blocking.blocking_close());
+        assert!(!Mode::NonBlocking.blocking_close());
+    }
+
+    #[test]
+    fn paper_default_matches_section_4_1() {
+        let c = ScfsConfig::paper_default(Mode::Blocking);
+        assert_eq!(c.metadata_cache_expiry, SimDuration::from_millis(500));
+        assert!(!c.private_name_spaces);
+        assert_eq!(c.gc.versions_to_keep, 4);
+    }
+
+    #[test]
+    fn gc_defaults_are_sane() {
+        let gc = GcConfig::default();
+        assert!(gc.enabled);
+        assert!(gc.written_bytes_threshold.get() > 0);
+        assert!(gc.versions_to_keep >= 1);
+    }
+}

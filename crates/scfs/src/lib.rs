@@ -1,0 +1,72 @@
+//! SCFS: a Shared Cloud-backed File System.
+//!
+//! This crate is the core contribution of the reproduction: a library-level
+//! implementation of the SCFS design (Bessani et al., USENIX ATC 2014). It
+//! provides strongly consistent, POSIX-like file sharing on top of
+//! eventually-consistent cloud object stores, following the paper's four
+//! design ideas:
+//!
+//! * **Always write / avoid reading** — every close pushes the file to the
+//!   cloud(s); reads are served from the local memory/disk caches validated
+//!   against the metadata service ([`cache`], [`agent`]).
+//! * **Modular coordination** — metadata and locks live in a fault-tolerant
+//!   coordination service ([`metadata_service`], the `coord` crate).
+//! * **Consistency anchors** — the strongly consistent coordination service
+//!   anchors the consistency of the eventually-consistent clouds
+//!   ([`anchor`]).
+//! * **Private name spaces** — metadata of non-shared files is aggregated
+//!   into one cloud object instead of one coordination tuple per file
+//!   ([`pns`]).
+//!
+//! The file data itself goes either to a single cloud or to a DepSky
+//! cloud-of-clouds ([`backend`]), and the agent supports the paper's three
+//! modes of operation (blocking, non-blocking, non-sharing; [`config`]).
+//!
+//! # Quick start
+//!
+//! ```
+//! use std::sync::Arc;
+//! use cloud_store::sim_cloud::SimulatedCloud;
+//! use coord::replication::ReplicatedCoordinator;
+//! use coord::service::CoordinationService;
+//! use scfs::agent::ScfsAgent;
+//! use scfs::backend::SingleCloudStorage;
+//! use scfs::config::{Mode, ScfsConfig};
+//! use scfs::fs::FileSystem;
+//!
+//! let cloud = Arc::new(SimulatedCloud::test("s3"));
+//! let storage = Arc::new(SingleCloudStorage::new(cloud));
+//! let coordinator: Arc<dyn CoordinationService> = Arc::new(ReplicatedCoordinator::test());
+//! let mut fs = ScfsAgent::mount(
+//!     "alice".into(),
+//!     ScfsConfig::test(Mode::Blocking),
+//!     storage,
+//!     Some(coordinator),
+//!     42,
+//! ).unwrap();
+//!
+//! fs.write_file("/docs/hello.txt", b"hello cloud-of-clouds").unwrap();
+//! assert_eq!(fs.read_file("/docs/hello.txt").unwrap(), b"hello cloud-of-clouds");
+//! ```
+
+pub mod agent;
+pub mod anchor;
+pub mod backend;
+pub mod cache;
+pub mod config;
+pub mod cost;
+pub mod durability;
+pub mod error;
+pub mod fs;
+pub mod metadata_service;
+pub mod pns;
+pub mod types;
+
+pub use agent::{AgentStats, ScfsAgent};
+pub use backend::{CloudOfCloudsStorage, FileStorage, SingleCloudStorage};
+pub use config::{GcConfig, Mode, ScfsConfig};
+pub use cost::{CostBackend, CostModel};
+pub use durability::{DurabilityLevel, SysCall};
+pub use error::ScfsError;
+pub use fs::FileSystem;
+pub use types::{FileHandle, FileMetadata, FileType, OpenFlags};

@@ -1,0 +1,357 @@
+//! Core SCFS data types: paths, metadata tuples, open flags and handles.
+
+use cloud_store::types::{AccountId, Acl};
+use depsky::wire::{DecodeError, Reader, Writer};
+use scfs_crypto::ContentHash;
+use sim_core::time::SimInstant;
+
+/// Type of a file-system object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileType {
+    /// A regular file.
+    File,
+    /// A directory.
+    Directory,
+}
+
+/// The metadata tuple SCFS keeps for every file-system object
+/// (paper §2.5.1): name, type, parent, POSIX-ish attributes, the opaque
+/// identifier of the object in the storage service, and the hash of the
+/// current version — the last two being exactly the `(id, hash)` pair stored
+/// in the consistency anchor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileMetadata {
+    /// Absolute path of the object (doubles as its name + parent).
+    pub path: String,
+    /// File or directory.
+    pub file_type: FileType,
+    /// Size of the current version in bytes (0 for directories).
+    pub size: u64,
+    /// Owner of the object.
+    pub owner: AccountId,
+    /// Access control list (empty = private).
+    pub acl: Acl,
+    /// Creation instant.
+    pub created_at: SimInstant,
+    /// Last-modification instant.
+    pub modified_at: SimInstant,
+    /// Opaque identifier of the file's data in the storage service
+    /// (the `id` of the consistency-anchor algorithm).
+    pub storage_id: String,
+    /// SHA-256 of the current version (the `hash` of the consistency anchor);
+    /// `None` until the first version is written.
+    pub version_hash: Option<ContentHash>,
+    /// Number of versions written so far.
+    pub version_count: u64,
+    /// Whether the user deleted the object (kept as a tombstone until the
+    /// garbage collector reclaims it, paper §2.5.3).
+    pub deleted: bool,
+}
+
+impl FileMetadata {
+    /// Creates metadata for a new, empty file.
+    pub fn new_file(path: &str, owner: AccountId, storage_id: String, now: SimInstant) -> Self {
+        FileMetadata {
+            path: path.to_string(),
+            file_type: FileType::File,
+            size: 0,
+            owner,
+            acl: Acl::private(),
+            created_at: now,
+            modified_at: now,
+            storage_id,
+            version_hash: None,
+            version_count: 0,
+            deleted: false,
+        }
+    }
+
+    /// Creates metadata for a new directory.
+    pub fn new_directory(path: &str, owner: AccountId, now: SimInstant) -> Self {
+        FileMetadata {
+            path: path.to_string(),
+            file_type: FileType::Directory,
+            size: 0,
+            owner,
+            acl: Acl::private(),
+            created_at: now,
+            modified_at: now,
+            storage_id: String::new(),
+            version_hash: None,
+            version_count: 0,
+            deleted: false,
+        }
+    }
+
+    /// Whether the object is shared with at least one other user.
+    pub fn is_shared(&self) -> bool {
+        !self.acl.is_empty()
+    }
+
+    /// Serializes the metadata tuple (stored in the coordination service or
+    /// in a private name space; ~1 KB per the paper's capacity analysis).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_str(&self.path);
+        w.put_u8(match self.file_type {
+            FileType::File => 0,
+            FileType::Directory => 1,
+        });
+        w.put_u64(self.size);
+        w.put_str(self.owner.as_str());
+        w.put_u64(self.acl.len() as u64);
+        for (account, perm) in self.acl.grants() {
+            w.put_str(account.as_str());
+            w.put_u8(match perm {
+                cloud_store::types::Permission::Read => 0,
+                cloud_store::types::Permission::Write => 1,
+            });
+        }
+        w.put_u64(self.created_at.as_nanos());
+        w.put_u64(self.modified_at.as_nanos());
+        w.put_str(&self.storage_id);
+        match &self.version_hash {
+            Some(h) => {
+                w.put_u8(1);
+                w.put_bytes(h);
+            }
+            None => {
+                w.put_u8(0);
+            }
+        }
+        w.put_u64(self.version_count);
+        w.put_u8(u8::from(self.deleted));
+        w.finish()
+    }
+
+    /// Deserializes a metadata tuple.
+    pub fn decode(buf: &[u8]) -> Result<Self, DecodeError> {
+        let mut r = Reader::new(buf);
+        let path = r.get_str()?;
+        let file_type = match r.get_u8()? {
+            0 => FileType::File,
+            _ => FileType::Directory,
+        };
+        let size = r.get_u64()?;
+        let owner = AccountId::new(r.get_str()?);
+        let grant_count = r.get_u64()? as usize;
+        let mut acl = Acl::private();
+        for _ in 0..grant_count {
+            let account = AccountId::new(r.get_str()?);
+            let perm = match r.get_u8()? {
+                0 => cloud_store::types::Permission::Read,
+                _ => cloud_store::types::Permission::Write,
+            };
+            acl.grant(account, perm);
+        }
+        let created_at = SimInstant::from_nanos(r.get_u64()?);
+        let modified_at = SimInstant::from_nanos(r.get_u64()?);
+        let storage_id = r.get_str()?;
+        let version_hash = if r.get_u8()? == 1 {
+            let bytes = r.get_bytes()?;
+            if bytes.len() != 32 {
+                return Err(DecodeError {
+                    reason: "version hash must be 32 bytes".into(),
+                });
+            }
+            let mut h = [0u8; 32];
+            h.copy_from_slice(&bytes);
+            Some(h)
+        } else {
+            None
+        };
+        let version_count = r.get_u64()?;
+        let deleted = r.get_u8()? != 0;
+        Ok(FileMetadata {
+            path,
+            file_type,
+            size,
+            owner,
+            acl,
+            created_at,
+            modified_at,
+            storage_id,
+            version_hash,
+            version_count,
+            deleted,
+        })
+    }
+}
+
+/// Flags passed to `open`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OpenFlags {
+    /// Open for reading.
+    pub read: bool,
+    /// Open for writing (requires the write lock in shared modes).
+    pub write: bool,
+    /// Create the file if it does not exist.
+    pub create: bool,
+    /// Truncate the file to zero length on open.
+    pub truncate: bool,
+}
+
+impl OpenFlags {
+    /// Read-only open.
+    pub fn read_only() -> Self {
+        OpenFlags {
+            read: true,
+            ..OpenFlags::default()
+        }
+    }
+
+    /// Read-write open (no create).
+    pub fn read_write() -> Self {
+        OpenFlags {
+            read: true,
+            write: true,
+            ..OpenFlags::default()
+        }
+    }
+
+    /// Create (or open) for writing.
+    pub fn create() -> Self {
+        OpenFlags {
+            read: true,
+            write: true,
+            create: true,
+            ..OpenFlags::default()
+        }
+    }
+
+    /// Create and truncate for writing.
+    pub fn create_truncate() -> Self {
+        OpenFlags {
+            read: true,
+            write: true,
+            create: true,
+            truncate: true,
+        }
+    }
+}
+
+/// An open-file handle returned by `open`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FileHandle(pub u64);
+
+/// Normalizes a path: must be absolute, collapses duplicate slashes and
+/// strips a trailing slash (except for the root).
+pub fn normalize_path(path: &str) -> Result<String, crate::error::ScfsError> {
+    if !path.starts_with('/') {
+        return Err(crate::error::ScfsError::invalid(format!(
+            "path must be absolute: {path}"
+        )));
+    }
+    let mut parts: Vec<&str> = Vec::new();
+    for part in path.split('/') {
+        match part {
+            "" | "." => {}
+            ".." => {
+                parts.pop();
+            }
+            p => parts.push(p),
+        }
+    }
+    if parts.is_empty() {
+        Ok("/".to_string())
+    } else {
+        Ok(format!("/{}", parts.join("/")))
+    }
+}
+
+/// Returns the parent directory of a normalized path (`/` for top-level entries).
+pub fn parent_of(path: &str) -> String {
+    match path.rfind('/') {
+        Some(0) | None => "/".to_string(),
+        Some(idx) => path[..idx].to_string(),
+    }
+}
+
+/// Returns the final component of a normalized path.
+pub fn basename_of(path: &str) -> &str {
+    path.rsplit('/').next().unwrap_or(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloud_store::types::Permission;
+    use scfs_crypto::sha256;
+
+    #[test]
+    fn metadata_encode_decode_round_trip() {
+        let mut md = FileMetadata::new_file(
+            "/docs/report.odt",
+            "alice".into(),
+            "file-42".into(),
+            SimInstant::from_secs(100),
+        );
+        md.size = 1234;
+        md.version_hash = Some(sha256(b"contents"));
+        md.version_count = 3;
+        md.acl.grant("bob".into(), Permission::Read);
+        md.deleted = false;
+        let decoded = FileMetadata::decode(&md.encode()).unwrap();
+        assert_eq!(decoded, md);
+    }
+
+    #[test]
+    fn directory_metadata_round_trips() {
+        let md = FileMetadata::new_directory("/docs", "alice".into(), SimInstant::from_secs(5));
+        let decoded = FileMetadata::decode(&md.encode()).unwrap();
+        assert_eq!(decoded, md);
+        assert_eq!(decoded.file_type, FileType::Directory);
+        assert!(!decoded.is_shared());
+    }
+
+    #[test]
+    fn metadata_tuple_is_about_1kb_with_long_names() {
+        // The paper assumes ~1 KB tuples with 100-byte file names.
+        let long_name = format!("/{}", "d".repeat(100));
+        let md = FileMetadata::new_file(&long_name, "alice".into(), "id".into(), SimInstant::EPOCH);
+        let encoded = md.encode();
+        assert!(encoded.len() < 1024, "tuple was {} bytes", encoded.len());
+    }
+
+    #[test]
+    fn shared_flag_follows_acl() {
+        let mut md =
+            FileMetadata::new_file("/f", "alice".into(), "id".into(), SimInstant::EPOCH);
+        assert!(!md.is_shared());
+        md.acl.grant("bob".into(), Permission::Write);
+        assert!(md.is_shared());
+    }
+
+    #[test]
+    fn open_flag_constructors() {
+        assert!(OpenFlags::read_only().read);
+        assert!(!OpenFlags::read_only().write);
+        assert!(OpenFlags::create().create);
+        assert!(OpenFlags::create_truncate().truncate);
+        assert!(OpenFlags::read_write().write);
+    }
+
+    #[test]
+    fn path_normalization() {
+        assert_eq!(normalize_path("/a//b/").unwrap(), "/a/b");
+        assert_eq!(normalize_path("/").unwrap(), "/");
+        assert_eq!(normalize_path("/a/./b/../c").unwrap(), "/a/c");
+        assert!(normalize_path("relative/path").is_err());
+    }
+
+    #[test]
+    fn parent_and_basename() {
+        assert_eq!(parent_of("/a/b/c"), "/a/b");
+        assert_eq!(parent_of("/a"), "/");
+        assert_eq!(basename_of("/a/b/c"), "c");
+        assert_eq!(basename_of("/x"), "x");
+    }
+
+    #[test]
+    fn corrupted_metadata_fails_to_decode() {
+        let md = FileMetadata::new_file("/f", "a".into(), "id".into(), SimInstant::EPOCH);
+        let mut bytes = md.encode();
+        bytes.truncate(bytes.len() / 2);
+        assert!(FileMetadata::decode(&bytes).is_err());
+    }
+}

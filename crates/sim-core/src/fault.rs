@@ -1,0 +1,273 @@
+//! Fault injection for simulated services.
+//!
+//! The SCFS cloud-of-clouds backend (paper §3.2) tolerates up to `f`
+//! arbitrary (Byzantine) cloud faults: unavailability, data deletion,
+//! corruption or fabrication. To exercise those code paths, every simulated
+//! cloud and coordination replica can be wrapped with a [`FaultInjector`]
+//! configured from a [`FaultPlan`]: scheduled outage windows, random request
+//! failures, silent data corruption and permanently Byzantine behaviour.
+
+use crate::rng::DetRng;
+use crate::time::SimInstant;
+
+/// A closed interval of virtual time during which a component is unreachable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutageWindow {
+    /// First instant of the outage.
+    pub start: SimInstant,
+    /// Last instant of the outage (inclusive).
+    pub end: SimInstant,
+}
+
+impl OutageWindow {
+    /// Creates an outage window; `end` is clamped to be at least `start`.
+    pub fn new(start: SimInstant, end: SimInstant) -> Self {
+        OutageWindow {
+            start,
+            end: end.max(start),
+        }
+    }
+
+    /// Whether instant `t` falls inside the outage.
+    pub fn contains(&self, t: SimInstant) -> bool {
+        t >= self.start && t <= self.end
+    }
+}
+
+/// The kind of fault a component exhibits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FaultKind {
+    /// No injected faults (may still have outage windows / drop rates).
+    #[default]
+    None,
+    /// Crash: after `crash_at`, the component never responds again.
+    Crash,
+    /// Byzantine: responses may be corrupted or fabricated.
+    Byzantine,
+}
+
+/// Declarative description of the faults to inject into one component.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// The general failure mode of this component.
+    pub kind: FaultKind,
+    /// Instant of the crash if `kind == Crash`. `None` means crashed from the start.
+    pub crash_at: Option<SimInstant>,
+    /// Scheduled unavailability windows.
+    pub outages: Vec<OutageWindow>,
+    /// Probability in `[0, 1]` that any individual request fails transiently.
+    pub drop_probability: f64,
+    /// Probability in `[0, 1]` that returned data is silently corrupted
+    /// (only meaningful for Byzantine components).
+    pub corruption_probability: f64,
+}
+
+impl FaultPlan {
+    /// A plan with no faults at all.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// A component that is Byzantine from the start and corrupts every read.
+    pub fn always_byzantine() -> Self {
+        FaultPlan {
+            kind: FaultKind::Byzantine,
+            corruption_probability: 1.0,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// A component that crashes at `at` and never recovers.
+    pub fn crash_at(at: SimInstant) -> Self {
+        FaultPlan {
+            kind: FaultKind::Crash,
+            crash_at: Some(at),
+            ..FaultPlan::default()
+        }
+    }
+
+    /// A component that is unavailable during the given window.
+    pub fn outage(start: SimInstant, end: SimInstant) -> Self {
+        FaultPlan {
+            outages: vec![OutageWindow::new(start, end)],
+            ..FaultPlan::default()
+        }
+    }
+
+    /// A component that transiently fails requests with probability `p`.
+    pub fn flaky(p: f64) -> Self {
+        FaultPlan {
+            drop_probability: p.clamp(0.0, 1.0),
+            ..FaultPlan::default()
+        }
+    }
+}
+
+/// The verdict of the fault injector for one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultDecision {
+    /// Execute the request normally.
+    Allow,
+    /// Fail the request (component unavailable or request dropped).
+    Unavailable,
+    /// Execute the request but corrupt the returned data.
+    Corrupt,
+}
+
+/// Stateful fault injector for one component.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    rng: DetRng,
+}
+
+impl FaultInjector {
+    /// Creates an injector from a plan and a deterministic seed.
+    pub fn new(plan: FaultPlan, seed: u64) -> Self {
+        FaultInjector {
+            plan,
+            rng: DetRng::new(seed),
+        }
+    }
+
+    /// An injector that never injects anything.
+    pub fn inert() -> Self {
+        FaultInjector::new(FaultPlan::none(), 0)
+    }
+
+    /// The plan driving this injector.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Whether the component is crashed at instant `t`.
+    pub fn is_crashed(&self, t: SimInstant) -> bool {
+        matches!(self.plan.kind, FaultKind::Crash)
+            && self.plan.crash_at.map_or(true, |at| t >= at)
+    }
+
+    /// Whether the component is inside a scheduled outage at instant `t`.
+    pub fn in_outage(&self, t: SimInstant) -> bool {
+        self.plan.outages.iter().any(|w| w.contains(t))
+    }
+
+    /// Decides the fate of one request issued at instant `t`.
+    pub fn decide(&mut self, t: SimInstant) -> FaultDecision {
+        if self.is_crashed(t) || self.in_outage(t) {
+            return FaultDecision::Unavailable;
+        }
+        if self.plan.drop_probability > 0.0 && self.rng.chance(self.plan.drop_probability) {
+            return FaultDecision::Unavailable;
+        }
+        if matches!(self.plan.kind, FaultKind::Byzantine)
+            && self.plan.corruption_probability > 0.0
+            && self.rng.chance(self.plan.corruption_probability)
+        {
+            return FaultDecision::Corrupt;
+        }
+        FaultDecision::Allow
+    }
+
+    /// Corrupts a payload in place (flips bits deterministically); used when
+    /// [`FaultDecision::Corrupt`] is returned.
+    pub fn corrupt(&mut self, data: &mut [u8]) {
+        if data.is_empty() {
+            return;
+        }
+        // Flip a handful of positions so hashes no longer match.
+        let flips = 1 + (data.len() / 64).min(16);
+        for _ in 0..flips {
+            let idx = self.rng.next_below(data.len() as u64) as usize;
+            data[idx] ^= 0xA5;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimInstant;
+
+    #[test]
+    fn outage_window_contains_boundaries() {
+        let w = OutageWindow::new(SimInstant::from_secs(10), SimInstant::from_secs(20));
+        assert!(w.contains(SimInstant::from_secs(10)));
+        assert!(w.contains(SimInstant::from_secs(20)));
+        assert!(!w.contains(SimInstant::from_secs(9)));
+        assert!(!w.contains(SimInstant::from_secs(21)));
+    }
+
+    #[test]
+    fn outage_window_clamps_inverted_range() {
+        let w = OutageWindow::new(SimInstant::from_secs(20), SimInstant::from_secs(10));
+        assert_eq!(w.start, w.end);
+    }
+
+    #[test]
+    fn inert_injector_always_allows() {
+        let mut inj = FaultInjector::inert();
+        for s in 0..100 {
+            assert_eq!(inj.decide(SimInstant::from_secs(s)), FaultDecision::Allow);
+        }
+    }
+
+    #[test]
+    fn crash_plan_stops_responding_after_crash_point() {
+        let mut inj = FaultInjector::new(FaultPlan::crash_at(SimInstant::from_secs(5)), 1);
+        assert_eq!(inj.decide(SimInstant::from_secs(4)), FaultDecision::Allow);
+        assert_eq!(
+            inj.decide(SimInstant::from_secs(5)),
+            FaultDecision::Unavailable
+        );
+        assert_eq!(
+            inj.decide(SimInstant::from_secs(500)),
+            FaultDecision::Unavailable
+        );
+    }
+
+    #[test]
+    fn outage_plan_is_transient() {
+        let mut inj = FaultInjector::new(
+            FaultPlan::outage(SimInstant::from_secs(10), SimInstant::from_secs(20)),
+            2,
+        );
+        assert_eq!(inj.decide(SimInstant::from_secs(5)), FaultDecision::Allow);
+        assert_eq!(
+            inj.decide(SimInstant::from_secs(15)),
+            FaultDecision::Unavailable
+        );
+        assert_eq!(inj.decide(SimInstant::from_secs(25)), FaultDecision::Allow);
+    }
+
+    #[test]
+    fn byzantine_plan_corrupts_reads() {
+        let mut inj = FaultInjector::new(FaultPlan::always_byzantine(), 3);
+        assert_eq!(inj.decide(SimInstant::EPOCH), FaultDecision::Corrupt);
+        let mut data = vec![0u8; 256];
+        let original = data.clone();
+        inj.corrupt(&mut data);
+        assert_ne!(data, original);
+    }
+
+    #[test]
+    fn flaky_plan_fails_roughly_at_configured_rate() {
+        let mut inj = FaultInjector::new(FaultPlan::flaky(0.3), 4);
+        let n = 20_000;
+        let failures = (0..n)
+            .filter(|_| inj.decide(SimInstant::EPOCH) == FaultDecision::Unavailable)
+            .count();
+        let rate = failures as f64 / n as f64;
+        assert!((rate - 0.3).abs() < 0.02, "observed failure rate {rate}");
+    }
+
+    #[test]
+    fn corrupt_handles_empty_and_tiny_payloads() {
+        let mut inj = FaultInjector::new(FaultPlan::always_byzantine(), 5);
+        let mut empty: Vec<u8> = vec![];
+        inj.corrupt(&mut empty);
+        assert!(empty.is_empty());
+        let mut one = vec![7u8];
+        inj.corrupt(&mut one);
+        assert_ne!(one[0], 7u8);
+    }
+}

@@ -1,0 +1,272 @@
+//! Latency and bandwidth models for simulated services.
+//!
+//! The SCFS evaluation (paper §4) is dominated by three latency classes:
+//! main memory (microseconds), local disk (milliseconds) and remote cloud /
+//! coordination-service accesses (tens of milliseconds to seconds, depending
+//! on payload size). A [`LatencyProfile`] combines a per-request latency
+//! distribution with a [`BandwidthModel`] so that the transfer time of large
+//! objects is proportional to their size, mirroring how whole-file uploads
+//! and downloads behave in the paper.
+
+use crate::rng::DetRng;
+use crate::time::SimDuration;
+use crate::units::Bytes;
+
+/// A distribution of per-request latencies.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LatencyModel {
+    /// Always exactly this many milliseconds.
+    Constant { millis: f64 },
+    /// Uniform between `lo_millis` and `hi_millis`.
+    Uniform { lo_millis: f64, hi_millis: f64 },
+    /// Normal with the given mean/std-dev (milliseconds), truncated at `min_millis`.
+    Normal {
+        mean_millis: f64,
+        std_dev_millis: f64,
+        min_millis: f64,
+    },
+    /// Log-normal parameterized by the *resulting* median and a dispersion
+    /// sigma; heavy-tailed, which is what WAN latencies to cloud providers
+    /// look like in practice.
+    LogNormal { median_millis: f64, sigma: f64 },
+}
+
+impl LatencyModel {
+    /// A zero-latency model (useful for unit tests).
+    pub fn zero() -> Self {
+        LatencyModel::Constant { millis: 0.0 }
+    }
+
+    /// Convenience constructor for a constant latency in milliseconds.
+    pub fn constant_ms(millis: f64) -> Self {
+        LatencyModel::Constant { millis }
+    }
+
+    /// Convenience constructor for a uniform latency range in milliseconds.
+    pub fn uniform_ms(lo_millis: f64, hi_millis: f64) -> Self {
+        LatencyModel::Uniform {
+            lo_millis,
+            hi_millis,
+        }
+    }
+
+    /// Samples one latency value.
+    pub fn sample(&self, rng: &mut DetRng) -> SimDuration {
+        let millis = match *self {
+            LatencyModel::Constant { millis } => millis,
+            LatencyModel::Uniform {
+                lo_millis,
+                hi_millis,
+            } => rng.range_f64(lo_millis, hi_millis),
+            LatencyModel::Normal {
+                mean_millis,
+                std_dev_millis,
+                min_millis,
+            } => rng.normal(mean_millis, std_dev_millis).max(min_millis),
+            LatencyModel::LogNormal {
+                median_millis,
+                sigma,
+            } => {
+                let mu = median_millis.max(1e-9).ln();
+                rng.log_normal(mu, sigma)
+            }
+        };
+        SimDuration::from_millis_f64(millis.max(0.0))
+    }
+
+    /// The expected (mean) latency of this model, used by analytical cost
+    /// estimates and by tests that check calibration.
+    pub fn mean(&self) -> SimDuration {
+        let millis = match *self {
+            LatencyModel::Constant { millis } => millis,
+            LatencyModel::Uniform {
+                lo_millis,
+                hi_millis,
+            } => (lo_millis + hi_millis) / 2.0,
+            LatencyModel::Normal { mean_millis, .. } => mean_millis,
+            LatencyModel::LogNormal {
+                median_millis,
+                sigma,
+            } => median_millis * (sigma * sigma / 2.0).exp(),
+        };
+        SimDuration::from_millis_f64(millis.max(0.0))
+    }
+}
+
+/// A symmetric bandwidth model: transferring `n` bytes takes `n / rate`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BandwidthModel {
+    /// Sustained throughput in mebibytes per second. `f64::INFINITY` means
+    /// transfers are instantaneous (e.g. main memory).
+    pub mib_per_sec: f64,
+}
+
+impl BandwidthModel {
+    /// Unlimited bandwidth (no per-byte cost).
+    pub fn unlimited() -> Self {
+        BandwidthModel {
+            mib_per_sec: f64::INFINITY,
+        }
+    }
+
+    /// A model with the given throughput in MiB/s.
+    pub fn mib_per_sec(rate: f64) -> Self {
+        BandwidthModel { mib_per_sec: rate }
+    }
+
+    /// Time to transfer `size` bytes at this rate.
+    pub fn transfer_time(&self, size: Bytes) -> SimDuration {
+        if !self.mib_per_sec.is_finite() || self.mib_per_sec <= 0.0 {
+            return SimDuration::ZERO;
+        }
+        SimDuration::from_secs_f64(size.as_mib_f64() / self.mib_per_sec)
+    }
+}
+
+/// A full latency profile for one service endpoint: a per-request latency
+/// plus upload/download bandwidth.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyProfile {
+    /// Per-request round-trip latency (independent of payload size).
+    pub request: LatencyModel,
+    /// Bandwidth applied to request payloads (uploads / writes).
+    pub upload: BandwidthModel,
+    /// Bandwidth applied to response payloads (downloads / reads).
+    pub download: BandwidthModel,
+}
+
+impl LatencyProfile {
+    /// A profile where everything is free; useful for tests that only check
+    /// functional behaviour.
+    pub fn instantaneous() -> Self {
+        LatencyProfile {
+            request: LatencyModel::zero(),
+            upload: BandwidthModel::unlimited(),
+            download: BandwidthModel::unlimited(),
+        }
+    }
+
+    /// Main-memory accesses: microsecond scale (Table 1, level 0).
+    pub fn main_memory() -> Self {
+        LatencyProfile {
+            request: LatencyModel::Uniform {
+                lo_millis: 0.001,
+                hi_millis: 0.005,
+            },
+            upload: BandwidthModel::mib_per_sec(8_000.0),
+            download: BandwidthModel::mib_per_sec(8_000.0),
+        }
+    }
+
+    /// Local 15K-RPM disk accesses: millisecond scale (Table 1, level 1).
+    pub fn local_disk() -> Self {
+        LatencyProfile {
+            request: LatencyModel::Normal {
+                mean_millis: 4.0,
+                std_dev_millis: 1.0,
+                min_millis: 0.5,
+            },
+            upload: BandwidthModel::mib_per_sec(120.0),
+            download: BandwidthModel::mib_per_sec(150.0),
+        }
+    }
+
+    /// Samples the total latency of an operation that uploads `upload` bytes
+    /// and downloads `download` bytes in a single round trip.
+    pub fn sample_op(&self, rng: &mut DetRng, upload: Bytes, download: Bytes) -> SimDuration {
+        self.request.sample(rng)
+            + self.upload.transfer_time(upload)
+            + self.download.transfer_time(download)
+    }
+
+    /// Expected latency of the same operation (no sampling).
+    pub fn mean_op(&self, upload: Bytes, download: Bytes) -> SimDuration {
+        self.request.mean()
+            + self.upload.transfer_time(upload)
+            + self.download.transfer_time(download)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_model_is_exact() {
+        let mut rng = DetRng::new(1);
+        let m = LatencyModel::constant_ms(25.0);
+        assert_eq!(m.sample(&mut rng), SimDuration::from_millis(25));
+        assert_eq!(m.mean(), SimDuration::from_millis(25));
+    }
+
+    #[test]
+    fn uniform_model_respects_bounds() {
+        let mut rng = DetRng::new(2);
+        let m = LatencyModel::uniform_ms(10.0, 20.0);
+        for _ in 0..1_000 {
+            let s = m.sample(&mut rng).as_millis_f64();
+            assert!((10.0..=20.0).contains(&s), "sample {s} out of range");
+        }
+        assert_eq!(m.mean(), SimDuration::from_millis(15));
+    }
+
+    #[test]
+    fn normal_model_truncates_at_min() {
+        let mut rng = DetRng::new(3);
+        let m = LatencyModel::Normal {
+            mean_millis: 5.0,
+            std_dev_millis: 10.0,
+            min_millis: 1.0,
+        };
+        for _ in 0..1_000 {
+            assert!(m.sample(&mut rng).as_millis_f64() >= 1.0);
+        }
+    }
+
+    #[test]
+    fn log_normal_median_is_roughly_right() {
+        let mut rng = DetRng::new(4);
+        let m = LatencyModel::LogNormal {
+            median_millis: 100.0,
+            sigma: 0.3,
+        };
+        let mut samples: Vec<f64> = (0..10_001).map(|_| m.sample(&mut rng).as_millis_f64()).collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[samples.len() / 2];
+        assert!((median - 100.0).abs() < 10.0, "median was {median}");
+    }
+
+    #[test]
+    fn bandwidth_transfer_time_scales_linearly() {
+        let bw = BandwidthModel::mib_per_sec(10.0);
+        let t1 = bw.transfer_time(Bytes::mib(10));
+        let t2 = bw.transfer_time(Bytes::mib(20));
+        assert!((t1.as_secs_f64() - 1.0).abs() < 1e-9);
+        assert!((t2.as_secs_f64() - 2.0).abs() < 1e-9);
+        assert_eq!(
+            BandwidthModel::unlimited().transfer_time(Bytes::gib(10)),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn profile_combines_request_and_transfer() {
+        let mut rng = DetRng::new(5);
+        let p = LatencyProfile {
+            request: LatencyModel::constant_ms(100.0),
+            upload: BandwidthModel::mib_per_sec(10.0),
+            download: BandwidthModel::mib_per_sec(20.0),
+        };
+        let d = p.sample_op(&mut rng, Bytes::mib(10), Bytes::ZERO);
+        assert!((d.as_secs_f64() - 1.1).abs() < 1e-9);
+        let d = p.mean_op(Bytes::ZERO, Bytes::mib(20));
+        assert!((d.as_secs_f64() - 1.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn canned_profiles_are_ordered_by_speed() {
+        let mem = LatencyProfile::main_memory().mean_op(Bytes::kib(4), Bytes::ZERO);
+        let disk = LatencyProfile::local_disk().mean_op(Bytes::kib(4), Bytes::ZERO);
+        assert!(mem < disk, "memory ({mem}) should be faster than disk ({disk})");
+    }
+}

@@ -1,0 +1,40 @@
+//! Virtual-time simulation substrate for the SCFS reproduction.
+//!
+//! The SCFS paper evaluates a cloud-backed file system against real cloud
+//! providers accessed over the Internet. This crate provides the substrate
+//! that lets us reproduce the *shape* of those experiments entirely
+//! in-process and deterministically:
+//!
+//! * [`time`] — virtual instants, durations and per-client clocks. Every
+//!   simulated remote access charges its latency to a [`time::Clock`] instead
+//!   of sleeping.
+//! * [`rng`] — a small deterministic random number generator (SplitMix64)
+//!   plus the distributions used by the latency models.
+//! * [`latency`] — latency and bandwidth models for cloud accesses,
+//!   coordination-service accesses, local disk and memory.
+//! * [`fault`] — fault injection: outage windows, drop probabilities and
+//!   data corruption, used to exercise the Byzantine-fault-tolerant paths.
+//! * [`stats`] — mean/percentile summaries used when reporting the paper's
+//!   tables and figures.
+//! * [`trace`] — structured event tracing for debugging and for the
+//!   latency-breakdown analyses in EXPERIMENTS.md.
+//! * [`units`] — byte-size and micro-dollar helpers shared across crates.
+//!
+//! Everything here is deterministic given a seed, which makes the reproduced
+//! tables stable across runs.
+
+pub mod fault;
+pub mod latency;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod trace;
+pub mod units;
+
+pub use fault::{FaultInjector, FaultPlan, OutageWindow};
+pub use latency::{BandwidthModel, LatencyModel, LatencyProfile};
+pub use rng::DetRng;
+pub use stats::{Histogram, Summary};
+pub use time::{Clock, SimDuration, SimInstant};
+pub use trace::{TraceEvent, Tracer};
+pub use units::{Bytes, MicroDollars};

@@ -1,0 +1,314 @@
+//! Summary statistics used to report the paper's tables and figures.
+//!
+//! Figure 9 of the paper reports 50th and 90th percentile sharing latencies;
+//! Table 3 and Figures 8/10 report mean latencies over repeated runs. This
+//! module provides a small, dependency-free [`Summary`] accumulator and a
+//! fixed-bucket [`Histogram`] for latency distributions.
+
+use crate::time::SimDuration;
+
+/// Accumulates samples and produces mean / min / max / percentile summaries.
+#[derive(Debug, Clone, Default)]
+pub struct Summary {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Summary::default()
+    }
+
+    /// Creates a summary from an iterator of raw values.
+    pub fn from_values<I: IntoIterator<Item = f64>>(values: I) -> Self {
+        let mut s = Summary::new();
+        for v in values {
+            s.add(v);
+        }
+        s
+    }
+
+    /// Creates a summary from durations, stored as seconds.
+    pub fn from_durations<I: IntoIterator<Item = SimDuration>>(values: I) -> Self {
+        Summary::from_values(values.into_iter().map(|d| d.as_secs_f64()))
+    }
+
+    /// Adds one sample.
+    pub fn add(&mut self, value: f64) {
+        self.samples.push(value);
+        self.sorted = false;
+    }
+
+    /// Adds one duration sample (stored in seconds).
+    pub fn add_duration(&mut self, value: SimDuration) {
+        self.add(value.as_secs_f64());
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.samples.iter().sum()
+    }
+
+    /// Arithmetic mean; 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.samples.len() as f64
+        }
+    }
+
+    /// Population standard deviation; 0.0 when fewer than two samples.
+    pub fn std_dev(&self) -> f64 {
+        if self.samples.len() < 2 {
+            return 0.0;
+        }
+        let mean = self.mean();
+        let var = self
+            .samples
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f64>()
+            / self.samples.len() as f64;
+        var.sqrt()
+    }
+
+    /// Smallest sample; 0.0 when empty.
+    pub fn min(&self) -> f64 {
+        self.samples.iter().copied().fold(f64::INFINITY, f64::min).min_or_zero()
+    }
+
+    /// Largest sample; 0.0 when empty.
+    pub fn max(&self) -> f64 {
+        self.samples
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
+            .max_or_zero()
+    }
+
+    /// Percentile in `[0, 100]` using nearest-rank on the sorted samples;
+    /// 0.0 when empty.
+    pub fn percentile(&mut self, p: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        if !self.sorted {
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            self.sorted = true;
+        }
+        let p = p.clamp(0.0, 100.0);
+        let rank = ((p / 100.0) * (self.samples.len() as f64 - 1.0)).round() as usize;
+        self.samples[rank.min(self.samples.len() - 1)]
+    }
+
+    /// Median (50th percentile).
+    pub fn median(&mut self) -> f64 {
+        self.percentile(50.0)
+    }
+
+    /// The raw samples (in insertion or sorted order depending on prior calls).
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+}
+
+trait FiniteOrZero {
+    fn min_or_zero(self) -> f64;
+    fn max_or_zero(self) -> f64;
+}
+
+impl FiniteOrZero for f64 {
+    fn min_or_zero(self) -> f64 {
+        if self.is_finite() {
+            self
+        } else {
+            0.0
+        }
+    }
+
+    fn max_or_zero(self) -> f64 {
+        if self.is_finite() {
+            self
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A simple linear-bucket histogram over `[0, max)`.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    bucket_width: f64,
+    max: f64,
+    overflow: u64,
+    count: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `buckets` equal-width buckets over `[0, max)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buckets` is zero or `max` is not positive.
+    pub fn new(buckets: usize, max: f64) -> Self {
+        assert!(buckets > 0, "histogram needs at least one bucket");
+        assert!(max > 0.0, "histogram max must be positive");
+        Histogram {
+            buckets: vec![0; buckets],
+            bucket_width: max / buckets as f64,
+            max,
+            overflow: 0,
+            count: 0,
+        }
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, value: f64) {
+        self.count += 1;
+        if value < 0.0 {
+            self.buckets[0] += 1;
+        } else if value >= self.max {
+            self.overflow += 1;
+        } else {
+            let idx = (value / self.bucket_width) as usize;
+            let idx = idx.min(self.buckets.len() - 1);
+            self.buckets[idx] += 1;
+        }
+    }
+
+    /// Total number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Number of values at or above the histogram maximum.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Bucket counts.
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Approximate quantile (`q` in `[0,1]`) using bucket upper bounds.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = (q * self.count as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return (i as f64 + 1.0) * self.bucket_width;
+            }
+        }
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_summary_is_all_zero() {
+        let mut s = Summary::new();
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+        assert_eq!(s.percentile(50.0), 0.0);
+        assert_eq!(s.std_dev(), 0.0);
+    }
+
+    #[test]
+    fn summary_basic_statistics() {
+        let mut s = Summary::from_values([1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s.count(), 5);
+        assert!((s.mean() - 3.0).abs() < 1e-12);
+        assert!((s.min() - 1.0).abs() < 1e-12);
+        assert!((s.max() - 5.0).abs() < 1e-12);
+        assert!((s.median() - 3.0).abs() < 1e-12);
+        assert!((s.percentile(0.0) - 1.0).abs() < 1e-12);
+        assert!((s.percentile(100.0) - 5.0).abs() < 1e-12);
+        assert!((s.std_dev() - 1.4142135623).abs() < 1e-6);
+    }
+
+    #[test]
+    fn summary_percentile_90() {
+        let mut s = Summary::from_values((1..=100).map(|v| v as f64));
+        let p90 = s.percentile(90.0);
+        assert!((p90 - 90.0).abs() <= 1.0, "p90 was {p90}");
+    }
+
+    #[test]
+    fn summary_from_durations_uses_seconds() {
+        let s = Summary::from_durations([SimDuration::from_millis(500), SimDuration::from_millis(1500)]);
+        assert!((s.mean() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_records_and_quantiles() {
+        let mut h = Histogram::new(100, 10.0);
+        for i in 0..1000 {
+            h.record(i as f64 / 100.0); // 0.00 .. 9.99
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.overflow(), 0);
+        let q50 = h.quantile(0.5);
+        assert!((q50 - 5.0).abs() < 0.2, "q50 was {q50}");
+    }
+
+    #[test]
+    fn histogram_overflow_and_negative() {
+        let mut h = Histogram::new(10, 1.0);
+        h.record(5.0);
+        h.record(-1.0);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.buckets()[0], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bucket")]
+    fn histogram_rejects_zero_buckets() {
+        let _ = Histogram::new(0, 1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_mean_between_min_and_max(values in proptest::collection::vec(0.0f64..1e6, 1..200)) {
+            let s = Summary::from_values(values.clone());
+            prop_assert!(s.mean() >= s.min() - 1e-9);
+            prop_assert!(s.mean() <= s.max() + 1e-9);
+        }
+
+        #[test]
+        fn prop_percentiles_are_monotone(values in proptest::collection::vec(0.0f64..1e6, 1..200)) {
+            let mut s = Summary::from_values(values);
+            let p10 = s.percentile(10.0);
+            let p50 = s.percentile(50.0);
+            let p90 = s.percentile(90.0);
+            prop_assert!(p10 <= p50 + 1e-9);
+            prop_assert!(p50 <= p90 + 1e-9);
+        }
+    }
+}

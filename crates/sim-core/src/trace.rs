@@ -1,0 +1,281 @@
+//! Structured event tracing.
+//!
+//! Every simulated remote access (cloud PUT/GET, coordination-service call,
+//! lock acquisition, background upload) can be recorded as a [`TraceEvent`].
+//! The traces are what EXPERIMENTS.md uses to explain *why* a configuration
+//! is slow (e.g. "SCFS-*-NB create latency is dominated by coordination
+//! service accesses", paper §4.2) and they are invaluable when debugging the
+//! virtual-time composition of the agent.
+
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::time::{SimDuration, SimInstant};
+use crate::units::Bytes;
+
+/// The category of a traced operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TraceCategory {
+    /// Object-store (cloud) accesses.
+    CloudStorage,
+    /// Coordination-service accesses (metadata, locks).
+    Coordination,
+    /// Local disk cache accesses.
+    LocalDisk,
+    /// Main-memory cache accesses.
+    Memory,
+    /// File-system level operations (open/close/...).
+    FileSystem,
+    /// Background activity (upload queue, garbage collection).
+    Background,
+}
+
+impl fmt::Display for TraceCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TraceCategory::CloudStorage => "cloud",
+            TraceCategory::Coordination => "coord",
+            TraceCategory::LocalDisk => "disk",
+            TraceCategory::Memory => "memory",
+            TraceCategory::FileSystem => "fs",
+            TraceCategory::Background => "background",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One traced operation.
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// Category of the operation.
+    pub category: TraceCategory,
+    /// Operation name, e.g. `"put"`, `"getMetadata"`, `"lock"`.
+    pub operation: String,
+    /// Identifier of the object or file involved, if any.
+    pub target: String,
+    /// Virtual instant at which the operation started.
+    pub start: SimInstant,
+    /// Latency charged to the caller.
+    pub latency: SimDuration,
+    /// Payload size moved by the operation (0 for metadata operations).
+    pub bytes: Bytes,
+    /// Whether the operation succeeded.
+    pub ok: bool,
+}
+
+impl TraceEvent {
+    /// The instant at which the operation completed.
+    pub fn end(&self) -> SimInstant {
+        self.start + self.latency
+    }
+}
+
+/// A shareable, thread-safe collector of trace events.
+///
+/// Cloning a `Tracer` produces another handle to the same underlying buffer,
+/// so an agent and its background upload tasks can all record into one trace.
+#[derive(Debug, Clone, Default)]
+pub struct Tracer {
+    inner: Arc<Mutex<TracerInner>>,
+}
+
+#[derive(Debug, Default)]
+struct TracerInner {
+    enabled: bool,
+    events: Vec<TraceEvent>,
+}
+
+impl Tracer {
+    /// Creates a disabled tracer (recording is a no-op until enabled).
+    pub fn new() -> Self {
+        Tracer::default()
+    }
+
+    /// Creates a tracer that records events immediately.
+    pub fn enabled() -> Self {
+        let t = Tracer::default();
+        t.set_enabled(true);
+        t
+    }
+
+    /// Enables or disables recording.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.inner.lock().enabled = enabled;
+    }
+
+    /// Whether recording is currently enabled.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.lock().enabled
+    }
+
+    /// Records one event if enabled.
+    pub fn record(&self, event: TraceEvent) {
+        let mut inner = self.inner.lock();
+        if inner.enabled {
+            inner.events.push(event);
+        }
+    }
+
+    /// Convenience helper to record an operation from its parts.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_op(
+        &self,
+        category: TraceCategory,
+        operation: &str,
+        target: &str,
+        start: SimInstant,
+        latency: SimDuration,
+        bytes: Bytes,
+        ok: bool,
+    ) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.record(TraceEvent {
+            category,
+            operation: operation.to_string(),
+            target: target.to_string(),
+            start,
+            latency,
+            bytes,
+            ok,
+        });
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.inner.lock().events.len()
+    }
+
+    /// Whether no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Removes and returns all recorded events.
+    pub fn drain(&self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.inner.lock().events)
+    }
+
+    /// Returns a copy of all recorded events.
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        self.inner.lock().events.clone()
+    }
+
+    /// Total latency charged by events in the given category.
+    pub fn total_latency(&self, category: TraceCategory) -> SimDuration {
+        self.inner
+            .lock()
+            .events
+            .iter()
+            .filter(|e| e.category == category)
+            .fold(SimDuration::ZERO, |acc, e| acc + e.latency)
+    }
+
+    /// Number of events in the given category.
+    pub fn count(&self, category: TraceCategory) -> usize {
+        self.inner
+            .lock()
+            .events
+            .iter()
+            .filter(|e| e.category == category)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(cat: TraceCategory, ms: u64) -> TraceEvent {
+        TraceEvent {
+            category: cat,
+            operation: "op".into(),
+            target: "x".into(),
+            start: SimInstant::EPOCH,
+            latency: SimDuration::from_millis(ms),
+            bytes: Bytes::ZERO,
+            ok: true,
+        }
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = Tracer::new();
+        t.record(event(TraceCategory::CloudStorage, 10));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn enabled_tracer_records_and_drains() {
+        let t = Tracer::enabled();
+        t.record(event(TraceCategory::CloudStorage, 10));
+        t.record(event(TraceCategory::Coordination, 20));
+        assert_eq!(t.len(), 2);
+        let drained = t.drain();
+        assert_eq!(drained.len(), 2);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn clones_share_the_same_buffer() {
+        let t = Tracer::enabled();
+        let t2 = t.clone();
+        t2.record(event(TraceCategory::LocalDisk, 5));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn per_category_accounting() {
+        let t = Tracer::enabled();
+        t.record(event(TraceCategory::Coordination, 60));
+        t.record(event(TraceCategory::Coordination, 80));
+        t.record(event(TraceCategory::CloudStorage, 500));
+        assert_eq!(t.count(TraceCategory::Coordination), 2);
+        assert_eq!(
+            t.total_latency(TraceCategory::Coordination),
+            SimDuration::from_millis(140)
+        );
+        assert_eq!(
+            t.total_latency(TraceCategory::CloudStorage),
+            SimDuration::from_millis(500)
+        );
+        assert_eq!(t.count(TraceCategory::Memory), 0);
+    }
+
+    #[test]
+    fn record_op_respects_enabled_flag() {
+        let t = Tracer::new();
+        t.record_op(
+            TraceCategory::FileSystem,
+            "open",
+            "/a",
+            SimInstant::EPOCH,
+            SimDuration::from_millis(1),
+            Bytes::ZERO,
+            true,
+        );
+        assert!(t.is_empty());
+        t.set_enabled(true);
+        t.record_op(
+            TraceCategory::FileSystem,
+            "open",
+            "/a",
+            SimInstant::EPOCH,
+            SimDuration::from_millis(1),
+            Bytes::ZERO,
+            true,
+        );
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.snapshot()[0].end(), SimInstant::from_millis(1));
+    }
+
+    #[test]
+    fn category_display_names() {
+        assert_eq!(TraceCategory::CloudStorage.to_string(), "cloud");
+        assert_eq!(TraceCategory::Coordination.to_string(), "coord");
+        assert_eq!(TraceCategory::Background.to_string(), "background");
+    }
+}

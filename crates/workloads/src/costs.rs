@@ -1,0 +1,159 @@
+//! The cost analyses of Figure 11 and the durability table (Table 1).
+
+use coord::deployment::CoordDeployment;
+use cloud_store::pricing::VmInstanceSize;
+use scfs::cost::{CostBackend, CostModel};
+use scfs::durability::table1_rows;
+use sim_core::units::Bytes;
+
+use crate::results::Table;
+
+/// Table 1: durability levels.
+pub fn table1() -> Table {
+    let mut table = Table::new(
+        "Table 1: SCFS durability levels",
+        vec![
+            "level".into(),
+            "location".into(),
+            "latency".into(),
+            "fault tolerance".into(),
+            "system call".into(),
+        ],
+    );
+    for (level, location, latency, tolerates, call) in table1_rows() {
+        table.push_row(vec![
+            level.to_string(),
+            location.to_string(),
+            latency.to_string(),
+            tolerates.to_string(),
+            call.to_string(),
+        ]);
+    }
+    table
+}
+
+/// Figure 11(a): coordination-service VM cost per day and metadata capacity.
+pub fn figure11a() -> Table {
+    let mut table = Table::new(
+        "Figure 11(a): coordination service operation cost per day and capacity",
+        vec![
+            "VM instance".into(),
+            "EC2".into(),
+            "EC2 x4".into(),
+            "CoC".into(),
+            "capacity (files)".into(),
+        ],
+    );
+    for (label, size) in [
+        ("Large", VmInstanceSize::Large),
+        ("Extra Large", VmInstanceSize::ExtraLarge),
+    ] {
+        let ec2 = CoordDeployment::ec2_single(size);
+        let ec2_4 = CoordDeployment::ec2_four(size);
+        let coc = CoordDeployment::cloud_of_clouds(size);
+        table.push_row(vec![
+            label.to_string(),
+            format!("${:.2}", ec2.cost_per_day().as_dollars()),
+            format!("${:.2}", ec2_4.cost_per_day().as_dollars()),
+            format!("${:.2}", coc.cost_per_day().as_dollars()),
+            format!("{}M", coc.capacity_files() / 1_000_000),
+        ]);
+    }
+    table
+}
+
+/// The file sizes swept by Figures 11(b) and 11(c).
+pub fn figure11_sizes() -> Vec<Bytes> {
+    vec![
+        Bytes::mib(1),
+        Bytes::mib(5),
+        Bytes::mib(10),
+        Bytes::mib(15),
+        Bytes::mib(20),
+        Bytes::mib(25),
+        Bytes::mib(30),
+    ]
+}
+
+/// Figure 11(b): cost per read/write operation vs. file size (micro-dollars).
+pub fn figure11b() -> Table {
+    let aws = CostModel::new(CostBackend::Aws);
+    let coc = CostModel::new(CostBackend::CloudOfClouds);
+    let mut table = Table::new(
+        "Figure 11(b): cost per operation (micro-dollars)",
+        vec![
+            "file size".into(),
+            "CoC read".into(),
+            "AWS read".into(),
+            "CoC write".into(),
+            "AWS write".into(),
+            "cached read".into(),
+        ],
+    );
+    for size in figure11_sizes() {
+        table.push_row(vec![
+            format!("{size}"),
+            format!("{:.1}", coc.read_cost(size).get()),
+            format!("{:.1}", aws.read_cost(size).get()),
+            format!("{:.1}", coc.write_cost(size).get()),
+            format!("{:.1}", aws.write_cost(size).get()),
+            format!("{:.2}", aws.cached_read_cost().get()),
+        ]);
+    }
+    table
+}
+
+/// Figure 11(c): storage cost per file version per day (micro-dollars).
+pub fn figure11c() -> Table {
+    let aws = CostModel::new(CostBackend::Aws);
+    let coc = CostModel::new(CostBackend::CloudOfClouds);
+    let mut table = Table::new(
+        "Figure 11(c): storage cost per file version per day (micro-dollars)",
+        vec!["file size".into(), "CoC".into(), "AWS".into(), "CoC/AWS".into()],
+    );
+    for size in figure11_sizes() {
+        let a = aws.storage_cost_per_day(size).get();
+        let c = coc.storage_cost_per_day(size).get();
+        table.push_row(vec![
+            format!("{size}"),
+            format!("{c:.1}"),
+            format!("{a:.1}"),
+            format!("{:.2}", c / a),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure11a_matches_paper_numbers() {
+        let t = figure11a();
+        assert_eq!(t.cell("Large", "EC2"), Some("$6.24"));
+        assert_eq!(t.cell("Large", "CoC"), Some("$39.60"));
+        assert_eq!(t.cell("Extra Large", "CoC"), Some("$77.04"));
+        assert_eq!(t.cell("Extra Large", "capacity (files)"), Some("15M"));
+    }
+
+    #[test]
+    fn figure11b_read_costs_dominate_write_costs_for_large_files() {
+        let t = figure11b();
+        let read: f64 = t.cell("30.00MiB", "CoC read").unwrap().parse().unwrap();
+        let write: f64 = t.cell("30.00MiB", "CoC write").unwrap().parse().unwrap();
+        assert!(read > write * 10.0);
+    }
+
+    #[test]
+    fn figure11c_coc_premium_is_about_fifty_percent() {
+        let t = figure11c();
+        let ratio: f64 = t.cell("20.00MiB", "CoC/AWS").unwrap().parse().unwrap();
+        assert!((1.3..1.7).contains(&ratio));
+    }
+
+    #[test]
+    fn table1_has_four_levels() {
+        assert_eq!(table1().rows.len(), 4);
+    }
+}

@@ -1,0 +1,26 @@
+//! Workload generators and experiment harnesses reproducing the SCFS
+//! evaluation (paper §4).
+//!
+//! * [`setup`] — builders for the six SCFS variants (AWS/CoC ×
+//!   blocking/non-blocking/non-sharing) and the three baselines, each on a
+//!   fresh simulated environment.
+//! * [`results`] — plain-text result tables used by the `reproduce` binary.
+//! * [`filebench`] — the six Filebench micro-benchmarks of Table 3.
+//! * [`filesync`] — the OpenOffice-style file-synchronization benchmark of
+//!   Figures 7 and 8.
+//! * [`sharing`] — the two-client sharing-latency experiment of Figure 9.
+//! * [`sweeps`] — the metadata-cache and private-name-space parameter sweeps
+//!   of Figure 10.
+//! * [`costs`] — the operation and storage cost analyses of Figure 11 and
+//!   the durability table (Table 1).
+
+pub mod costs;
+pub mod filebench;
+pub mod filesync;
+pub mod results;
+pub mod setup;
+pub mod sharing;
+pub mod sweeps;
+
+pub use results::Table;
+pub use setup::SystemKind;

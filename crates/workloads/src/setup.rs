@@ -1,0 +1,268 @@
+//! Builders for every file system evaluated in the paper.
+//!
+//! Each call builds the system on a **fresh** simulated environment (its own
+//! clouds and coordination service), exactly as each benchmark run in the
+//! paper starts from an empty mount.
+
+use std::sync::Arc;
+
+use baselines::{LocalFs, S3fsLike, S3qlLike};
+use cloud_store::providers::{ProviderProfile, ProviderSet};
+use cloud_store::sim_cloud::SimulatedCloud;
+use cloud_store::store::ObjectStore;
+use coord::replication::{ReplicatedCoordinator, ReplicationConfig};
+use coord::service::CoordinationService;
+use depsky::config::DepSkyConfig;
+use depsky::register::DepSkyClient;
+use scfs::agent::ScfsAgent;
+use scfs::backend::{CloudOfCloudsStorage, FileStorage, SingleCloudStorage};
+use scfs::config::{Mode, ScfsConfig};
+use scfs::fs::FileSystem;
+
+/// Which SCFS backend to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Single cloud (Amazon S3) + one coordination-service instance in EC2.
+    Aws,
+    /// DepSky cloud-of-clouds + BFT-replicated coordination service.
+    CloudOfClouds,
+}
+
+/// The nine systems of the evaluation (six SCFS variants + three baselines).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SystemKind {
+    /// SCFS, AWS backend, non-sharing mode.
+    ScfsAwsNs,
+    /// SCFS, AWS backend, non-blocking mode.
+    ScfsAwsNb,
+    /// SCFS, AWS backend, blocking mode.
+    ScfsAwsB,
+    /// SCFS, cloud-of-clouds backend, non-sharing mode.
+    ScfsCocNs,
+    /// SCFS, cloud-of-clouds backend, non-blocking mode.
+    ScfsCocNb,
+    /// SCFS, cloud-of-clouds backend, blocking mode.
+    ScfsCocB,
+    /// The S3FS baseline.
+    S3fs,
+    /// The S3QL baseline.
+    S3ql,
+    /// The FUSE-J local file system baseline.
+    LocalFs,
+}
+
+impl SystemKind {
+    /// All systems, in the column order of Table 3.
+    pub fn all() -> Vec<SystemKind> {
+        vec![
+            SystemKind::ScfsAwsNs,
+            SystemKind::ScfsAwsNb,
+            SystemKind::ScfsAwsB,
+            SystemKind::ScfsCocNs,
+            SystemKind::ScfsCocNb,
+            SystemKind::ScfsCocB,
+            SystemKind::S3fs,
+            SystemKind::S3ql,
+            SystemKind::LocalFs,
+        ]
+    }
+
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SystemKind::ScfsAwsNs => "SCFS-AWS-NS",
+            SystemKind::ScfsAwsNb => "SCFS-AWS-NB",
+            SystemKind::ScfsAwsB => "SCFS-AWS-B",
+            SystemKind::ScfsCocNs => "SCFS-CoC-NS",
+            SystemKind::ScfsCocNb => "SCFS-CoC-NB",
+            SystemKind::ScfsCocB => "SCFS-CoC-B",
+            SystemKind::S3fs => "S3FS",
+            SystemKind::S3ql => "S3QL",
+            SystemKind::LocalFs => "LocalFS",
+        }
+    }
+}
+
+/// A shared SCFS environment: the storage backend and coordination service
+/// that several agents (clients) mount together, used by the sharing
+/// experiment and the collaboration examples.
+#[derive(Clone)]
+pub struct SharedScfsEnv {
+    /// The whole-file storage backend shared by all agents.
+    pub storage: Arc<dyn FileStorage>,
+    /// The coordination service shared by all agents (absent in NS mode).
+    pub coordinator: Option<Arc<dyn CoordinationService>>,
+    /// The mode agents should be mounted in.
+    pub mode: Mode,
+}
+
+impl SharedScfsEnv {
+    /// Builds a shared environment for the given backend and mode.
+    pub fn new(backend: Backend, mode: Mode, seed: u64) -> Self {
+        let storage = build_storage(backend, seed);
+        let coordinator = if mode.uses_coordination() {
+            Some(build_coordinator(backend, seed))
+        } else {
+            None
+        };
+        SharedScfsEnv {
+            storage,
+            coordinator,
+            mode,
+        }
+    }
+
+    /// Mounts an agent for `user` on this environment.
+    pub fn mount(&self, user: &str, config: ScfsConfig, seed: u64) -> ScfsAgent {
+        ScfsAgent::mount(
+            user.into(),
+            config,
+            self.storage.clone(),
+            self.coordinator.clone(),
+            seed,
+        )
+        .expect("environment and configuration are consistent")
+    }
+
+    /// Mounts an agent with the paper's default configuration for this
+    /// environment's mode.
+    pub fn mount_default(&self, user: &str, seed: u64) -> ScfsAgent {
+        self.mount(user, ScfsConfig::paper_default(self.mode), seed)
+    }
+}
+
+/// Builds the storage backend (with WAN provider profiles).
+pub fn build_storage(backend: Backend, seed: u64) -> Arc<dyn FileStorage> {
+    match backend {
+        Backend::Aws => {
+            let cloud = Arc::new(SimulatedCloud::new(ProviderProfile::amazon_s3(), seed));
+            Arc::new(SingleCloudStorage::new(cloud))
+        }
+        Backend::CloudOfClouds => {
+            let clouds: Vec<Arc<dyn ObjectStore>> = ProviderSet::coc_storage_backend()
+                .into_iter()
+                .enumerate()
+                .map(|(i, p)| {
+                    Arc::new(SimulatedCloud::new(p, seed.wrapping_add(i as u64))) as Arc<dyn ObjectStore>
+                })
+                .collect();
+            let depsky = DepSkyClient::new(clouds, DepSkyConfig::scfs_default(), seed)
+                .expect("4 clouds match the f=1 configuration");
+            Arc::new(CloudOfCloudsStorage::new(depsky))
+        }
+    }
+}
+
+/// Builds the coordination service for a backend.
+pub fn build_coordinator(backend: Backend, seed: u64) -> Arc<dyn CoordinationService> {
+    let config = match backend {
+        Backend::Aws => ReplicationConfig::aws_single_ec2(),
+        Backend::CloudOfClouds => ReplicationConfig::coc_byzantine(),
+    };
+    Arc::new(ReplicatedCoordinator::new(config, seed))
+}
+
+/// Builds one SCFS variant with the paper's default configuration.
+pub fn build_scfs(backend: Backend, mode: Mode, config: ScfsConfig, seed: u64) -> ScfsAgent {
+    let storage = build_storage(backend, seed);
+    let coordinator = if mode.uses_coordination() {
+        Some(build_coordinator(backend, seed ^ 0x9999))
+    } else {
+        None
+    };
+    ScfsAgent::mount("alice".into(), config, storage, coordinator, seed)
+        .expect("configuration is consistent")
+}
+
+/// Builds any of the nine evaluated systems on a fresh environment.
+pub fn build_system(kind: SystemKind, seed: u64) -> Box<dyn FileSystem> {
+    match kind {
+        SystemKind::ScfsAwsNs => Box::new(build_scfs(
+            Backend::Aws,
+            Mode::NonSharing,
+            ScfsConfig::paper_default(Mode::NonSharing),
+            seed,
+        )),
+        SystemKind::ScfsAwsNb => Box::new(build_scfs(
+            Backend::Aws,
+            Mode::NonBlocking,
+            ScfsConfig::paper_default(Mode::NonBlocking),
+            seed,
+        )),
+        SystemKind::ScfsAwsB => Box::new(build_scfs(
+            Backend::Aws,
+            Mode::Blocking,
+            ScfsConfig::paper_default(Mode::Blocking),
+            seed,
+        )),
+        SystemKind::ScfsCocNs => Box::new(build_scfs(
+            Backend::CloudOfClouds,
+            Mode::NonSharing,
+            ScfsConfig::paper_default(Mode::NonSharing),
+            seed,
+        )),
+        SystemKind::ScfsCocNb => Box::new(build_scfs(
+            Backend::CloudOfClouds,
+            Mode::NonBlocking,
+            ScfsConfig::paper_default(Mode::NonBlocking),
+            seed,
+        )),
+        SystemKind::ScfsCocB => Box::new(build_scfs(
+            Backend::CloudOfClouds,
+            Mode::Blocking,
+            ScfsConfig::paper_default(Mode::Blocking),
+            seed,
+        )),
+        SystemKind::S3fs => {
+            let cloud = Arc::new(SimulatedCloud::new(ProviderProfile::amazon_s3(), seed));
+            Box::new(S3fsLike::new("alice".into(), cloud, seed))
+        }
+        SystemKind::S3ql => {
+            let cloud = Arc::new(SimulatedCloud::new(ProviderProfile::amazon_s3(), seed));
+            Box::new(S3qlLike::new("alice".into(), cloud, seed))
+        }
+        SystemKind::LocalFs => Box::new(LocalFs::new("alice".into(), seed)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_systems_build_and_serve_a_simple_workload() {
+        for kind in SystemKind::all() {
+            let mut fs = build_system(kind, 42);
+            fs.write_file("/smoke/test.bin", &vec![1u8; 4096])
+                .unwrap_or_else(|e| panic!("{}: {e}", kind.label()));
+            assert_eq!(
+                fs.read_file("/smoke/test.bin").unwrap().len(),
+                4096,
+                "{}",
+                kind.label()
+            );
+            assert!(!fs.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let labels: std::collections::BTreeSet<_> =
+            SystemKind::all().into_iter().map(|k| k.label()).collect();
+        assert_eq!(labels.len(), SystemKind::all().len());
+    }
+
+    #[test]
+    fn shared_environment_supports_two_clients() {
+        use cloud_store::types::Permission;
+        let env = SharedScfsEnv::new(Backend::Aws, Mode::Blocking, 7);
+        let mut alice = env.mount("alice", ScfsConfig::test(Mode::Blocking), 1);
+        let mut bob = env.mount("bob", ScfsConfig::test(Mode::Blocking), 2);
+        alice.write_file("/shared/plan.txt", b"v1").unwrap();
+        alice
+            .setfacl("/shared/plan.txt", &"bob".into(), Permission::Read)
+            .unwrap();
+        bob.sleep(sim_core::time::SimDuration::from_secs(30));
+        assert_eq!(bob.read_file("/shared/plan.txt").unwrap(), b"v1");
+    }
+}

@@ -1,0 +1,46 @@
+//! Explore the SCFS cost model: what the coordination service costs per day,
+//! what a read/write costs per operation, and what storing a file costs per
+//! day — the analyses behind Figure 11 of the paper.
+//!
+//! Run with: `cargo run --example cost_explorer`
+
+use scfs_repro::cloud_store::pricing::VmInstanceSize;
+use scfs_repro::coord::deployment::CoordDeployment;
+use scfs_repro::scfs::cost::{CostBackend, CostModel};
+use scfs_repro::sim_core::units::{Bytes, MicroDollars};
+use scfs_repro::workloads::costs::{figure11a, figure11b, figure11c};
+
+fn main() {
+    println!("{}", figure11a().render());
+    println!("{}", figure11b().render());
+    println!("{}", figure11c().render());
+
+    // How many users does it take to fund the CoC coordination service at
+    // one dollar per month each?
+    let coc = CoordDeployment::cloud_of_clouds(VmInstanceSize::ExtraLarge);
+    println!(
+        "CoC coordination service (Extra Large replicas): ${:.2}/month, funded by {} users at $1/month",
+        coc.cost_per_month().as_dollars(),
+        coc.users_for_budget(MicroDollars::from_dollars(1.0))
+    );
+
+    // A typical personal workload: 2 000 files of 1 MiB, re-read 10% of them
+    // per day without local caches, re-written 5% per day.
+    let coc_model = CostModel::new(CostBackend::CloudOfClouds);
+    let aws_model = CostModel::new(CostBackend::Aws);
+    let files = 2_000.0;
+    let size = Bytes::mib(1);
+    for (label, model) in [("AWS", &aws_model), ("CoC", &coc_model)] {
+        let storage = model.storage_cost_per_day(size) * files;
+        let reads = model.read_cost(size) * (files * 0.10);
+        let writes = model.write_cost(size) * (files * 0.05);
+        let daily = storage + reads + writes;
+        println!(
+            "{label}: storage {:.0}µ$ + reads {:.0}µ$ + writes {:.0}µ$  =>  ${:.4}/day",
+            storage.get(),
+            reads.get(),
+            writes.get(),
+            daily.as_dollars()
+        );
+    }
+}

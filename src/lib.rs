@@ -1,0 +1,11 @@
+//! Umbrella crate for the SCFS reproduction: re-exports the workspace crates
+//! so examples and integration tests can use a single dependency.
+
+pub use baselines;
+pub use cloud_store;
+pub use coord;
+pub use depsky;
+pub use scfs;
+pub use scfs_crypto;
+pub use sim_core;
+pub use workloads;

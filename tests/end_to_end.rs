@@ -1,0 +1,136 @@
+//! End-to-end integration tests spanning the whole stack: simulated clouds,
+//! replicated coordination service, DepSky, the SCFS agent and the baselines.
+
+use scfs_repro::cloud_store::types::Permission;
+use scfs_repro::scfs::config::{Mode, ScfsConfig};
+use scfs_repro::scfs::fs::FileSystem;
+use scfs_repro::scfs::types::OpenFlags;
+use scfs_repro::sim_core::time::SimDuration;
+use scfs_repro::workloads::setup::{build_system, Backend, SharedScfsEnv, SystemKind};
+
+#[test]
+fn every_system_supports_the_basic_posix_workflow() {
+    for kind in SystemKind::all() {
+        let mut fs = build_system(kind, 1234);
+        fs.mkdir("/work").unwrap_or_else(|e| panic!("{}: mkdir: {e}", kind.label()));
+        fs.write_file("/work/a.bin", &vec![1u8; 32 * 1024])
+            .unwrap_or_else(|e| panic!("{}: write: {e}", kind.label()));
+        assert_eq!(
+            fs.read_file("/work/a.bin").unwrap().len(),
+            32 * 1024,
+            "{}",
+            kind.label()
+        );
+        let listing = fs.readdir("/work").unwrap();
+        assert!(
+            listing.iter().any(|p| p.ends_with("a.bin")),
+            "{}: {listing:?}",
+            kind.label()
+        );
+        fs.copy_file("/work/a.bin", "/work/b.bin").unwrap();
+        fs.unlink("/work/a.bin").unwrap();
+        assert!(fs.stat("/work/a.bin").is_err(), "{}", kind.label());
+        assert_eq!(fs.read_file("/work/b.bin").unwrap().len(), 32 * 1024);
+    }
+}
+
+#[test]
+fn consistency_on_close_across_two_clients_on_the_coc_backend() {
+    let env = SharedScfsEnv::new(Backend::CloudOfClouds, Mode::Blocking, 77);
+    let mut alice = env.mount_default("alice", 1);
+    let mut bob = env.mount_default("bob", 2);
+
+    alice.write_file("/shared/design.md", b"version 1").unwrap();
+    alice
+        .setfacl("/shared/design.md", &"bob".into(), Permission::Write)
+        .unwrap();
+
+    // Bob reads version 1, then writes version 2; Alice must observe it.
+    bob.sleep(SimDuration::from_secs(60));
+    assert_eq!(bob.read_file("/shared/design.md").unwrap(), b"version 1");
+    bob.write_file("/shared/design.md", b"version 2 by bob").unwrap();
+
+    alice.sleep(SimDuration::from_secs(120));
+    assert_eq!(
+        alice.read_file("/shared/design.md").unwrap(),
+        b"version 2 by bob"
+    );
+}
+
+#[test]
+fn locks_serialize_writers_and_expire_for_crashed_clients() {
+    let env = SharedScfsEnv::new(Backend::Aws, Mode::Blocking, 99);
+    let mut alice = env.mount("alice", ScfsConfig::test(Mode::Blocking), 1);
+    let mut bob = env.mount("bob", ScfsConfig::test(Mode::Blocking), 2);
+
+    alice.write_file("/shared/ledger.csv", b"row1").unwrap();
+    alice
+        .setfacl("/shared/ledger.csv", &"bob".into(), Permission::Write)
+        .unwrap();
+    // Alice opens for writing and "crashes" (never closes).
+    let _held = alice.open("/shared/ledger.csv", OpenFlags::read_write()).unwrap();
+
+    bob.sleep(SimDuration::from_secs(5));
+    assert!(bob.open("/shared/ledger.csv", OpenFlags::read_write()).is_err());
+
+    // After the lock lease expires, Bob can write.
+    bob.sleep(SimDuration::from_secs(200));
+    let h = bob.open("/shared/ledger.csv", OpenFlags::read_write()).unwrap();
+    bob.write(h, 0, b"row1\nrow2").unwrap();
+    bob.close(h).unwrap();
+    assert_eq!(bob.read_file("/shared/ledger.csv").unwrap(), b"row1\nrow2");
+}
+
+#[test]
+fn non_blocking_mode_trades_durability_latency_for_visibility_delay() {
+    let env = SharedScfsEnv::new(Backend::Aws, Mode::NonBlocking, 5);
+    let mut writer = env.mount_default("alice", 1);
+    let mut reader = env.mount_default("bob", 2);
+
+    writer.write_file("/shared/feed.json", b"seed").unwrap();
+    writer
+        .setfacl("/shared/feed.json", &"bob".into(), Permission::Read)
+        .unwrap();
+    let drained = writer.background_drain_instant();
+    reader.sleep(SimDuration::from_secs(3600));
+    assert_eq!(reader.read_file("/shared/feed.json").unwrap(), b"seed");
+
+    // A new version: the writer's close returns before the upload completes.
+    let before = writer.now();
+    writer.write_file("/shared/feed.json", b"update").unwrap();
+    let close_latency = writer.now().duration_since(before);
+    assert!(writer.background_drain_instant() > writer.now());
+    assert!(writer.background_drain_instant() >= drained);
+    assert!(close_latency < SimDuration::from_secs(2));
+
+    // A reader polling *after* the background upload drains sees the update.
+    let catch_up = writer
+        .background_drain_instant()
+        .duration_since(reader.now())
+        + SimDuration::from_secs(1);
+    reader.sleep(catch_up);
+    assert_eq!(reader.read_file("/shared/feed.json").unwrap(), b"update");
+}
+
+#[test]
+fn unshared_files_never_touch_the_coordination_service_with_pns() {
+    let mut config = ScfsConfig::test(Mode::NonBlocking);
+    config.private_name_spaces = true;
+    let env = SharedScfsEnv::new(Backend::Aws, Mode::NonBlocking, 13);
+    let coordinator = env.coordinator.clone().expect("NB mode has a coordinator");
+    let mut fs = env.mount("alice", config, 3);
+
+    let before = coordinator.access_count();
+    for i in 0..10 {
+        fs.write_file(&format!("/private/notes-{i}.txt"), b"mine").unwrap();
+    }
+    assert_eq!(
+        coordinator.access_count(),
+        before,
+        "private files must not generate coordination-service accesses"
+    );
+
+    // A file under the shared tree does.
+    fs.write_file("/shared/plan.txt", b"ours").unwrap();
+    assert!(coordinator.access_count() > before);
+}
