@@ -125,7 +125,10 @@ impl LocalFs {
 
     /// Whether the open handle was opened with write access.
     pub fn handle_writable(&self, handle: FileHandle) -> bool {
-        self.open.get(&handle).map(|f| f.flags.write).unwrap_or(false)
+        self.open
+            .get(&handle)
+            .map(|f| f.flags.write)
+            .unwrap_or(false)
     }
 
     fn charge(&mut self, model: &LatencyModel) {
@@ -308,7 +311,11 @@ impl FileSystem for LocalFs {
     fn readdir(&mut self, path: &str) -> Result<Vec<String>, ScfsError> {
         self.charge_syscall();
         let path = normalize_path(path)?;
-        let prefix = if path == "/" { "/".to_string() } else { format!("{path}/") };
+        let prefix = if path == "/" {
+            "/".to_string()
+        } else {
+            format!("{path}/")
+        };
         Ok(self
             .files
             .keys()
@@ -429,6 +436,9 @@ mod tests {
         let mut fs = fs();
         fs.write_file("/f", b"x").unwrap();
         fs.setfacl("/f", &"bob".into(), Permission::Read).unwrap();
-        assert!(fs.getfacl("/f").unwrap().allows(&"bob".into(), Permission::Read));
+        assert!(fs
+            .getfacl("/f")
+            .unwrap()
+            .allows(&"bob".into(), Permission::Read));
     }
 }

@@ -233,7 +233,10 @@ mod tests {
     fn writes_are_pushed_to_the_cloud_on_close() {
         let (mut fs, cloud) = fs();
         fs.write_file("/doc", b"hello s3fs").unwrap();
-        assert!(cloud.metrics().snapshot().puts >= 2, "create + close uploads");
+        assert!(
+            cloud.metrics().snapshot().puts >= 2,
+            "create + close uploads"
+        );
         assert_eq!(fs.read_file("/doc").unwrap(), b"hello s3fs");
     }
 

@@ -8,7 +8,11 @@ use workloads::setup::{build_system, SystemKind};
 fn bench_fig8(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig8_filesync");
     group.sample_size(10);
-    for kind in [SystemKind::ScfsAwsNb, SystemKind::ScfsCocB, SystemKind::S3ql] {
+    for kind in [
+        SystemKind::ScfsAwsNb,
+        SystemKind::ScfsCocB,
+        SystemKind::S3ql,
+    ] {
         group.bench_function(kind.label(), |b| {
             b.iter(|| {
                 let mut fs = build_system(kind, 3);

@@ -12,7 +12,11 @@ fn bench_table3(c: &mut Criterion) {
     let cfg = MicroBenchConfig::quick();
     let mut group = c.benchmark_group("table3_microbenchmarks");
     group.sample_size(10);
-    for kind in [SystemKind::LocalFs, SystemKind::ScfsAwsB, SystemKind::ScfsCocNb] {
+    for kind in [
+        SystemKind::LocalFs,
+        SystemKind::ScfsAwsB,
+        SystemKind::ScfsCocNb,
+    ] {
         group.bench_function(kind.label(), |b| {
             b.iter(|| {
                 let mut fs = build_system(kind, 7);

@@ -88,7 +88,10 @@ impl fmt::Display for StorageError {
                 write!(f, "integrity violation for object {key}")
             }
             StorageError::QuorumNotReached { needed, obtained } => {
-                write!(f, "quorum not reached: needed {needed}, obtained {obtained}")
+                write!(
+                    f,
+                    "quorum not reached: needed {needed}, obtained {obtained}"
+                )
             }
             StorageError::InvalidRequest { reason } => write!(f, "invalid request: {reason}"),
         }
@@ -124,7 +127,9 @@ mod tests {
             StorageError::not_found("files/a").to_string(),
             "object not found: files/a"
         );
-        assert!(StorageError::unavailable("azure").to_string().contains("azure"));
+        assert!(StorageError::unavailable("azure")
+            .to_string()
+            .contains("azure"));
         assert!(StorageError::IntegrityViolation { key: "k".into() }
             .to_string()
             .contains("integrity"));

@@ -305,7 +305,10 @@ mod tests {
         use sim_core::units::Bytes;
         let s3 = ProviderProfile::amazon_s3();
         let mean = s3.latency.mean_op(Bytes::kib(16), Bytes::ZERO);
-        assert!(mean.as_millis_f64() > 300.0, "S3 small put should take hundreds of ms");
+        assert!(
+            mean.as_millis_f64() > 300.0,
+            "S3 small put should take hundreds of ms"
+        );
         let inst = ProviderProfile::instantaneous("t");
         assert_eq!(
             inst.latency.mean_op(Bytes::mib(10), Bytes::ZERO),

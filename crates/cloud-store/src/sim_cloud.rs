@@ -50,10 +50,7 @@ struct ObjectRecord {
 impl ObjectRecord {
     /// The most recent version visible at instant `t`.
     fn visible_version(&self, t: SimInstant) -> Option<&Version> {
-        self.versions
-            .iter()
-            .rev()
-            .find(|v| v.visible_at <= t)
+        self.versions.iter().rev().find(|v| v.visible_at <= t)
     }
 }
 
@@ -140,10 +137,7 @@ impl SimulatedCloud {
 
     /// Number of versions stored for `key` (0 if the key does not exist).
     pub fn version_count(&self, key: &str) -> usize {
-        self.objects
-            .lock()
-            .get(key)
-            .map_or(0, |o| o.versions.len())
+        self.objects.lock().get(key).map_or(0, |o| o.versions.len())
     }
 
     fn sample_latency(&self, upload: Bytes, download: Bytes) -> SimDuration {
@@ -159,7 +153,15 @@ impl SimulatedCloud {
         self.ledger.charge(account, ChargeKind::Request, cost);
     }
 
-    fn trace(&self, op: &str, key: &str, start: SimInstant, latency: SimDuration, bytes: Bytes, ok: bool) {
+    fn trace(
+        &self,
+        op: &str,
+        key: &str,
+        start: SimInstant,
+        latency: SimDuration,
+        bytes: Bytes,
+        ok: bool,
+    ) {
         self.tracer.record_op(
             TraceCategory::CloudStorage,
             op,
@@ -225,11 +227,13 @@ impl ObjectStore for SimulatedCloud {
                 .sample_visibility(&mut rng, is_new_key)
         };
 
-        let record = objects.entry(key.to_string()).or_insert_with(|| ObjectRecord {
-            owner: ctx.account.clone(),
-            acl: Acl::private(),
-            versions: Vec::new(),
-        });
+        let record = objects
+            .entry(key.to_string())
+            .or_insert_with(|| ObjectRecord {
+                owner: ctx.account.clone(),
+                acl: Acl::private(),
+                versions: Vec::new(),
+            });
         if !is_new_key {
             Self::check_access(record, &ctx.account, Permission::Write, key)?;
         }
@@ -277,7 +281,7 @@ impl ObjectStore for SimulatedCloud {
             FaultDecision::Unavailable => {
                 self.metrics.record_error();
                 self.trace("get", key, start, latency, Bytes::ZERO, false);
-                return Err(StorageError::unavailable(&self.profile.name));
+                Err(StorageError::unavailable(&self.profile.name))
             }
             decision => {
                 let (owner, acl, data) = match lookup {
@@ -335,7 +339,9 @@ impl ObjectStore for SimulatedCloud {
         }
 
         let objects = self.objects.lock();
-        let record = objects.get(key).ok_or_else(|| StorageError::not_found(key))?;
+        let record = objects
+            .get(key)
+            .ok_or_else(|| StorageError::not_found(key))?;
         Self::check_access(record, &ctx.account, Permission::Read, key)?;
         let visible = record
             .visible_version(start)
@@ -363,7 +369,9 @@ impl ObjectStore for SimulatedCloud {
         }
 
         let mut objects = self.objects.lock();
-        let record = objects.get(key).ok_or_else(|| StorageError::not_found(key))?;
+        let record = objects
+            .get(key)
+            .ok_or_else(|| StorageError::not_found(key))?;
         Self::check_access(record, &ctx.account, Permission::Write, key)?;
         objects.remove(key);
         drop(objects);
@@ -440,7 +448,9 @@ impl ObjectStore for SimulatedCloud {
         }
 
         let objects = self.objects.lock();
-        let record = objects.get(key).ok_or_else(|| StorageError::not_found(key))?;
+        let record = objects
+            .get(key)
+            .ok_or_else(|| StorageError::not_found(key))?;
         Self::check_access(record, &ctx.account, Permission::Read, key)?;
         Ok(record.acl.clone())
     }

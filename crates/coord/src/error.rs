@@ -107,7 +107,10 @@ mod tests {
 
     #[test]
     fn display_formats() {
-        assert_eq!(CoordError::not_found("/a").to_string(), "entry not found: /a");
+        assert_eq!(
+            CoordError::not_found("/a").to_string(),
+            "entry not found: /a"
+        );
         assert!(CoordError::unavailable("no quorum")
             .to_string()
             .contains("no quorum"));

@@ -43,7 +43,11 @@ impl LockManager {
     pub const DEFAULT_LEASE: SimDuration = SimDuration::from_secs(120);
 
     /// Creates a lock manager for `session` using the given service.
-    pub fn new(coord: Arc<dyn CoordinationService>, session: SessionId, lease: SimDuration) -> Self {
+    pub fn new(
+        coord: Arc<dyn CoordinationService>,
+        session: SessionId,
+        lease: SimDuration,
+    ) -> Self {
         LockManager {
             coord,
             session,

@@ -263,9 +263,7 @@ impl ReplicatedCoordinator {
             ReplicationMode::CrashFaultTolerant { .. } => 1,
             ReplicationMode::ByzantineFaultTolerant { .. } => 2,
         };
-        leader
-            + self.config.inter_replica_rtt.mean().mul(rounds)
-            + self.config.processing.mean()
+        leader + self.config.inter_replica_rtt.mean().mul(rounds) + self.config.processing.mean()
     }
 
     fn count_access(&self) {
@@ -585,7 +583,10 @@ mod tests {
             ReplicationMode::ByzantineFaultTolerant { f: 1 }.reply_quorum(),
             2
         );
-        assert_eq!(ReplicationMode::CrashFaultTolerant { f: 2 }.write_quorum(), 3);
+        assert_eq!(
+            ReplicationMode::CrashFaultTolerant { f: 2 }.write_quorum(),
+            3
+        );
     }
 
     #[test]
@@ -618,7 +619,9 @@ mod tests {
         let mut c = ctx(&mut clock, "alice");
         let n = 50;
         for i in 0..n {
-            coord.put(&mut c, &format!("/f{i}"), vec![0u8; 512]).unwrap();
+            coord
+                .put(&mut c, &format!("/f{i}"), vec![0u8; 512])
+                .unwrap();
         }
         let mean_ms = clock.now().as_millis_f64() / n as f64;
         assert!(
@@ -634,7 +637,9 @@ mod tests {
         let mut c = ctx(&mut clock, "alice");
         let n = 50;
         for i in 0..n {
-            coord.put(&mut c, &format!("/f{i}"), vec![0u8; 512]).unwrap();
+            coord
+                .put(&mut c, &format!("/f{i}"), vec![0u8; 512])
+                .unwrap();
         }
         let mean_ms = clock.now().as_millis_f64() / n as f64;
         assert!(
@@ -704,16 +709,34 @@ mod tests {
         let mut c = ctx(&mut clock, "alice");
         let session = SessionId::new("s1");
         coord
-            .create_ephemeral(&mut c, "/lock/f", vec![], &session, SimDuration::from_secs(60))
+            .create_ephemeral(
+                &mut c,
+                "/lock/f",
+                vec![],
+                &session,
+                SimDuration::from_secs(60),
+            )
             .unwrap();
         // Second acquisition fails while the first is live.
         assert!(matches!(
-            coord.create_ephemeral(&mut c, "/lock/f", vec![], &SessionId::new("s2"), SimDuration::from_secs(60)),
+            coord.create_ephemeral(
+                &mut c,
+                "/lock/f",
+                vec![],
+                &SessionId::new("s2"),
+                SimDuration::from_secs(60)
+            ),
             Err(CoordError::LockHeld { .. })
         ));
         coord.delete(&mut c, "/lock/f").unwrap();
         coord
-            .create_ephemeral(&mut c, "/lock/f", vec![], &SessionId::new("s2"), SimDuration::from_secs(60))
+            .create_ephemeral(
+                &mut c,
+                "/lock/f",
+                vec![],
+                &SessionId::new("s2"),
+                SimDuration::from_secs(60),
+            )
             .unwrap();
     }
 

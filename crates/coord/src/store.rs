@@ -305,7 +305,10 @@ impl TupleStore {
                 account: who.to_string(),
             });
         }
-        history.push(HistoryEvent { at: now, state: None });
+        history.push(HistoryEvent {
+            at: now,
+            state: None,
+        });
         Reply::Unit
     }
 
@@ -363,13 +366,19 @@ impl TupleStore {
         }
 
         for key in &affected {
-            let state = self.keys[key].state_at(now).expect("filtered above").clone();
+            let state = self.keys[key]
+                .state_at(now)
+                .expect("filtered above")
+                .clone();
             let new_key = format!("{new_prefix}{}", &key[old_prefix.len()..]);
             // Delete the old entry.
             self.keys
                 .get_mut(key)
                 .expect("key exists")
-                .push(HistoryEvent { at: now, state: None });
+                .push(HistoryEvent {
+                    at: now,
+                    state: None,
+                });
             // Create the new one, preserving value, owner and ACL.
             let target = self.keys.entry(new_key).or_default();
             let version = target.max_version() + 1;
@@ -445,7 +454,10 @@ mod tests {
         // t=0 sees nothing. This is what makes non-blocking-mode visibility
         // measurable in the sharing experiment.
         assert_eq!(store.get("/f", &"alice".into(), t(5)).unwrap().value, b"v1");
-        assert_eq!(store.get("/f", &"alice".into(), t(11)).unwrap().value, b"v2");
+        assert_eq!(
+            store.get("/f", &"alice".into(), t(11)).unwrap().value,
+            b"v2"
+        );
         assert!(store.get("/f", &"alice".into(), SimInstant::EPOCH).is_err());
     }
 
@@ -490,7 +502,10 @@ mod tests {
             ),
             t(3),
         );
-        assert!(matches!(r, Reply::Error(CoordError::VersionMismatch { .. })));
+        assert!(matches!(
+            r,
+            Reply::Error(CoordError::VersionMismatch { .. })
+        ));
         let r = store.apply(
             &signed(
                 "alice",
@@ -519,7 +534,10 @@ mod tests {
             ),
             t(1),
         );
-        assert!(matches!(r, Reply::Error(CoordError::VersionMismatch { .. })));
+        assert!(matches!(
+            r,
+            Reply::Error(CoordError::VersionMismatch { .. })
+        ));
     }
 
     #[test]
@@ -554,7 +572,16 @@ mod tests {
         // Alice grants read; bob can read but still not write.
         let mut acl = Acl::private();
         acl.grant("bob".into(), Permission::Read);
-        store.apply(&signed("alice", Command::SetAcl { key: "/f".into(), acl }), t(3));
+        store.apply(
+            &signed(
+                "alice",
+                Command::SetAcl {
+                    key: "/f".into(),
+                    acl,
+                },
+            ),
+            t(3),
+        );
         assert!(store.get("/f", &"bob".into(), t(4)).is_ok());
         let r = store.apply(
             &signed(
@@ -684,11 +711,17 @@ mod tests {
         assert_eq!(r, Reply::Count(2));
         assert!(store.get("/dir/a", &"alice".into(), t(3)).is_err());
         assert_eq!(
-            store.get("/renamed/a", &"alice".into(), t(3)).unwrap().value,
+            store
+                .get("/renamed/a", &"alice".into(), t(3))
+                .unwrap()
+                .value,
             b"1"
         );
         assert_eq!(
-            store.get("/renamed/b", &"alice".into(), t(3)).unwrap().value,
+            store
+                .get("/renamed/b", &"alice".into(), t(3))
+                .unwrap()
+                .value,
             b"2"
         );
         assert!(store.get("/other/c", &"alice".into(), t(3)).is_ok());

@@ -1,0 +1,149 @@
+//! Minimal, API-compatible shim for the subset of the `criterion`
+//! benchmarking crate used by `crates/bench`.
+//!
+//! The build environment has no network access, so the real `criterion`
+//! crate cannot be fetched. The shim runs each benchmark closure a small,
+//! fixed number of iterations with wall-clock timing and prints a one-line
+//! mean per benchmark — enough for `cargo bench` to build, run, and produce
+//! comparable numbers without the statistical machinery.
+
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver handed to every `criterion_group!` function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Criterion {
+    /// Creates a driver with the default sample size.
+    pub fn new() -> Self {
+        Criterion { sample_size: 10 }
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            criterion: self,
+            sample_size: None,
+        }
+    }
+
+    /// Registers a stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(id, self.sample_size, &mut f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let n = self.sample_size.unwrap_or(self.criterion.sample_size);
+        run_one(id, n, &mut f);
+        self
+    }
+
+    /// Finishes the group (printing nothing extra in the shim).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, samples: usize, f: &mut F) {
+    let mut bencher = Bencher {
+        elapsed: Duration::ZERO,
+        iterations: 0,
+    };
+    for _ in 0..samples.max(1) {
+        f(&mut bencher);
+    }
+    let mean = if bencher.iterations == 0 {
+        Duration::ZERO
+    } else {
+        bencher.elapsed / bencher.iterations as u32
+    };
+    println!(
+        "  {id}: {mean:?}/iter over {} iterations",
+        bencher.iterations
+    );
+}
+
+/// Timer handle passed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    elapsed: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Times one execution of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        let out = routine();
+        self.elapsed += start.elapsed();
+        self.iterations += 1;
+        black_box(out);
+    }
+}
+
+/// Opaque value sink preventing the optimizer from deleting benchmark work.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Declares a benchmark group function, mirroring `criterion::criterion_group`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::new();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring `criterion::criterion_main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut c = Criterion::new();
+        let mut count = 0u64;
+        c.bench_function("noop", |b| b.iter(|| count += 1));
+        assert_eq!(count, 10);
+    }
+
+    #[test]
+    fn group_sample_size_is_respected() {
+        let mut c = Criterion::new();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut count = 0u64;
+        group.bench_function("noop", |b| b.iter(|| count += 1));
+        group.finish();
+        assert_eq!(count, 3);
+    }
+}

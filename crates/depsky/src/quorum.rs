@@ -127,14 +127,14 @@ mod tests {
 
     #[test]
     fn quorum_failure_advances_to_all_and_reports_false() {
-        let clouds: Vec<Arc<dyn ObjectStore>> = vec![
-            cloud_with_latency("a", 10.0),
-            cloud_with_latency("b", 20.0),
-        ];
+        let clouds: Vec<Arc<dyn ObjectStore>> =
+            vec![cloud_with_latency("a", 10.0), cloud_with_latency("b", 20.0)];
         let mut clock = Clock::new();
         let mut ctx = OpCtx::new(&mut clock, "alice".into());
         // A GET of a missing key fails on every cloud.
-        let outcomes = parallel_access(&mut ctx, &clouds, &[0, 1], |_, cloud, c| cloud.get(c, "missing"));
+        let outcomes = parallel_access(&mut ctx, &clouds, &[0, 1], |_, cloud, c| {
+            cloud.get(c, "missing")
+        });
         assert!(!advance_to_nth_success(&mut ctx, &outcomes, 1));
         assert!((clock.now().as_millis_f64() - 20.0).abs() < 1.0);
     }
@@ -157,7 +157,9 @@ mod tests {
         ];
         let mut clock = Clock::new();
         let mut ctx = OpCtx::new(&mut clock, "alice".into());
-        let outcomes = parallel_access(&mut ctx, &clouds, &[0, 2], |_, cloud, c| cloud.put(c, "k", b"v"));
+        let outcomes = parallel_access(&mut ctx, &clouds, &[0, 2], |_, cloud, c| {
+            cloud.put(c, "k", b"v")
+        });
         assert_eq!(outcomes.len(), 2);
         advance_to_all(&mut ctx, &outcomes);
         assert!((clock.now().as_millis_f64() - 30.0).abs() < 1.0);

@@ -234,6 +234,68 @@ impl DepSkyClient {
         })
     }
 
+    /// Name of the single-version data unit holding an immutable,
+    /// content-addressed blob (an SCFS chunk or chunk-map manifest): the
+    /// base object id joined with the blob's content hash.
+    pub fn blob_unit(base: &str, hash: &ContentHash) -> String {
+        format!("{base}|{}", scfs_crypto::to_hex(hash))
+    }
+
+    /// Stores an immutable blob addressed by `base|hash` through the full
+    /// DepSky-CA pipeline (encrypt, erasure-code, secret-share). Writing the
+    /// same blob twice is idempotent in content; callers are expected to
+    /// skip blobs they know are already stored.
+    pub fn write_blob(
+        &self,
+        ctx: &mut OpCtx<'_>,
+        base: &str,
+        hash: &ContentHash,
+        data: &[u8],
+    ) -> Result<(), StorageError> {
+        if &sha256(data) != hash {
+            return Err(StorageError::invalid(format!(
+                "blob content does not match its address {}",
+                scfs_crypto::to_hex(hash)
+            )));
+        }
+        // Blobs are write-once: the unit is known to be new, so the
+        // metadata-read phase is skipped, exactly like file creation.
+        self.write_new(ctx, &Self::blob_unit(base, hash), data)?;
+        Ok(())
+    }
+
+    /// Reads back the immutable blob addressed by `base|hash`, verifying its
+    /// content hash.
+    pub fn read_blob(
+        &self,
+        ctx: &mut OpCtx<'_>,
+        base: &str,
+        hash: &ContentHash,
+    ) -> Result<Vec<u8>, StorageError> {
+        self.read_by_hash(ctx, &Self::blob_unit(base, hash), hash)
+    }
+
+    /// Deletes the immutable blob addressed by `base|hash` from all clouds.
+    pub fn delete_blob(
+        &self,
+        ctx: &mut OpCtx<'_>,
+        base: &str,
+        hash: &ContentHash,
+    ) -> Result<(), StorageError> {
+        self.delete_all(ctx, &Self::blob_unit(base, hash))
+    }
+
+    /// Propagates an ACL to the blob addressed by `base|hash`.
+    pub fn set_blob_acl(
+        &self,
+        ctx: &mut OpCtx<'_>,
+        base: &str,
+        hash: &ContentHash,
+        acl: &Acl,
+    ) -> Result<(), StorageError> {
+        self.set_acl(ctx, &Self::blob_unit(base, hash), acl)
+    }
+
     /// Reads the data-unit metadata from the clouds (quorum read).
     pub fn read_metadata(
         &self,
@@ -312,7 +374,9 @@ impl DepSkyClient {
         };
         let info = md
             .find_by_hash(hash)
-            .ok_or_else(|| StorageError::not_found(format!("{name}@{}", scfs_crypto::to_hex(hash))))?
+            .ok_or_else(|| {
+                StorageError::not_found(format!("{name}@{}", scfs_crypto::to_hex(hash)))
+            })?
             .clone();
         self.read_version(ctx, name, &info)
     }
@@ -372,8 +436,7 @@ impl DepSkyClient {
             Protocol::Available => valid[0].shard.clone(),
             Protocol::ConfidentialAvailable => {
                 // Reassemble the ciphertext from the erasure-coded shards.
-                let mut shards: Vec<Option<Vec<u8>>> =
-                    vec![None; self.coder.total_shards()];
+                let mut shards: Vec<Option<Vec<u8>>> = vec![None; self.coder.total_shards()];
                 for block in &valid {
                     if (block.slot as usize) < shards.len() {
                         shards[block.slot as usize] = Some(block.shard.clone());
@@ -469,7 +532,8 @@ impl DepSkyClient {
         }
         let all: Vec<usize> = (0..self.clouds.len()).collect();
         let key = Self::metadata_key(name);
-        let outcomes = parallel_access(ctx, &self.clouds, &all, |_, cloud, c| cloud.delete(c, &key));
+        let outcomes =
+            parallel_access(ctx, &self.clouds, &all, |_, cloud, c| cloud.delete(c, &key));
         crate::quorum::advance_to_all(ctx, &outcomes);
         self.metadata_cache.lock().remove(name);
         Ok(())
@@ -489,7 +553,8 @@ impl DepSkyClient {
             // Each cloud also updates the ACL of the blocks it holds.
             for info in &md.versions {
                 if slot < info.data_clouds as usize {
-                    let _ = cloud.set_acl(c, &Self::block_key(name, info.version, slot), acl.clone());
+                    let _ =
+                        cloud.set_acl(c, &Self::block_key(name, info.version, slot), acl.clone());
                 }
             }
             Ok(())
@@ -508,7 +573,13 @@ fn quorum_error<T>(outcomes: &[CloudOutcome<T>], needed: usize) -> StorageError 
     }
 }
 
-fn encode_block(slot: u8, share_index: u8, nonce: &[u8; 12], share: &[u8], shard: &[u8]) -> Vec<u8> {
+fn encode_block(
+    slot: u8,
+    share_index: u8,
+    nonce: &[u8; 12],
+    share: &[u8],
+    shard: &[u8],
+) -> Vec<u8> {
     let mut w = Writer::new();
     w.put_u8(slot)
         .put_u8(share_index)
@@ -630,7 +701,10 @@ mod tests {
         let reader = client(as_stores(&sims));
         let mut clock_b = Clock::new();
         let mut cb = ctx(&mut clock_b);
-        assert_eq!(reader.read_by_hash(&mut cb, "f", &receipt.hash).unwrap(), data);
+        assert_eq!(
+            reader.read_by_hash(&mut cb, "f", &receipt.hash).unwrap(),
+            data
+        );
     }
 
     #[test]
@@ -650,7 +724,10 @@ mod tests {
         let reader = client(as_stores(&sims));
         let mut clock_b = Clock::new();
         let mut cb = ctx(&mut clock_b);
-        assert_eq!(reader.read_by_hash(&mut cb, "f", &receipt.hash).unwrap(), data);
+        assert_eq!(
+            reader.read_by_hash(&mut cb, "f", &receipt.hash).unwrap(),
+            data
+        );
     }
 
     #[test]
@@ -732,7 +809,7 @@ mod tests {
         let mut clock = Clock::new();
         let mut c = ctx(&mut clock);
         for i in 0..5u8 {
-            ds.write(&mut c, "f", &vec![i; 100]).unwrap();
+            ds.write(&mut c, "f", &[i; 100]).unwrap();
         }
         let before: u64 = sims.iter().map(|cl| cl.stored_bytes().get()).sum();
         let removed = ds.delete_old_versions(&mut c, "f", 2).unwrap();
@@ -775,6 +852,34 @@ mod tests {
     }
 
     #[test]
+    fn blob_round_trip_is_content_addressed() {
+        let ds = client(test_clouds(4));
+        let mut clock = Clock::new();
+        let mut c = ctx(&mut clock);
+        let data = vec![9u8; 2048];
+        let hash = sha256(&data);
+        ds.write_blob(&mut c, "file-1", &hash, &data).unwrap();
+        assert_eq!(ds.read_blob(&mut c, "file-1", &hash).unwrap(), data);
+        // A blob cannot be stored under the wrong address.
+        let wrong = sha256(b"other");
+        assert!(ds.write_blob(&mut c, "file-1", &wrong, &data).is_err());
+        // Deleting the blob makes it unreadable for a fresh client.
+        ds.delete_blob(&mut c, "file-1", &hash).unwrap();
+        let reader = client(ds.clouds().to_vec());
+        let mut clock_b = Clock::new();
+        let mut cb = ctx(&mut clock_b);
+        assert!(reader.read_blob(&mut cb, "file-1", &hash).is_err());
+    }
+
+    #[test]
+    fn blob_units_embed_base_and_hash() {
+        let hash = sha256(b"x");
+        let unit = DepSkyClient::blob_unit("alice-f1", &hash);
+        assert!(unit.starts_with("alice-f1|"));
+        assert!(unit.ends_with(&scfs_crypto::to_hex(&hash)));
+    }
+
+    #[test]
     fn acl_propagation_lets_another_account_read() {
         use cloud_store::types::Permission;
         let clouds = test_clouds(4);
@@ -793,6 +898,10 @@ mod tests {
         let mut clock_b = Clock::new();
         clock_b.advance(sim_core::time::SimDuration::from_secs(5));
         let mut cb = OpCtx::new(&mut clock_b, "bob".into());
-        assert_eq!(bob.read_by_hash(&mut cb, "shared/doc", &receipt.hash).unwrap(), data);
+        assert_eq!(
+            bob.read_by_hash(&mut cb, "shared/doc", &receipt.hash)
+                .unwrap(),
+            data
+        );
     }
 }

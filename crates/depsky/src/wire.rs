@@ -163,7 +163,11 @@ mod tests {
     #[test]
     fn round_trip_primitives() {
         let mut w = Writer::new();
-        w.put_u8(7).put_u32(42).put_u64(1 << 40).put_str("hello").put_bytes(&[1, 2, 3]);
+        w.put_u8(7)
+            .put_u32(42)
+            .put_u64(1 << 40)
+            .put_str("hello")
+            .put_bytes(&[1, 2, 3]);
         let buf = w.finish();
         let mut r = Reader::new(&buf);
         assert_eq!(r.get_u8().unwrap(), 7);

@@ -199,11 +199,7 @@ impl ErasureCoder {
             });
         }
         let shard_size = shards[available[0]].as_ref().map(|s| s.len()).unwrap_or(0);
-        if shards
-            .iter()
-            .flatten()
-            .any(|s| s.len() != shard_size)
-        {
+        if shards.iter().flatten().any(|s| s.len() != shard_size) {
             return Err(ErasureError::ShardSizeMismatch);
         }
 
@@ -388,10 +384,10 @@ mod tests {
             let mut s = seed;
             let mut shards: Vec<Option<Vec<u8>>> = encoded.into_iter().map(Some).collect();
             let mut dropped = 0;
-            for i in 0..shards.len() {
+            for shard in shards.iter_mut() {
                 s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-                if dropped < f && (s >> 60) % 2 == 0 {
-                    shards[i] = None;
+                if dropped < f && (s >> 60).is_multiple_of(2) {
+                    *shard = None;
                     dropped += 1;
                 }
             }

@@ -42,7 +42,10 @@ impl std::fmt::Display for ShamirError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ShamirError::InvalidConfig { threshold, shares } => {
-                write!(f, "invalid configuration: threshold {threshold} of {shares} shares")
+                write!(
+                    f,
+                    "invalid configuration: threshold {threshold} of {shares} shares"
+                )
             }
             ShamirError::NotEnoughShares { needed, available } => {
                 write!(f, "not enough shares: need {needed}, have {available}")
@@ -147,7 +150,9 @@ mod tests {
     fn entropy_from_seed(seed: u64) -> impl FnMut() -> u8 {
         let mut s = seed;
         move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (s >> 56) as u8
         }
     }
@@ -205,7 +210,7 @@ mod tests {
         let secret = vec![9, 8, 7];
         let shares = split_secret(&secret, 1, 3, entropy_from_seed(5)).unwrap();
         for s in &shares {
-            assert_eq!(combine_shares(&[s.clone()], 1).unwrap(), secret);
+            assert_eq!(combine_shares(std::slice::from_ref(s), 1).unwrap(), secret);
         }
     }
 

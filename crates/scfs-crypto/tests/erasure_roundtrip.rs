@@ -1,0 +1,101 @@
+//! Round-trip property tests for the Reed–Solomon erasure coder, with the
+//! chunk-boundary cases the chunked SCFS data path produces: empty payloads,
+//! payloads of exactly one chunk, and chunk-size ± 1 byte.
+
+use proptest::prelude::*;
+use scfs_crypto::ErasureCoder;
+
+/// The chunk size the SCFS data path uses by default (1 MiB is too slow for
+/// an exhaustive property sweep; 4 KiB exercises the same boundary
+/// arithmetic).
+const CHUNK: usize = 4096;
+
+/// Encodes `data`, drops `erased` shards (as many as the parity allows),
+/// decodes from the survivors and checks the payload round-trips.
+fn round_trips_with_erasures(coder: &ErasureCoder, data: &[u8], erased: &[usize]) {
+    assert!(erased.len() <= coder.parity_shards());
+    let encoded = coder.encode(data);
+    assert_eq!(encoded.len(), coder.total_shards());
+    let shards: Vec<Option<Vec<u8>>> = encoded
+        .into_iter()
+        .enumerate()
+        .map(|(i, shard)| (!erased.contains(&i)).then_some(shard))
+        .collect();
+    let decoded = coder.decode(&shards, data.len()).unwrap();
+    assert_eq!(decoded, data);
+}
+
+#[test]
+fn chunk_boundary_payloads_round_trip() {
+    let coder = ErasureCoder::depsky(1).unwrap();
+    // Empty file, exactly one chunk, chunk-size ± 1: the boundary cases of
+    // the chunked data path.
+    for len in [0, 1, CHUNK - 1, CHUNK, CHUNK + 1] {
+        let data: Vec<u8> = (0..len).map(|i| (i * 31 + 7) as u8).collect();
+        round_trips_with_erasures(&coder, &data, &[]);
+        round_trips_with_erasures(&coder, &data, &[0]);
+        if coder.parity_shards() >= 2 {
+            round_trips_with_erasures(&coder, &data, &[1, 3]);
+        }
+    }
+}
+
+#[test]
+fn decode_needs_only_data_shard_count_survivors() {
+    let coder = ErasureCoder::new(2, 2).unwrap();
+    let data: Vec<u8> = (0..CHUNK).map(|i| (i % 251) as u8).collect();
+    // Any 2 of 4 shards suffice.
+    for a in 0..4 {
+        for b in (a + 1)..4 {
+            let erased: Vec<usize> = (0..4).filter(|i| *i != a && *i != b).collect();
+            round_trips_with_erasures(&coder, &data, &erased);
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn prop_encode_decode_round_trips(
+        len in 0usize..(2 * CHUNK),
+        k in 1usize..6,
+        m in 0usize..4,
+        seed in any::<u64>(),
+    ) {
+        let coder = ErasureCoder::new(k, m).unwrap();
+        let data: Vec<u8> = (0..len)
+            .map(|i| (seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(i as u64) >> 32) as u8)
+            .collect();
+        let encoded = coder.encode(&data);
+        prop_assert_eq!(encoded.len(), k + m);
+        // Every shard is the same size and together they cover the payload.
+        let shard_size = coder.shard_size(data.len());
+        for shard in &encoded {
+            prop_assert_eq!(shard.len(), shard_size);
+        }
+        prop_assert!(shard_size * k >= data.len());
+        let shards: Vec<Option<Vec<u8>>> = encoded.into_iter().map(Some).collect();
+        prop_assert_eq!(coder.decode(&shards, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn prop_round_trips_after_max_erasures(
+        len in 1usize..(CHUNK + 2),
+        k in 1usize..5,
+        m in 1usize..4,
+        victim in any::<u64>(),
+    ) {
+        let coder = ErasureCoder::new(k, m).unwrap();
+        let data: Vec<u8> = (0..len).map(|i| (i as u64 ^ victim) as u8).collect();
+        // Erase m shards, chosen by the victim seed.
+        let mut erased: Vec<usize> = Vec::new();
+        let mut v = victim;
+        while erased.len() < m {
+            let candidate = (v % (k + m) as u64) as usize;
+            if !erased.contains(&candidate) {
+                erased.push(candidate);
+            }
+            v = v.wrapping_mul(6364136223846793005).wrapping_add(1);
+        }
+        round_trips_with_erasures(&coder, &data, &erased);
+    }
+}

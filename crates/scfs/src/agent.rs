@@ -15,14 +15,14 @@ use sim_core::rng::DetRng;
 use sim_core::time::{Clock, SimDuration, SimInstant};
 use sim_core::units::Bytes;
 
-use crate::anchor::anchored_read;
+use crate::anchor::{anchored_chunk, anchored_manifest};
 use crate::backend::FileStorage;
 use crate::cache::FileCache;
 use crate::config::{Mode, ScfsConfig};
 use crate::error::ScfsError;
 use crate::fs::FileSystem;
 use crate::metadata_service::MetadataService;
-use crate::types::{normalize_path, FileHandle, FileMetadata, FileType, OpenFlags};
+use crate::types::{normalize_path, ChunkMap, FileHandle, FileMetadata, FileType, OpenFlags};
 
 /// Counters describing the agent's activity, used by the experiment
 /// harnesses to explain latency results.
@@ -30,10 +30,22 @@ use crate::types::{normalize_path, FileHandle, FileMetadata, FileType, OpenFlags
 pub struct AgentStats {
     /// Number of file-system calls served.
     pub syscalls: u64,
-    /// Whole-file uploads to the cloud backend (foreground + background).
+    /// Version commits to the cloud backend (foreground + background): one
+    /// per close of a dirty file, regardless of how many chunks moved.
     pub cloud_uploads: u64,
-    /// Whole-file downloads from the cloud backend.
+    /// Version fetches that had to touch the cloud backend (at least one
+    /// chunk or manifest was not cached locally).
     pub cloud_downloads: u64,
+    /// Individual chunks uploaded to the cloud backend.
+    pub chunk_uploads: u64,
+    /// Individual chunks downloaded from the cloud backend.
+    pub chunk_downloads: u64,
+    /// Payload bytes handed to the cloud backend (dirty chunks + manifests).
+    /// Logical bytes: the CoC backend's replication/erasure-coding overhead
+    /// on the wire is accounted per cloud, not here.
+    pub bytes_uploaded: u64,
+    /// Payload bytes fetched from the cloud backend (missing chunks).
+    pub bytes_downloaded: u64,
     /// Reads served from the memory or disk cache without touching the cloud.
     pub cache_served_reads: u64,
     /// Total retries spent in the consistency-anchor read loop.
@@ -51,6 +63,9 @@ struct OpenFile {
     flags: OpenFlags,
     metadata: FileMetadata,
     buffer: Vec<u8>,
+    /// Chunk map of the version the buffer was loaded from (`None` for fresh
+    /// or truncated files); the previous-version hint for dirty-chunk upload.
+    chunk_map: Option<ChunkMap>,
     dirty: bool,
     locked: bool,
     never_uploaded: bool,
@@ -119,12 +134,8 @@ impl ScfsAgent {
             .clone()
             .map(|c| LockManager::new(c, session, config.lock_lease));
         let use_pns = config.private_name_spaces || !config.mode.uses_coordination();
-        let metadata = MetadataService::new(
-            coord,
-            use_pns,
-            user.clone(),
-            config.metadata_cache_expiry,
-        );
+        let metadata =
+            MetadataService::new(coord, use_pns, user.clone(), config.metadata_cache_expiry);
         Ok(ScfsAgent {
             mem_cache: FileCache::memory(config.memory_cache_capacity, seed ^ 0x11),
             disk_cache: FileCache::disk(config.disk_cache_capacity, seed ^ 0x22),
@@ -202,9 +213,22 @@ impl ScfsAgent {
         metadata.storage_id.clone()
     }
 
-    /// Uploads `data` as the new version of `metadata`'s object and commits
-    /// the metadata update and unlock, all on the clock inside `ctx`
-    /// (foreground clock for blocking mode, background clock otherwise).
+    /// Cache key of a content-addressed chunk. Chunk entries are keyed by
+    /// content hash, so they are shared across versions and even files, and
+    /// can never be stale.
+    fn chunk_cache_key(hash: &scfs_crypto::ContentHash) -> String {
+        format!("chunk:{}", scfs_crypto::to_hex(hash))
+    }
+
+    /// Cache key of an encoded chunk-map manifest, keyed by root hash.
+    fn manifest_cache_key(hash: &scfs_crypto::ContentHash) -> String {
+        format!("manifest:{}", scfs_crypto::to_hex(hash))
+    }
+
+    /// Uploads the dirty chunks of `data` as the new version of `metadata`'s
+    /// object and commits the metadata update and unlock, all on the clock
+    /// inside `ctx` (foreground clock for blocking mode, background clock
+    /// otherwise).
     #[allow(clippy::too_many_arguments)]
     fn upload_and_commit(
         storage: &Arc<dyn FileStorage>,
@@ -213,21 +237,38 @@ impl ScfsAgent {
         ctx: &mut OpCtx<'_>,
         mut metadata: FileMetadata,
         data: &[u8],
+        map: &ChunkMap,
+        prev: Option<&ChunkMap>,
         never_uploaded: bool,
         unlock: bool,
         stats: &mut AgentStats,
     ) -> Result<FileMetadata, ScfsError> {
-        let hash = storage.write_version(ctx, &metadata.storage_id, data, never_uploaded)?;
-        stats.cloud_uploads += 1;
-        // Propagate the file ACL to the freshly written objects so that every
+        // The freshly written objects must carry the file ACL so that every
         // user the file is shared with — including its owner, when the writer
-        // is a grantee — can read the new version.
-        if metadata.is_shared() || metadata.owner != ctx.account {
-            let mut cloud_acl = metadata.acl.clone();
-            cloud_acl.grant(metadata.owner.clone(), Permission::Write);
-            cloud_acl.grant(ctx.account.clone(), Permission::Write);
-            storage.set_acl(ctx, &metadata.storage_id, &cloud_acl)?;
-        }
+        // is a grantee — can read the new version. The backend tags exactly
+        // the objects this write stores (O(dirty chunks), not O(all
+        // versions × chunks)).
+        let cloud_acl = if metadata.is_shared() || metadata.owner != ctx.account {
+            let mut acl = metadata.acl.clone();
+            acl.grant(metadata.owner.clone(), Permission::Write);
+            acl.grant(ctx.account.clone(), Permission::Write);
+            Some(acl)
+        } else {
+            None
+        };
+        let outcome = storage.write_version(
+            ctx,
+            &metadata.storage_id,
+            data,
+            map,
+            prev,
+            never_uploaded,
+            cloud_acl.as_ref(),
+        )?;
+        let hash = outcome.root_hash;
+        stats.cloud_uploads += 1;
+        stats.chunk_uploads += outcome.chunks_uploaded;
+        stats.bytes_uploaded += outcome.bytes_uploaded;
         metadata.version_hash = Some(hash);
         metadata.size = data.len() as u64;
         metadata.modified_at = ctx.clock.now();
@@ -272,6 +313,149 @@ impl ScfsAgent {
         }
         self.stats.gc_reclaimed_versions += reclaimed;
         self.background_cursor = self.background_cursor.max(bg_clock.now());
+    }
+
+    /// Materializes the version of `metadata`'s object whose root hash is
+    /// `root`: reads the manifest and every chunk from the memory cache, then
+    /// the disk cache, and fetches only the missing pieces from the cloud via
+    /// the consistency-anchor retry loop.
+    fn load_version(
+        &mut self,
+        metadata: &FileMetadata,
+        root: scfs_crypto::ContentHash,
+    ) -> Result<(ChunkMap, Vec<u8>), ScfsError> {
+        let mut cloud_touched = false;
+        let mut retries = 0u64;
+
+        // The manifest first: it lists the chunks this version needs.
+        let manifest_key = Self::manifest_cache_key(&root);
+        let cached_manifest = self
+            .mem_cache
+            .get(&mut self.clock, &manifest_key, Some(&root))
+            .or_else(|| {
+                let from_disk = self
+                    .disk_cache
+                    .get(&mut self.clock, &manifest_key, Some(&root));
+                if let Some(bytes) = &from_disk {
+                    self.mem_cache
+                        .put(&mut self.clock, &manifest_key, bytes.clone(), Some(root));
+                }
+                from_disk
+            });
+        let map = match cached_manifest {
+            Some(bytes) => ChunkMap::decode(&bytes).map_err(|e| {
+                ScfsError::invalid(format!("cached manifest corrupted: {}", e.reason))
+            })?,
+            None => {
+                cloud_touched = true;
+                let mut ctx = OpCtx::new(&mut self.clock, self.user.clone());
+                let fetched = anchored_manifest(
+                    &mut ctx,
+                    self.storage.as_ref(),
+                    &metadata.storage_id,
+                    &root,
+                    self.config.anchor_read_retries,
+                    self.config.anchor_retry_backoff,
+                )?;
+                retries += fetched.retries as u64;
+                let bytes = fetched.data.encode();
+                self.disk_cache
+                    .put(&mut self.clock, &manifest_key, bytes.clone(), Some(root));
+                self.mem_cache
+                    .put(&mut self.clock, &manifest_key, bytes, Some(root));
+                fetched.data
+            }
+        };
+
+        // Then the chunks, each independently cacheable.
+        let mut data = vec![0u8; map.file_len() as usize];
+        for (index, chunk_hash) in map.chunks().iter().enumerate() {
+            let key = Self::chunk_cache_key(chunk_hash);
+            let chunk = match self.mem_cache.get(&mut self.clock, &key, Some(chunk_hash)) {
+                Some(chunk) => chunk,
+                None => match self.disk_cache.get(&mut self.clock, &key, Some(chunk_hash)) {
+                    Some(chunk) => {
+                        self.mem_cache
+                            .put(&mut self.clock, &key, chunk.clone(), Some(*chunk_hash));
+                        chunk
+                    }
+                    None => {
+                        cloud_touched = true;
+                        let mut ctx = OpCtx::new(&mut self.clock, self.user.clone());
+                        let fetched = anchored_chunk(
+                            &mut ctx,
+                            self.storage.as_ref(),
+                            &metadata.storage_id,
+                            chunk_hash,
+                            self.config.anchor_read_retries,
+                            self.config.anchor_retry_backoff,
+                        )?;
+                        retries += fetched.retries as u64;
+                        self.stats.chunk_downloads += 1;
+                        self.stats.bytes_downloaded += fetched.data.len() as u64;
+                        self.disk_cache.put(
+                            &mut self.clock,
+                            &key,
+                            fetched.data.clone(),
+                            Some(*chunk_hash),
+                        );
+                        self.mem_cache.put(
+                            &mut self.clock,
+                            &key,
+                            fetched.data.clone(),
+                            Some(*chunk_hash),
+                        );
+                        fetched.data
+                    }
+                },
+            };
+            let range = map.byte_range(index);
+            if chunk.len() != range.len() {
+                return Err(ScfsError::invalid(format!(
+                    "chunk {index} of {} has {} bytes, expected {}",
+                    metadata.path,
+                    chunk.len(),
+                    range.len()
+                )));
+            }
+            data[range].copy_from_slice(&chunk);
+        }
+
+        if cloud_touched {
+            self.stats.cloud_downloads += 1;
+            self.stats.anchor_retries += retries;
+        } else {
+            self.stats.cache_served_reads += 1;
+        }
+        Ok((map, data))
+    }
+
+    /// Writes each chunk of `map` into the disk cache (durability level 1:
+    /// the data survives a client restart even before the cloud upload
+    /// commits), optionally mirroring into the memory cache.
+    fn spill_chunks(&mut self, map: &ChunkMap, data: &[u8], also_memory: bool) {
+        for (index, chunk_hash) in map.chunks().iter().enumerate() {
+            let key = Self::chunk_cache_key(chunk_hash);
+            let chunk = data[map.byte_range(index)].to_vec();
+            if also_memory {
+                self.mem_cache
+                    .put(&mut self.clock, &key, chunk.clone(), Some(*chunk_hash));
+            }
+            self.disk_cache
+                .put(&mut self.clock, &key, chunk, Some(*chunk_hash));
+        }
+    }
+
+    /// Writes a version's chunks and manifest into both cache levels.
+    fn cache_version_locally(&mut self, map: &ChunkMap, data: &[u8]) {
+        self.spill_chunks(map, data, true);
+        let manifest = map.encode();
+        let root = map.root_hash();
+        let manifest_key = Self::manifest_cache_key(&root);
+        self.disk_cache
+            .put(&mut self.clock, &manifest_key, manifest.clone(), Some(root));
+        self.mem_cache
+            .put(&mut self.clock, &manifest_key, manifest, Some(root));
     }
 
     fn get_open(&self, handle: FileHandle) -> Result<&OpenFile, ScfsError> {
@@ -353,62 +537,15 @@ impl FileSystem for ScfsAgent {
             }
         }
 
-        // Step 3: bring the file data into the local caches.
-        let buffer = if flags.truncate || metadata.version_hash.is_none() {
-            Vec::new()
-        } else {
-            let expected = metadata.version_hash;
-            let from_mem = self
-                .mem_cache
-                .get(&mut self.clock, &path, expected.as_ref());
-            match from_mem {
-                Some(data) => {
-                    self.stats.cache_served_reads += 1;
-                    data
-                }
-                None => {
-                    let from_disk = self
-                        .disk_cache
-                        .get(&mut self.clock, &path, expected.as_ref());
-                    match from_disk {
-                        Some(data) => {
-                            self.stats.cache_served_reads += 1;
-                            self.mem_cache
-                                .put(&mut self.clock, &path, data.clone(), expected);
-                            data
-                        }
-                        None => {
-                            // Not cached (or stale): fetch from the cloud via
-                            // the consistency-anchor read.
-                            let hash = expected.expect("checked above");
-                            let mut ctx = OpCtx::new(&mut self.clock, self.user.clone());
-                            let result = anchored_read(
-                                &mut ctx,
-                                self.storage.as_ref(),
-                                &metadata.storage_id,
-                                &hash,
-                                self.config.anchor_read_retries,
-                                self.config.anchor_retry_backoff,
-                            )?;
-                            self.stats.cloud_downloads += 1;
-                            self.stats.anchor_retries += result.retries as u64;
-                            self.disk_cache.put(
-                                &mut self.clock,
-                                &path,
-                                result.data.clone(),
-                                Some(hash),
-                            );
-                            self.mem_cache.put(
-                                &mut self.clock,
-                                &path,
-                                result.data.clone(),
-                                Some(hash),
-                            );
-                            result.data
-                        }
-                    }
-                }
+        // Step 3: bring the file data into the local caches, at chunk
+        // granularity — only chunks missing from both cache levels fault to
+        // the cloud.
+        let (buffer, chunk_map) = match metadata.version_hash {
+            Some(root) if !flags.truncate => {
+                let (map, data) = self.load_version(&metadata, root)?;
+                (data, Some(map))
             }
+            _ => (Vec::new(), None),
         };
 
         if flags.truncate {
@@ -424,6 +561,7 @@ impl FileSystem for ScfsAgent {
                 flags,
                 metadata,
                 buffer,
+                chunk_map,
                 dirty,
                 locked,
                 never_uploaded,
@@ -487,9 +625,12 @@ impl FileSystem for ScfsAgent {
         if !file.dirty {
             return Ok(());
         }
-        let (path, buffer) = (file.path.clone(), file.buffer.clone());
-        // Durability level 1: the data reaches the local disk.
-        self.disk_cache.put(&mut self.clock, &path, buffer, None);
+        let buffer = file.buffer.clone();
+        // Durability level 1: the data reaches the local disk, as chunks.
+        // No manifest is spilled — the version is not committed yet, so
+        // there is no root hash for a reader to look it up under.
+        let map = ChunkMap::build(&buffer, self.config.chunk_size.get() as usize);
+        self.spill_chunks(&map, &buffer, false);
         Ok(())
     }
 
@@ -512,28 +653,27 @@ impl FileSystem for ScfsAgent {
         }
 
         let OpenFile {
-            path,
             metadata,
             buffer,
+            chunk_map: prev_map,
             locked,
             never_uploaded,
             ..
         } = file;
 
-        // The data always reaches the local disk first (level 1), and the
-        // content hash is known immediately.
-        let new_hash = scfs_crypto::sha256(&buffer);
-        self.disk_cache
-            .put(&mut self.clock, &path, buffer.clone(), Some(new_hash));
-        self.mem_cache
-            .put(&mut self.clock, &path, buffer.clone(), Some(new_hash));
+        // Chunk the new version; its root hash — the one hash the anchor
+        // stores — is known immediately, before any cloud access.
+        let map = ChunkMap::build(&buffer, self.config.chunk_size.get() as usize);
+        let new_hash = map.root_hash();
+        // The data always reaches the local disk first (level 1).
+        self.cache_version_locally(&map, &buffer);
         self.written_since_gc += buffer.len() as u64;
 
         match self.config.mode {
             Mode::Blocking => {
-                // Consistency-anchor write, fully synchronous: data to the
-                // cloud(s), then metadata to the coordination service, then
-                // unlock (Figure 4, close path).
+                // Consistency-anchor write, fully synchronous: dirty chunks
+                // to the cloud(s), then metadata to the coordination service,
+                // then unlock (Figure 4, close path).
                 let mut ctx = OpCtx::new(&mut self.clock, self.user.clone());
                 Self::upload_and_commit(
                     &self.storage,
@@ -542,6 +682,8 @@ impl FileSystem for ScfsAgent {
                     &mut ctx,
                     metadata,
                     &buffer,
+                    &map,
+                    prev_map.as_ref(),
                     never_uploaded,
                     locked,
                     &mut self.stats,
@@ -569,6 +711,8 @@ impl FileSystem for ScfsAgent {
                     &mut bg_ctx,
                     metadata,
                     &buffer,
+                    &map,
+                    prev_map.as_ref(),
                     never_uploaded,
                     locked,
                     &mut self.stats,
@@ -638,8 +782,8 @@ impl FileSystem for ScfsAgent {
         if let Some(entry) = self.owned_files.get_mut(&md.storage_id) {
             entry.1 = true;
         }
-        self.mem_cache.remove(&path);
-        self.disk_cache.remove(&path);
+        // Cached chunks and manifests are content-addressed, not keyed by
+        // path; they age out of the LRU caches once nothing reads them.
         Ok(())
     }
 
@@ -649,8 +793,6 @@ impl FileSystem for ScfsAgent {
         let to = normalize_path(to)?;
         let mut ctx = OpCtx::new(&mut self.clock, self.user.clone());
         self.metadata.rename(&mut ctx, &from, &to)?;
-        self.mem_cache.remove(&from);
-        self.disk_cache.remove(&from);
         Ok(())
     }
 
@@ -878,7 +1020,11 @@ mod tests {
             fs.stat("/projects/a.txt"),
             Err(ScfsError::NotFound { .. })
         ));
-        assert_eq!(fs.readdir("/projects").unwrap().len(), 2, "tombstone remains until GC");
+        assert_eq!(
+            fs.readdir("/projects").unwrap().len(),
+            2,
+            "tombstone remains until GC"
+        );
         // mkdir under a missing parent fails.
         assert!(fs.mkdir("/does/not/exist").is_err());
     }
@@ -907,7 +1053,10 @@ mod tests {
         fs.write_file("/doc", b"x").unwrap();
         assert!(fs.getfacl("/doc").unwrap().is_empty());
         fs.setfacl("/doc", &"bob".into(), Permission::Read).unwrap();
-        assert!(fs.getfacl("/doc").unwrap().allows(&"bob".into(), Permission::Read));
+        assert!(fs
+            .getfacl("/doc")
+            .unwrap()
+            .allows(&"bob".into(), Permission::Read));
     }
 
     #[test]
@@ -918,8 +1067,7 @@ mod tests {
         let mut config = ScfsConfig::test(Mode::Blocking);
         config.gc.written_bytes_threshold = Bytes::new(50_000);
         config.gc.versions_to_keep = 2;
-        let mut fs =
-            ScfsAgent::mount("alice".into(), config, storage, Some(coord), 5).unwrap();
+        let mut fs = ScfsAgent::mount("alice".into(), config, storage, Some(coord), 5).unwrap();
         for _ in 0..10 {
             fs.write_file("/big", &vec![7u8; 10_000]).unwrap();
         }

@@ -24,35 +24,37 @@ use sim_core::time::SimDuration;
 
 use crate::backend::FileStorage;
 use crate::error::ScfsError;
+use crate::types::ChunkMap;
 
-/// Result of an anchored read, with retry accounting.
+/// Result of an anchored fetch, with retry accounting.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct AnchoredRead {
-    /// The file contents.
-    pub data: Vec<u8>,
+pub struct Anchored<T> {
+    /// The fetched value.
+    pub data: T,
     /// Number of retries the loop needed before the version became visible
     /// (0 means the first attempt succeeded).
     pub retries: usize,
 }
 
-/// Reads the version of `id` whose hash is `hash` from the storage service,
-/// retrying while the version is not yet visible (step r2 of Figure 3).
+/// Result of an anchored whole-file read.
+pub type AnchoredRead = Anchored<Vec<u8>>;
+
+/// Runs `op` against the storage service, retrying while it reports a
+/// transient error — the version is not yet visible (step r2 of Figure 3).
 ///
 /// Each retry backs off by `backoff` of virtual time before asking again; the
 /// loop gives up after `max_retries` attempts and surfaces the last transient
 /// error, which callers translate into an I/O error.
-pub fn anchored_read(
+pub fn anchored_fetch<T>(
     ctx: &mut OpCtx<'_>,
-    storage: &dyn FileStorage,
-    id: &str,
-    hash: &ContentHash,
     max_retries: usize,
     backoff: SimDuration,
-) -> Result<AnchoredRead, ScfsError> {
+    mut op: impl FnMut(&mut OpCtx<'_>) -> Result<T, ScfsError>,
+) -> Result<Anchored<T>, ScfsError> {
     let mut retries = 0usize;
     loop {
-        match storage.read_version(ctx, id, hash) {
-            Ok(data) => return Ok(AnchoredRead { data, retries }),
+        match op(ctx) {
+            Ok(data) => return Ok(Anchored { data, retries }),
             Err(ScfsError::Storage(e)) if e.is_transient() => {
                 if retries >= max_retries {
                     return Err(ScfsError::Storage(e));
@@ -63,6 +65,51 @@ pub fn anchored_read(
             Err(e) => return Err(e),
         }
     }
+}
+
+/// Reads and reassembles the whole version of `id` whose root hash is `hash`
+/// from the storage service, retrying while it is not yet visible.
+pub fn anchored_read(
+    ctx: &mut OpCtx<'_>,
+    storage: &dyn FileStorage,
+    id: &str,
+    hash: &ContentHash,
+    max_retries: usize,
+    backoff: SimDuration,
+) -> Result<AnchoredRead, ScfsError> {
+    anchored_fetch(ctx, max_retries, backoff, |c| {
+        storage.read_version(c, id, hash)
+    })
+}
+
+/// Reads the chunk map of the version of `id` whose root hash is `hash`,
+/// retrying while it is not yet visible.
+pub fn anchored_manifest(
+    ctx: &mut OpCtx<'_>,
+    storage: &dyn FileStorage,
+    id: &str,
+    hash: &ContentHash,
+    max_retries: usize,
+    backoff: SimDuration,
+) -> Result<Anchored<ChunkMap>, ScfsError> {
+    anchored_fetch(ctx, max_retries, backoff, |c| {
+        storage.read_manifest(c, id, hash)
+    })
+}
+
+/// Reads one chunk of `id` by content hash, retrying while it is not yet
+/// visible.
+pub fn anchored_chunk(
+    ctx: &mut OpCtx<'_>,
+    storage: &dyn FileStorage,
+    id: &str,
+    hash: &ContentHash,
+    max_retries: usize,
+    backoff: SimDuration,
+) -> Result<Anchored<Vec<u8>>, ScfsError> {
+    anchored_fetch(ctx, max_retries, backoff, |c| {
+        storage.read_chunk(c, id, hash)
+    })
 }
 
 #[cfg(test)]
@@ -85,13 +132,26 @@ mod tests {
         SingleCloudStorage::new(Arc::new(SimulatedCloud::new(profile, 1)))
     }
 
+    fn write(
+        storage: &dyn FileStorage,
+        ctx: &mut OpCtx<'_>,
+        id: &str,
+        data: &[u8],
+    ) -> scfs_crypto::ContentHash {
+        let map = ChunkMap::build(data, 1024);
+        storage
+            .write_version(ctx, id, data, &map, None, true, None)
+            .unwrap()
+            .root_hash
+    }
+
     #[test]
     fn read_retries_until_the_write_becomes_visible() {
         let storage = slow_visibility_storage();
         let mut clock = Clock::new();
         let mut ctx = OpCtx::new(&mut clock, "alice".into());
         let data = b"anchored contents".to_vec();
-        let hash = storage.write_version(&mut ctx, "f", &data, true).unwrap();
+        let hash = write(&storage, &mut ctx, "f", &data);
 
         // Immediately after the write the object is invisible; the anchored
         // read must spin until the visibility window (5 s) elapses.
@@ -135,9 +195,16 @@ mod tests {
         let mut clock = Clock::new();
         let mut ctx = OpCtx::new(&mut clock, "alice".into());
         let data = b"visible at once".to_vec();
-        let hash = storage.write_version(&mut ctx, "f", &data, true).unwrap();
-        let result =
-            anchored_read(&mut ctx, &storage, "f", &hash, 10, SimDuration::from_millis(50)).unwrap();
+        let hash = write(&storage, &mut ctx, "f", &data);
+        let result = anchored_read(
+            &mut ctx,
+            &storage,
+            "f",
+            &hash,
+            10,
+            SimDuration::from_millis(50),
+        )
+        .unwrap();
         assert_eq!(result.retries, 0);
         assert_eq!(result.data, data);
     }

@@ -3,11 +3,20 @@
 //! SCFS provides a pluggable backplane (paper §3.2, Figure 5): file data can
 //! go to a single storage cloud (Amazon S3 in the paper's AWS backend) or to
 //! a DepSky cloud-of-clouds. Both are hidden behind [`FileStorage`], whose
-//! operations are exactly what the storage service of the agent needs:
-//! write a new immutable version, read the version with a given hash
-//! (the storage-service half of the consistency-anchor algorithm), delete old
-//! versions, and propagate ACL changes.
+//! operations are what the storage service of the agent needs on the chunked
+//! data path:
+//!
+//! * write a new immutable version — upload the *dirty* chunks of the file
+//!   plus a small [`ChunkMap`] manifest stored under its root hash (the
+//!   storage-service half of the consistency-anchor algorithm);
+//! * read the manifest with a given root hash, and individual chunks by
+//!   content hash (only the chunks a reader is missing);
+//! * delete old versions chunk-by-chunk — a chunk is reclaimed only once no
+//!   retained version references it, so identical chunks are shared
+//!   (deduplicated) across versions;
+//! * propagate ACL changes to every stored object of a file.
 
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use cloud_store::error::StorageError;
@@ -18,36 +27,230 @@ use parking_lot::Mutex;
 use scfs_crypto::{sha256, to_hex, ContentHash};
 
 use crate::error::ScfsError;
+use crate::types::ChunkMap;
 
-/// Whole-file versioned storage, the "SS" of the consistency-anchor algorithm.
+/// Transfer accounting returned by a successful [`FileStorage::write_version`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteOutcome {
+    /// Root hash of the written version (hash of the encoded [`ChunkMap`]);
+    /// this is the `hash` the consistency anchor stores.
+    pub root_hash: ContentHash,
+    /// Chunks actually uploaded (dirty chunks not already stored).
+    pub chunks_uploaded: u64,
+    /// Payload bytes handed to the backend: the dirty chunks plus the
+    /// manifest. This counts logical (plaintext) bytes — the CoC backend
+    /// additionally pays its replication/erasure-coding overhead (~1.5× with
+    /// the DepSky-CA preferred quorum) on the wire, which is accounted in
+    /// the per-cloud [`cloud_store::CloudMetrics`], not here.
+    pub bytes_uploaded: u64,
+}
+
+/// One stored version of an object: its root hash and chunk map. Backends
+/// keep these per object id so the garbage collector can reclaim per-chunk
+/// without listing the cloud.
+#[derive(Debug, Clone)]
+struct StoredVersion {
+    root: ContentHash,
+    map: ChunkMap,
+}
+
+/// Registry of versions written through one backend instance, shared by both
+/// backends: object id → versions, newest last.
+#[derive(Debug, Default)]
+struct VersionRegistry {
+    versions: HashMap<String, Vec<StoredVersion>>,
+}
+
+impl VersionRegistry {
+    /// Records a newly written version.
+    fn push(&mut self, id: &str, root: ContentHash, map: ChunkMap) {
+        self.versions
+            .entry(id.to_string())
+            .or_default()
+            .push(StoredVersion { root, map });
+    }
+
+    /// Whether this registry has any record of `id`.
+    fn tracks(&self, id: &str) -> bool {
+        self.versions.contains_key(id)
+    }
+
+    /// Every chunk hash currently referenced by any version of `id`.
+    fn live_chunks(&self, id: &str) -> HashSet<ContentHash> {
+        self.versions
+            .get(id)
+            .map(|vs| {
+                vs.iter()
+                    .flat_map(|v| v.map.chunks().iter().copied())
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Every blob (manifests first, then chunks, deduplicated) currently
+    /// referenced by any version of `id` — the ACL-propagation targets.
+    fn live_objects(&self, id: &str) -> Vec<ContentHash> {
+        let versions = self.versions.get(id).map(Vec::as_slice).unwrap_or(&[]);
+        let mut objects = Vec::new();
+        let mut seen = HashSet::new();
+        for version in versions {
+            if seen.insert(version.root) {
+                objects.push(version.root);
+            }
+        }
+        for version in versions {
+            for chunk in version.map.chunks() {
+                if seen.insert(*chunk) {
+                    objects.push(*chunk);
+                }
+            }
+        }
+        objects
+    }
+
+    /// Drops all but the newest `keep` versions of `id`. The returned
+    /// manifests and chunks are exactly the objects no retained version
+    /// references any more — versions can share both chunks *and* manifests
+    /// (two identical versions have the same root hash), so anything still
+    /// referenced by a kept version must survive.
+    fn prune(&mut self, id: &str, keep: usize) -> PruneResult {
+        let list = match self.versions.get_mut(id) {
+            Some(list) if list.len() > keep => list,
+            _ => return PruneResult::default(),
+        };
+        let cut = list.len() - keep;
+        let dropped: Vec<StoredVersion> = list.drain(..cut).collect();
+        let kept_chunks: HashSet<ContentHash> = list
+            .iter()
+            .flat_map(|v| v.map.chunks().iter().copied())
+            .collect();
+        let kept_roots: HashSet<ContentHash> = list.iter().map(|v| v.root).collect();
+        let mut result = PruneResult {
+            removed: dropped.len(),
+            ..PruneResult::default()
+        };
+        let mut seen_chunks = HashSet::new();
+        let mut seen_roots = HashSet::new();
+        for version in &dropped {
+            if !kept_roots.contains(&version.root) && seen_roots.insert(version.root) {
+                result.manifests.push(version.root);
+            }
+            for chunk in version.map.chunks() {
+                if !kept_chunks.contains(chunk) && seen_chunks.insert(*chunk) {
+                    result.chunks.push(*chunk);
+                }
+            }
+        }
+        result
+    }
+
+    /// Removes every version of `id`, returning its unique manifests and
+    /// chunks.
+    fn remove_all(&mut self, id: &str) -> PruneResult {
+        let all = self.versions.remove(id).unwrap_or_default();
+        let mut result = PruneResult {
+            removed: all.len(),
+            ..PruneResult::default()
+        };
+        let mut seen_chunks = HashSet::new();
+        let mut seen_roots = HashSet::new();
+        for version in &all {
+            if seen_roots.insert(version.root) {
+                result.manifests.push(version.root);
+            }
+            for chunk in version.map.chunks() {
+                if seen_chunks.insert(*chunk) {
+                    result.chunks.push(*chunk);
+                }
+            }
+        }
+        result
+    }
+}
+
+/// Objects made unreferenced by a registry prune.
+#[derive(Debug, Default)]
+struct PruneResult {
+    /// Number of versions dropped.
+    removed: usize,
+    /// Manifest root hashes to delete.
+    manifests: Vec<ContentHash>,
+    /// Chunk hashes to delete.
+    chunks: Vec<ContentHash>,
+}
+
+/// Chunked, content-addressed versioned storage — the "SS" of the
+/// consistency-anchor algorithm.
 pub trait FileStorage: Send + Sync {
     /// Short backend label for result tables (`"AWS"` or `"CoC"`).
     fn label(&self) -> &'static str;
 
-    /// Stores a new version of the object identified by `id` and returns the
-    /// content hash under which it can later be read. `is_new` is a hint that
-    /// the object was never written before (lets the CoC backend skip its
-    /// metadata-read phase on file creation).
+    /// Stores a new version of the object identified by `id`: uploads the
+    /// chunks of `data` (laid out by `map`) that are not already stored, then
+    /// commits the encoded manifest under its root hash. Chunks this backend
+    /// instance knows are live are skipped (dedup); when the instance has no
+    /// record of `id` (a fresh mount), chunks present in `prev` are trusted
+    /// as stored. Newly written objects are tagged with `acl` when given, so
+    /// collaborators can read them without a separate ACL pass. `is_new`
+    /// hints that the object was never written before (lets the CoC backend
+    /// skip its metadata-read phase on file creation).
+    #[allow(clippy::too_many_arguments)]
     fn write_version(
         &self,
         ctx: &mut OpCtx<'_>,
         id: &str,
         data: &[u8],
+        map: &ChunkMap,
+        prev: Option<&ChunkMap>,
         is_new: bool,
-    ) -> Result<ContentHash, ScfsError>;
+        acl: Option<&Acl>,
+    ) -> Result<WriteOutcome, ScfsError>;
 
-    /// Reads the version of `id` whose content hash is `hash`. Returns
-    /// [`StorageError::NotFound`] (wrapped) while the version is not yet
+    /// Reads the chunk map of the version of `id` whose root hash is `hash`.
+    /// Returns a transient not-found error while the version is not yet
     /// visible — the caller runs the consistency-anchor retry loop.
-    fn read_version(
+    fn read_manifest(
+        &self,
+        ctx: &mut OpCtx<'_>,
+        id: &str,
+        hash: &ContentHash,
+    ) -> Result<ChunkMap, ScfsError>;
+
+    /// Reads one chunk of `id` by content hash, verifying it.
+    fn read_chunk(
         &self,
         ctx: &mut OpCtx<'_>,
         id: &str,
         hash: &ContentHash,
     ) -> Result<Vec<u8>, ScfsError>;
 
-    /// Deletes all but the newest `keep` versions of `id`; returns how many
-    /// versions were removed.
+    /// Reads and reassembles the whole version of `id` whose root hash is
+    /// `hash` (manifest plus every chunk).
+    fn read_version(
+        &self,
+        ctx: &mut OpCtx<'_>,
+        id: &str,
+        hash: &ContentHash,
+    ) -> Result<Vec<u8>, ScfsError> {
+        let map = self.read_manifest(ctx, id, hash)?;
+        let mut data = vec![0u8; map.file_len() as usize];
+        for (index, chunk_hash) in map.chunks().iter().enumerate() {
+            let chunk = self.read_chunk(ctx, id, chunk_hash)?;
+            let range = map.byte_range(index);
+            if chunk.len() != range.len() {
+                return Err(StorageError::IntegrityViolation {
+                    key: id.to_string(),
+                }
+                .into());
+            }
+            data[range].copy_from_slice(&chunk);
+        }
+        Ok(data)
+    }
+
+    /// Deletes all but the newest `keep` versions of `id`, reclaiming the
+    /// chunks no retained version references; returns how many versions were
+    /// removed.
     fn delete_old_versions(
         &self,
         ctx: &mut OpCtx<'_>,
@@ -62,13 +265,175 @@ pub trait FileStorage: Send + Sync {
     fn set_acl(&self, ctx: &mut OpCtx<'_>, id: &str, acl: &Acl) -> Result<(), ScfsError>;
 }
 
-/// Single-cloud backend: whole files stored as objects under `id|hash` keys
-/// in one provider (the paper's AWS backend uses Amazon S3).
+/// The one primitive each backend supplies: immutable, content-addressed
+/// blob storage (chunks and manifests alike are blobs addressed by
+/// `id|hash`) plus the shared version registry. Everything else — dirty-chunk
+/// selection, dedup, manifest commit, per-chunk GC, ACL fan-out — is the
+/// blanket [`FileStorage`] implementation below, written once.
+trait ChunkedBackend: Send + Sync {
+    /// Short backend label for result tables.
+    fn backend_label(&self) -> &'static str;
+
+    /// The registry of versions written through this backend instance.
+    fn registry(&self) -> &Mutex<VersionRegistry>;
+
+    /// Stores the blob `data` addressed by `id|hash`.
+    fn put_blob(
+        &self,
+        ctx: &mut OpCtx<'_>,
+        id: &str,
+        hash: &ContentHash,
+        data: &[u8],
+    ) -> Result<(), ScfsError>;
+
+    /// Reads back the blob addressed by `id|hash`, verifying its content
+    /// against the hash.
+    fn get_blob(
+        &self,
+        ctx: &mut OpCtx<'_>,
+        id: &str,
+        hash: &ContentHash,
+    ) -> Result<Vec<u8>, ScfsError>;
+
+    /// Deletes the blob addressed by `id|hash`; missing blobs are not an
+    /// error (GC may race with another client's collector).
+    fn delete_blob(
+        &self,
+        ctx: &mut OpCtx<'_>,
+        id: &str,
+        hash: &ContentHash,
+    ) -> Result<(), ScfsError>;
+
+    /// Propagates an ACL to the blob addressed by `id|hash`.
+    fn set_blob_acl(
+        &self,
+        ctx: &mut OpCtx<'_>,
+        id: &str,
+        hash: &ContentHash,
+        acl: &Acl,
+    ) -> Result<(), ScfsError>;
+}
+
+impl<B: ChunkedBackend> FileStorage for B {
+    fn label(&self) -> &'static str {
+        self.backend_label()
+    }
+
+    fn write_version(
+        &self,
+        ctx: &mut OpCtx<'_>,
+        id: &str,
+        data: &[u8],
+        map: &ChunkMap,
+        prev: Option<&ChunkMap>,
+        _is_new: bool,
+        acl: Option<&Acl>,
+    ) -> Result<WriteOutcome, ScfsError> {
+        let (stored, tracked) = {
+            let registry = self.registry().lock();
+            (registry.live_chunks(id), registry.tracks(id))
+        };
+        // The registry is GC-aware: once it tracks `id`, it alone decides
+        // which chunks are still stored. `prev` is only trusted on a fresh
+        // instance with no record — otherwise a chunk that is clean relative
+        // to `prev` but already reclaimed by the GC would be silently
+        // omitted, committing a version that can never be read.
+        let prev_chunks: HashSet<&ContentHash> = match prev {
+            Some(prev) if !tracked => prev.chunks().iter().collect(),
+            _ => HashSet::new(),
+        };
+        let mut chunks_uploaded = 0u64;
+        let mut bytes_uploaded = 0u64;
+        let mut written_this_call: HashSet<ContentHash> = HashSet::new();
+        for (index, hash) in map.chunks().iter().enumerate() {
+            if stored.contains(hash)
+                || prev_chunks.contains(hash)
+                || !written_this_call.insert(*hash)
+            {
+                continue;
+            }
+            let chunk = &data[map.byte_range(index)];
+            self.put_blob(ctx, id, hash, chunk)?;
+            if let Some(acl) = acl {
+                self.set_blob_acl(ctx, id, hash, acl)?;
+            }
+            chunks_uploaded += 1;
+            bytes_uploaded += chunk.len() as u64;
+        }
+        let manifest = map.encode();
+        let root = sha256(&manifest);
+        self.put_blob(ctx, id, &root, &manifest)?;
+        if let Some(acl) = acl {
+            self.set_blob_acl(ctx, id, &root, acl)?;
+        }
+        bytes_uploaded += manifest.len() as u64;
+        self.registry().lock().push(id, root, map.clone());
+        Ok(WriteOutcome {
+            root_hash: root,
+            chunks_uploaded,
+            bytes_uploaded,
+        })
+    }
+
+    fn read_manifest(
+        &self,
+        ctx: &mut OpCtx<'_>,
+        id: &str,
+        hash: &ContentHash,
+    ) -> Result<ChunkMap, ScfsError> {
+        let bytes = self.get_blob(ctx, id, hash)?;
+        ChunkMap::decode(&bytes).map_err(|_| {
+            StorageError::IntegrityViolation {
+                key: id.to_string(),
+            }
+            .into()
+        })
+    }
+
+    fn read_chunk(
+        &self,
+        ctx: &mut OpCtx<'_>,
+        id: &str,
+        hash: &ContentHash,
+    ) -> Result<Vec<u8>, ScfsError> {
+        self.get_blob(ctx, id, hash)
+    }
+
+    fn delete_old_versions(
+        &self,
+        ctx: &mut OpCtx<'_>,
+        id: &str,
+        keep: usize,
+    ) -> Result<usize, ScfsError> {
+        let pruned = self.registry().lock().prune(id, keep);
+        for hash in pruned.manifests.iter().chain(pruned.chunks.iter()) {
+            self.delete_blob(ctx, id, hash)?;
+        }
+        Ok(pruned.removed)
+    }
+
+    fn delete_all(&self, ctx: &mut OpCtx<'_>, id: &str) -> Result<(), ScfsError> {
+        let pruned = self.registry().lock().remove_all(id);
+        for hash in pruned.manifests.iter().chain(pruned.chunks.iter()) {
+            self.delete_blob(ctx, id, hash)?;
+        }
+        Ok(())
+    }
+
+    fn set_acl(&self, ctx: &mut OpCtx<'_>, id: &str, acl: &Acl) -> Result<(), ScfsError> {
+        let objects = self.registry().lock().live_objects(id);
+        for hash in &objects {
+            self.set_blob_acl(ctx, id, hash, acl)?;
+        }
+        Ok(())
+    }
+}
+
+/// Single-cloud backend: blobs stored as objects under `id|hash` keys in one
+/// provider (the paper's AWS backend uses Amazon S3).
 pub struct SingleCloudStorage {
     cloud: Arc<dyn ObjectStore>,
-    /// Versions written per object id, newest last (used by the GC to know
-    /// which keys to delete without listing the cloud).
-    versions: Mutex<std::collections::HashMap<String, Vec<ContentHash>>>,
+    registry: Mutex<VersionRegistry>,
 }
 
 impl SingleCloudStorage {
@@ -76,7 +441,7 @@ impl SingleCloudStorage {
     pub fn new(cloud: Arc<dyn ObjectStore>) -> Self {
         SingleCloudStorage {
             cloud,
-            versions: Mutex::new(std::collections::HashMap::new()),
+            registry: Mutex::new(VersionRegistry::default()),
         }
     }
 
@@ -85,114 +450,94 @@ impl SingleCloudStorage {
         &self.cloud
     }
 
-    fn object_key(id: &str, hash: &ContentHash) -> String {
-        format!("scfs/{id}/{}", to_hex(hash))
+    fn blob_key(id: &str, hash: &ContentHash) -> String {
+        format!("scfs/{id}/blob/{}", to_hex(hash))
     }
 }
 
-impl FileStorage for SingleCloudStorage {
-    fn label(&self) -> &'static str {
+impl ChunkedBackend for SingleCloudStorage {
+    fn backend_label(&self) -> &'static str {
         "AWS"
     }
 
-    fn write_version(
+    fn registry(&self) -> &Mutex<VersionRegistry> {
+        &self.registry
+    }
+
+    fn put_blob(
         &self,
         ctx: &mut OpCtx<'_>,
         id: &str,
+        hash: &ContentHash,
         data: &[u8],
-        _is_new: bool,
-    ) -> Result<ContentHash, ScfsError> {
-        let hash = sha256(data);
-        self.cloud.put(ctx, &Self::object_key(id, &hash), data)?;
-        self.versions
-            .lock()
-            .entry(id.to_string())
-            .or_default()
-            .push(hash);
-        Ok(hash)
+    ) -> Result<(), ScfsError> {
+        Ok(self.cloud.put(ctx, &Self::blob_key(id, hash), data)?)
     }
 
-    fn read_version(
+    fn get_blob(
         &self,
         ctx: &mut OpCtx<'_>,
         id: &str,
         hash: &ContentHash,
     ) -> Result<Vec<u8>, ScfsError> {
-        let data = self.cloud.get(ctx, &Self::object_key(id, hash))?;
+        let bytes = self.cloud.get(ctx, &Self::blob_key(id, hash))?;
         // Verify the content against the anchor hash (step r3 of Figure 3).
-        if &sha256(&data) != hash {
-            return Err(StorageError::IntegrityViolation { key: id.to_string() }.into());
+        if &sha256(&bytes) != hash {
+            return Err(StorageError::IntegrityViolation {
+                key: id.to_string(),
+            }
+            .into());
         }
-        Ok(data)
+        Ok(bytes)
     }
 
-    fn delete_old_versions(
+    fn delete_blob(
         &self,
         ctx: &mut OpCtx<'_>,
         id: &str,
-        keep: usize,
-    ) -> Result<usize, ScfsError> {
-        let old: Vec<ContentHash> = {
-            let mut versions = self.versions.lock();
-            let list = versions.entry(id.to_string()).or_default();
-            if list.len() <= keep {
-                return Ok(0);
-            }
-            let cut = list.len() - keep;
-            list.drain(..cut).collect()
-        };
-        let mut removed = 0;
-        for hash in &old {
-            match self.cloud.delete(ctx, &Self::object_key(id, hash)) {
-                Ok(()) | Err(StorageError::NotFound { .. }) => removed += 1,
-                Err(e) => return Err(e.into()),
-            }
+        hash: &ContentHash,
+    ) -> Result<(), ScfsError> {
+        match self.cloud.delete(ctx, &Self::blob_key(id, hash)) {
+            Ok(()) | Err(StorageError::NotFound { .. }) => Ok(()),
+            Err(e) => Err(e.into()),
         }
-        Ok(removed)
     }
 
-    fn delete_all(&self, ctx: &mut OpCtx<'_>, id: &str) -> Result<(), ScfsError> {
-        let all: Vec<ContentHash> = self.versions.lock().remove(id).unwrap_or_default();
-        for hash in &all {
-            match self.cloud.delete(ctx, &Self::object_key(id, hash)) {
-                Ok(()) | Err(StorageError::NotFound { .. }) => {}
-                Err(e) => return Err(e.into()),
-            }
+    fn set_blob_acl(
+        &self,
+        ctx: &mut OpCtx<'_>,
+        id: &str,
+        hash: &ContentHash,
+        acl: &Acl,
+    ) -> Result<(), ScfsError> {
+        match self
+            .cloud
+            .set_acl(ctx, &Self::blob_key(id, hash), acl.clone())
+        {
+            // Versions written by other collaborators are owned by them;
+            // only their writer can retag those objects, so skip them.
+            Ok(())
+            | Err(StorageError::NotFound { .. })
+            | Err(StorageError::AccessDenied { .. }) => Ok(()),
+            Err(e) => Err(e.into()),
         }
-        Ok(())
-    }
-
-    fn set_acl(&self, ctx: &mut OpCtx<'_>, id: &str, acl: &Acl) -> Result<(), ScfsError> {
-        let hashes: Vec<ContentHash> = self
-            .versions
-            .lock()
-            .get(id)
-            .cloned()
-            .unwrap_or_default();
-        for hash in &hashes {
-            match self
-                .cloud
-                .set_acl(ctx, &Self::object_key(id, hash), acl.clone())
-            {
-                // Versions written by other collaborators are owned by them;
-                // only their writer can retag those objects, so skip them.
-                Ok(()) | Err(StorageError::NotFound { .. }) | Err(StorageError::AccessDenied { .. }) => {}
-                Err(e) => return Err(e.into()),
-            }
-        }
-        Ok(())
     }
 }
 
-/// Cloud-of-clouds backend: whole files stored through DepSky-CA.
+/// Cloud-of-clouds backend: blobs stored through DepSky-CA as immutable
+/// single-version data units addressed by `id|hash`.
 pub struct CloudOfCloudsStorage {
     depsky: DepSkyClient,
+    registry: Mutex<VersionRegistry>,
 }
 
 impl CloudOfCloudsStorage {
     /// Creates a backend over a DepSky client.
     pub fn new(depsky: DepSkyClient) -> Self {
-        CloudOfCloudsStorage { depsky }
+        CloudOfCloudsStorage {
+            depsky,
+            registry: Mutex::new(VersionRegistry::default()),
+        }
     }
 
     /// The underlying DepSky client.
@@ -201,50 +546,51 @@ impl CloudOfCloudsStorage {
     }
 }
 
-impl FileStorage for CloudOfCloudsStorage {
-    fn label(&self) -> &'static str {
+impl ChunkedBackend for CloudOfCloudsStorage {
+    fn backend_label(&self) -> &'static str {
         "CoC"
     }
 
-    fn write_version(
+    fn registry(&self) -> &Mutex<VersionRegistry> {
+        &self.registry
+    }
+
+    fn put_blob(
         &self,
         ctx: &mut OpCtx<'_>,
         id: &str,
+        hash: &ContentHash,
         data: &[u8],
-        is_new: bool,
-    ) -> Result<ContentHash, ScfsError> {
-        let receipt = if is_new {
-            self.depsky.write_new(ctx, id, data)?
-        } else {
-            self.depsky.write(ctx, id, data)?
-        };
-        Ok(receipt.hash)
+    ) -> Result<(), ScfsError> {
+        Ok(self.depsky.write_blob(ctx, id, hash, data)?)
     }
 
-    fn read_version(
+    fn get_blob(
         &self,
         ctx: &mut OpCtx<'_>,
         id: &str,
         hash: &ContentHash,
     ) -> Result<Vec<u8>, ScfsError> {
-        Ok(self.depsky.read_by_hash(ctx, id, hash)?)
+        Ok(self.depsky.read_blob(ctx, id, hash)?)
     }
 
-    fn delete_old_versions(
+    fn delete_blob(
         &self,
         ctx: &mut OpCtx<'_>,
         id: &str,
-        keep: usize,
-    ) -> Result<usize, ScfsError> {
-        Ok(self.depsky.delete_old_versions(ctx, id, keep)?)
+        hash: &ContentHash,
+    ) -> Result<(), ScfsError> {
+        Ok(self.depsky.delete_blob(ctx, id, hash)?)
     }
 
-    fn delete_all(&self, ctx: &mut OpCtx<'_>, id: &str) -> Result<(), ScfsError> {
-        Ok(self.depsky.delete_all(ctx, id)?)
-    }
-
-    fn set_acl(&self, ctx: &mut OpCtx<'_>, id: &str, acl: &Acl) -> Result<(), ScfsError> {
-        Ok(self.depsky.set_acl(ctx, id, acl)?)
+    fn set_blob_acl(
+        &self,
+        ctx: &mut OpCtx<'_>,
+        id: &str,
+        hash: &ContentHash,
+        acl: &Acl,
+    ) -> Result<(), ScfsError> {
+        Ok(self.depsky.set_blob_acl(ctx, id, hash, acl)?)
     }
 }
 
@@ -256,6 +602,8 @@ mod tests {
     use depsky::config::DepSkyConfig;
     use sim_core::time::Clock;
 
+    const CHUNK: usize = 1024;
+
     fn single() -> SingleCloudStorage {
         SingleCloudStorage::new(Arc::new(SimulatedCloud::test("s3")))
     }
@@ -266,19 +614,47 @@ mod tests {
             .enumerate()
             .map(|(i, p)| Arc::new(SimulatedCloud::new(p, i as u64)) as Arc<dyn ObjectStore>)
             .collect();
-        CloudOfCloudsStorage::new(DepSkyClient::new(clouds, DepSkyConfig::scfs_default(), 1).unwrap())
+        CloudOfCloudsStorage::new(
+            DepSkyClient::new(clouds, DepSkyConfig::scfs_default(), 1).unwrap(),
+        )
+    }
+
+    fn write(
+        storage: &dyn FileStorage,
+        ctx: &mut OpCtx<'_>,
+        id: &str,
+        data: &[u8],
+        prev: Option<&ChunkMap>,
+        is_new: bool,
+    ) -> (WriteOutcome, ChunkMap) {
+        let map = ChunkMap::build(data, CHUNK);
+        let outcome = storage
+            .write_version(ctx, id, data, &map, prev, is_new, None)
+            .unwrap();
+        (outcome, map)
     }
 
     fn run_round_trip(storage: &dyn FileStorage) {
         let mut clock = Clock::new();
         let mut ctx = OpCtx::new(&mut clock, "alice".into());
-        let v1 = b"first version".to_vec();
-        let v2 = b"second, different version".to_vec();
-        let h1 = storage.write_version(&mut ctx, "file-1", &v1, true).unwrap();
-        let h2 = storage.write_version(&mut ctx, "file-1", &v2, false).unwrap();
-        assert_ne!(h1, h2);
-        assert_eq!(storage.read_version(&mut ctx, "file-1", &h1).unwrap(), v1);
-        assert_eq!(storage.read_version(&mut ctx, "file-1", &h2).unwrap(), v2);
+        let v1 = vec![1u8; 3000];
+        let mut v2 = v1.clone();
+        v2.extend_from_slice(b"appended tail");
+        let (o1, m1) = write(storage, &mut ctx, "file-1", &v1, None, true);
+        let (o2, _) = write(storage, &mut ctx, "file-1", &v2, Some(&m1), false);
+        assert_ne!(o1.root_hash, o2.root_hash);
+        assert_eq!(
+            storage
+                .read_version(&mut ctx, "file-1", &o1.root_hash)
+                .unwrap(),
+            v1
+        );
+        assert_eq!(
+            storage
+                .read_version(&mut ctx, "file-1", &o2.root_hash)
+                .unwrap(),
+            v2
+        );
     }
 
     #[test]
@@ -291,27 +667,137 @@ mod tests {
         run_round_trip(&coc());
     }
 
+    fn run_append_uploads_only_dirty_chunks(storage: &dyn FileStorage) {
+        let mut clock = Clock::new();
+        let mut ctx = OpCtx::new(&mut clock, "alice".into());
+        // 8 chunks of random-ish distinct content.
+        let mut v1 = Vec::new();
+        for i in 0..8u8 {
+            v1.extend(std::iter::repeat_n(i, CHUNK));
+        }
+        let (o1, m1) = write(storage, &mut ctx, "f", &v1, None, true);
+        assert_eq!(o1.chunks_uploaded, 8);
+        // Append less than one chunk: exactly one new chunk moves.
+        let mut v2 = v1.clone();
+        v2.extend_from_slice(&[0xAA; 100]);
+        let (o2, m2) = write(storage, &mut ctx, "f", &v2, Some(&m1), false);
+        assert_eq!(o2.chunks_uploaded, 1);
+        assert!(o2.bytes_uploaded < 2 * CHUNK as u64);
+        // Rewriting identical content uploads no chunks at all.
+        let (o3, _) = write(storage, &mut ctx, "f", &v2, Some(&m2), false);
+        assert_eq!(o3.chunks_uploaded, 0);
+        assert_eq!(o3.root_hash, o2.root_hash);
+    }
+
+    #[test]
+    fn single_cloud_append_uploads_only_dirty_chunks() {
+        run_append_uploads_only_dirty_chunks(&single());
+    }
+
+    #[test]
+    fn stale_prev_map_does_not_skip_gc_reclaimed_chunks() {
+        // A writer whose prev map predates a GC cycle must not trust it:
+        // chunks that are clean relative to prev may already be reclaimed,
+        // and skipping them would commit an unreadable version.
+        let storage = single();
+        let mut clock = Clock::new();
+        let mut ctx = OpCtx::new(&mut clock, "alice".into());
+        let mut data = vec![0u8; 2 * CHUNK];
+        data[..CHUNK].fill(0xA1); // chunk 0, unique to v1's lineage start
+        let (_, m1) = write(&storage, &mut ctx, "f", &data, None, true);
+        // Newer versions replace chunk 0, so the GC reclaims it.
+        let mut prev = m1.clone();
+        for i in 1..4u8 {
+            data[..CHUNK].fill(i);
+            let (_, m) = write(&storage, &mut ctx, "f", &data, Some(&prev), false);
+            prev = m;
+        }
+        assert!(storage.delete_old_versions(&mut ctx, "f", 1).unwrap() > 0);
+        // Rewrite the v1 content with the stale m1 as prev: every chunk of
+        // the new version must be readable, even those m1 claims exist.
+        data[..CHUNK].fill(0xA1);
+        let (o, _) = write(&storage, &mut ctx, "f", &data, Some(&m1), false);
+        assert_eq!(
+            storage.read_version(&mut ctx, "f", &o.root_hash).unwrap(),
+            data
+        );
+    }
+
+    #[test]
+    fn cloud_of_clouds_append_uploads_only_dirty_chunks() {
+        run_append_uploads_only_dirty_chunks(&coc());
+    }
+
+    #[test]
+    fn identical_chunks_are_deduplicated_within_a_version() {
+        let storage = single();
+        let mut clock = Clock::new();
+        let mut ctx = OpCtx::new(&mut clock, "alice".into());
+        // Four identical chunks: one upload.
+        let data = vec![5u8; 4 * CHUNK];
+        let (o, _) = write(&storage, &mut ctx, "f", &data, None, true);
+        assert_eq!(o.chunks_uploaded, 1);
+    }
+
+    #[test]
+    fn empty_files_round_trip() {
+        for storage in [&single() as &dyn FileStorage, &coc() as &dyn FileStorage] {
+            let mut clock = Clock::new();
+            let mut ctx = OpCtx::new(&mut clock, "alice".into());
+            let (o, _) = write(storage, &mut ctx, "f", &[], None, true);
+            assert_eq!(o.chunks_uploaded, 0);
+            assert_eq!(
+                storage.read_version(&mut ctx, "f", &o.root_hash).unwrap(),
+                Vec::<u8>::new()
+            );
+        }
+    }
+
     #[test]
     fn labels_identify_backends() {
         assert_eq!(single().label(), "AWS");
         assert_eq!(coc().label(), "CoC");
     }
 
-    #[test]
-    fn single_cloud_gc_removes_old_versions() {
-        let storage = single();
+    fn run_gc_reclaims_per_chunk(storage: &dyn FileStorage) {
         let mut clock = Clock::new();
         let mut ctx = OpCtx::new(&mut clock, "alice".into());
-        let mut hashes = Vec::new();
+        let mut maps: Vec<ChunkMap> = Vec::new();
+        let mut outcomes = Vec::new();
+        let mut data = vec![0u8; 2 * CHUNK];
         for i in 0..5u8 {
-            hashes.push(storage.write_version(&mut ctx, "f", &[i; 64], i == 0).unwrap());
+            // Each version rewrites the last chunk only; chunk 0 is shared by
+            // all versions.
+            data[2 * CHUNK - 1] = i;
+            let prev = maps.last().cloned();
+            let (o, m) = write(storage, &mut ctx, "f", &data, prev.as_ref(), i == 0);
+            maps.push(m);
+            outcomes.push(o);
         }
         let removed = storage.delete_old_versions(&mut ctx, "f", 2).unwrap();
         assert_eq!(removed, 3);
-        // Newest versions survive, oldest are gone.
-        assert!(storage.read_version(&mut ctx, "f", &hashes[4]).is_ok());
-        assert!(storage.read_version(&mut ctx, "f", &hashes[0]).is_err());
+        // Newest versions survive — including the shared first chunk.
+        assert!(storage
+            .read_version(&mut ctx, "f", &outcomes[4].root_hash)
+            .is_ok());
+        assert!(storage
+            .read_version(&mut ctx, "f", &outcomes[3].root_hash)
+            .is_ok());
+        // Oldest versions are gone.
+        assert!(storage
+            .read_version(&mut ctx, "f", &outcomes[0].root_hash)
+            .is_err());
         assert_eq!(storage.delete_old_versions(&mut ctx, "f", 2).unwrap(), 0);
+    }
+
+    #[test]
+    fn single_cloud_gc_reclaims_per_chunk() {
+        run_gc_reclaims_per_chunk(&single());
+    }
+
+    #[test]
+    fn cloud_of_clouds_gc_reclaims_per_chunk() {
+        run_gc_reclaims_per_chunk(&coc());
     }
 
     #[test]
@@ -319,9 +805,9 @@ mod tests {
         let storage = single();
         let mut clock = Clock::new();
         let mut ctx = OpCtx::new(&mut clock, "alice".into());
-        let h = storage.write_version(&mut ctx, "f", b"data", true).unwrap();
+        let (o, _) = write(&storage, &mut ctx, "f", b"data", None, true);
         storage.delete_all(&mut ctx, "f").unwrap();
-        assert!(storage.read_version(&mut ctx, "f", &h).is_err());
+        assert!(storage.read_version(&mut ctx, "f", &o.root_hash).is_err());
     }
 
     #[test]
@@ -330,7 +816,7 @@ mod tests {
         let mut clock = Clock::new();
         let mut ctx = OpCtx::new(&mut clock, "alice".into());
         let missing = sha256(b"never written");
-        match storage.read_version(&mut ctx, "f", &missing) {
+        match storage.read_manifest(&mut ctx, "f", &missing) {
             Err(ScfsError::Storage(e)) => assert!(e.is_transient()),
             other => panic!("expected transient storage error, got {other:?}"),
         }

@@ -150,13 +150,7 @@ impl FileCache {
 
     /// Inserts (or replaces) `path` with `data` tagged by `hash`, evicting
     /// least-recently-used entries if needed.
-    pub fn put(
-        &mut self,
-        clock: &mut Clock,
-        path: &str,
-        data: Vec<u8>,
-        hash: Option<ContentHash>,
-    ) {
+    pub fn put(&mut self, clock: &mut Clock, path: &str, data: Vec<u8>, hash: Option<ContentHash>) {
         self.tick += 1;
         self.charge(clock, Bytes::new(data.len() as u64), Bytes::ZERO);
         if let Some(old) = self.entries.remove(path) {
@@ -289,6 +283,80 @@ mod tests {
         cache.remove("/a");
         assert_eq!(cache.used_bytes(), Bytes::ZERO);
         cache.remove("/a"); // idempotent
+    }
+
+    #[test]
+    fn eviction_follows_strict_lru_order() {
+        let mut cache = FileCache::memory(Bytes::new(400), 7);
+        let mut clock = Clock::new();
+        for path in ["/a", "/b", "/c", "/d"] {
+            cache.put(&mut clock, path, vec![0u8; 100], None);
+        }
+        // Touch in the order c, a, d → b is the least recently used.
+        for path in ["/c", "/a", "/d"] {
+            assert!(cache.get(&mut clock, path, None).is_some());
+        }
+        cache.put(&mut clock, "/e", vec![0u8; 100], None);
+        assert!(!cache.contains("/b", None), "/b was the LRU victim");
+        // Next victim is /c (oldest surviving access).
+        cache.put(&mut clock, "/f", vec![0u8; 100], None);
+        assert!(!cache.contains("/c", None), "/c was the next victim");
+        for survivor in ["/a", "/d", "/e", "/f"] {
+            assert!(cache.contains(survivor, None), "{survivor} must survive");
+        }
+    }
+
+    #[test]
+    fn stats_count_hits_misses_and_evictions_exactly() {
+        let mut cache = FileCache::memory(Bytes::new(250), 8);
+        let mut clock = Clock::new();
+        assert_eq!(cache.stats(), CacheStats::default());
+        cache.put(&mut clock, "/a", vec![0u8; 100], None);
+        cache.put(&mut clock, "/b", vec![0u8; 100], None);
+        // 2 hits, 1 miss.
+        assert!(cache.get(&mut clock, "/a", None).is_some());
+        assert!(cache.get(&mut clock, "/b", None).is_some());
+        assert!(cache.get(&mut clock, "/missing", None).is_none());
+        // Inserting a third 100-byte entry evicts exactly one entry.
+        cache.put(&mut clock, "/c", vec![0u8; 100], None);
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.evictions, 1);
+    }
+
+    #[test]
+    fn stale_hash_lookup_counts_as_miss_and_entry_is_replaceable() {
+        let mut cache = FileCache::disk(Bytes::mib(1), 9);
+        let mut clock = Clock::new();
+        let v1 = b"version one".to_vec();
+        let h1 = sha256(&v1);
+        cache.put(&mut clock, "/f", v1.clone(), Some(h1));
+
+        // The anchor now advertises a newer hash: the cached entry is stale.
+        let v2 = b"version two".to_vec();
+        let h2 = sha256(&v2);
+        assert!(cache.get(&mut clock, "/f", Some(&h2)).is_none());
+        assert_eq!(cache.stats().misses, 1);
+
+        // Re-inserting under the new hash replaces the entry in place.
+        cache.put(&mut clock, "/f", v2.clone(), Some(h2));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.get(&mut clock, "/f", Some(&h2)).unwrap(), v2);
+        assert!(
+            cache.get(&mut clock, "/f", Some(&h1)).is_none(),
+            "old hash is gone"
+        );
+    }
+
+    #[test]
+    fn replacing_an_entry_does_not_leak_used_bytes() {
+        let mut cache = FileCache::memory(Bytes::new(1000), 10);
+        let mut clock = Clock::new();
+        cache.put(&mut clock, "/f", vec![0u8; 400], None);
+        cache.put(&mut clock, "/f", vec![0u8; 100], None);
+        assert_eq!(cache.used_bytes(), Bytes::new(100));
+        assert_eq!(cache.len(), 1);
     }
 
     #[test]

@@ -82,6 +82,10 @@ pub struct ScfsConfig {
     /// Whether private name spaces are used for non-shared files (§2.7,
     /// Figure 10(b)). The headline experiments disable PNS (worst case).
     pub private_name_spaces: bool,
+    /// Chunk size of the content-addressed data path: files are stored as
+    /// fixed-size chunks of this many bytes, and only dirty chunks are
+    /// uploaded on close (missing chunks downloaded on read).
+    pub chunk_size: Bytes,
     /// Garbage-collection policy.
     pub gc: GcConfig,
     /// Lease duration of file write locks.
@@ -106,6 +110,7 @@ impl ScfsConfig {
             memory_cache_capacity: Bytes::mib(512),
             disk_cache_capacity: Bytes::gib(16),
             private_name_spaces: false,
+            chunk_size: Bytes::new(crate::types::DEFAULT_CHUNK_SIZE as u64),
             gc: GcConfig::default(),
             lock_lease: SimDuration::from_secs(120),
             syscall_overhead: LatencyModel::Uniform {
@@ -149,6 +154,12 @@ mod tests {
         assert_eq!(c.metadata_cache_expiry, SimDuration::from_millis(500));
         assert!(!c.private_name_spaces);
         assert_eq!(c.gc.versions_to_keep, 4);
+    }
+
+    #[test]
+    fn default_chunk_size_is_1_mib() {
+        let c = ScfsConfig::paper_default(Mode::Blocking);
+        assert_eq!(c.chunk_size, Bytes::mib(1));
     }
 
     #[test]

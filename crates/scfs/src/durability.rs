@@ -113,7 +113,13 @@ pub fn table1_rows() -> Vec<(u8, &'static str, &'static str, &'static str, &'sta
         (0, "main memory", "microseconds", "none", "write"),
         (1, "local disk", "milliseconds", "process/OS crash", "fsync"),
         (2, "cloud", "seconds", "local disk failure", "close"),
-        (3, "cloud-of-clouds", "seconds", "f cloud provider failures", "close"),
+        (
+            3,
+            "cloud-of-clouds",
+            "seconds",
+            "f cloud provider failures",
+            "close",
+        ),
     ]
 }
 

@@ -110,7 +110,11 @@ impl MetadataService {
         if self.coord.is_none() {
             return true;
         }
-        if self.shared_prefixes.iter().any(|p| path.starts_with(p.as_str())) {
+        if self
+            .shared_prefixes
+            .iter()
+            .any(|p| path.starts_with(p.as_str()))
+        {
             return false;
         }
         match metadata {
@@ -266,7 +270,11 @@ impl MetadataService {
     }
 
     /// Lists the direct children of directory `path`.
-    pub fn list_children(&mut self, ctx: &mut OpCtx<'_>, path: &str) -> Result<Vec<String>, ScfsError> {
+    pub fn list_children(
+        &mut self,
+        ctx: &mut OpCtx<'_>,
+        path: &str,
+    ) -> Result<Vec<String>, ScfsError> {
         let mut children: Vec<String> = Vec::new();
         if let Some(pns) = &self.pns {
             children.extend(pns.children_of(path));
@@ -295,7 +303,12 @@ impl MetadataService {
     }
 
     /// Renames `from` (and everything under it) to `to`.
-    pub fn rename(&mut self, ctx: &mut OpCtx<'_>, from: &str, to: &str) -> Result<usize, ScfsError> {
+    pub fn rename(
+        &mut self,
+        ctx: &mut OpCtx<'_>,
+        from: &str,
+        to: &str,
+    ) -> Result<usize, ScfsError> {
         self.cache.retain(|k, _| !k.starts_with(from));
         let mut moved = 0usize;
         if let Some(pns) = self.pns.as_mut() {
@@ -389,30 +402,44 @@ mod tests {
     }
 
     fn md(path: &str) -> FileMetadata {
-        FileMetadata::new_file(path, AccountId::new("alice"), format!("id{path}"), SimInstant::EPOCH)
+        FileMetadata::new_file(
+            path,
+            AccountId::new("alice"),
+            format!("id{path}"),
+            SimInstant::EPOCH,
+        )
     }
 
     #[test]
     fn shared_metadata_goes_to_coordination_service() {
         let c = coord();
-        let mut svc = MetadataService::new(Some(c.clone()), false, "alice".into(), SimDuration::ZERO);
+        let mut svc =
+            MetadataService::new(Some(c.clone()), false, "alice".into(), SimDuration::ZERO);
         let mut clock = Clock::new();
         let mut ctx = OpCtx::new(&mut clock, "alice".into());
         svc.create(&mut ctx, md("/docs/a")).unwrap();
         assert_eq!(svc.get(&mut ctx, "/docs/a").unwrap().path, "/docs/a");
-        assert!(c.access_count() >= 2, "coordination service should have been used");
+        assert!(
+            c.access_count() >= 2,
+            "coordination service should have been used"
+        );
         assert!(svc.stats().coordination_reads >= 1);
     }
 
     #[test]
     fn private_metadata_stays_in_the_pns() {
         let c = coord();
-        let mut svc = MetadataService::new(Some(c.clone()), true, "alice".into(), SimDuration::ZERO);
+        let mut svc =
+            MetadataService::new(Some(c.clone()), true, "alice".into(), SimDuration::ZERO);
         let mut clock = Clock::new();
         let mut ctx = OpCtx::new(&mut clock, "alice".into());
         svc.create(&mut ctx, md("/docs/private")).unwrap();
         assert!(svc.get(&mut ctx, "/docs/private").is_ok());
-        assert_eq!(c.access_count(), 0, "private files must not touch the coordination service");
+        assert_eq!(
+            c.access_count(),
+            0,
+            "private files must not touch the coordination service"
+        );
         assert_eq!(svc.stats().pns_hits, 1);
         // Files under the shared prefix still use the coordination service.
         svc.create(&mut ctx, md("/shared/group-report")).unwrap();
@@ -422,8 +449,12 @@ mod tests {
     #[test]
     fn metadata_cache_absorbs_repeated_stats() {
         let c = coord();
-        let mut svc =
-            MetadataService::new(Some(c.clone()), false, "alice".into(), SimDuration::from_millis(500));
+        let mut svc = MetadataService::new(
+            Some(c.clone()),
+            false,
+            "alice".into(),
+            SimDuration::from_millis(500),
+        );
         let mut clock = Clock::new();
         let mut ctx = OpCtx::new(&mut clock, "alice".into());
         svc.create(&mut ctx, md("/f")).unwrap();
@@ -487,7 +518,8 @@ mod tests {
     fn setfacl_moves_private_file_to_coordination_service() {
         use cloud_store::types::Permission;
         let c = coord();
-        let mut svc = MetadataService::new(Some(c.clone()), true, "alice".into(), SimDuration::ZERO);
+        let mut svc =
+            MetadataService::new(Some(c.clone()), true, "alice".into(), SimDuration::ZERO);
         let mut clock = Clock::new();
         let mut ctx = OpCtx::new(&mut clock, "alice".into());
         svc.create(&mut ctx, md("/docs/report")).unwrap();
@@ -497,7 +529,10 @@ mod tests {
         acl.grant("bob".into(), Permission::Read);
         let updated = svc.set_acl(&mut ctx, metadata, acl).unwrap();
         assert!(updated.is_shared());
-        assert!(c.access_count() > 0, "sharing must create a coordination tuple");
+        assert!(
+            c.access_count() > 0,
+            "sharing must create a coordination tuple"
+        );
         assert!(svc.pns().unwrap().get("/docs/report").is_none());
     }
 

@@ -155,7 +155,12 @@ mod tests {
     use sim_core::time::SimInstant;
 
     fn md(path: &str) -> FileMetadata {
-        FileMetadata::new_file(path, AccountId::new("alice"), format!("id-{path}"), SimInstant::EPOCH)
+        FileMetadata::new_file(
+            path,
+            AccountId::new("alice"),
+            format!("id-{path}"),
+            SimInstant::EPOCH,
+        )
     }
 
     #[test]

@@ -1,9 +1,143 @@
-//! Core SCFS data types: paths, metadata tuples, open flags and handles.
+//! Core SCFS data types: paths, metadata tuples, chunk maps, open flags and
+//! handles.
 
 use cloud_store::types::{AccountId, Acl};
 use depsky::wire::{DecodeError, Reader, Writer};
-use scfs_crypto::ContentHash;
+use scfs_crypto::{sha256, ContentHash};
 use sim_core::time::SimInstant;
+
+/// Default chunk size of the chunked data path (1 MiB), overridable through
+/// [`crate::config::ScfsConfig::chunk_size`].
+pub const DEFAULT_CHUNK_SIZE: usize = 1 << 20;
+
+/// The ordered list of content-addressed chunks making up one file version.
+///
+/// The chunked data path stores a file as fixed-size chunks, each addressed
+/// by the SHA-256 of its contents, plus this small manifest. The consistency
+/// anchor keeps exactly one hash per version — the [`ChunkMap::root_hash`],
+/// the SHA-256 of the encoded manifest — so the coordination-service
+/// protocol is unchanged while the storage service gains chunk-level dedup
+/// (identical chunks are shared across versions) and incremental transfer
+/// (only dirty chunks move on close, only missing chunks on read).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkMap {
+    file_len: u64,
+    chunk_size: u32,
+    chunks: Vec<ContentHash>,
+}
+
+impl ChunkMap {
+    /// Builds the chunk map of `data` split into `chunk_size`-byte chunks
+    /// (the final chunk may be shorter). An empty file has zero chunks.
+    pub fn build(data: &[u8], chunk_size: usize) -> Self {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ChunkMap {
+            file_len: data.len() as u64,
+            chunk_size: chunk_size as u32,
+            chunks: data.chunks(chunk_size).map(sha256).collect(),
+        }
+    }
+
+    /// The map of an empty file.
+    pub fn empty(chunk_size: usize) -> Self {
+        ChunkMap::build(&[], chunk_size)
+    }
+
+    /// Total file length in bytes.
+    pub fn file_len(&self) -> u64 {
+        self.file_len
+    }
+
+    /// The nominal chunk size this map was built with.
+    pub fn chunk_size(&self) -> usize {
+        self.chunk_size as usize
+    }
+
+    /// The per-chunk content hashes, in file order.
+    pub fn chunks(&self) -> &[ContentHash] {
+        &self.chunks
+    }
+
+    /// Number of chunks.
+    pub fn chunk_count(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Byte range of chunk `index` within the file.
+    pub fn byte_range(&self, index: usize) -> std::ops::Range<usize> {
+        let start = index * self.chunk_size as usize;
+        let end = (start + self.chunk_size as usize).min(self.file_len as usize);
+        start..end
+    }
+
+    /// The single hash the consistency anchor stores for this version: the
+    /// SHA-256 of the encoded manifest.
+    pub fn root_hash(&self) -> ContentHash {
+        sha256(&self.encode())
+    }
+
+    /// Indices of the chunks of this map that `prev` does not already hold —
+    /// the chunks a writer must upload when the previous version is `prev`.
+    pub fn dirty_chunks(&self, prev: Option<&ChunkMap>) -> Vec<usize> {
+        let existing: std::collections::HashSet<&ContentHash> =
+            prev.map(|p| p.chunks.iter().collect()).unwrap_or_default();
+        self.chunks
+            .iter()
+            .enumerate()
+            .filter(|(_, h)| !existing.contains(h))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Serializes the manifest (what the storage service stores under the
+    /// root hash).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_u64(self.file_len);
+        w.put_u64(self.chunk_size as u64);
+        w.put_u64(self.chunks.len() as u64);
+        for hash in &self.chunks {
+            w.put_bytes(hash);
+        }
+        w.finish()
+    }
+
+    /// Deserializes a manifest.
+    pub fn decode(buf: &[u8]) -> Result<Self, DecodeError> {
+        let mut r = Reader::new(buf);
+        let file_len = r.get_u64()?;
+        let chunk_size = r.get_u64()?;
+        if chunk_size == 0 || chunk_size > u32::MAX as u64 {
+            return Err(DecodeError {
+                reason: format!("invalid chunk size {chunk_size}"),
+            });
+        }
+        let count = r.get_u64()? as usize;
+        let expected = file_len.div_ceil(chunk_size) as usize;
+        if count != expected {
+            return Err(DecodeError {
+                reason: format!("chunk count {count} does not cover file of {file_len} bytes"),
+            });
+        }
+        let mut chunks = Vec::with_capacity(count);
+        for _ in 0..count {
+            let bytes = r.get_bytes()?;
+            if bytes.len() != 32 {
+                return Err(DecodeError {
+                    reason: "chunk hash must be 32 bytes".into(),
+                });
+            }
+            let mut h = [0u8; 32];
+            h.copy_from_slice(&bytes);
+            chunks.push(h);
+        }
+        Ok(ChunkMap {
+            file_len,
+            chunk_size: chunk_size as u32,
+            chunks,
+        })
+    }
+}
 
 /// Type of a file-system object.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -315,8 +449,7 @@ mod tests {
 
     #[test]
     fn shared_flag_follows_acl() {
-        let mut md =
-            FileMetadata::new_file("/f", "alice".into(), "id".into(), SimInstant::EPOCH);
+        let mut md = FileMetadata::new_file("/f", "alice".into(), "id".into(), SimInstant::EPOCH);
         assert!(!md.is_shared());
         md.acl.grant("bob".into(), Permission::Write);
         assert!(md.is_shared());
@@ -353,5 +486,73 @@ mod tests {
         let mut bytes = md.encode();
         bytes.truncate(bytes.len() / 2);
         assert!(FileMetadata::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn chunk_map_splits_and_round_trips() {
+        let data = vec![3u8; 2500];
+        let map = ChunkMap::build(&data, 1000);
+        assert_eq!(map.file_len(), 2500);
+        assert_eq!(map.chunk_count(), 3);
+        assert_eq!(map.byte_range(0), 0..1000);
+        assert_eq!(map.byte_range(2), 2000..2500);
+        let decoded = ChunkMap::decode(&map.encode()).unwrap();
+        assert_eq!(decoded, map);
+        assert_eq!(decoded.root_hash(), map.root_hash());
+    }
+
+    #[test]
+    fn chunk_map_edge_sizes() {
+        // Empty file: no chunks, but still a well-defined root hash.
+        let empty = ChunkMap::empty(1000);
+        assert_eq!(empty.chunk_count(), 0);
+        assert_eq!(ChunkMap::decode(&empty.encode()).unwrap(), empty);
+        // Exactly one chunk, one byte less, one byte more.
+        assert_eq!(ChunkMap::build(&vec![0; 1000], 1000).chunk_count(), 1);
+        assert_eq!(ChunkMap::build(&vec![0; 999], 1000).chunk_count(), 1);
+        let plus = ChunkMap::build(&vec![0; 1001], 1000);
+        assert_eq!(plus.chunk_count(), 2);
+        assert_eq!(plus.byte_range(1), 1000..1001);
+    }
+
+    #[test]
+    fn identical_chunks_share_hashes() {
+        let data = vec![7u8; 3000];
+        let map = ChunkMap::build(&data, 1000);
+        assert_eq!(map.chunks()[0], map.chunks()[1]);
+        assert_eq!(map.chunks()[1], map.chunks()[2]);
+    }
+
+    #[test]
+    fn dirty_chunks_are_only_the_changed_ones() {
+        let mut data = vec![1u8; 4000];
+        let v1 = ChunkMap::build(&data, 1000);
+        // With no previous version every chunk is dirty (within-version
+        // dedup happens at upload time in the backend).
+        assert_eq!(v1.dirty_chunks(None).len(), 4);
+        data[2500] = 9;
+        let v2 = ChunkMap::build(&data, 1000);
+        assert_eq!(v2.dirty_chunks(Some(&v1)), vec![2]);
+        // An append adds exactly one dirty chunk.
+        data.extend_from_slice(&[5u8; 10]);
+        let v3 = ChunkMap::build(&data, 1000);
+        assert_eq!(v3.dirty_chunks(Some(&v2)), vec![4]);
+        // Same content: nothing dirty.
+        let v4 = ChunkMap::build(&data, 1000);
+        assert!(v4.dirty_chunks(Some(&v3)).is_empty());
+        assert_eq!(v4.root_hash(), v3.root_hash());
+    }
+
+    #[test]
+    fn chunk_map_rejects_inconsistent_encodings() {
+        let map = ChunkMap::build(&[0u8; 100], 50);
+        let mut bytes = map.encode();
+        bytes.truncate(bytes.len() / 2);
+        assert!(ChunkMap::decode(&bytes).is_err());
+        // A manifest whose chunk count cannot cover the file is rejected.
+        let mut w = Writer::new();
+        w.put_u64(100).put_u64(50).put_u64(1);
+        w.put_bytes(&[0u8; 32]);
+        assert!(ChunkMap::decode(&w.finish()).is_err());
     }
 }

@@ -142,8 +142,7 @@ impl FaultInjector {
 
     /// Whether the component is crashed at instant `t`.
     pub fn is_crashed(&self, t: SimInstant) -> bool {
-        matches!(self.plan.kind, FaultKind::Crash)
-            && self.plan.crash_at.map_or(true, |at| t >= at)
+        matches!(self.plan.kind, FaultKind::Crash) && self.plan.crash_at.is_none_or(|at| t >= at)
     }
 
     /// Whether the component is inside a scheduled outage at instant `t`.

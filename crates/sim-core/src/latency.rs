@@ -230,7 +230,9 @@ mod tests {
             median_millis: 100.0,
             sigma: 0.3,
         };
-        let mut samples: Vec<f64> = (0..10_001).map(|_| m.sample(&mut rng).as_millis_f64()).collect();
+        let mut samples: Vec<f64> = (0..10_001)
+            .map(|_| m.sample(&mut rng).as_millis_f64())
+            .collect();
         samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let median = samples[samples.len() / 2];
         assert!((median - 100.0).abs() < 10.0, "median was {median}");
@@ -267,6 +269,9 @@ mod tests {
     fn canned_profiles_are_ordered_by_speed() {
         let mem = LatencyProfile::main_memory().mean_op(Bytes::kib(4), Bytes::ZERO);
         let disk = LatencyProfile::local_disk().mean_op(Bytes::kib(4), Bytes::ZERO);
-        assert!(mem < disk, "memory ({mem}) should be faster than disk ({disk})");
+        assert!(
+            mem < disk,
+            "memory ({mem}) should be faster than disk ({disk})"
+        );
     }
 }

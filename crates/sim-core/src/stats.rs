@@ -86,7 +86,11 @@ impl Summary {
 
     /// Smallest sample; 0.0 when empty.
     pub fn min(&self) -> f64 {
-        self.samples.iter().copied().fold(f64::INFINITY, f64::min).min_or_zero()
+        self.samples
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
+            .min_or_zero()
     }
 
     /// Largest sample; 0.0 when empty.
@@ -249,7 +253,7 @@ mod tests {
         assert!((s.median() - 3.0).abs() < 1e-12);
         assert!((s.percentile(0.0) - 1.0).abs() < 1e-12);
         assert!((s.percentile(100.0) - 5.0).abs() < 1e-12);
-        assert!((s.std_dev() - 1.4142135623).abs() < 1e-6);
+        assert!((s.std_dev() - std::f64::consts::SQRT_2).abs() < 1e-6);
     }
 
     #[test]
@@ -261,7 +265,10 @@ mod tests {
 
     #[test]
     fn summary_from_durations_uses_seconds() {
-        let s = Summary::from_durations([SimDuration::from_millis(500), SimDuration::from_millis(1500)]);
+        let s = Summary::from_durations([
+            SimDuration::from_millis(500),
+            SimDuration::from_millis(1500),
+        ]);
         assert!((s.mean() - 1.0).abs() < 1e-9);
     }
 

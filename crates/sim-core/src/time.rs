@@ -154,6 +154,7 @@ impl SimDuration {
     }
 
     /// Multiplies the duration by an integer factor.
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, factor: u64) -> SimDuration {
         SimDuration(self.0.saturating_mul(factor))
     }
@@ -337,7 +338,10 @@ mod tests {
     #[test]
     fn from_secs_f64_clamps_negative() {
         assert_eq!(SimDuration::from_secs_f64(-1.0), SimDuration::ZERO);
-        assert_eq!(SimDuration::from_secs_f64(0.001), SimDuration::from_millis(1));
+        assert_eq!(
+            SimDuration::from_secs_f64(0.001),
+            SimDuration::from_millis(1)
+        );
     }
 
     #[test]

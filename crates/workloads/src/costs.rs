@@ -1,7 +1,7 @@
 //! The cost analyses of Figure 11 and the durability table (Table 1).
 
-use coord::deployment::CoordDeployment;
 use cloud_store::pricing::VmInstanceSize;
+use coord::deployment::CoordDeployment;
 use scfs::cost::{CostBackend, CostModel};
 use scfs::durability::table1_rows;
 use sim_core::units::Bytes;
@@ -109,7 +109,12 @@ pub fn figure11c() -> Table {
     let coc = CostModel::new(CostBackend::CloudOfClouds);
     let mut table = Table::new(
         "Figure 11(c): storage cost per file version per day (micro-dollars)",
-        vec!["file size".into(), "CoC".into(), "AWS".into(), "CoC/AWS".into()],
+        vec![
+            "file size".into(),
+            "CoC".into(),
+            "AWS".into(),
+            "CoC/AWS".into(),
+        ],
     );
     for size in figure11_sizes() {
         let a = aws.storage_cost_per_day(size).get();

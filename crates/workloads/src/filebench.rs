@@ -96,14 +96,17 @@ pub fn run_microbenchmarks(
     let mut offset = 0usize;
     while offset < file_size {
         let len = cfg.io_request.min(file_size - offset);
-        fs.write(h, offset as u64, &chunk[..len]).expect("seq write");
+        fs.write(h, offset as u64, &chunk[..len])
+            .expect("seq write");
         offset += len;
     }
     let seq_write = fs.now().duration_since(start).as_secs_f64();
     fs.close(h).expect("close after seq write");
 
     // --- Sequential read. ---
-    let h = fs.open("/bench/io.dat", OpenFlags::read_only()).expect("open for read");
+    let h = fs
+        .open("/bench/io.dat", OpenFlags::read_only())
+        .expect("open for read");
     let start = fs.now();
     let mut offset = 0usize;
     while offset < file_size {
@@ -116,7 +119,9 @@ pub fn run_microbenchmarks(
 
     // --- Random 4 KiB reads. ---
     let slots = (file_size / cfg.io_request).max(1) as u64;
-    let h = fs.open("/bench/io.dat", OpenFlags::read_only()).expect("open for random read");
+    let h = fs
+        .open("/bench/io.dat", OpenFlags::read_only())
+        .expect("open for random read");
     let start = fs.now();
     for _ in 0..cfg.random_ops {
         let off = rng.next_below(slots) * cfg.io_request as u64;
@@ -126,7 +131,9 @@ pub fn run_microbenchmarks(
     fs.close(h).expect("close after random read");
 
     // --- Random 4 KiB writes. ---
-    let h = fs.open("/bench/io.dat", OpenFlags::read_write()).expect("open for random write");
+    let h = fs
+        .open("/bench/io.dat", OpenFlags::read_write())
+        .expect("open for random write");
     let start = fs.now();
     for _ in 0..cfg.random_ops {
         let off = rng.next_below(slots) * cfg.io_request as u64;
@@ -188,7 +195,8 @@ pub fn table3(cfg: &MicroBenchConfig, seed: u64) -> Table {
         let mut fs = build_system(kind, seed);
         all.push(run_microbenchmarks(fs.as_mut(), cfg, seed));
     }
-    let rows: Vec<(&str, Box<dyn Fn(&MicroBenchResults) -> f64>)> = vec![
+    type RowExtractor = Box<dyn Fn(&MicroBenchResults) -> f64>;
+    let rows: Vec<(&str, RowExtractor)> = vec![
         ("sequential read", Box::new(|r| r.seq_read)),
         ("sequential write", Box::new(|r| r.seq_write)),
         ("random 4KB-read", Box::new(|r| r.random_read)),

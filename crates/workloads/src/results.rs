@@ -67,7 +67,10 @@ impl Table {
     /// Looks up a cell by row label and column header (for tests).
     pub fn cell(&self, row_label: &str, column: &str) -> Option<&str> {
         let col = self.headers.iter().position(|h| h == column)?;
-        let row = self.rows.iter().find(|r| r.first().map(String::as_str) == Some(row_label))?;
+        let row = self
+            .rows
+            .iter()
+            .find(|r| r.first().map(String::as_str) == Some(row_label))?;
         row.get(col).map(String::as_str)
     }
 }

@@ -143,7 +143,8 @@ pub fn build_storage(backend: Backend, seed: u64) -> Arc<dyn FileStorage> {
                 .into_iter()
                 .enumerate()
                 .map(|(i, p)| {
-                    Arc::new(SimulatedCloud::new(p, seed.wrapping_add(i as u64))) as Arc<dyn ObjectStore>
+                    Arc::new(SimulatedCloud::new(p, seed.wrapping_add(i as u64)))
+                        as Arc<dyn ObjectStore>
                 })
                 .collect();
             let depsky = DepSkyClient::new(clouds, DepSkyConfig::scfs_default(), seed)

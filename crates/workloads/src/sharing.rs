@@ -118,11 +118,8 @@ pub fn measure_sharing(
                 reader.sleep(resume.duration_since(reader.now()));
 
                 let payload = rng.bytes(size.get() as usize);
-                let expected_version = writer
-                    .stat(path)
-                    .expect("stat before write")
-                    .version_count
-                    + 1;
+                let expected_version =
+                    writer.stat(path).expect("stat before write").version_count + 1;
                 writer.write_file(path, &payload).expect("shared write");
                 let closed_at = writer.now();
 
@@ -140,9 +137,8 @@ pub fn measure_sharing(
                         break;
                     }
                 }
-                let received_at = received_at.unwrap_or_else(|| {
-                    panic!("run {run}: reader never observed the new version")
-                });
+                let received_at = received_at
+                    .unwrap_or_else(|| panic!("run {run}: reader never observed the new version"));
                 samples.add(received_at.duration_since(closed_at).as_secs_f64());
             }
         }
@@ -155,7 +151,12 @@ pub fn measure_sharing(
 
 /// The file sizes of Figure 9.
 pub fn figure9_sizes() -> Vec<Bytes> {
-    vec![Bytes::kib(256), Bytes::mib(1), Bytes::mib(4), Bytes::mib(16)]
+    vec![
+        Bytes::kib(256),
+        Bytes::mib(1),
+        Bytes::mib(4),
+        Bytes::mib(16),
+    ]
 }
 
 /// Runs Figure 9 and returns the result table.

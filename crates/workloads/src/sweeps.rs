@@ -94,11 +94,7 @@ fn run_create_copy(
 
 /// One point of Figure 10(a): SCFS-CoC-NB with the given metadata-cache
 /// expiration time, no PNS (all files shared, the worst case).
-pub fn metadata_cache_point(
-    expiry: SimDuration,
-    cfg: SweepConfig,
-    seed: u64,
-) -> SweepPoint {
+pub fn metadata_cache_point(expiry: SimDuration, cfg: SweepConfig, seed: u64) -> SweepPoint {
     let mut config = ScfsConfig::paper_default(Mode::NonBlocking);
     config.metadata_cache_expiry = expiry;
     let mut fs = build_scfs(Backend::CloudOfClouds, Mode::NonBlocking, config, seed);
@@ -118,11 +114,19 @@ pub fn pns_sharing_point(shared_fraction: f64, cfg: SweepConfig, seed: u64) -> S
 pub fn figure10a(cfg: SweepConfig, seed: u64) -> Table {
     let mut table = Table::new(
         "Figure 10(a): metadata cache expiration time vs. latency (SCFS-CoC-NB, virtual seconds)",
-        vec!["expiration (ms)".into(), "create files".into(), "copy files".into()],
+        vec![
+            "expiration (ms)".into(),
+            "create files".into(),
+            "copy files".into(),
+        ],
     );
     for ms in [0u64, 250, 500] {
         let p = metadata_cache_point(SimDuration::from_millis(ms), cfg, seed);
-        table.push_row(vec![ms.to_string(), fmt_secs(p.create_s), fmt_secs(p.copy_s)]);
+        table.push_row(vec![
+            ms.to_string(),
+            fmt_secs(p.create_s),
+            fmt_secs(p.copy_s),
+        ]);
     }
     table
 }
@@ -131,11 +135,19 @@ pub fn figure10a(cfg: SweepConfig, seed: u64) -> Table {
 pub fn figure10b(cfg: SweepConfig, seed: u64) -> Table {
     let mut table = Table::new(
         "Figure 10(b): % of shared files vs. latency with PNS (SCFS-CoC-NB, virtual seconds)",
-        vec!["shared files (%)".into(), "create files".into(), "copy files".into()],
+        vec![
+            "shared files (%)".into(),
+            "create files".into(),
+            "copy files".into(),
+        ],
     );
     for pct in [0u32, 25, 50, 100] {
         let p = pns_sharing_point(pct as f64 / 100.0, cfg, seed);
-        table.push_row(vec![pct.to_string(), fmt_secs(p.create_s), fmt_secs(p.copy_s)]);
+        table.push_row(vec![
+            pct.to_string(),
+            fmt_secs(p.create_s),
+            fmt_secs(p.copy_s),
+        ]);
     }
     table
 }

@@ -33,8 +33,10 @@ fn main() {
         .collect();
     let depsky = DepSkyClient::new(clouds, DepSkyConfig::scfs_default(), 11).expect("depsky");
     let storage = Arc::new(CloudOfCloudsStorage::new(depsky));
-    let coordinator: Arc<dyn CoordinationService> =
-        Arc::new(ReplicatedCoordinator::new(ReplicationConfig::coc_byzantine(), 11));
+    let coordinator: Arc<dyn CoordinationService> = Arc::new(ReplicatedCoordinator::new(
+        ReplicationConfig::coc_byzantine(),
+        11,
+    ));
 
     let mut fs = ScfsAgent::mount(
         "ops-team".into(),
@@ -47,7 +49,8 @@ fn main() {
 
     // Back up the critical files.
     let backup = vec![0x42u8; 512 * 1024];
-    fs.write_file("/backups/customer-db.dump", &backup).expect("backup written");
+    fs.write_file("/backups/customer-db.dump", &backup)
+        .expect("backup written");
     println!("[{}] backup stored across {} clouds", fs.now(), sims.len());
 
     // Disaster 1: one provider has a prolonged outage.
@@ -59,12 +62,18 @@ fn main() {
 
     // Disaster 2: another provider silently corrupts everything it serves.
     sims[1].set_fault_plan(FaultPlan::always_byzantine(), 2);
-    println!("-> {} now corrupts the data it returns", sims[1].profile().name);
+    println!(
+        "-> {} now corrupts the data it returns",
+        sims[1].profile().name
+    );
 
     // Wait: the paper tolerates f = 1 faulty cloud; two simultaneous faults
     // exceed the threshold, so heal the Byzantine one to stay within spec.
     sims[1].set_fault_plan(FaultPlan::none(), 2);
-    println!("-> {} recovered (within the f = 1 fault budget)", sims[1].profile().name);
+    println!(
+        "-> {} recovered (within the f = 1 fault budget)",
+        sims[1].profile().name
+    );
 
     // Recovery drill: a brand-new agent (fresh machine, empty caches)
     // restores the backup; it must read through the remaining healthy quorum.
@@ -77,7 +86,9 @@ fn main() {
     )
     .expect("mount recovery agent");
     recovery.sleep(fs.now().duration_since(recovery.now()));
-    let restored = recovery.read_file("/backups/customer-db.dump").expect("restore");
+    let restored = recovery
+        .read_file("/backups/customer-db.dump")
+        .expect("restore");
     assert_eq!(restored, backup);
     println!(
         "[{}] restored {} bytes on a fresh machine despite the provider outage",

@@ -22,7 +22,8 @@ fn main() {
     for revision in 1..=8u8 {
         for doc in ["thesis.tex", "photos.db", "todo.md"] {
             let content = vec![revision; 64 * 1024];
-            fs.write_file(&format!("/home/{doc}"), &content).expect("save");
+            fs.write_file(&format!("/home/{doc}"), &content)
+                .expect("save");
         }
     }
     println!("virtual time after 24 saves: {}", fs.now());

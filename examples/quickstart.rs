@@ -20,8 +20,10 @@ fn main() {
     //    in EC2 — the paper's "AWS backend".
     let cloud = Arc::new(SimulatedCloud::new(ProviderProfile::amazon_s3(), 1));
     let storage = Arc::new(SingleCloudStorage::new(cloud.clone()));
-    let coordinator: Arc<dyn CoordinationService> =
-        Arc::new(ReplicatedCoordinator::new(ReplicationConfig::aws_single_ec2(), 1));
+    let coordinator: Arc<dyn CoordinationService> = Arc::new(ReplicatedCoordinator::new(
+        ReplicationConfig::aws_single_ec2(),
+        1,
+    ));
 
     // 2. Mount the agent in blocking mode (full consistency-on-close).
     let mut fs = ScfsAgent::mount(
@@ -38,7 +40,11 @@ fn main() {
     fs.write_file("/docs/notes.txt", b"SCFS stores whole files in the cloud")
         .expect("write");
     let back = fs.read_file("/docs/notes.txt").expect("read");
-    println!("read back {} bytes: {:?}", back.len(), String::from_utf8_lossy(&back));
+    println!(
+        "read back {} bytes: {:?}",
+        back.len(),
+        String::from_utf8_lossy(&back)
+    );
 
     let md = fs.stat("/docs/notes.txt").expect("stat");
     println!(

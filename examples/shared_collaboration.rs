@@ -30,7 +30,11 @@ fn main() {
     // Bob catches up in virtual time and opens the shared report.
     bob.sleep(SimDuration::from_secs(5).max(alice.now().duration_since(bob.now())));
     let contents = bob.read_file("/shared/q2-report.odt").expect("bob reads");
-    println!("[{}] bob read: {}", bob.now(), String::from_utf8_lossy(&contents));
+    println!(
+        "[{}] bob read: {}",
+        bob.now(),
+        String::from_utf8_lossy(&contents)
+    );
 
     // Bob edits it; while his handle is open for writing Alice cannot grab
     // the write lock (write-write conflicts are prevented).
@@ -41,15 +45,27 @@ fn main() {
 
     alice.sleep(SimDuration::from_secs(1).max(bob.now().duration_since(alice.now())));
     match alice.open("/shared/q2-report.odt", OpenFlags::read_write()) {
-        Err(e) => println!("[{}] alice cannot write while bob holds the lock: {e}", alice.now()),
+        Err(e) => println!(
+            "[{}] alice cannot write while bob holds the lock: {e}",
+            alice.now()
+        ),
         Ok(_) => println!("unexpected: alice acquired the lock"),
     }
 
     bob.close(h).expect("bob closes (consistency-on-close)");
-    println!("[{}] bob closed the file; his update is now in the clouds", bob.now());
+    println!(
+        "[{}] bob closed the file; his update is now in the clouds",
+        bob.now()
+    );
 
     // Consistency-on-close: Alice now sees Bob's version.
     alice.sleep(SimDuration::from_secs(2).max(bob.now().duration_since(alice.now())));
-    let latest = alice.read_file("/shared/q2-report.odt").expect("alice re-reads");
-    println!("[{}] alice reads: {}", alice.now(), String::from_utf8_lossy(&latest));
+    let latest = alice
+        .read_file("/shared/q2-report.odt")
+        .expect("alice re-reads");
+    println!(
+        "[{}] alice reads: {}",
+        alice.now(),
+        String::from_utf8_lossy(&latest)
+    );
 }

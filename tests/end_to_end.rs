@@ -12,7 +12,8 @@ use scfs_repro::workloads::setup::{build_system, Backend, SharedScfsEnv, SystemK
 fn every_system_supports_the_basic_posix_workflow() {
     for kind in SystemKind::all() {
         let mut fs = build_system(kind, 1234);
-        fs.mkdir("/work").unwrap_or_else(|e| panic!("{}: mkdir: {e}", kind.label()));
+        fs.mkdir("/work")
+            .unwrap_or_else(|e| panic!("{}: mkdir: {e}", kind.label()));
         fs.write_file("/work/a.bin", &vec![1u8; 32 * 1024])
             .unwrap_or_else(|e| panic!("{}: write: {e}", kind.label()));
         assert_eq!(
@@ -48,7 +49,8 @@ fn consistency_on_close_across_two_clients_on_the_coc_backend() {
     // Bob reads version 1, then writes version 2; Alice must observe it.
     bob.sleep(SimDuration::from_secs(60));
     assert_eq!(bob.read_file("/shared/design.md").unwrap(), b"version 1");
-    bob.write_file("/shared/design.md", b"version 2 by bob").unwrap();
+    bob.write_file("/shared/design.md", b"version 2 by bob")
+        .unwrap();
 
     alice.sleep(SimDuration::from_secs(120));
     assert_eq!(
@@ -68,14 +70,20 @@ fn locks_serialize_writers_and_expire_for_crashed_clients() {
         .setfacl("/shared/ledger.csv", &"bob".into(), Permission::Write)
         .unwrap();
     // Alice opens for writing and "crashes" (never closes).
-    let _held = alice.open("/shared/ledger.csv", OpenFlags::read_write()).unwrap();
+    let _held = alice
+        .open("/shared/ledger.csv", OpenFlags::read_write())
+        .unwrap();
 
     bob.sleep(SimDuration::from_secs(5));
-    assert!(bob.open("/shared/ledger.csv", OpenFlags::read_write()).is_err());
+    assert!(bob
+        .open("/shared/ledger.csv", OpenFlags::read_write())
+        .is_err());
 
     // After the lock lease expires, Bob can write.
     bob.sleep(SimDuration::from_secs(200));
-    let h = bob.open("/shared/ledger.csv", OpenFlags::read_write()).unwrap();
+    let h = bob
+        .open("/shared/ledger.csv", OpenFlags::read_write())
+        .unwrap();
     bob.write(h, 0, b"row1\nrow2").unwrap();
     bob.close(h).unwrap();
     assert_eq!(bob.read_file("/shared/ledger.csv").unwrap(), b"row1\nrow2");
@@ -122,7 +130,8 @@ fn unshared_files_never_touch_the_coordination_service_with_pns() {
 
     let before = coordinator.access_count();
     for i in 0..10 {
-        fs.write_file(&format!("/private/notes-{i}.txt"), b"mine").unwrap();
+        fs.write_file(&format!("/private/notes-{i}.txt"), b"mine")
+            .unwrap();
     }
     assert_eq!(
         coordinator.access_count(),
