@@ -213,8 +213,15 @@ impl FileSystem for LocalFs {
             .get(&handle)
             .ok_or(ScfsError::BadHandle { handle: handle.0 })?;
         let start = (offset as usize).min(file.buffer.len());
-        let end = (start + len).min(file.buffer.len());
+        let end = start.saturating_add(len).min(file.buffer.len());
         Ok(file.buffer[start..end].to_vec())
+    }
+
+    fn handle_size(&mut self, handle: FileHandle) -> Result<u64, ScfsError> {
+        self.open
+            .get(&handle)
+            .map(|f| f.buffer.len() as u64)
+            .ok_or(ScfsError::BadHandle { handle: handle.0 })
     }
 
     fn write(&mut self, handle: FileHandle, offset: u64, data: &[u8]) -> Result<usize, ScfsError> {

@@ -107,6 +107,10 @@ impl FileSystem for S3fsLike {
         self.inner.read(handle, offset, len)
     }
 
+    fn handle_size(&mut self, handle: FileHandle) -> Result<u64, ScfsError> {
+        self.inner.handle_size(handle)
+    }
+
     fn write(&mut self, handle: FileHandle, offset: u64, data: &[u8]) -> Result<usize, ScfsError> {
         self.inner.write(handle, offset, data)
     }

@@ -100,6 +100,10 @@ impl FileSystem for S3qlLike {
         self.inner.read(handle, offset, len)
     }
 
+    fn handle_size(&mut self, handle: FileHandle) -> Result<u64, ScfsError> {
+        self.inner.handle_size(handle)
+    }
+
     fn write(&mut self, handle: FileHandle, offset: u64, data: &[u8]) -> Result<usize, ScfsError> {
         if data.len() < self.chunk_size {
             let penalty = self.sub_chunk_penalty.sample(&mut self.rng);

@@ -1,0 +1,81 @@
+//! Perf-trajectory harness for the chunk transfer engine.
+//!
+//! Measures the *virtual-time* foreground latency of closing a dirty
+//! 16-chunk (16 MiB) file at several parallelism levels, on both backends
+//! with the paper's WAN provider profiles, and writes the numbers to
+//! `target/BENCH_transfer.json` so future PRs can track the sequential-vs-
+//! parallel close latency over time. Virtual time is deterministic given the
+//! seed, so the emitted numbers are stable across machines.
+//!
+//! Runs under `cargo bench --bench transfer_engine` (the CI bench-smoke
+//! step); it is a plain `main`, not a Criterion harness, because the metric
+//! is simulated seconds rather than host wall-clock.
+
+use scfs::config::{Mode, ScfsConfig};
+use scfs::fs::FileSystem;
+use workloads::setup::{Backend, SharedScfsEnv};
+
+const MIB: usize = 1 << 20;
+const CHUNKS: usize = 16;
+const PARALLELISMS: [usize; 4] = [1, 2, 4, 8];
+
+/// A 16 MiB file whose 1 MiB chunks all differ from one another.
+fn sixteen_mib() -> Vec<u8> {
+    let mut data = vec![0u8; CHUNKS * MIB];
+    for (i, chunk) in data.chunks_mut(MIB).enumerate() {
+        chunk.fill(i as u8 + 1);
+    }
+    data
+}
+
+/// Foreground virtual seconds of a dirty 16-chunk close (write_file) on a
+/// fresh agent at the given parallelism.
+fn close_latency_secs(backend: Backend, parallel: usize, data: &[u8]) -> f64 {
+    let env = SharedScfsEnv::new(backend, Mode::Blocking, 7);
+    let mut config = ScfsConfig::paper_default(Mode::Blocking);
+    config.max_parallel_transfers = parallel;
+    let mut fs = env.mount("alice", config, 7);
+    let start = fs.now();
+    fs.write_file("/bench/big", data).expect("close commits");
+    fs.now().duration_since(start).as_secs_f64()
+}
+
+fn main() {
+    let data = sixteen_mib();
+    let mut rows = Vec::new();
+    println!("transfer_engine: 16-chunk dirty close, foreground virtual seconds");
+    for backend in [Backend::Aws, Backend::CloudOfClouds] {
+        let label = match backend {
+            Backend::Aws => "AWS",
+            Backend::CloudOfClouds => "CoC",
+        };
+        let mut sequential = None;
+        for parallel in PARALLELISMS {
+            let secs = close_latency_secs(backend, parallel, &data);
+            let sequential = *sequential.get_or_insert(secs);
+            println!(
+                "  {label} parallelism {parallel:>2}: {secs:>7.3}s (speedup {:.2}x)",
+                sequential / secs
+            );
+            rows.push(format!(
+                "    {{\"backend\": \"{label}\", \"parallelism\": {parallel}, \
+                 \"close_virtual_secs\": {secs:.6}, \"speedup_vs_sequential\": {:.4}}}",
+                sequential / secs
+            ));
+        }
+    }
+    let json = format!(
+        "{{\n  \"benchmark\": \"transfer_engine\",\n  \"workload\": \
+         \"dirty close of a {CHUNKS}-chunk ({CHUNKS} MiB) file, blocking mode, WAN profiles\",\n  \
+         \"unit\": \"virtual seconds (deterministic)\",\n  \"results\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    // Benches run with the package as cwd; emit into the workspace target/.
+    let target = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("target");
+    std::fs::create_dir_all(&target).expect("target dir");
+    let out = target.join("BENCH_transfer.json");
+    std::fs::write(&out, &json).expect("write BENCH_transfer.json");
+    println!("wrote {}", out.display());
+}

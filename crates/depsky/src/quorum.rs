@@ -5,11 +5,16 @@
 //! modelled by *forking* the caller's clock once per cloud, running each
 //! request on its own fork, and then advancing the caller's clock to the
 //! completion instant of the k-th request it actually had to wait for.
+//!
+//! The clock fork/join machinery itself lives in [`sim_core::parallel`] so
+//! the SCFS chunk-transfer engine can reuse it; this module adds the
+//! cloud-indexing and quorum conventions DepSky needs on top.
 
 use std::sync::Arc;
 
 use cloud_store::error::StorageError;
 use cloud_store::store::{ObjectStore, OpCtx};
+use sim_core::parallel::{join_all, join_nth, run_forked};
 use sim_core::time::SimInstant;
 
 /// The outcome of one cloud request issued in parallel with others.
@@ -40,21 +45,18 @@ pub fn parallel_access<T>(
     indices: &[usize],
     mut op: impl FnMut(usize, &dyn ObjectStore, &mut OpCtx<'_>) -> Result<T, StorageError>,
 ) -> Vec<CloudOutcome<T>> {
-    let mut outcomes: Vec<CloudOutcome<T>> = indices
-        .iter()
-        .map(|&i| {
-            let mut fork = ctx.clock.fork();
-            let mut fork_ctx = OpCtx::new(&mut fork, ctx.account.clone());
-            let result = op(i, clouds[i].as_ref(), &mut fork_ctx);
-            CloudOutcome {
-                cloud_index: i,
-                completed_at: fork.now(),
-                result,
-            }
-        })
-        .collect();
-    outcomes.sort_by_key(|o| o.completed_at);
-    outcomes
+    let account = ctx.account.clone();
+    run_forked(ctx.clock, indices.iter().copied(), |i, fork| {
+        let mut fork_ctx = OpCtx::new(fork, account.clone());
+        op(i, clouds[i].as_ref(), &mut fork_ctx)
+    })
+    .into_iter()
+    .map(|run| CloudOutcome {
+        cloud_index: run.index,
+        completed_at: run.completed_at,
+        result: run.value,
+    })
+    .collect()
 }
 
 /// Advances the caller's clock to the completion instant of the `n`-th
@@ -66,29 +68,17 @@ pub fn advance_to_nth_success<T>(
     outcomes: &[CloudOutcome<T>],
     n: usize,
 ) -> bool {
-    if n == 0 {
-        return true;
-    }
-    let mut successes = 0usize;
-    for o in outcomes {
-        if o.is_ok() {
-            successes += 1;
-            if successes == n {
-                ctx.clock.advance_to(o.completed_at);
-                return true;
-            }
-        }
-    }
-    advance_to_all(ctx, outcomes);
-    false
+    join_nth(
+        ctx.clock,
+        outcomes.iter().map(|o| (o.completed_at, o.is_ok())),
+        n,
+    )
 }
 
 /// Advances the caller's clock to the completion instant of the slowest
 /// outcome (used when the protocol must wait for every targeted cloud).
 pub fn advance_to_all<T>(ctx: &mut OpCtx<'_>, outcomes: &[CloudOutcome<T>]) {
-    if let Some(last) = outcomes.iter().map(|o| o.completed_at).max() {
-        ctx.clock.advance_to(last);
-    }
+    join_all(ctx.clock, outcomes.iter().map(|o| o.completed_at));
 }
 
 #[cfg(test)]

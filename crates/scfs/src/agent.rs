@@ -22,6 +22,7 @@ use crate::config::{Mode, ScfsConfig};
 use crate::error::ScfsError;
 use crate::fs::FileSystem;
 use crate::metadata_service::MetadataService;
+use crate::transfer::{execute_plan, TransferOptions, TransferPlan};
 use crate::types::{normalize_path, ChunkMap, FileHandle, FileMetadata, FileType, OpenFlags};
 
 /// Counters describing the agent's activity, used by the experiment
@@ -54,9 +55,28 @@ pub struct AgentStats {
     pub gc_runs: u64,
     /// File versions reclaimed by the garbage collector.
     pub gc_reclaimed_versions: u64,
+    /// Failed garbage-collection deletions (old-version prunes or full
+    /// removals that errored); the collector keeps going, but the failures
+    /// are surfaced here instead of being silently swallowed.
+    pub gc_errors: u64,
+    /// Parallel waves executed by the foreground transfer engine: a close
+    /// that uploads 16 chunks at parallelism 4 adds 4 waves, and its
+    /// foreground clock advanced by ~4 chunk-upload latencies.
+    pub transfer_waves: u64,
+    /// Reads served at byte-range granularity: the handle was only partially
+    /// materialized and the read touched a strict subset of the file's
+    /// chunks (no whole-file materialization was needed).
+    pub range_reads: u64,
+    /// Chunks fetched ahead of a sequential reader on the background clock.
+    pub prefetched_chunks: u64,
 }
 
 /// State of one open file.
+///
+/// `open` no longer materializes the file: it loads only the manifest and
+/// allocates a sparse buffer. Chunks fault in lazily as `read(offset, len)`
+/// touches them (`present` tracks which ones arrived); writes materialize
+/// the whole file first, so a dirty handle is always fully backed.
 #[derive(Debug, Clone)]
 struct OpenFile {
     path: String,
@@ -66,9 +86,29 @@ struct OpenFile {
     /// Chunk map of the version the buffer was loaded from (`None` for fresh
     /// or truncated files); the previous-version hint for dirty-chunk upload.
     chunk_map: Option<ChunkMap>,
+    /// Which chunks of `chunk_map` are materialized in `buffer`; `None` once
+    /// the whole file is materialized (always for fresh/truncated files).
+    present: Option<Vec<bool>>,
+    /// In-flight sequential prefetches: chunk index → the background instant
+    /// the fetch completes. The data is already in the caches, but a
+    /// foreground read arriving earlier must wait for that instant.
+    prefetch_ready: HashMap<usize, SimInstant>,
+    /// End offset of the previous read (`None` before the first read); the
+    /// sequential-pattern detector driving prefetch.
+    last_read_end: Option<u64>,
     dirty: bool,
     locked: bool,
     never_uploaded: bool,
+}
+
+impl OpenFile {
+    /// Indices of `indices` whose chunks are not yet in `buffer`.
+    fn missing_of(&self, indices: std::ops::Range<usize>) -> Vec<usize> {
+        match &self.present {
+            Some(present) => indices.filter(|i| !present[*i]).collect(),
+            None => Vec::new(),
+        }
+    }
 }
 
 /// The SCFS agent: one per mounted client.
@@ -225,8 +265,14 @@ impl ScfsAgent {
         format!("manifest:{}", scfs_crypto::to_hex(hash))
     }
 
+    /// The engine options every transfer of this agent runs under.
+    fn transfer_options(&self) -> TransferOptions {
+        TransferOptions::parallel(self.config.max_parallel_transfers)
+    }
+
     /// Uploads the dirty chunks of `data` as the new version of `metadata`'s
-    /// object and commits the metadata update and unlock, all on the clock
+    /// object (through the transfer engine, `opts.max_parallel` chunks at a
+    /// time) and commits the metadata update and unlock, all on the clock
     /// inside `ctx` (foreground clock for blocking mode, background clock
     /// otherwise).
     #[allow(clippy::too_many_arguments)]
@@ -241,6 +287,7 @@ impl ScfsAgent {
         prev: Option<&ChunkMap>,
         never_uploaded: bool,
         unlock: bool,
+        opts: &TransferOptions,
         stats: &mut AgentStats,
     ) -> Result<FileMetadata, ScfsError> {
         // The freshly written objects must carry the file ACL so that every
@@ -264,11 +311,13 @@ impl ScfsAgent {
             prev,
             never_uploaded,
             cloud_acl.as_ref(),
+            opts,
         )?;
         let hash = outcome.root_hash;
         stats.cloud_uploads += 1;
         stats.chunk_uploads += outcome.chunks_uploaded;
         stats.bytes_uploaded += outcome.bytes_uploaded;
+        stats.transfer_waves += outcome.waves;
         metadata.version_hash = Some(hash);
         metadata.size = data.len() as u64;
         metadata.modified_at = ctx.clock.now();
@@ -297,37 +346,44 @@ impl ScfsAgent {
         let mut ctx = OpCtx::new(&mut bg_clock, self.user.clone());
         let keep = self.config.gc.versions_to_keep;
         let mut reclaimed = 0u64;
+        let mut errors = 0u64;
         let mut fully_deleted: Vec<String> = Vec::new();
         for (storage_id, (path, deleted)) in &self.owned_files {
             if *deleted {
-                if self.storage.delete_all(&mut ctx, storage_id).is_ok() {
-                    let _ = self.metadata.delete(&mut ctx, path);
-                    fully_deleted.push(storage_id.clone());
+                match self.storage.delete_all(&mut ctx, storage_id) {
+                    Ok(()) => {
+                        let _ = self.metadata.delete(&mut ctx, path);
+                        fully_deleted.push(storage_id.clone());
+                    }
+                    // The tombstone stays; the next cycle retries, and the
+                    // failure is surfaced through the stats.
+                    Err(_) => errors += 1,
                 }
-            } else if let Ok(n) = self.storage.delete_old_versions(&mut ctx, storage_id, keep) {
-                reclaimed += n as u64;
+            } else {
+                match self.storage.delete_old_versions(&mut ctx, storage_id, keep) {
+                    Ok(n) => reclaimed += n as u64,
+                    Err(_) => errors += 1,
+                }
             }
         }
         for id in fully_deleted {
             self.owned_files.remove(&id);
         }
         self.stats.gc_reclaimed_versions += reclaimed;
+        self.stats.gc_errors += errors;
         self.background_cursor = self.background_cursor.max(bg_clock.now());
     }
 
-    /// Materializes the version of `metadata`'s object whose root hash is
-    /// `root`: reads the manifest and every chunk from the memory cache, then
-    /// the disk cache, and fetches only the missing pieces from the cloud via
-    /// the consistency-anchor retry loop.
-    fn load_version(
+    /// Loads the chunk-map manifest of the version of `metadata`'s object
+    /// whose root hash is `root`: memory cache, then disk cache, then the
+    /// cloud via the consistency-anchor retry loop. This is everything
+    /// `open` transfers — the chunks themselves fault in lazily as reads
+    /// touch them.
+    fn load_manifest(
         &mut self,
         metadata: &FileMetadata,
         root: scfs_crypto::ContentHash,
-    ) -> Result<(ChunkMap, Vec<u8>), ScfsError> {
-        let mut cloud_touched = false;
-        let mut retries = 0u64;
-
-        // The manifest first: it lists the chunks this version needs.
+    ) -> Result<ChunkMap, ScfsError> {
         let manifest_key = Self::manifest_cache_key(&root);
         let cached_manifest = self
             .mem_cache
@@ -342,12 +398,11 @@ impl ScfsAgent {
                 }
                 from_disk
             });
-        let map = match cached_manifest {
+        match cached_manifest {
             Some(bytes) => ChunkMap::decode(&bytes).map_err(|e| {
                 ScfsError::invalid(format!("cached manifest corrupted: {}", e.reason))
-            })?,
+            }),
             None => {
-                cloud_touched = true;
                 let mut ctx = OpCtx::new(&mut self.clock, self.user.clone());
                 let fetched = anchored_manifest(
                     &mut ctx,
@@ -357,77 +412,262 @@ impl ScfsAgent {
                     self.config.anchor_read_retries,
                     self.config.anchor_retry_backoff,
                 )?;
-                retries += fetched.retries as u64;
+                self.stats.cloud_downloads += 1;
+                self.stats.anchor_retries += fetched.retries as u64;
                 let bytes = fetched.data.encode();
                 self.disk_cache
                     .put(&mut self.clock, &manifest_key, bytes.clone(), Some(root));
                 self.mem_cache
                     .put(&mut self.clock, &manifest_key, bytes, Some(root));
-                fetched.data
+                Ok(fetched.data)
             }
-        };
+        }
+    }
 
-        // Then the chunks, each independently cacheable.
-        let mut data = vec![0u8; map.file_len() as usize];
-        for (index, chunk_hash) in map.chunks().iter().enumerate() {
-            let key = Self::chunk_cache_key(chunk_hash);
-            let chunk = match self.mem_cache.get(&mut self.clock, &key, Some(chunk_hash)) {
-                Some(chunk) => chunk,
-                None => match self.disk_cache.get(&mut self.clock, &key, Some(chunk_hash)) {
-                    Some(chunk) => {
-                        self.mem_cache
-                            .put(&mut self.clock, &key, chunk.clone(), Some(*chunk_hash));
-                        chunk
+    /// Brings the chunks of `map` at `wanted` indices into this agent's
+    /// caches and returns their bytes in `wanted` order: memory cache, then
+    /// disk cache (promoting), then the cloud — the cloud misses move
+    /// through the transfer engine in parallel waves, each forked request
+    /// running its own consistency-anchor retry loop. Returns the chunks and
+    /// whether the cloud was touched.
+    fn fetch_chunks(
+        &mut self,
+        metadata: &FileMetadata,
+        map: &ChunkMap,
+        wanted: &[usize],
+    ) -> Result<(Vec<Vec<u8>>, bool), ScfsError> {
+        // Plan: exactly the wanted chunks absent from both cache levels
+        // (probes are free and pin the planned cache hits in the LRU).
+        let (mem_cache, disk_cache) = (&mut self.mem_cache, &mut self.disk_cache);
+        let plan = TransferPlan::fetch(map, wanted.iter().copied(), |hash| {
+            let key = Self::chunk_cache_key(hash);
+            mem_cache.probe(&key, Some(hash)) || disk_cache.probe(&key, Some(hash))
+        });
+
+        // Execute: fetch the misses in parallel on forked foreground clocks.
+        let mut fetched: HashMap<scfs_crypto::ContentHash, Vec<u8>> = HashMap::new();
+        let cloud_touched = !plan.is_empty();
+        if cloud_touched {
+            let storage = self.storage.clone();
+            let opts = self.transfer_options();
+            let (retries, backoff) = (
+                self.config.anchor_read_retries,
+                self.config.anchor_retry_backoff,
+            );
+            let mut ctx = OpCtx::new(&mut self.clock, self.user.clone());
+            let (chunks, report) = execute_plan(&mut ctx, &opts, &plan, |job, fork_ctx| {
+                let fetched = anchored_chunk(
+                    fork_ctx,
+                    storage.as_ref(),
+                    &metadata.storage_id,
+                    &job.hash,
+                    retries,
+                    backoff,
+                )?;
+                if fetched.data.len() != map.chunk_len(job.index) {
+                    return Err(ScfsError::invalid(format!(
+                        "chunk {} of {} has {} bytes, expected {}",
+                        job.index,
+                        metadata.path,
+                        fetched.data.len(),
+                        map.chunk_len(job.index)
+                    )));
+                }
+                Ok(fetched)
+            })?;
+            self.stats.transfer_waves += report.waves;
+            for (job, chunk) in plan.jobs().iter().zip(chunks) {
+                self.stats.chunk_downloads += 1;
+                self.stats.bytes_downloaded += chunk.data.len() as u64;
+                self.stats.anchor_retries += chunk.retries as u64;
+                let key = Self::chunk_cache_key(&job.hash);
+                self.disk_cache
+                    .put(&mut self.clock, &key, chunk.data.clone(), Some(job.hash));
+                self.mem_cache
+                    .put(&mut self.clock, &key, chunk.data.clone(), Some(job.hash));
+                fetched.insert(job.hash, chunk.data);
+            }
+        }
+
+        // Assemble: cloud-fetched bytes directly, the rest from the caches.
+        let mut out = Vec::with_capacity(wanted.len());
+        for &index in wanted {
+            let hash = map.chunks()[index];
+            let chunk = match fetched.get(&hash) {
+                Some(bytes) => bytes.clone(),
+                None => {
+                    let key = Self::chunk_cache_key(&hash);
+                    match self.mem_cache.get(&mut self.clock, &key, Some(&hash)) {
+                        Some(chunk) => chunk,
+                        None => match self.disk_cache.get(&mut self.clock, &key, Some(&hash)) {
+                            Some(chunk) => {
+                                self.mem_cache.put(
+                                    &mut self.clock,
+                                    &key,
+                                    chunk.clone(),
+                                    Some(hash),
+                                );
+                                chunk
+                            }
+                            None => {
+                                // A planned cache hit was evicted by this very
+                                // call's cloud puts (tiny caches): fall back to
+                                // a direct cloud fetch rather than failing.
+                                let mut ctx = OpCtx::new(&mut self.clock, self.user.clone());
+                                let refetched = anchored_chunk(
+                                    &mut ctx,
+                                    self.storage.as_ref(),
+                                    &metadata.storage_id,
+                                    &hash,
+                                    self.config.anchor_read_retries,
+                                    self.config.anchor_retry_backoff,
+                                )?;
+                                self.stats.chunk_downloads += 1;
+                                self.stats.bytes_downloaded += refetched.data.len() as u64;
+                                self.stats.anchor_retries += refetched.retries as u64;
+                                refetched.data
+                            }
+                        },
                     }
-                    None => {
-                        cloud_touched = true;
-                        let mut ctx = OpCtx::new(&mut self.clock, self.user.clone());
-                        let fetched = anchored_chunk(
-                            &mut ctx,
-                            self.storage.as_ref(),
-                            &metadata.storage_id,
-                            chunk_hash,
-                            self.config.anchor_read_retries,
-                            self.config.anchor_retry_backoff,
-                        )?;
-                        retries += fetched.retries as u64;
-                        self.stats.chunk_downloads += 1;
-                        self.stats.bytes_downloaded += fetched.data.len() as u64;
-                        self.disk_cache.put(
-                            &mut self.clock,
-                            &key,
-                            fetched.data.clone(),
-                            Some(*chunk_hash),
-                        );
-                        self.mem_cache.put(
-                            &mut self.clock,
-                            &key,
-                            fetched.data.clone(),
-                            Some(*chunk_hash),
-                        );
-                        fetched.data
-                    }
-                },
+                }
             };
-            let range = map.byte_range(index);
-            if chunk.len() != range.len() {
+            if chunk.len() != map.chunk_len(index) {
                 return Err(ScfsError::invalid(format!(
                     "chunk {index} of {} has {} bytes, expected {}",
                     metadata.path,
                     chunk.len(),
-                    range.len()
+                    map.chunk_len(index)
                 )));
             }
-            data[range].copy_from_slice(&chunk);
+            out.push(chunk);
         }
+        Ok((out, cloud_touched))
+    }
 
+    /// Faults the chunks of `file` at `missing` indices into its buffer
+    /// (waiting for any in-flight prefetch of those chunks first) and
+    /// updates the per-read stats: one `cloud_downloads` when the cloud was
+    /// touched, one `cache_served_reads` otherwise.
+    fn fault_into_buffer(
+        &mut self,
+        file: &mut OpenFile,
+        missing: &[usize],
+    ) -> Result<(), ScfsError> {
+        if missing.is_empty() {
+            return Ok(());
+        }
+        let map = file
+            .chunk_map
+            .clone()
+            .expect("faulting requires a chunk map");
+        // An in-flight prefetch already has the data on the way: wait for
+        // its background completion instead of fetching twice.
+        for index in missing {
+            if let Some(ready) = file.prefetch_ready.remove(index) {
+                self.clock.advance_to(ready);
+            }
+        }
+        let (chunks, cloud_touched) = self.fetch_chunks(&file.metadata, &map, missing)?;
+        for (&index, chunk) in missing.iter().zip(&chunks) {
+            file.buffer[map.byte_range(index)].copy_from_slice(chunk);
+            if let Some(present) = &mut file.present {
+                present[index] = true;
+            }
+        }
+        if let Some(present) = &file.present {
+            if present.iter().all(|p| *p) {
+                file.present = None;
+            }
+        }
         if cloud_touched {
             self.stats.cloud_downloads += 1;
-            self.stats.anchor_retries += retries;
         } else {
             self.stats.cache_served_reads += 1;
         }
-        Ok((map, data))
+        Ok(())
+    }
+
+    /// Materializes the whole file behind `file` (writes and fsync need the
+    /// complete buffer; a dirty handle is therefore always fully backed).
+    fn materialize(&mut self, file: &mut OpenFile) -> Result<(), ScfsError> {
+        let missing = match &file.chunk_map {
+            Some(map) => file.missing_of(0..map.chunk_count()),
+            None => Vec::new(),
+        };
+        self.fault_into_buffer(file, &missing)?;
+        file.present = None;
+        Ok(())
+    }
+
+    /// Schedules a background fetch of the chunks of `file` at `indices`
+    /// that are neither materialized, cached, nor already in flight. The
+    /// fetch runs on the background clock (it never blocks the caller); a
+    /// later foreground read of these chunks waits only for the remainder of
+    /// the background transfer. Prefetch is best-effort: errors are dropped,
+    /// the foreground fault path will retry and surface them.
+    fn prefetch_background(&mut self, file: &mut OpenFile, indices: std::ops::Range<usize>) {
+        let map = match &file.chunk_map {
+            Some(map) => map.clone(),
+            None => return,
+        };
+        let candidates: Vec<usize> = file
+            .missing_of(indices)
+            .into_iter()
+            .filter(|i| !file.prefetch_ready.contains_key(i))
+            .collect();
+        if candidates.is_empty() {
+            return;
+        }
+        let (mem_cache, disk_cache) = (&mut self.mem_cache, &mut self.disk_cache);
+        let plan = TransferPlan::fetch(&map, candidates.iter().copied(), |hash| {
+            let key = Self::chunk_cache_key(hash);
+            mem_cache.probe(&key, Some(hash)) || disk_cache.probe(&key, Some(hash))
+        });
+        if plan.is_empty() {
+            return;
+        }
+        let storage = self.storage.clone();
+        let storage_id = file.metadata.storage_id.clone();
+        let opts = self.transfer_options();
+        let (retries, backoff) = (
+            self.config.anchor_read_retries,
+            self.config.anchor_retry_backoff,
+        );
+        let mut bg_clock = Clock::starting_at(self.clock.now().max(self.background_cursor));
+        let mut bg_ctx = OpCtx::new(&mut bg_clock, self.user.clone());
+        let outcome = execute_plan(&mut bg_ctx, &opts, &plan, |job, fork_ctx| {
+            anchored_chunk(
+                fork_ctx,
+                storage.as_ref(),
+                &storage_id,
+                &job.hash,
+                retries,
+                backoff,
+            )
+        });
+        let (chunks, _) = match outcome {
+            Ok(done) => done,
+            Err(_) => return,
+        };
+        let ready_at = bg_clock.now();
+        self.background_cursor = self.background_cursor.max(ready_at);
+        for (job, chunk) in plan.jobs().iter().zip(chunks) {
+            self.stats.prefetched_chunks += 1;
+            self.stats.chunk_downloads += 1;
+            self.stats.bytes_downloaded += chunk.data.len() as u64;
+            let key = Self::chunk_cache_key(&job.hash);
+            self.disk_cache
+                .put(&mut bg_clock, &key, chunk.data.clone(), Some(job.hash));
+            self.mem_cache
+                .put(&mut bg_clock, &key, chunk.data, Some(job.hash));
+        }
+        // Every planned chunk (and any duplicate of it among the candidates)
+        // becomes available at the background completion instant.
+        for index in candidates {
+            if plan.jobs().iter().any(|j| j.hash == map.chunks()[index]) {
+                file.prefetch_ready.insert(index, ready_at);
+            }
+        }
     }
 
     /// Writes each chunk of `map` into the disk cache (durability level 1:
@@ -458,15 +698,92 @@ impl ScfsAgent {
             .put(&mut self.clock, &manifest_key, manifest, Some(root));
     }
 
+    /// The lazy byte-range read path: maps `[offset, offset + len)` onto
+    /// chunk indices, faults in only the touched, not-yet-materialized
+    /// chunks, and — when the handle shows a sequential pattern — schedules
+    /// the next chunks on the background clock.
+    fn read_ranged(
+        &mut self,
+        file: &mut OpenFile,
+        offset: u64,
+        len: usize,
+    ) -> Result<Vec<u8>, ScfsError> {
+        if !file.flags.read {
+            return Err(ScfsError::PermissionDenied {
+                path: file.path.clone(),
+            });
+        }
+        let buf_len = file.buffer.len() as u64;
+        let start = offset.min(buf_len) as usize;
+        let end = offset.saturating_add(len as u64).min(buf_len) as usize;
+        let sequential = file.last_read_end == Some(offset);
+        if let Some(map) = file.chunk_map.clone() {
+            let touched = map.chunks_for_range(start as u64, end - start);
+            if file.present.is_some() && touched.len() < map.chunk_count() {
+                self.stats.range_reads += 1;
+            }
+            let missing = file.missing_of(touched.clone());
+            self.fault_into_buffer(file, &missing)?;
+            // Sequential readers get the next chunks prefetched in the
+            // background; the very first read of a handle is not yet a
+            // pattern (a cold `read(0, 4 KiB)` moves exactly one chunk).
+            let prefetch = self.config.prefetch_chunks;
+            if sequential && prefetch > 0 && !touched.is_empty() && touched.end < map.chunk_count()
+            {
+                let until = touched.end.saturating_add(prefetch).min(map.chunk_count());
+                self.prefetch_background(file, touched.end..until);
+            }
+        }
+        let data = file.buffer[start..end].to_vec();
+        self.charge_memory(data.len());
+        file.last_read_end = Some(end as u64);
+        Ok(data)
+    }
+
+    /// The write path: writes need the complete old contents around them
+    /// (and close needs the whole buffer to chunk the new version), so the
+    /// handle is materialized first — through the parallel engine, which
+    /// also makes cold writes cheaper than the old eager open.
+    fn write_ranged(
+        &mut self,
+        file: &mut OpenFile,
+        offset: u64,
+        data: &[u8],
+    ) -> Result<usize, ScfsError> {
+        if !file.flags.write {
+            return Err(ScfsError::PermissionDenied {
+                path: file.path.clone(),
+            });
+        }
+        self.materialize(file)?;
+        let end = offset as usize + data.len();
+        if file.buffer.len() < end {
+            file.buffer.resize(end, 0);
+        }
+        file.buffer[offset as usize..end].copy_from_slice(data);
+        file.dirty = true;
+        file.metadata.size = file.buffer.len() as u64;
+        let len = data.len();
+        self.charge_memory(len);
+        Ok(len)
+    }
+
+    fn truncate_materialized(&mut self, file: &mut OpenFile, size: u64) -> Result<(), ScfsError> {
+        if !file.flags.write {
+            return Err(ScfsError::PermissionDenied {
+                path: file.path.clone(),
+            });
+        }
+        self.materialize(file)?;
+        file.buffer.resize(size as usize, 0);
+        file.dirty = true;
+        file.metadata.size = size;
+        Ok(())
+    }
+
     fn get_open(&self, handle: FileHandle) -> Result<&OpenFile, ScfsError> {
         self.open_files
             .get(&handle)
-            .ok_or(ScfsError::BadHandle { handle: handle.0 })
-    }
-
-    fn get_open_mut(&mut self, handle: FileHandle) -> Result<&mut OpenFile, ScfsError> {
-        self.open_files
-            .get_mut(&handle)
             .ok_or(ScfsError::BadHandle { handle: handle.0 })
     }
 }
@@ -537,15 +854,22 @@ impl FileSystem for ScfsAgent {
             }
         }
 
-        // Step 3: bring the file data into the local caches, at chunk
-        // granularity — only chunks missing from both cache levels fault to
-        // the cloud.
-        let (buffer, chunk_map) = match metadata.version_hash {
+        // Step 3: load only the manifest — it lists the chunks this version
+        // is made of. The chunks themselves fault in lazily, at byte-range
+        // granularity, as reads touch them; a cold open of a 16 MiB file
+        // transfers a few hundred bytes, not 16 MiB.
+        let (buffer, chunk_map, present) = match metadata.version_hash {
             Some(root) if !flags.truncate => {
-                let (map, data) = self.load_version(&metadata, root)?;
-                (data, Some(map))
+                let map = self.load_manifest(&metadata, root)?;
+                let buffer = vec![0u8; map.file_len() as usize];
+                let present = if map.chunk_count() == 0 {
+                    None
+                } else {
+                    Some(vec![false; map.chunk_count()])
+                };
+                (buffer, Some(map), present)
             }
-            _ => (Vec::new(), None),
+            _ => (Vec::new(), None, None),
         };
 
         if flags.truncate {
@@ -562,6 +886,9 @@ impl FileSystem for ScfsAgent {
                 metadata,
                 buffer,
                 chunk_map,
+                present,
+                prefetch_ready: HashMap::new(),
+                last_read_end: None,
                 dirty,
                 locked,
                 never_uploaded,
@@ -572,51 +899,42 @@ impl FileSystem for ScfsAgent {
 
     fn read(&mut self, handle: FileHandle, offset: u64, len: usize) -> Result<Vec<u8>, ScfsError> {
         self.charge_syscall();
-        let file = self.get_open(handle)?;
-        if !file.flags.read {
-            return Err(ScfsError::PermissionDenied {
-                path: file.path.clone(),
-            });
-        }
-        let start = (offset as usize).min(file.buffer.len());
-        let end = (start + len).min(file.buffer.len());
-        let data = file.buffer[start..end].to_vec();
-        self.charge_memory(data.len());
-        Ok(data)
+        let mut file = self
+            .open_files
+            .remove(&handle)
+            .ok_or(ScfsError::BadHandle { handle: handle.0 })?;
+        let result = self.read_ranged(&mut file, offset, len);
+        self.open_files.insert(handle, file);
+        result
     }
 
     fn write(&mut self, handle: FileHandle, offset: u64, data: &[u8]) -> Result<usize, ScfsError> {
         self.charge_syscall();
-        let file = self.get_open_mut(handle)?;
-        if !file.flags.write {
-            return Err(ScfsError::PermissionDenied {
-                path: file.path.clone(),
-            });
-        }
-        let end = offset as usize + data.len();
-        if file.buffer.len() < end {
-            file.buffer.resize(end, 0);
-        }
-        file.buffer[offset as usize..end].copy_from_slice(data);
-        file.dirty = true;
-        file.metadata.size = file.buffer.len() as u64;
-        let len = data.len();
-        self.charge_memory(len);
-        Ok(len)
+        let mut file = self
+            .open_files
+            .remove(&handle)
+            .ok_or(ScfsError::BadHandle { handle: handle.0 })?;
+        let result = self.write_ranged(&mut file, offset, data);
+        self.open_files.insert(handle, file);
+        result
     }
 
     fn truncate(&mut self, handle: FileHandle, size: u64) -> Result<(), ScfsError> {
         self.charge_syscall();
-        let file = self.get_open_mut(handle)?;
-        if !file.flags.write {
-            return Err(ScfsError::PermissionDenied {
-                path: file.path.clone(),
-            });
-        }
-        file.buffer.resize(size as usize, 0);
-        file.dirty = true;
-        file.metadata.size = size;
-        Ok(())
+        let mut file = self
+            .open_files
+            .remove(&handle)
+            .ok_or(ScfsError::BadHandle { handle: handle.0 })?;
+        let result = self.truncate_materialized(&mut file, size);
+        self.open_files.insert(handle, file);
+        result
+    }
+
+    fn handle_size(&mut self, handle: FileHandle) -> Result<u64, ScfsError> {
+        self.charge_syscall();
+        // Served from the open handle: the buffer always has the logical
+        // length of the file, even while chunks are still unmaterialized.
+        Ok(self.get_open(handle)?.buffer.len() as u64)
     }
 
     fn fsync(&mut self, handle: FileHandle) -> Result<(), ScfsError> {
@@ -652,6 +970,9 @@ impl FileSystem for ScfsAgent {
             return Ok(());
         }
 
+        // A dirty handle is always fully materialized (writes and truncates
+        // fault the whole file in first), so the buffer is the new version.
+        debug_assert!(file.present.is_none(), "dirty handle left sparse");
         let OpenFile {
             metadata,
             buffer,
@@ -660,6 +981,7 @@ impl FileSystem for ScfsAgent {
             never_uploaded,
             ..
         } = file;
+        let opts = self.transfer_options();
 
         // Chunk the new version; its root hash — the one hash the anchor
         // stores — is known immediately, before any cloud access.
@@ -686,6 +1008,7 @@ impl FileSystem for ScfsAgent {
                     prev_map.as_ref(),
                     never_uploaded,
                     locked,
+                    &opts,
                     &mut self.stats,
                 )?;
             }
@@ -715,6 +1038,7 @@ impl FileSystem for ScfsAgent {
                     prev_map.as_ref(),
                     never_uploaded,
                     locked,
+                    &opts,
                     &mut self.stats,
                 )?;
                 self.background_cursor = bg_clock.now();
@@ -1075,6 +1399,120 @@ mod tests {
         assert!(fs.stats().gc_reclaimed_versions > 0);
         // The latest version is still readable.
         assert_eq!(fs.read_file("/big").unwrap().len(), 10_000);
+    }
+
+    /// A storage wrapper whose GC deletions always fail, for testing that
+    /// the collector surfaces failures instead of swallowing them.
+    struct FailingGcStorage(SingleCloudStorage);
+
+    impl FileStorage for FailingGcStorage {
+        fn label(&self) -> &'static str {
+            self.0.label()
+        }
+
+        #[allow(clippy::too_many_arguments)]
+        fn write_version(
+            &self,
+            ctx: &mut OpCtx<'_>,
+            id: &str,
+            data: &[u8],
+            map: &ChunkMap,
+            prev: Option<&ChunkMap>,
+            is_new: bool,
+            acl: Option<&cloud_store::types::Acl>,
+            opts: &TransferOptions,
+        ) -> Result<crate::backend::WriteOutcome, ScfsError> {
+            self.0
+                .write_version(ctx, id, data, map, prev, is_new, acl, opts)
+        }
+
+        fn read_manifest(
+            &self,
+            ctx: &mut OpCtx<'_>,
+            id: &str,
+            hash: &scfs_crypto::ContentHash,
+        ) -> Result<ChunkMap, ScfsError> {
+            self.0.read_manifest(ctx, id, hash)
+        }
+
+        fn read_chunk(
+            &self,
+            ctx: &mut OpCtx<'_>,
+            id: &str,
+            hash: &scfs_crypto::ContentHash,
+        ) -> Result<Vec<u8>, ScfsError> {
+            self.0.read_chunk(ctx, id, hash)
+        }
+
+        fn delete_old_versions(
+            &self,
+            _ctx: &mut OpCtx<'_>,
+            _id: &str,
+            _keep: usize,
+        ) -> Result<usize, ScfsError> {
+            Err(ScfsError::invalid("injected GC failure"))
+        }
+
+        fn delete_all(&self, _ctx: &mut OpCtx<'_>, _id: &str) -> Result<(), ScfsError> {
+            Err(ScfsError::invalid("injected GC failure"))
+        }
+
+        fn set_acl(
+            &self,
+            ctx: &mut OpCtx<'_>,
+            id: &str,
+            acl: &cloud_store::types::Acl,
+        ) -> Result<(), ScfsError> {
+            self.0.set_acl(ctx, id, acl)
+        }
+    }
+
+    #[test]
+    fn gc_failures_are_counted_not_swallowed() {
+        let storage = Arc::new(FailingGcStorage(SingleCloudStorage::new(Arc::new(
+            SimulatedCloud::test("s3"),
+        ))));
+        let coord: Arc<dyn CoordinationService> = Arc::new(ReplicatedCoordinator::test());
+        let mut config = ScfsConfig::test(Mode::Blocking);
+        config.gc.written_bytes_threshold = Bytes::new(50_000);
+        config.gc.versions_to_keep = 1;
+        let mut fs = ScfsAgent::mount("alice".into(), config, storage, Some(coord), 5).unwrap();
+        fs.write_file("/doomed", &vec![1u8; 10_000]).unwrap();
+        fs.unlink("/doomed").unwrap();
+        for _ in 0..10 {
+            fs.write_file("/big", &vec![7u8; 10_000]).unwrap();
+        }
+        let stats = fs.stats();
+        assert!(stats.gc_runs >= 1);
+        assert_eq!(stats.gc_reclaimed_versions, 0);
+        assert!(
+            stats.gc_errors >= 2,
+            "both the prune and the tombstone removal failures must surface, got {}",
+            stats.gc_errors
+        );
+        // The data is untouched by the failing collector.
+        assert_eq!(fs.read_file("/big").unwrap().len(), 10_000);
+    }
+
+    #[test]
+    fn handle_size_tracks_the_open_buffer() {
+        let mut fs = test_agent(Mode::Blocking);
+        let h = fs.open("/f", OpenFlags::create()).unwrap();
+        assert_eq!(fs.handle_size(h).unwrap(), 0);
+        fs.write(h, 0, &vec![0u8; 4096]).unwrap();
+        assert_eq!(fs.handle_size(h).unwrap(), 4096);
+        fs.truncate(h, 100).unwrap();
+        assert_eq!(fs.handle_size(h).unwrap(), 100);
+        fs.close(h).unwrap();
+        // A clean, lazily opened handle reports the full size without
+        // materializing anything.
+        let h2 = fs.open("/f", OpenFlags::read_only()).unwrap();
+        assert_eq!(fs.handle_size(h2).unwrap(), 100);
+        assert!(matches!(
+            fs.handle_size(FileHandle(999)),
+            Err(ScfsError::BadHandle { .. })
+        ));
+        fs.close(h2).unwrap();
     }
 
     #[test]

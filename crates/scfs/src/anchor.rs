@@ -24,6 +24,7 @@ use sim_core::time::SimDuration;
 
 use crate::backend::FileStorage;
 use crate::error::ScfsError;
+use crate::transfer::TransferOptions;
 use crate::types::ChunkMap;
 
 /// Result of an anchored fetch, with retry accounting.
@@ -68,7 +69,8 @@ pub fn anchored_fetch<T>(
 }
 
 /// Reads and reassembles the whole version of `id` whose root hash is `hash`
-/// from the storage service, retrying while it is not yet visible.
+/// from the storage service, retrying while it is not yet visible. The
+/// chunks move through the transfer engine under `opts`.
 pub fn anchored_read(
     ctx: &mut OpCtx<'_>,
     storage: &dyn FileStorage,
@@ -76,9 +78,10 @@ pub fn anchored_read(
     hash: &ContentHash,
     max_retries: usize,
     backoff: SimDuration,
+    opts: &TransferOptions,
 ) -> Result<AnchoredRead, ScfsError> {
     anchored_fetch(ctx, max_retries, backoff, |c| {
-        storage.read_version(c, id, hash)
+        storage.read_version(c, id, hash, opts)
     })
 }
 
@@ -140,7 +143,16 @@ mod tests {
     ) -> scfs_crypto::ContentHash {
         let map = ChunkMap::build(data, 1024);
         storage
-            .write_version(ctx, id, data, &map, None, true, None)
+            .write_version(
+                ctx,
+                id,
+                data,
+                &map,
+                None,
+                true,
+                None,
+                &TransferOptions::default(),
+            )
             .unwrap()
             .root_hash
     }
@@ -162,6 +174,7 @@ mod tests {
             &hash,
             100,
             SimDuration::from_millis(200),
+            &TransferOptions::default(),
         )
         .unwrap();
         assert_eq!(result.data, data);
@@ -182,6 +195,7 @@ mod tests {
             &hash,
             3,
             SimDuration::from_millis(100),
+            &TransferOptions::default(),
         )
         .unwrap_err();
         assert!(matches!(err, ScfsError::Storage(_)));
@@ -203,6 +217,7 @@ mod tests {
             &hash,
             10,
             SimDuration::from_millis(50),
+            &TransferOptions::default(),
         )
         .unwrap();
         assert_eq!(result.retries, 0);

@@ -27,6 +27,7 @@ use parking_lot::Mutex;
 use scfs_crypto::{sha256, to_hex, ContentHash};
 
 use crate::error::ScfsError;
+use crate::transfer::{execute_plan, TransferOptions, TransferPlan};
 use crate::types::ChunkMap;
 
 /// Transfer accounting returned by a successful [`FileStorage::write_version`].
@@ -43,6 +44,9 @@ pub struct WriteOutcome {
     /// the DepSky-CA preferred quorum) on the wire, which is accounted in
     /// the per-cloud [`cloud_store::CloudMetrics`], not here.
     pub bytes_uploaded: u64,
+    /// Parallel waves the chunk uploads took (0 when no chunk moved); the
+    /// caller's clock advanced by roughly this many chunk-upload latencies.
+    pub waves: u64,
 }
 
 /// One stored version of an object: its root hash and chunk map. Backends
@@ -193,7 +197,8 @@ pub trait FileStorage: Send + Sync {
     /// as stored. Newly written objects are tagged with `acl` when given, so
     /// collaborators can read them without a separate ACL pass. `is_new`
     /// hints that the object was never written before (lets the CoC backend
-    /// skip its metadata-read phase on file creation).
+    /// skip its metadata-read phase on file creation). The dirty chunks move
+    /// through the transfer engine, at most `opts.max_parallel` at a time.
     #[allow(clippy::too_many_arguments)]
     fn write_version(
         &self,
@@ -204,6 +209,7 @@ pub trait FileStorage: Send + Sync {
         prev: Option<&ChunkMap>,
         is_new: bool,
         acl: Option<&Acl>,
+        opts: &TransferOptions,
     ) -> Result<WriteOutcome, ScfsError>;
 
     /// Reads the chunk map of the version of `id` whose root hash is `hash`.
@@ -225,17 +231,33 @@ pub trait FileStorage: Send + Sync {
     ) -> Result<Vec<u8>, ScfsError>;
 
     /// Reads and reassembles the whole version of `id` whose root hash is
-    /// `hash` (manifest plus every chunk).
+    /// `hash` (manifest plus every chunk), fetching the chunks through the
+    /// transfer engine at most `opts.max_parallel` at a time.
     fn read_version(
         &self,
         ctx: &mut OpCtx<'_>,
         id: &str,
         hash: &ContentHash,
+        opts: &TransferOptions,
     ) -> Result<Vec<u8>, ScfsError> {
         let map = self.read_manifest(ctx, id, hash)?;
+        let plan = TransferPlan::fetch(&map, 0..map.chunk_count(), |_| false);
+        let (chunks, _) = execute_plan(ctx, opts, &plan, |job, fork_ctx| {
+            self.read_chunk(fork_ctx, id, &job.hash)
+        })?;
+        // The plan is hash-deduplicated: one fetched chunk fills every
+        // position holding the same content.
+        let by_hash: HashMap<&ContentHash, &Vec<u8>> = plan
+            .jobs()
+            .iter()
+            .map(|job| &job.hash)
+            .zip(chunks.iter())
+            .collect();
         let mut data = vec![0u8; map.file_len() as usize];
         for (index, chunk_hash) in map.chunks().iter().enumerate() {
-            let chunk = self.read_chunk(ctx, id, chunk_hash)?;
+            let chunk = by_hash.get(chunk_hash).ok_or(StorageError::NotFound {
+                key: id.to_string(),
+            })?;
             let range = map.byte_range(index);
             if chunk.len() != range.len() {
                 return Err(StorageError::IntegrityViolation {
@@ -243,7 +265,7 @@ pub trait FileStorage: Send + Sync {
                 }
                 .into());
             }
-            data[range].copy_from_slice(&chunk);
+            data[range].copy_from_slice(chunk);
         }
         Ok(data)
     }
@@ -328,6 +350,7 @@ impl<B: ChunkedBackend> FileStorage for B {
         prev: Option<&ChunkMap>,
         _is_new: bool,
         acl: Option<&Acl>,
+        opts: &TransferOptions,
     ) -> Result<WriteOutcome, ScfsError> {
         let (stored, tracked) = {
             let registry = self.registry().lock();
@@ -342,24 +365,16 @@ impl<B: ChunkedBackend> FileStorage for B {
             Some(prev) if !tracked => prev.chunks().iter().collect(),
             _ => HashSet::new(),
         };
-        let mut chunks_uploaded = 0u64;
-        let mut bytes_uploaded = 0u64;
-        let mut written_this_call: HashSet<ContentHash> = HashSet::new();
-        for (index, hash) in map.chunks().iter().enumerate() {
-            if stored.contains(hash)
-                || prev_chunks.contains(hash)
-                || !written_this_call.insert(*hash)
-            {
-                continue;
-            }
-            let chunk = &data[map.byte_range(index)];
-            self.put_blob(ctx, id, hash, chunk)?;
+        let plan = TransferPlan::upload(map, |h| stored.contains(h) || prev_chunks.contains(h));
+        let (sizes, report) = execute_plan(ctx, opts, &plan, |job, fork_ctx| {
+            let chunk = &data[map.byte_range(job.index)];
+            self.put_blob(fork_ctx, id, &job.hash, chunk)?;
             if let Some(acl) = acl {
-                self.set_blob_acl(ctx, id, hash, acl)?;
+                self.set_blob_acl(fork_ctx, id, &job.hash, acl)?;
             }
-            chunks_uploaded += 1;
-            bytes_uploaded += chunk.len() as u64;
-        }
+            Ok(chunk.len() as u64)
+        })?;
+        let mut bytes_uploaded: u64 = sizes.iter().sum();
         let manifest = map.encode();
         let root = sha256(&manifest);
         self.put_blob(ctx, id, &root, &manifest)?;
@@ -370,8 +385,9 @@ impl<B: ChunkedBackend> FileStorage for B {
         self.registry().lock().push(id, root, map.clone());
         Ok(WriteOutcome {
             root_hash: root,
-            chunks_uploaded,
+            chunks_uploaded: report.chunks,
             bytes_uploaded,
+            waves: report.waves,
         })
     }
 
@@ -597,6 +613,7 @@ impl ChunkedBackend for CloudOfCloudsStorage {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::transfer::TransferOptions;
     use cloud_store::providers::ProviderSet;
     use cloud_store::sim_cloud::SimulatedCloud;
     use depsky::config::DepSkyConfig;
@@ -629,7 +646,16 @@ mod tests {
     ) -> (WriteOutcome, ChunkMap) {
         let map = ChunkMap::build(data, CHUNK);
         let outcome = storage
-            .write_version(ctx, id, data, &map, prev, is_new, None)
+            .write_version(
+                ctx,
+                id,
+                data,
+                &map,
+                prev,
+                is_new,
+                None,
+                &TransferOptions::default(),
+            )
             .unwrap();
         (outcome, map)
     }
@@ -645,13 +671,23 @@ mod tests {
         assert_ne!(o1.root_hash, o2.root_hash);
         assert_eq!(
             storage
-                .read_version(&mut ctx, "file-1", &o1.root_hash)
+                .read_version(
+                    &mut ctx,
+                    "file-1",
+                    &o1.root_hash,
+                    &TransferOptions::default()
+                )
                 .unwrap(),
             v1
         );
         assert_eq!(
             storage
-                .read_version(&mut ctx, "file-1", &o2.root_hash)
+                .read_version(
+                    &mut ctx,
+                    "file-1",
+                    &o2.root_hash,
+                    &TransferOptions::default()
+                )
                 .unwrap(),
             v2
         );
@@ -718,7 +754,9 @@ mod tests {
         data[..CHUNK].fill(0xA1);
         let (o, _) = write(&storage, &mut ctx, "f", &data, Some(&m1), false);
         assert_eq!(
-            storage.read_version(&mut ctx, "f", &o.root_hash).unwrap(),
+            storage
+                .read_version(&mut ctx, "f", &o.root_hash, &TransferOptions::default())
+                .unwrap(),
             data
         );
     }
@@ -747,7 +785,9 @@ mod tests {
             let (o, _) = write(storage, &mut ctx, "f", &[], None, true);
             assert_eq!(o.chunks_uploaded, 0);
             assert_eq!(
-                storage.read_version(&mut ctx, "f", &o.root_hash).unwrap(),
+                storage
+                    .read_version(&mut ctx, "f", &o.root_hash, &TransferOptions::default())
+                    .unwrap(),
                 Vec::<u8>::new()
             );
         }
@@ -778,14 +818,29 @@ mod tests {
         assert_eq!(removed, 3);
         // Newest versions survive — including the shared first chunk.
         assert!(storage
-            .read_version(&mut ctx, "f", &outcomes[4].root_hash)
+            .read_version(
+                &mut ctx,
+                "f",
+                &outcomes[4].root_hash,
+                &TransferOptions::default()
+            )
             .is_ok());
         assert!(storage
-            .read_version(&mut ctx, "f", &outcomes[3].root_hash)
+            .read_version(
+                &mut ctx,
+                "f",
+                &outcomes[3].root_hash,
+                &TransferOptions::default()
+            )
             .is_ok());
         // Oldest versions are gone.
         assert!(storage
-            .read_version(&mut ctx, "f", &outcomes[0].root_hash)
+            .read_version(
+                &mut ctx,
+                "f",
+                &outcomes[0].root_hash,
+                &TransferOptions::default()
+            )
             .is_err());
         assert_eq!(storage.delete_old_versions(&mut ctx, "f", 2).unwrap(), 0);
     }
@@ -807,7 +862,9 @@ mod tests {
         let mut ctx = OpCtx::new(&mut clock, "alice".into());
         let (o, _) = write(&storage, &mut ctx, "f", b"data", None, true);
         storage.delete_all(&mut ctx, "f").unwrap();
-        assert!(storage.read_version(&mut ctx, "f", &o.root_hash).is_err());
+        assert!(storage
+            .read_version(&mut ctx, "f", &o.root_hash, &TransferOptions::default())
+            .is_err());
     }
 
     #[test]

@@ -184,6 +184,29 @@ impl FileCache {
         }
     }
 
+    /// Presence probe for the lazy read path: whether a usable entry exists,
+    /// refreshing its LRU recency so that chunks a transfer plan is about to
+    /// consume are not evicted between planning and execution. No latency is
+    /// charged and no hit/miss is counted — this is a planning query, not a
+    /// data access.
+    pub fn probe(&mut self, path: &str, expected_hash: Option<&ContentHash>) -> bool {
+        self.tick += 1;
+        let tick = self.tick;
+        match self.entries.get_mut(path) {
+            Some(entry) => {
+                let fresh = match expected_hash {
+                    None => true,
+                    Some(h) => entry.hash.as_ref() == Some(h),
+                };
+                if fresh {
+                    entry.last_used = tick;
+                }
+                fresh
+            }
+            None => false,
+        }
+    }
+
     /// Whether the cache holds an entry for `path` matching `expected_hash`
     /// (no latency charged; used for accounting only).
     pub fn contains(&self, path: &str, expected_hash: Option<&ContentHash>) -> bool {
@@ -264,6 +287,27 @@ mod tests {
         assert!(cache.contains("/d", None));
         assert!(cache.stats().evictions >= 1);
         assert!(cache.used_bytes().get() <= 300);
+    }
+
+    #[test]
+    fn probe_reports_presence_and_refreshes_recency_without_stats() {
+        let mut cache = FileCache::memory(Bytes::new(300), 11);
+        let mut clock = Clock::new();
+        cache.put(&mut clock, "/a", vec![0u8; 100], None);
+        cache.put(&mut clock, "/b", vec![0u8; 100], None);
+        cache.put(&mut clock, "/c", vec![0u8; 100], None);
+        let before = clock.now();
+        // Probing /a refreshes it, so /b becomes the LRU victim...
+        assert!(cache.probe("/a", None));
+        assert!(!cache.probe("/missing", None));
+        // ...and a stale-hash probe does not match.
+        assert!(!cache.probe("/a", Some(&sha256(b"other version"))));
+        assert_eq!(clock.now(), before, "probe charges no latency");
+        assert_eq!(cache.stats().hits, 0);
+        assert_eq!(cache.stats().misses, 0);
+        cache.put(&mut clock, "/d", vec![0u8; 100], None);
+        assert!(cache.contains("/a", None));
+        assert!(!cache.contains("/b", None), "/b was the LRU victim");
     }
 
     #[test]

@@ -86,6 +86,15 @@ pub struct ScfsConfig {
     /// fixed-size chunks of this many bytes, and only dirty chunks are
     /// uploaded on close (missing chunks downloaded on read).
     pub chunk_size: Bytes,
+    /// Maximum number of chunk transfers the engine keeps in flight at once:
+    /// a dirty close or a cold range read moves its chunks in waves of this
+    /// many parallel transfers, so a 16-chunk upload costs
+    /// ~⌈16 / max_parallel_transfers⌉ chunk latencies of wall-clock.
+    pub max_parallel_transfers: usize,
+    /// Number of upcoming chunks the sequential-read prefetcher schedules on
+    /// the background clock once a handle shows a sequential read pattern
+    /// (0 disables prefetch).
+    pub prefetch_chunks: usize,
     /// Garbage-collection policy.
     pub gc: GcConfig,
     /// Lease duration of file write locks.
@@ -111,6 +120,8 @@ impl ScfsConfig {
             disk_cache_capacity: Bytes::gib(16),
             private_name_spaces: false,
             chunk_size: Bytes::new(crate::types::DEFAULT_CHUNK_SIZE as u64),
+            max_parallel_transfers: crate::transfer::DEFAULT_MAX_PARALLEL,
+            prefetch_chunks: 2,
             gc: GcConfig::default(),
             lock_lease: SimDuration::from_secs(120),
             syscall_overhead: LatencyModel::Uniform {
@@ -160,6 +171,13 @@ mod tests {
     fn default_chunk_size_is_1_mib() {
         let c = ScfsConfig::paper_default(Mode::Blocking);
         assert_eq!(c.chunk_size, Bytes::mib(1));
+    }
+
+    #[test]
+    fn transfer_knobs_default_to_parallel_with_prefetch() {
+        let c = ScfsConfig::paper_default(Mode::Blocking);
+        assert_eq!(c.max_parallel_transfers, 4);
+        assert_eq!(c.prefetch_chunks, 2);
     }
 
     #[test]

@@ -37,6 +37,11 @@ pub trait FileSystem {
     /// Reads up to `len` bytes at `offset` from an open file.
     fn read(&mut self, handle: FileHandle, offset: u64, len: usize) -> Result<Vec<u8>, ScfsError>;
 
+    /// Current size in bytes of an open file, served from the handle's own
+    /// state — no metadata round-trip. `read_file`/`copy_file` use this
+    /// instead of a second `stat` after `open`.
+    fn handle_size(&mut self, handle: FileHandle) -> Result<u64, ScfsError>;
+
     /// Writes `data` at `offset` in an open file, returning the bytes written.
     fn write(&mut self, handle: FileHandle, offset: u64, data: &[u8]) -> Result<usize, ScfsError>;
 
@@ -77,11 +82,13 @@ pub trait FileSystem {
     fn getfacl(&mut self, path: &str) -> Result<cloud_store::types::Acl, ScfsError>;
 
     /// Convenience: copies a whole file within the file system
-    /// (open/read/create/write/close), as the Filebench copy-files workload does.
+    /// (open/read/create/write/close), as the Filebench copy-files workload
+    /// does. The source size comes from the open handle, not a second
+    /// metadata round-trip.
     fn copy_file(&mut self, from: &str, to: &str) -> Result<(), ScfsError> {
         let src = self.open(from, OpenFlags::read_only())?;
-        let meta = self.stat(from)?;
-        let data = self.read(src, 0, meta.size as usize)?;
+        let size = self.handle_size(src)?;
+        let data = self.read(src, 0, size as usize)?;
         self.close(src)?;
         let dst = self.open(to, OpenFlags::create_truncate())?;
         self.write(dst, 0, &data)?;
@@ -97,11 +104,12 @@ pub trait FileSystem {
         Ok(())
     }
 
-    /// Convenience: reads a whole file in one open/read/close sequence.
+    /// Convenience: reads a whole file in one open/read/close sequence. The
+    /// size comes from the open handle, not a second metadata round-trip.
     fn read_file(&mut self, path: &str) -> Result<Vec<u8>, ScfsError> {
         let h = self.open(path, OpenFlags::read_only())?;
-        let meta = self.stat(path)?;
-        let data = self.read(h, 0, meta.size as usize)?;
+        let size = self.handle_size(h)?;
+        let data = self.read(h, 0, size as usize)?;
         self.close(h)?;
         Ok(data)
     }

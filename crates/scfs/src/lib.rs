@@ -19,8 +19,10 @@
 //!   ([`pns`]).
 //!
 //! The file data itself goes either to a single cloud or to a DepSky
-//! cloud-of-clouds ([`backend`]), and the agent supports the paper's three
-//! modes of operation (blocking, non-blocking, non-sharing; [`config`]).
+//! cloud-of-clouds ([`backend`]), moving through the parallel chunk
+//! [`transfer`] engine (plan → bounded-parallel execution on forked virtual
+//! clocks), and the agent supports the paper's three modes of operation
+//! (blocking, non-blocking, non-sharing; [`config`]).
 //!
 //! # Quick start
 //!
@@ -60,6 +62,7 @@ pub mod error;
 pub mod fs;
 pub mod metadata_service;
 pub mod pns;
+pub mod transfer;
 pub mod types;
 
 pub use agent::{AgentStats, ScfsAgent};
@@ -69,4 +72,5 @@ pub use cost::{CostBackend, CostModel};
 pub use durability::{DurabilityLevel, SysCall};
 pub use error::ScfsError;
 pub use fs::FileSystem;
+pub use transfer::{TransferOptions, TransferPlan};
 pub use types::{FileHandle, FileMetadata, FileType, OpenFlags};

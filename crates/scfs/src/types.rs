@@ -70,6 +70,26 @@ impl ChunkMap {
         start..end
     }
 
+    /// Length in bytes of chunk `index` (the final chunk may be short).
+    pub fn chunk_len(&self, index: usize) -> usize {
+        self.byte_range(index).len()
+    }
+
+    /// Indices of the chunks overlapping the byte range `[offset,
+    /// offset + len)`, clamped to the end of the file. This is the offset
+    /// math behind lazy byte-range reads: a `read(offset, len)` only has to
+    /// materialize exactly these chunks.
+    pub fn chunks_for_range(&self, offset: u64, len: usize) -> std::ops::Range<usize> {
+        let end = offset.saturating_add(len as u64).min(self.file_len);
+        if offset >= end {
+            return 0..0;
+        }
+        let chunk = self.chunk_size as u64;
+        let first = (offset / chunk) as usize;
+        let last = end.div_ceil(chunk) as usize;
+        first..last
+    }
+
     /// The single hash the consistency anchor stores for this version: the
     /// SHA-256 of the encoded manifest.
     pub fn root_hash(&self) -> ContentHash {
@@ -513,6 +533,22 @@ mod tests {
         let plus = ChunkMap::build(&vec![0; 1001], 1000);
         assert_eq!(plus.chunk_count(), 2);
         assert_eq!(plus.byte_range(1), 1000..1001);
+    }
+
+    #[test]
+    fn chunks_for_range_maps_bytes_to_chunk_indices() {
+        let map = ChunkMap::build(&vec![0u8; 2500], 1000);
+        assert_eq!(map.chunks_for_range(0, 1), 0..1);
+        assert_eq!(map.chunks_for_range(999, 2), 0..2);
+        assert_eq!(map.chunks_for_range(1000, 1000), 1..2);
+        assert_eq!(map.chunks_for_range(0, 2500), 0..3);
+        // Clamped to EOF, empty beyond it, zero-length is empty.
+        assert_eq!(map.chunks_for_range(2400, 5000), 2..3);
+        assert_eq!(map.chunks_for_range(2500, 10), 0..0);
+        assert_eq!(map.chunks_for_range(500, 0), 0..0);
+        // Huge lengths must not overflow.
+        assert_eq!(map.chunks_for_range(1, usize::MAX), 0..3);
+        assert_eq!(map.chunk_len(2), 500);
     }
 
     #[test]

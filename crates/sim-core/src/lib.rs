@@ -12,6 +12,8 @@
 //!   plus the distributions used by the latency models.
 //! * [`latency`] — latency and bandwidth models for cloud accesses,
 //!   coordination-service accesses, local disk and memory.
+//! * [`parallel`] — fork/join helpers for concurrent requests on virtual
+//!   time (quorum waits, bounded-parallel chunk transfers).
 //! * [`fault`] — fault injection: outage windows, drop probabilities and
 //!   data corruption, used to exercise the Byzantine-fault-tolerant paths.
 //! * [`stats`] — mean/percentile summaries used when reporting the paper's
@@ -25,6 +27,7 @@
 
 pub mod fault;
 pub mod latency;
+pub mod parallel;
 pub mod rng;
 pub mod stats;
 pub mod time;
@@ -33,6 +36,7 @@ pub mod units;
 
 pub use fault::{FaultInjector, FaultPlan, OutageWindow};
 pub use latency::{BandwidthModel, LatencyModel, LatencyProfile};
+pub use parallel::ForkedRun;
 pub use rng::DetRng;
 pub use stats::{Histogram, Summary};
 pub use time::{Clock, SimDuration, SimInstant};

@@ -161,8 +161,12 @@ mod tests {
         let cfg = SweepConfig::quick();
         let without = metadata_cache_point(SimDuration::ZERO, cfg, 3);
         let with = metadata_cache_point(SimDuration::from_millis(500), cfg, 3);
+        // copy_file issues one metadata read per file (the open; the old
+        // redundant stat-after-open is gone), so the no-cache penalty is
+        // smaller than with the paper prototype's double lookup but must
+        // still be clearly visible.
         assert!(
-            without.copy_s > with.copy_s * 1.3,
+            without.copy_s > with.copy_s * 1.15,
             "no cache: {:.2}s, 500ms cache: {:.2}s",
             without.copy_s,
             with.copy_s
