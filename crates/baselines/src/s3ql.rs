@@ -7,7 +7,15 @@
 //! (128 KiB recommended) and a FUSE issue makes sub-chunk writes very slow.
 //! It supports no sharing — which is exactly the design point SCFS-NS
 //! matches, minus the cloud-of-clouds option.
+//!
+//! Like the real S3QL, blocks are stored **content-addressed and
+//! deduplicated**: each 128 KiB block goes to a `s3ql/block/{hash}` object
+//! and a block whose hash was already uploaded is skipped. This keeps the
+//! baseline honest against SCFS's refcounted global chunk store — both
+//! systems move identical content once; what S3QL still lacks is sharing,
+//! cloud-of-clouds redundancy and a GC that can reclaim safely.
 
+use std::collections::HashSet;
 use std::sync::Arc;
 
 use cloud_store::store::{ObjectStore, OpCtx};
@@ -15,6 +23,7 @@ use cloud_store::types::{AccountId, Acl, Permission};
 use scfs::error::ScfsError;
 use scfs::fs::FileSystem;
 use scfs::types::{normalize_path, FileHandle, FileMetadata, OpenFlags};
+use scfs_crypto::{sha256, to_hex, ContentHash};
 use sim_core::latency::LatencyModel;
 use sim_core::rng::DetRng;
 use sim_core::time::{Clock, SimDuration, SimInstant};
@@ -31,6 +40,9 @@ pub struct S3qlLike {
     rng: DetRng,
     background_cursor: SimInstant,
     uploads: u64,
+    /// Hashes of the blocks already in the cloud (S3QL's dedup table).
+    uploaded_blocks: HashSet<ContentHash>,
+    dedup_skipped: u64,
 }
 
 impl S3qlLike {
@@ -48,12 +60,20 @@ impl S3qlLike {
             rng: DetRng::new(seed ^ 0x5A5A),
             background_cursor: SimInstant::EPOCH,
             uploads: 0,
+            uploaded_blocks: HashSet::new(),
+            dedup_skipped: 0,
         }
     }
 
     /// Number of background uploads performed so far.
     pub fn upload_count(&self) -> u64 {
         self.uploads
+    }
+
+    /// Number of blocks skipped because identical content was already
+    /// uploaded (S3QL's content-addressed dedup).
+    pub fn dedup_skipped_blocks(&self) -> u64 {
+        self.dedup_skipped
     }
 
     /// Instant at which all queued background uploads complete.
@@ -66,13 +86,25 @@ impl S3qlLike {
         let start = self.inner.clock().now().max(self.background_cursor);
         let mut bg_clock = Clock::starting_at(start);
         let mut ctx = OpCtx::new(&mut bg_clock, self.account.clone());
-        // One object per chunk, as S3QL's block layout does.
-        for (i, chunk) in data.chunks(self.chunk_size.max(1)).enumerate() {
-            let key = format!("s3ql{path}/chunk{i}");
+        // One content-addressed object per block, deduplicated: a block
+        // whose hash is already stored is not uploaded again.
+        for chunk in data.chunks(self.chunk_size.max(1)) {
+            let hash = sha256(chunk);
+            if !self.uploaded_blocks.insert(hash) {
+                self.dedup_skipped += 1;
+                continue;
+            }
+            let key = format!("s3ql/block/{}", to_hex(&hash));
             let _ = self.cloud.put(&mut ctx, &key, chunk);
         }
         if data.is_empty() {
-            let _ = self.cloud.put(&mut ctx, &format!("s3ql{path}/chunk0"), &[]);
+            let hash = sha256(&[]);
+            if self.uploaded_blocks.insert(hash) {
+                let key = format!("s3ql/block/{}", to_hex(&hash));
+                let _ = self.cloud.put(&mut ctx, &key, &[]);
+            } else {
+                self.dedup_skipped += 1;
+            }
         }
         self.uploads += 1;
         self.background_cursor = bg_clock.now();
@@ -185,9 +217,26 @@ mod tests {
         let (mut fs, cloud) = fs();
         fs.write_file("/doc", &vec![7u8; 300 * 1024]).unwrap();
         assert_eq!(fs.upload_count(), 1);
-        // 300 KiB at a 128 KiB chunk size -> 3 chunk objects.
-        assert_eq!(cloud.metrics().snapshot().puts, 3);
+        // 300 KiB of constant bytes at a 128 KiB block size: the two full
+        // blocks are identical and dedup to one object, plus the 44 KiB tail.
+        assert_eq!(cloud.metrics().snapshot().puts, 2);
+        assert_eq!(fs.dedup_skipped_blocks(), 1);
         assert_eq!(fs.read_file("/doc").unwrap().len(), 300 * 1024);
+    }
+
+    #[test]
+    fn identical_content_under_a_second_path_uploads_nothing() {
+        let (mut fs, cloud) = fs();
+        let data: Vec<u8> = (0..300 * 1024).map(|i| (i % 251) as u8).collect();
+        fs.write_file("/a", &data).unwrap();
+        let puts_after_first = cloud.metrics().snapshot().puts;
+        assert_eq!(puts_after_first, 3, "three distinct blocks");
+        // The same bytes under a different path are fully deduplicated,
+        // matching what the SCFS global chunk store does.
+        fs.write_file("/b", &data).unwrap();
+        assert_eq!(cloud.metrics().snapshot().puts, puts_after_first);
+        assert_eq!(fs.dedup_skipped_blocks(), 3);
+        assert_eq!(fs.read_file("/b").unwrap(), data);
     }
 
     #[test]

@@ -1,11 +1,16 @@
-//! Perf-trajectory harness for the chunk transfer engine.
+//! Perf-trajectory harness for the chunk transfer engine and the global
+//! chunk store.
 //!
 //! Measures the *virtual-time* foreground latency of closing a dirty
 //! 16-chunk (16 MiB) file at several parallelism levels, on both backends
-//! with the paper's WAN provider profiles, and writes the numbers to
-//! `target/BENCH_transfer.json` so future PRs can track the sequential-vs-
-//! parallel close latency over time. Virtual time is deterministic given the
-//! seed, so the emitted numbers are stable across machines.
+//! with the paper's WAN provider profiles — plus, per row, the latency of
+//! closing an identical copy of the file under a *second* path: with the
+//! refcounted global chunk store that close uploads zero chunks (only the
+//! new manifest moves), so the dedup column tracks how much of the write
+//! path the cross-file dedup eliminates. Everything is written to
+//! `target/BENCH_transfer.json` so future PRs can track both trajectories.
+//! Virtual time is deterministic given the seed, so the emitted numbers are
+//! stable across machines.
 //!
 //! Runs under `cargo bench --bench transfer_engine` (the CI bench-smoke
 //! step); it is a plain `main`, not a Criterion harness, because the metric
@@ -28,16 +33,28 @@ fn sixteen_mib() -> Vec<u8> {
     data
 }
 
-/// Foreground virtual seconds of a dirty 16-chunk close (write_file) on a
-/// fresh agent at the given parallelism.
-fn close_latency_secs(backend: Backend, parallel: usize, data: &[u8]) -> f64 {
+/// Foreground virtual seconds of (a) a dirty 16-chunk close on a fresh
+/// agent and (b) closing an identical copy under a second path right after
+/// — the cross-file dedup write, which moves only the manifest.
+fn close_latencies_secs(backend: Backend, parallel: usize, data: &[u8]) -> (f64, f64) {
     let env = SharedScfsEnv::new(backend, Mode::Blocking, 7);
     let mut config = ScfsConfig::paper_default(Mode::Blocking);
     config.max_parallel_transfers = parallel;
     let mut fs = env.mount("alice", config, 7);
     let start = fs.now();
     fs.write_file("/bench/big", data).expect("close commits");
-    fs.now().duration_since(start).as_secs_f64()
+    let cold = fs.now().duration_since(start).as_secs_f64();
+    let chunk_uploads_before = fs.stats().chunk_uploads;
+    let start = fs.now();
+    fs.write_file("/bench/copy", data)
+        .expect("dedup close commits");
+    let dedup = fs.now().duration_since(start).as_secs_f64();
+    assert_eq!(
+        fs.stats().chunk_uploads,
+        chunk_uploads_before,
+        "the identical copy must upload zero chunks"
+    );
+    (cold, dedup)
 }
 
 fn main() {
@@ -51,22 +68,25 @@ fn main() {
         };
         let mut sequential = None;
         for parallel in PARALLELISMS {
-            let secs = close_latency_secs(backend, parallel, &data);
+            let (secs, dedup_secs) = close_latencies_secs(backend, parallel, &data);
             let sequential = *sequential.get_or_insert(secs);
             println!(
-                "  {label} parallelism {parallel:>2}: {secs:>7.3}s (speedup {:.2}x)",
+                "  {label} parallelism {parallel:>2}: {secs:>7.3}s (speedup {:.2}x, \
+                 dedup copy {dedup_secs:.3}s)",
                 sequential / secs
             );
             rows.push(format!(
                 "    {{\"backend\": \"{label}\", \"parallelism\": {parallel}, \
-                 \"close_virtual_secs\": {secs:.6}, \"speedup_vs_sequential\": {:.4}}}",
+                 \"close_virtual_secs\": {secs:.6}, \"speedup_vs_sequential\": {:.4}, \
+                 \"dedup_copy_close_virtual_secs\": {dedup_secs:.6}}}",
                 sequential / secs
             ));
         }
     }
     let json = format!(
         "{{\n  \"benchmark\": \"transfer_engine\",\n  \"workload\": \
-         \"dirty close of a {CHUNKS}-chunk ({CHUNKS} MiB) file, blocking mode, WAN profiles\",\n  \
+         \"dirty close of a {CHUNKS}-chunk ({CHUNKS} MiB) file, blocking mode, WAN profiles; \
+         dedup column = closing an identical copy under a second path (global chunk store)\",\n  \
          \"unit\": \"virtual seconds (deterministic)\",\n  \"results\": [\n{}\n  ]\n}}\n",
         rows.join(",\n")
     );

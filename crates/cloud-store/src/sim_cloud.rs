@@ -140,6 +140,20 @@ impl SimulatedCloud {
         self.objects.lock().get(key).map_or(0, |o| o.versions.len())
     }
 
+    /// Every stored key starting with `prefix`, regardless of visibility,
+    /// ownership or ACLs. This is simulator-level introspection (no clock is
+    /// charged, no account is checked): tests use it to audit that the SCFS
+    /// garbage collector left no blob unreachable from any live manifest or
+    /// pending release-journal entry.
+    pub fn stored_keys(&self, prefix: &str) -> Vec<String> {
+        self.objects
+            .lock()
+            .keys()
+            .filter(|k| k.starts_with(prefix))
+            .cloned()
+            .collect()
+    }
+
     fn sample_latency(&self, upload: Bytes, download: Bytes) -> SimDuration {
         let mut rng = self.rng.lock();
         self.profile.latency.sample_op(&mut rng, upload, download)

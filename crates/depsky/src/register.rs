@@ -234,11 +234,22 @@ impl DepSkyClient {
         })
     }
 
+    /// Base name of the global, cross-file chunk namespace: SCFS stores
+    /// every chunk as a `chunks|{hash}` data unit, shared by all files and
+    /// users, while chunk-map manifests keep per-object `{id}|{hash}` units.
+    /// Object ids never collide with this base (they are `{user}-f{n}`).
+    pub const GLOBAL_CHUNK_BASE: &str = "chunks";
+
     /// Name of the single-version data unit holding an immutable,
     /// content-addressed blob (an SCFS chunk or chunk-map manifest): the
     /// base object id joined with the blob's content hash.
     pub fn blob_unit(base: &str, hash: &ContentHash) -> String {
         format!("{base}|{}", scfs_crypto::to_hex(hash))
+    }
+
+    /// Name of the data unit holding a chunk of the global namespace.
+    pub fn chunk_unit(hash: &ContentHash) -> String {
+        Self::blob_unit(Self::GLOBAL_CHUNK_BASE, hash)
     }
 
     /// Stores an immutable blob addressed by `base|hash` through the full
@@ -877,6 +888,17 @@ mod tests {
         let unit = DepSkyClient::blob_unit("alice-f1", &hash);
         assert!(unit.starts_with("alice-f1|"));
         assert!(unit.ends_with(&scfs_crypto::to_hex(&hash)));
+    }
+
+    #[test]
+    fn chunk_units_live_in_the_global_namespace() {
+        let hash = sha256(b"chunk");
+        let unit = DepSkyClient::chunk_unit(&hash);
+        assert_eq!(
+            unit,
+            format!("chunks|{}", scfs_crypto::to_hex(&hash)),
+            "global chunks are addressed by hash alone, not per object id"
+        );
     }
 
     #[test]

@@ -55,10 +55,19 @@ pub struct AgentStats {
     pub gc_runs: u64,
     /// File versions reclaimed by the garbage collector.
     pub gc_reclaimed_versions: u64,
-    /// Failed garbage-collection deletions (old-version prunes or full
-    /// removals that errored); the collector keeps going, but the failures
-    /// are surfaced here instead of being silently swallowed.
+    /// Failed garbage-collection deletions (old-version prunes, full
+    /// removals, tombstone metadata deletes or journaled blob deletes that
+    /// errored); the collector keeps going, but the failures are surfaced
+    /// here instead of being silently swallowed.
     pub gc_errors: u64,
+    /// Release-journal entries re-attempted after a previous failed delete —
+    /// each one is a blob the pre-journal collector would have leaked.
+    pub gc_retried: u64,
+    /// Blobs reclaimed on a retry pass: orphans recovered by the journal.
+    pub gc_orphans_reclaimed: u64,
+    /// Distinct chunks skipped at upload because another file (or user) had
+    /// already stored identical content in the global chunk store.
+    pub dedup_hits_cross_file: u64,
     /// Parallel waves executed by the foreground transfer engine: a close
     /// that uploads 16 chunks at parallelism 4 adds 4 waves, and its
     /// foreground clock advanced by ~4 chunk-upload latencies.
@@ -318,6 +327,7 @@ impl ScfsAgent {
         stats.chunk_uploads += outcome.chunks_uploaded;
         stats.bytes_uploaded += outcome.bytes_uploaded;
         stats.transfer_waves += outcome.waves;
+        stats.dedup_hits_cross_file += outcome.dedup_cross_file;
         metadata.version_hash = Some(hash);
         metadata.size = data.len() as u64;
         metadata.modified_at = ctx.clock.now();
@@ -351,10 +361,14 @@ impl ScfsAgent {
         for (storage_id, (path, deleted)) in &self.owned_files {
             if *deleted {
                 match self.storage.delete_all(&mut ctx, storage_id) {
-                    Ok(()) => {
-                        let _ = self.metadata.delete(&mut ctx, path);
-                        fully_deleted.push(storage_id.clone());
-                    }
+                    // The blobs are released; the tombstone may go only once
+                    // its metadata delete actually commits — a failed delete
+                    // keeps the entry so a later cycle retries it instead of
+                    // stranding the tombstone forever.
+                    Ok(()) => match self.metadata.delete(&mut ctx, path) {
+                        Ok(()) => fully_deleted.push(storage_id.clone()),
+                        Err(_) => errors += 1,
+                    },
                     // The tombstone stays; the next cycle retries, and the
                     // failure is surfaced through the stats.
                     Err(_) => errors += 1,
@@ -368,6 +382,21 @@ impl ScfsAgent {
         }
         for id in fully_deleted {
             self.owned_files.remove(&id);
+        }
+        // Phase two: replay the release journal — physically delete the
+        // blobs whose refcount hit zero, retrying any entry an earlier cycle
+        // failed on. This is what turns a failed delete into a delayed
+        // reclamation rather than a leaked orphan.
+        match self
+            .storage
+            .replay_release_journal(&mut ctx, &self.config.gc.journal_opts())
+        {
+            Ok(report) => {
+                self.stats.gc_retried += report.retried;
+                self.stats.gc_orphans_reclaimed += report.reclaimed_after_retry;
+                self.stats.gc_errors += report.errors;
+            }
+            Err(_) => errors += 1,
         }
         self.stats.gc_reclaimed_versions += reclaimed;
         self.stats.gc_errors += errors;
@@ -1492,6 +1521,122 @@ mod tests {
         );
         // The data is untouched by the failing collector.
         assert_eq!(fs.read_file("/big").unwrap().len(), 10_000);
+    }
+
+    /// A coordination service whose `delete` always fails, for testing the
+    /// GC's tombstone-removal retry path.
+    struct FailingDeleteCoord(ReplicatedCoordinator);
+
+    impl CoordinationService for FailingDeleteCoord {
+        fn put(
+            &self,
+            ctx: &mut OpCtx<'_>,
+            key: &str,
+            value: Vec<u8>,
+        ) -> Result<u64, coord::error::CoordError> {
+            self.0.put(ctx, key, value)
+        }
+
+        fn cas(
+            &self,
+            ctx: &mut OpCtx<'_>,
+            key: &str,
+            expected: Option<u64>,
+            value: Vec<u8>,
+        ) -> Result<u64, coord::error::CoordError> {
+            self.0.cas(ctx, key, expected, value)
+        }
+
+        fn create_ephemeral(
+            &self,
+            ctx: &mut OpCtx<'_>,
+            key: &str,
+            value: Vec<u8>,
+            session: &SessionId,
+            lease: SimDuration,
+        ) -> Result<(), coord::error::CoordError> {
+            self.0.create_ephemeral(ctx, key, value, session, lease)
+        }
+
+        fn get(
+            &self,
+            ctx: &mut OpCtx<'_>,
+            key: &str,
+        ) -> Result<coord::service::Entry, coord::error::CoordError> {
+            self.0.get(ctx, key)
+        }
+
+        fn delete(&self, ctx: &mut OpCtx<'_>, key: &str) -> Result<(), coord::error::CoordError> {
+            // Only metadata tuples fail; lock releases (ephemeral entries)
+            // go through so closes keep working.
+            if key.contains("/locks/") {
+                return self.0.delete(ctx, key);
+            }
+            Err(coord::error::CoordError::Unavailable {
+                reason: format!("injected metadata-delete failure for {key}"),
+            })
+        }
+
+        fn list(
+            &self,
+            ctx: &mut OpCtx<'_>,
+            prefix: &str,
+        ) -> Result<Vec<String>, coord::error::CoordError> {
+            self.0.list(ctx, prefix)
+        }
+
+        fn set_acl(
+            &self,
+            ctx: &mut OpCtx<'_>,
+            key: &str,
+            acl: Acl,
+        ) -> Result<(), coord::error::CoordError> {
+            self.0.set_acl(ctx, key, acl)
+        }
+
+        fn rename_prefix(
+            &self,
+            ctx: &mut OpCtx<'_>,
+            old_prefix: &str,
+            new_prefix: &str,
+        ) -> Result<usize, coord::error::CoordError> {
+            self.0.rename_prefix(ctx, old_prefix, new_prefix)
+        }
+
+        fn access_count(&self) -> u64 {
+            self.0.access_count()
+        }
+
+        fn entry_count(&self) -> usize {
+            self.0.entry_count()
+        }
+    }
+
+    #[test]
+    fn failed_tombstone_metadata_delete_is_counted_and_retried() {
+        let cloud = Arc::new(SimulatedCloud::test("s3"));
+        let storage = Arc::new(SingleCloudStorage::new(cloud));
+        let coord: Arc<dyn CoordinationService> =
+            Arc::new(FailingDeleteCoord(ReplicatedCoordinator::test()));
+        let mut config = ScfsConfig::test(Mode::Blocking);
+        config.gc.written_bytes_threshold = Bytes::new(50_000);
+        config.gc.versions_to_keep = 1;
+        let mut fs = ScfsAgent::mount("alice".into(), config, storage, Some(coord), 5).unwrap();
+        fs.write_file("/doomed", &vec![1u8; 10_000]).unwrap();
+        fs.unlink("/doomed").unwrap();
+        let mut last_errors = 0;
+        for _ in 0..10 {
+            fs.write_file("/big", &vec![7u8; 10_000]).unwrap();
+            last_errors = fs.stats().gc_errors;
+        }
+        let stats = fs.stats();
+        assert!(stats.gc_runs >= 2);
+        assert!(
+            stats.gc_errors >= 2,
+            "every cycle's failed tombstone removal must surface, got {}",
+            stats.gc_errors
+        );
+        assert!(last_errors >= 2, "the entry is retried each cycle");
     }
 
     #[test]

@@ -6,15 +6,21 @@
 //! operations are what the storage service of the agent needs on the chunked
 //! data path:
 //!
-//! * write a new immutable version — upload the *dirty* chunks of the file
-//!   plus a small [`ChunkMap`] manifest stored under its root hash (the
+//! * write a new immutable version — upload the chunks of the file that are
+//!   not already in the **global chunk store** (chunks are content-addressed
+//!   across versions, files and users; see [`crate::chunkstore`]) plus a
+//!   small [`ChunkMap`] manifest stored per object under its root hash (the
 //!   storage-service half of the consistency-anchor algorithm);
 //! * read the manifest with a given root hash, and individual chunks by
 //!   content hash (only the chunks a reader is missing);
-//! * delete old versions chunk-by-chunk — a chunk is reclaimed only once no
-//!   retained version references it, so identical chunks are shared
-//!   (deduplicated) across versions;
-//! * propagate ACL changes to every stored object of a file.
+//! * release old versions — each version drops one reference per distinct
+//!   chunk, and a chunk is physically reclaimed only once its global
+//!   reference count is zero, through the two-phase release journal
+//!   ([`FileStorage::replay_release_journal`]), so a failed delete is
+//!   retried instead of leaking an orphan;
+//! * propagate ACL changes to the manifests of a file (chunks are owned by
+//!   the shared chunk-store principal and are capability-protected by the
+//!   manifest ACLs, so `setfacl` is O(versions), not O(versions × chunks)).
 
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
@@ -26,6 +32,9 @@ use depsky::register::DepSkyClient;
 use parking_lot::Mutex;
 use scfs_crypto::{sha256, to_hex, ContentHash};
 
+use crate::chunkstore::{
+    chunk_store_account, BlobAudit, ChunkStore, JournalOpts, ReleaseTarget, ReplayReport,
+};
 use crate::error::ScfsError;
 use crate::transfer::{execute_plan, TransferOptions, TransferPlan};
 use crate::types::ChunkMap;
@@ -36,7 +45,7 @@ pub struct WriteOutcome {
     /// Root hash of the written version (hash of the encoded [`ChunkMap`]);
     /// this is the `hash` the consistency anchor stores.
     pub root_hash: ContentHash,
-    /// Chunks actually uploaded (dirty chunks not already stored).
+    /// Chunks actually uploaded (dirty chunks not already stored globally).
     pub chunks_uploaded: u64,
     /// Payload bytes handed to the backend: the dirty chunks plus the
     /// manifest. This counts logical (plaintext) bytes — the CoC backend
@@ -47,19 +56,27 @@ pub struct WriteOutcome {
     /// Parallel waves the chunk uploads took (0 when no chunk moved); the
     /// caller's clock advanced by roughly this many chunk-upload latencies.
     pub waves: u64,
+    /// Distinct chunks this version skipped because *another file* (or
+    /// another user) had already stored identical content in the global
+    /// chunk store — the cross-file dedup wins, as opposed to chunks reused
+    /// from this object's own previous versions.
+    pub dedup_cross_file: u64,
 }
 
 /// One stored version of an object: its root hash and chunk map. Backends
-/// keep these per object id so the garbage collector can reclaim per-chunk
-/// without listing the cloud.
+/// keep these per object id so the garbage collector can release per-version
+/// chunk references without listing the cloud.
 #[derive(Debug, Clone)]
 struct StoredVersion {
     root: ContentHash,
     map: ChunkMap,
 }
 
-/// Registry of versions written through one backend instance, shared by both
-/// backends: object id → versions, newest last.
+/// Registry of the versions written through one backend instance: object id
+/// → versions, newest last. Since the refcounted chunk store took over chunk
+/// liveness, the registry only tracks manifests (which version commits exist
+/// and what each one references) — whether a *chunk* is still needed is the
+/// chunk store's refcount, never a scan over this map.
 #[derive(Debug, Default)]
 struct VersionRegistry {
     versions: HashMap<String, Vec<StoredVersion>>,
@@ -79,7 +96,9 @@ impl VersionRegistry {
         self.versions.contains_key(id)
     }
 
-    /// Every chunk hash currently referenced by any version of `id`.
+    /// Every chunk hash referenced by a retained version of `id` — the
+    /// "this file's own history" set used to tell cross-file dedup hits
+    /// apart from ordinary cross-version reuse.
     fn live_chunks(&self, id: &str) -> HashSet<ContentHash> {
         self.versions
             .get(id)
@@ -91,32 +110,40 @@ impl VersionRegistry {
             .unwrap_or_default()
     }
 
-    /// Every blob (manifests first, then chunks, deduplicated) currently
-    /// referenced by any version of `id` — the ACL-propagation targets.
-    fn live_objects(&self, id: &str) -> Vec<ContentHash> {
-        let versions = self.versions.get(id).map(Vec::as_slice).unwrap_or(&[]);
-        let mut objects = Vec::new();
+    /// The distinct manifest roots of the retained versions of `id` — the
+    /// ACL-propagation targets.
+    fn live_manifests(&self, id: &str) -> Vec<ContentHash> {
         let mut seen = HashSet::new();
-        for version in versions {
-            if seen.insert(version.root) {
-                objects.push(version.root);
-            }
-        }
-        for version in versions {
-            for chunk in version.map.chunks() {
-                if seen.insert(*chunk) {
-                    objects.push(*chunk);
+        self.versions
+            .get(id)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+            .iter()
+            .filter(|v| seen.insert(v.root))
+            .map(|v| v.root)
+            .collect()
+    }
+
+    /// Every `(id, root)` manifest pair of every retained version.
+    fn all_manifests(&self) -> Vec<(String, ContentHash)> {
+        let mut out = Vec::new();
+        for (id, versions) in &self.versions {
+            let mut seen = HashSet::new();
+            for version in versions {
+                if seen.insert(version.root) {
+                    out.push((id.clone(), version.root));
                 }
             }
         }
-        objects
+        out
     }
 
-    /// Drops all but the newest `keep` versions of `id`. The returned
-    /// manifests and chunks are exactly the objects no retained version
-    /// references any more — versions can share both chunks *and* manifests
-    /// (two identical versions have the same root hash), so anything still
-    /// referenced by a kept version must survive.
+    /// Drops all but the newest `keep` versions of `id`. Each dropped
+    /// version's distinct chunk set comes back as one release unit (the
+    /// exact references `write_version` took), plus the manifests no kept
+    /// version stores its root under — versions can share manifests (two
+    /// identical versions have the same root hash), so a root still used by
+    /// a kept version must survive.
     fn prune(&mut self, id: &str, keep: usize) -> PruneResult {
         let list = match self.versions.get_mut(id) {
             Some(list) if list.len() > keep => list,
@@ -124,63 +151,72 @@ impl VersionRegistry {
         };
         let cut = list.len() - keep;
         let dropped: Vec<StoredVersion> = list.drain(..cut).collect();
-        let kept_chunks: HashSet<ContentHash> = list
-            .iter()
-            .flat_map(|v| v.map.chunks().iter().copied())
-            .collect();
         let kept_roots: HashSet<ContentHash> = list.iter().map(|v| v.root).collect();
+        Self::released(dropped, &kept_roots)
+    }
+
+    /// Removes every version of `id`, returning its release units.
+    fn remove_all(&mut self, id: &str) -> PruneResult {
+        let all = self.versions.remove(id).unwrap_or_default();
+        Self::released(all, &HashSet::new())
+    }
+
+    fn released(dropped: Vec<StoredVersion>, kept_roots: &HashSet<ContentHash>) -> PruneResult {
         let mut result = PruneResult {
             removed: dropped.len(),
             ..PruneResult::default()
         };
-        let mut seen_chunks = HashSet::new();
         let mut seen_roots = HashSet::new();
         for version in &dropped {
             if !kept_roots.contains(&version.root) && seen_roots.insert(version.root) {
                 result.manifests.push(version.root);
             }
-            for chunk in version.map.chunks() {
-                if !kept_chunks.contains(chunk) && seen_chunks.insert(*chunk) {
-                    result.chunks.push(*chunk);
-                }
-            }
-        }
-        result
-    }
-
-    /// Removes every version of `id`, returning its unique manifests and
-    /// chunks.
-    fn remove_all(&mut self, id: &str) -> PruneResult {
-        let all = self.versions.remove(id).unwrap_or_default();
-        let mut result = PruneResult {
-            removed: all.len(),
-            ..PruneResult::default()
-        };
-        let mut seen_chunks = HashSet::new();
-        let mut seen_roots = HashSet::new();
-        for version in &all {
-            if seen_roots.insert(version.root) {
-                result.manifests.push(version.root);
-            }
-            for chunk in version.map.chunks() {
-                if seen_chunks.insert(*chunk) {
-                    result.chunks.push(*chunk);
-                }
-            }
+            // Distinct chunks in file order — journal appends derive from
+            // this, and hash-map iteration order would make GC behavior
+            // (which blob a bounded replay batch reaches, which delete a
+            // fault hits) vary run to run, breaking determinism.
+            let mut seen = HashSet::new();
+            result.version_chunks.push(
+                version
+                    .map
+                    .chunks()
+                    .iter()
+                    .filter(|h| seen.insert(**h))
+                    .copied()
+                    .collect(),
+            );
         }
         result
     }
 }
 
-/// Objects made unreferenced by a registry prune.
+/// Objects released by a registry prune.
 #[derive(Debug, Default)]
 struct PruneResult {
     /// Number of versions dropped.
     removed: usize,
-    /// Manifest root hashes to delete.
+    /// Manifest root hashes no retained version uses any more.
     manifests: Vec<ContentHash>,
-    /// Chunk hashes to delete.
-    chunks: Vec<ContentHash>,
+    /// One distinct-chunk list per dropped version, in file order — the
+    /// references to drop from the global chunk store (ordered so journal
+    /// appends, and therefore replay, are deterministic).
+    version_chunks: Vec<Vec<ContentHash>>,
+}
+
+/// The shared mutable state of one backend instance: the per-object version
+/// registry and the global refcounted chunk store with its release journal.
+#[derive(Debug, Default)]
+struct StoreState {
+    registry: VersionRegistry,
+    chunks: ChunkStore,
+}
+
+impl StoreState {
+    fn blob_audit(&self) -> BlobAudit {
+        let mut manifests = self.registry.all_manifests();
+        manifests.extend(self.chunks.pending_manifests());
+        BlobAudit::new(self.chunks.reachable_chunks(), manifests)
+    }
 }
 
 /// Chunked, content-addressed versioned storage — the "SS" of the
@@ -190,15 +226,17 @@ pub trait FileStorage: Send + Sync {
     fn label(&self) -> &'static str;
 
     /// Stores a new version of the object identified by `id`: uploads the
-    /// chunks of `data` (laid out by `map`) that are not already stored, then
-    /// commits the encoded manifest under its root hash. Chunks this backend
-    /// instance knows are live are skipped (dedup); when the instance has no
-    /// record of `id` (a fresh mount), chunks present in `prev` are trusted
-    /// as stored. Newly written objects are tagged with `acl` when given, so
-    /// collaborators can read them without a separate ACL pass. `is_new`
-    /// hints that the object was never written before (lets the CoC backend
-    /// skip its metadata-read phase on file creation). The dirty chunks move
-    /// through the transfer engine, at most `opts.max_parallel` at a time.
+    /// chunks of `data` (laid out by `map`) that are not already in the
+    /// global chunk store, takes one chunk-store reference per distinct
+    /// chunk, then commits the encoded manifest under its root hash.
+    /// Identical content already stored by *any* file or user is skipped
+    /// (cross-file dedup); when the instance has no record of `id` (a fresh
+    /// mount), chunks present in `prev` are trusted as stored. Newly written
+    /// manifests are tagged with `acl` when given, so collaborators can read
+    /// the new version (chunks need no tagging — they are owned by the
+    /// chunk-store principal). `is_new` hints that the object was never
+    /// written before. The dirty chunks move through the transfer engine, at
+    /// most `opts.max_parallel` at a time.
     #[allow(clippy::too_many_arguments)]
     fn write_version(
         &self,
@@ -270,9 +308,12 @@ pub trait FileStorage: Send + Sync {
         Ok(data)
     }
 
-    /// Deletes all but the newest `keep` versions of `id`, reclaiming the
-    /// chunks no retained version references; returns how many versions were
-    /// removed.
+    /// Releases all but the newest `keep` versions of `id`: each dropped
+    /// version's chunk references are dropped and release intents are
+    /// journaled (phase one). Physical deletion happens in
+    /// [`FileStorage::replay_release_journal`] (phase two), so this call
+    /// never aborts half-way and never loses track of a blob. Returns how
+    /// many versions were removed.
     fn delete_old_versions(
         &self,
         ctx: &mut OpCtx<'_>,
@@ -280,58 +321,99 @@ pub trait FileStorage: Send + Sync {
         keep: usize,
     ) -> Result<usize, ScfsError>;
 
-    /// Deletes every version of `id`.
+    /// Releases every version of `id` (phase one of deletion; see
+    /// [`FileStorage::delete_old_versions`]).
     fn delete_all(&self, ctx: &mut OpCtx<'_>, id: &str) -> Result<(), ScfsError>;
 
-    /// Propagates an ACL to the objects storing `id` in the cloud(s).
+    /// Phase two of reclamation: attempts the pending release intents —
+    /// deleting chunk blobs whose reference count reached zero and manifests
+    /// no retained version uses — and marks the successful ones applied.
+    /// Failed deletes leave their entries pending for the next pass, so a
+    /// transient cloud error delays reclamation instead of leaking blobs.
+    /// Best-effort: per-blob failures are counted in the report, not
+    /// returned as errors.
+    fn replay_release_journal(
+        &self,
+        ctx: &mut OpCtx<'_>,
+        opts: &JournalOpts,
+    ) -> Result<ReplayReport, ScfsError> {
+        let _ = (ctx, opts);
+        Ok(ReplayReport::default())
+    }
+
+    /// Number of release intents still pending (0 for backends without a
+    /// journal).
+    fn pending_releases(&self) -> usize {
+        0
+    }
+
+    /// Propagates an ACL to the manifests storing `id` in the cloud(s).
     fn set_acl(&self, ctx: &mut OpCtx<'_>, id: &str, acl: &Acl) -> Result<(), ScfsError>;
 }
 
-/// The one primitive each backend supplies: immutable, content-addressed
-/// blob storage (chunks and manifests alike are blobs addressed by
-/// `id|hash`) plus the shared version registry. Everything else — dirty-chunk
-/// selection, dedup, manifest commit, per-chunk GC, ACL fan-out — is the
-/// blanket [`FileStorage`] implementation below, written once.
+/// The primitives each backend supplies: immutable blob storage for the two
+/// blob kinds — **global chunks**, addressed by content hash alone and
+/// always accessed under the chunk-store principal (the blanket impl builds
+/// those contexts), and **per-object manifests**, addressed by `id|root` and
+/// accessed under the calling user. Everything else — dirty-chunk selection,
+/// refcounting, cross-file dedup, manifest commit, the release journal, ACL
+/// fan-out — is the blanket [`FileStorage`] implementation below, written
+/// once.
 trait ChunkedBackend: Send + Sync {
     /// Short backend label for result tables.
     fn backend_label(&self) -> &'static str;
 
-    /// The registry of versions written through this backend instance.
-    fn registry(&self) -> &Mutex<VersionRegistry>;
+    /// The version registry and global chunk store of this instance.
+    fn state(&self) -> &Mutex<StoreState>;
 
-    /// Stores the blob `data` addressed by `id|hash`.
-    fn put_blob(
+    /// Stores chunk `hash` in the global namespace (`ctx` carries the
+    /// chunk-store principal).
+    fn put_chunk(
         &self,
         ctx: &mut OpCtx<'_>,
-        id: &str,
         hash: &ContentHash,
         data: &[u8],
     ) -> Result<(), ScfsError>;
 
-    /// Reads back the blob addressed by `id|hash`, verifying its content
-    /// against the hash.
-    fn get_blob(
-        &self,
-        ctx: &mut OpCtx<'_>,
-        id: &str,
-        hash: &ContentHash,
-    ) -> Result<Vec<u8>, ScfsError>;
+    /// Reads chunk `hash` from the global namespace, verifying its content.
+    fn get_chunk(&self, ctx: &mut OpCtx<'_>, hash: &ContentHash) -> Result<Vec<u8>, ScfsError>;
 
-    /// Deletes the blob addressed by `id|hash`; missing blobs are not an
-    /// error (GC may race with another client's collector).
-    fn delete_blob(
+    /// Deletes chunk `hash` from the global namespace; missing blobs are not
+    /// an error (replay may race with another instance's collector).
+    fn delete_chunk(&self, ctx: &mut OpCtx<'_>, hash: &ContentHash) -> Result<(), ScfsError>;
+
+    /// Stores the manifest of `id` under `root`.
+    fn put_manifest(
         &self,
         ctx: &mut OpCtx<'_>,
         id: &str,
-        hash: &ContentHash,
+        root: &ContentHash,
+        data: &[u8],
     ) -> Result<(), ScfsError>;
 
-    /// Propagates an ACL to the blob addressed by `id|hash`.
-    fn set_blob_acl(
+    /// Reads back the manifest of `id` stored under `root`.
+    fn get_manifest(
         &self,
         ctx: &mut OpCtx<'_>,
         id: &str,
-        hash: &ContentHash,
+        root: &ContentHash,
+    ) -> Result<Vec<u8>, ScfsError>;
+
+    /// Deletes the manifest of `id` under `root`; missing blobs are not an
+    /// error.
+    fn delete_manifest(
+        &self,
+        ctx: &mut OpCtx<'_>,
+        id: &str,
+        root: &ContentHash,
+    ) -> Result<(), ScfsError>;
+
+    /// Propagates an ACL to the manifest of `id` under `root`.
+    fn set_manifest_acl(
+        &self,
+        ctx: &mut OpCtx<'_>,
+        id: &str,
+        root: &ContentHash,
         acl: &Acl,
     ) -> Result<(), ScfsError>;
 }
@@ -352,42 +434,78 @@ impl<B: ChunkedBackend> FileStorage for B {
         acl: Option<&Acl>,
         opts: &TransferOptions,
     ) -> Result<WriteOutcome, ScfsError> {
-        let (stored, tracked) = {
-            let registry = self.registry().lock();
-            (registry.live_chunks(id), registry.tracks(id))
+        let unique = map.unique_chunks();
+        let (stored, own, tracked) = {
+            let state = self.state().lock();
+            let stored: HashSet<ContentHash> = unique
+                .iter()
+                .filter(|h| state.chunks.is_stored(h))
+                .copied()
+                .collect();
+            (
+                stored,
+                state.registry.live_chunks(id),
+                state.registry.tracks(id),
+            )
         };
-        // The registry is GC-aware: once it tracks `id`, it alone decides
-        // which chunks are still stored. `prev` is only trusted on a fresh
-        // instance with no record — otherwise a chunk that is clean relative
-        // to `prev` but already reclaimed by the GC would be silently
-        // omitted, committing a version that can never be read.
-        let prev_chunks: HashSet<&ContentHash> = match prev {
-            Some(prev) if !tracked => prev.chunks().iter().collect(),
+        // The chunk store is GC-aware: once the instance tracks `id`, the
+        // refcounts alone decide which chunks are stored. `prev` is only
+        // trusted on a fresh instance with no record — otherwise a chunk
+        // that is clean relative to `prev` but already reclaimed would be
+        // silently omitted, committing a version that can never be read.
+        let prev_chunks: HashSet<ContentHash> = match prev {
+            Some(prev) if !tracked => prev.chunks().iter().copied().collect(),
             _ => HashSet::new(),
         };
+        let dedup_cross_file = unique
+            .iter()
+            .filter(|h| stored.contains(*h) && !own.contains(*h) && !prev_chunks.contains(*h))
+            .count() as u64;
         let plan = TransferPlan::upload(map, |h| stored.contains(h) || prev_chunks.contains(h));
+        let manifest = map.encode();
+        let root = sha256(&manifest);
+        {
+            // Journal this write's uploads provisionally: if anything below
+            // fails, the already-stored blobs are covered by pending release
+            // intents and the next replay reclaims them — a failed write
+            // must not orphan what it managed to upload.
+            let mut state = self.state().lock();
+            state
+                .chunks
+                .journal_provisional_uploads(plan.jobs().iter().map(|j| j.hash));
+            state.chunks.release_manifest(id, root);
+        }
         let (sizes, report) = execute_plan(ctx, opts, &plan, |job, fork_ctx| {
             let chunk = &data[map.byte_range(job.index)];
-            self.put_blob(fork_ctx, id, &job.hash, chunk)?;
-            if let Some(acl) = acl {
-                self.set_blob_acl(fork_ctx, id, &job.hash, acl)?;
-            }
+            // Chunks belong to the shared global namespace: they are written
+            // under the chunk-store principal, never the calling user.
+            let mut store_ctx = OpCtx::new(&mut *fork_ctx.clock, chunk_store_account());
+            self.put_chunk(&mut store_ctx, &job.hash, chunk)?;
             Ok(chunk.len() as u64)
         })?;
         let mut bytes_uploaded: u64 = sizes.iter().sum();
-        let manifest = map.encode();
-        let root = sha256(&manifest);
-        self.put_blob(ctx, id, &root, &manifest)?;
+        self.put_manifest(ctx, id, &root, &manifest)?;
         if let Some(acl) = acl {
-            self.set_blob_acl(ctx, id, &root, acl)?;
+            self.set_manifest_acl(ctx, id, &root, acl)?;
         }
         bytes_uploaded += manifest.len() as u64;
-        self.registry().lock().push(id, root, map.clone());
+        {
+            // The version is committed: take its references and cancel the
+            // provisional intents (plus any stale pending release from an
+            // earlier prune of the same root or chunks — a pending delete
+            // must not destroy a blob just recommitted).
+            let mut state = self.state().lock();
+            state.chunks.cancel_manifest_release(id, &root);
+            state.chunks.retain_version(&unique);
+            state.chunks.cancel_chunk_releases(&unique);
+            state.registry.push(id, root, map.clone());
+        }
         Ok(WriteOutcome {
             root_hash: root,
             chunks_uploaded: report.chunks,
             bytes_uploaded,
             waves: report.waves,
+            dedup_cross_file,
         })
     }
 
@@ -397,7 +515,7 @@ impl<B: ChunkedBackend> FileStorage for B {
         id: &str,
         hash: &ContentHash,
     ) -> Result<ChunkMap, ScfsError> {
-        let bytes = self.get_blob(ctx, id, hash)?;
+        let bytes = self.get_manifest(ctx, id, hash)?;
         ChunkMap::decode(&bytes).map_err(|_| {
             StorageError::IntegrityViolation {
                 key: id.to_string(),
@@ -409,47 +527,133 @@ impl<B: ChunkedBackend> FileStorage for B {
     fn read_chunk(
         &self,
         ctx: &mut OpCtx<'_>,
-        id: &str,
+        _id: &str,
         hash: &ContentHash,
     ) -> Result<Vec<u8>, ScfsError> {
-        self.get_blob(ctx, id, hash)
+        // Chunk reads go through the chunk-store principal: the caller's
+        // right to the chunk was established by reading a manifest its ACL
+        // admits it to, and the hash acts as the capability.
+        let mut store_ctx = OpCtx::new(&mut *ctx.clock, chunk_store_account());
+        self.get_chunk(&mut store_ctx, hash)
     }
 
     fn delete_old_versions(
         &self,
-        ctx: &mut OpCtx<'_>,
+        _ctx: &mut OpCtx<'_>,
         id: &str,
         keep: usize,
     ) -> Result<usize, ScfsError> {
-        let pruned = self.registry().lock().prune(id, keep);
-        for hash in pruned.manifests.iter().chain(pruned.chunks.iter()) {
-            self.delete_blob(ctx, id, hash)?;
+        let mut state = self.state().lock();
+        let pruned = state.registry.prune(id, keep);
+        for root in &pruned.manifests {
+            state.chunks.release_manifest(id, *root);
+        }
+        for chunks in pruned.version_chunks {
+            state.chunks.release_version(chunks);
         }
         Ok(pruned.removed)
     }
 
-    fn delete_all(&self, ctx: &mut OpCtx<'_>, id: &str) -> Result<(), ScfsError> {
-        let pruned = self.registry().lock().remove_all(id);
-        for hash in pruned.manifests.iter().chain(pruned.chunks.iter()) {
-            self.delete_blob(ctx, id, hash)?;
+    fn delete_all(&self, _ctx: &mut OpCtx<'_>, id: &str) -> Result<(), ScfsError> {
+        let mut state = self.state().lock();
+        let pruned = state.registry.remove_all(id);
+        for root in &pruned.manifests {
+            state.chunks.release_manifest(id, *root);
+        }
+        for chunks in pruned.version_chunks {
+            state.chunks.release_version(chunks);
         }
         Ok(())
     }
 
+    fn replay_release_journal(
+        &self,
+        ctx: &mut OpCtx<'_>,
+        opts: &JournalOpts,
+    ) -> Result<ReplayReport, ScfsError> {
+        let mut report = ReplayReport::default();
+        let snapshot = self
+            .state()
+            .lock()
+            .chunks
+            .pending_snapshot(opts.replay_batch);
+        for entry in snapshot {
+            report.attempted += 1;
+            let retried = entry.attempts > 0;
+            if retried {
+                report.retried += 1;
+            }
+            let action = self.state().lock().chunks.decide(entry.seq);
+            let deleted = match action {
+                None => {
+                    report.cancelled += 1;
+                    continue;
+                }
+                Some(ReleaseTarget::Chunk(hash)) => {
+                    let mut store_ctx = OpCtx::new(&mut *ctx.clock, chunk_store_account());
+                    self.delete_chunk(&mut store_ctx, &hash)
+                }
+                Some(ReleaseTarget::Manifest { id, root }) => {
+                    // The registry is the liveness authority for manifests
+                    // (the analogue of the chunk refcount check in
+                    // `decide`): a root a retained version still stores —
+                    // e.g. one recommitted after this entry was journaled —
+                    // is cancelled, never deleted.
+                    let live = {
+                        let mut state = self.state().lock();
+                        if state.registry.live_manifests(&id).contains(&root) {
+                            state.chunks.mark_applied(entry.seq);
+                            true
+                        } else {
+                            false
+                        }
+                    };
+                    if live {
+                        report.cancelled += 1;
+                        continue;
+                    }
+                    self.delete_manifest(ctx, &id, &root)
+                }
+            };
+            let mut state = self.state().lock();
+            match deleted {
+                Ok(()) => {
+                    state.chunks.mark_applied(entry.seq);
+                    report.deleted += 1;
+                    if retried {
+                        report.reclaimed_after_retry += 1;
+                    }
+                }
+                Err(_) => {
+                    state.chunks.mark_failed(entry.seq);
+                    report.errors += 1;
+                }
+            }
+        }
+        self.state().lock().chunks.compact(opts.keep_applied);
+        Ok(report)
+    }
+
+    fn pending_releases(&self) -> usize {
+        self.state().lock().chunks.pending_len()
+    }
+
     fn set_acl(&self, ctx: &mut OpCtx<'_>, id: &str, acl: &Acl) -> Result<(), ScfsError> {
-        let objects = self.registry().lock().live_objects(id);
-        for hash in &objects {
-            self.set_blob_acl(ctx, id, hash, acl)?;
+        let manifests = self.state().lock().registry.live_manifests(id);
+        for root in &manifests {
+            self.set_manifest_acl(ctx, id, root, acl)?;
         }
         Ok(())
     }
 }
 
-/// Single-cloud backend: blobs stored as objects under `id|hash` keys in one
-/// provider (the paper's AWS backend uses Amazon S3).
+/// Single-cloud backend: chunks stored as objects under global
+/// `scfs/chunks/{hash}` keys, manifests under per-object
+/// `scfs/{id}/manifest/{hash}` keys, in one provider (the paper's AWS
+/// backend uses Amazon S3).
 pub struct SingleCloudStorage {
     cloud: Arc<dyn ObjectStore>,
-    registry: Mutex<VersionRegistry>,
+    state: Mutex<StoreState>,
 }
 
 impl SingleCloudStorage {
@@ -457,7 +661,7 @@ impl SingleCloudStorage {
     pub fn new(cloud: Arc<dyn ObjectStore>) -> Self {
         SingleCloudStorage {
             cloud,
-            registry: Mutex::new(VersionRegistry::default()),
+            state: Mutex::new(StoreState::default()),
         }
     }
 
@@ -466,8 +670,57 @@ impl SingleCloudStorage {
         &self.cloud
     }
 
-    fn blob_key(id: &str, hash: &ContentHash) -> String {
-        format!("scfs/{id}/blob/{}", to_hex(hash))
+    /// Key of a chunk in the global, cross-file namespace.
+    pub fn chunk_key(hash: &ContentHash) -> String {
+        format!("scfs/chunks/{}", to_hex(hash))
+    }
+
+    /// Key of the manifest of `id` stored under `root`.
+    pub fn manifest_key(id: &str, root: &ContentHash) -> String {
+        format!("scfs/{id}/manifest/{}", to_hex(root))
+    }
+
+    /// Current global reference count of a chunk (test/diagnostic hook).
+    pub fn chunk_refcount(&self, hash: &ContentHash) -> u64 {
+        self.state.lock().chunks.refcount(hash)
+    }
+
+    /// The blobs that may legitimately exist in the cloud right now; feed a
+    /// raw key listing to [`BlobAudit::orphans`] to assert the GC leaked
+    /// nothing.
+    pub fn blob_audit(&self) -> BlobAudit {
+        self.state.lock().blob_audit()
+    }
+
+    fn verified_get(
+        &self,
+        ctx: &mut OpCtx<'_>,
+        key: &str,
+        hash: &ContentHash,
+    ) -> Result<Vec<u8>, ScfsError> {
+        let bytes = self.cloud.get(ctx, key)?;
+        // Verify the content against the anchor hash (step r3 of Figure 3).
+        if &sha256(&bytes) != hash {
+            return Err(StorageError::IntegrityViolation {
+                key: key.to_string(),
+            }
+            .into());
+        }
+        Ok(bytes)
+    }
+
+    fn tolerant_delete(&self, ctx: &mut OpCtx<'_>, key: &str) -> Result<(), ScfsError> {
+        match self.cloud.delete(ctx, key) {
+            // AccessDenied mirrors set_manifest_acl: a collaborator-written
+            // blob is owned by its writer, and when the write-time ACL grant
+            // failed to reach it, retrying a delete under this account could
+            // never succeed — surrendering the blob to its owner beats a
+            // journal entry that livelocks forever.
+            Ok(())
+            | Err(StorageError::NotFound { .. })
+            | Err(StorageError::AccessDenied { .. }) => Ok(()),
+            Err(e) => Err(e.into()),
+        }
     }
 }
 
@@ -476,59 +729,65 @@ impl ChunkedBackend for SingleCloudStorage {
         "AWS"
     }
 
-    fn registry(&self) -> &Mutex<VersionRegistry> {
-        &self.registry
+    fn state(&self) -> &Mutex<StoreState> {
+        &self.state
     }
 
-    fn put_blob(
+    fn put_chunk(
         &self,
         ctx: &mut OpCtx<'_>,
-        id: &str,
         hash: &ContentHash,
         data: &[u8],
     ) -> Result<(), ScfsError> {
-        Ok(self.cloud.put(ctx, &Self::blob_key(id, hash), data)?)
+        Ok(self.cloud.put(ctx, &Self::chunk_key(hash), data)?)
     }
 
-    fn get_blob(
+    fn get_chunk(&self, ctx: &mut OpCtx<'_>, hash: &ContentHash) -> Result<Vec<u8>, ScfsError> {
+        self.verified_get(ctx, &Self::chunk_key(hash), hash)
+    }
+
+    fn delete_chunk(&self, ctx: &mut OpCtx<'_>, hash: &ContentHash) -> Result<(), ScfsError> {
+        self.tolerant_delete(ctx, &Self::chunk_key(hash))
+    }
+
+    fn put_manifest(
         &self,
         ctx: &mut OpCtx<'_>,
         id: &str,
-        hash: &ContentHash,
-    ) -> Result<Vec<u8>, ScfsError> {
-        let bytes = self.cloud.get(ctx, &Self::blob_key(id, hash))?;
-        // Verify the content against the anchor hash (step r3 of Figure 3).
-        if &sha256(&bytes) != hash {
-            return Err(StorageError::IntegrityViolation {
-                key: id.to_string(),
-            }
-            .into());
-        }
-        Ok(bytes)
-    }
-
-    fn delete_blob(
-        &self,
-        ctx: &mut OpCtx<'_>,
-        id: &str,
-        hash: &ContentHash,
+        root: &ContentHash,
+        data: &[u8],
     ) -> Result<(), ScfsError> {
-        match self.cloud.delete(ctx, &Self::blob_key(id, hash)) {
-            Ok(()) | Err(StorageError::NotFound { .. }) => Ok(()),
-            Err(e) => Err(e.into()),
-        }
+        Ok(self.cloud.put(ctx, &Self::manifest_key(id, root), data)?)
     }
 
-    fn set_blob_acl(
+    fn get_manifest(
         &self,
         ctx: &mut OpCtx<'_>,
         id: &str,
-        hash: &ContentHash,
+        root: &ContentHash,
+    ) -> Result<Vec<u8>, ScfsError> {
+        self.verified_get(ctx, &Self::manifest_key(id, root), root)
+    }
+
+    fn delete_manifest(
+        &self,
+        ctx: &mut OpCtx<'_>,
+        id: &str,
+        root: &ContentHash,
+    ) -> Result<(), ScfsError> {
+        self.tolerant_delete(ctx, &Self::manifest_key(id, root))
+    }
+
+    fn set_manifest_acl(
+        &self,
+        ctx: &mut OpCtx<'_>,
+        id: &str,
+        root: &ContentHash,
         acl: &Acl,
     ) -> Result<(), ScfsError> {
         match self
             .cloud
-            .set_acl(ctx, &Self::blob_key(id, hash), acl.clone())
+            .set_acl(ctx, &Self::manifest_key(id, root), acl.clone())
         {
             // Versions written by other collaborators are owned by them;
             // only their writer can retag those objects, so skip them.
@@ -540,11 +799,12 @@ impl ChunkedBackend for SingleCloudStorage {
     }
 }
 
-/// Cloud-of-clouds backend: blobs stored through DepSky-CA as immutable
-/// single-version data units addressed by `id|hash`.
+/// Cloud-of-clouds backend: chunks stored through DepSky-CA as immutable
+/// single-version data units in the global `chunks|{hash}` namespace,
+/// manifests as per-object `{id}|{hash}` units.
 pub struct CloudOfCloudsStorage {
     depsky: DepSkyClient,
-    registry: Mutex<VersionRegistry>,
+    state: Mutex<StoreState>,
 }
 
 impl CloudOfCloudsStorage {
@@ -552,13 +812,24 @@ impl CloudOfCloudsStorage {
     pub fn new(depsky: DepSkyClient) -> Self {
         CloudOfCloudsStorage {
             depsky,
-            registry: Mutex::new(VersionRegistry::default()),
+            state: Mutex::new(StoreState::default()),
         }
     }
 
     /// The underlying DepSky client.
     pub fn depsky(&self) -> &DepSkyClient {
         &self.depsky
+    }
+
+    /// Current global reference count of a chunk (test/diagnostic hook).
+    pub fn chunk_refcount(&self, hash: &ContentHash) -> u64 {
+        self.state.lock().chunks.refcount(hash)
+    }
+
+    /// The blobs that may legitimately exist in the clouds right now; see
+    /// [`SingleCloudStorage::blob_audit`].
+    pub fn blob_audit(&self) -> BlobAudit {
+        self.state.lock().blob_audit()
     }
 }
 
@@ -567,62 +838,92 @@ impl ChunkedBackend for CloudOfCloudsStorage {
         "CoC"
     }
 
-    fn registry(&self) -> &Mutex<VersionRegistry> {
-        &self.registry
+    fn state(&self) -> &Mutex<StoreState> {
+        &self.state
     }
 
-    fn put_blob(
+    fn put_chunk(
         &self,
         ctx: &mut OpCtx<'_>,
-        id: &str,
         hash: &ContentHash,
         data: &[u8],
     ) -> Result<(), ScfsError> {
-        Ok(self.depsky.write_blob(ctx, id, hash, data)?)
+        Ok(self
+            .depsky
+            .write_blob(ctx, DepSkyClient::GLOBAL_CHUNK_BASE, hash, data)?)
     }
 
-    fn get_blob(
+    fn get_chunk(&self, ctx: &mut OpCtx<'_>, hash: &ContentHash) -> Result<Vec<u8>, ScfsError> {
+        Ok(self
+            .depsky
+            .read_blob(ctx, DepSkyClient::GLOBAL_CHUNK_BASE, hash)?)
+    }
+
+    fn delete_chunk(&self, ctx: &mut OpCtx<'_>, hash: &ContentHash) -> Result<(), ScfsError> {
+        Ok(self
+            .depsky
+            .delete_blob(ctx, DepSkyClient::GLOBAL_CHUNK_BASE, hash)?)
+    }
+
+    fn put_manifest(
         &self,
         ctx: &mut OpCtx<'_>,
         id: &str,
-        hash: &ContentHash,
-    ) -> Result<Vec<u8>, ScfsError> {
-        Ok(self.depsky.read_blob(ctx, id, hash)?)
-    }
-
-    fn delete_blob(
-        &self,
-        ctx: &mut OpCtx<'_>,
-        id: &str,
-        hash: &ContentHash,
+        root: &ContentHash,
+        data: &[u8],
     ) -> Result<(), ScfsError> {
-        Ok(self.depsky.delete_blob(ctx, id, hash)?)
+        Ok(self.depsky.write_blob(ctx, id, root, data)?)
     }
 
-    fn set_blob_acl(
+    fn get_manifest(
         &self,
         ctx: &mut OpCtx<'_>,
         id: &str,
-        hash: &ContentHash,
+        root: &ContentHash,
+    ) -> Result<Vec<u8>, ScfsError> {
+        Ok(self.depsky.read_blob(ctx, id, root)?)
+    }
+
+    fn delete_manifest(
+        &self,
+        ctx: &mut OpCtx<'_>,
+        id: &str,
+        root: &ContentHash,
+    ) -> Result<(), ScfsError> {
+        Ok(self.depsky.delete_blob(ctx, id, root)?)
+    }
+
+    fn set_manifest_acl(
+        &self,
+        ctx: &mut OpCtx<'_>,
+        id: &str,
+        root: &ContentHash,
         acl: &Acl,
     ) -> Result<(), ScfsError> {
-        Ok(self.depsky.set_blob_acl(ctx, id, hash, acl)?)
+        Ok(self.depsky.set_blob_acl(ctx, id, root, acl)?)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::chunkstore::KeyStyle;
     use crate::transfer::TransferOptions;
     use cloud_store::providers::ProviderSet;
     use cloud_store::sim_cloud::SimulatedCloud;
     use depsky::config::DepSkyConfig;
-    use sim_core::time::Clock;
+    use sim_core::fault::FaultPlan;
+    use sim_core::time::{Clock, SimDuration, SimInstant};
 
     const CHUNK: usize = 1024;
 
     fn single() -> SingleCloudStorage {
         SingleCloudStorage::new(Arc::new(SimulatedCloud::test("s3")))
+    }
+
+    fn single_with_cloud() -> (SingleCloudStorage, Arc<SimulatedCloud>) {
+        let cloud = Arc::new(SimulatedCloud::test("s3"));
+        (SingleCloudStorage::new(cloud.clone()), cloud)
     }
 
     fn coc() -> CloudOfCloudsStorage {
@@ -658,6 +959,12 @@ mod tests {
             )
             .unwrap();
         (outcome, map)
+    }
+
+    fn replay(storage: &dyn FileStorage, ctx: &mut OpCtx<'_>) -> ReplayReport {
+        storage
+            .replay_release_journal(ctx, &JournalOpts::default())
+            .unwrap()
     }
 
     fn run_round_trip(storage: &dyn FileStorage) {
@@ -719,6 +1026,7 @@ mod tests {
         let (o2, m2) = write(storage, &mut ctx, "f", &v2, Some(&m1), false);
         assert_eq!(o2.chunks_uploaded, 1);
         assert!(o2.bytes_uploaded < 2 * CHUNK as u64);
+        assert_eq!(o2.dedup_cross_file, 0, "reuse of own chunks is not a hit");
         // Rewriting identical content uploads no chunks at all.
         let (o3, _) = write(storage, &mut ctx, "f", &v2, Some(&m2), false);
         assert_eq!(o3.chunks_uploaded, 0);
@@ -728,6 +1036,85 @@ mod tests {
     #[test]
     fn single_cloud_append_uploads_only_dirty_chunks() {
         run_append_uploads_only_dirty_chunks(&single());
+    }
+
+    #[test]
+    fn cloud_of_clouds_append_uploads_only_dirty_chunks() {
+        run_append_uploads_only_dirty_chunks(&coc());
+    }
+
+    fn run_cross_file_dedup(storage: &dyn FileStorage) {
+        let mut clock = Clock::new();
+        let mut ctx = OpCtx::new(&mut clock, "alice".into());
+        let mut data = Vec::new();
+        for i in 0..4u8 {
+            data.extend(std::iter::repeat_n(0xC0 | i, CHUNK));
+        }
+        let (o1, _) = write(storage, &mut ctx, "alice-f1", &data, None, true);
+        assert_eq!(o1.chunks_uploaded, 4);
+        assert_eq!(o1.dedup_cross_file, 0);
+        // The same content under a *different* object id — and a different
+        // user — moves zero chunks: the global chunk store already has them.
+        let mut bob_ctx = OpCtx::new(ctx.clock, "bob".into());
+        let (o2, _) = write(storage, &mut bob_ctx, "bob-f1", &data, None, true);
+        assert_eq!(o2.chunks_uploaded, 0, "identical content moves once");
+        assert_eq!(o2.dedup_cross_file, 4, "all four chunks were global hits");
+        // Both files read back fully, under their own manifests.
+        assert_eq!(
+            storage
+                .read_version(
+                    &mut bob_ctx,
+                    "bob-f1",
+                    &o2.root_hash,
+                    &TransferOptions::default()
+                )
+                .unwrap(),
+            data
+        );
+    }
+
+    #[test]
+    fn single_cloud_cross_file_dedup_uploads_once() {
+        run_cross_file_dedup(&single());
+    }
+
+    #[test]
+    fn cloud_of_clouds_cross_file_dedup_uploads_once() {
+        run_cross_file_dedup(&coc());
+    }
+
+    fn run_shared_chunk_survives_other_files_gc(storage: &dyn FileStorage) {
+        let mut clock = Clock::new();
+        let mut ctx = OpCtx::new(&mut clock, "alice".into());
+        let data = vec![0xEEu8; 2 * CHUNK];
+        let (_, _) = write(storage, &mut ctx, "f1", &data, None, true);
+        let (o2, _) = write(storage, &mut ctx, "f2", &data, None, true);
+        // Deleting f1 releases its references but must not reclaim the
+        // chunks f2 still holds.
+        storage.delete_all(&mut ctx, "f1").unwrap();
+        let report = replay(storage, &mut ctx);
+        assert_eq!(report.errors, 0);
+        assert!(
+            report.deleted >= 1,
+            "f1's manifest is reclaimed once nothing references it"
+        );
+        assert_eq!(
+            storage
+                .read_version(&mut ctx, "f2", &o2.root_hash, &TransferOptions::default())
+                .unwrap(),
+            data
+        );
+        assert_eq!(storage.pending_releases(), 0);
+    }
+
+    #[test]
+    fn single_cloud_shared_chunk_survives_other_files_gc() {
+        run_shared_chunk_survives_other_files_gc(&single());
+    }
+
+    #[test]
+    fn cloud_of_clouds_shared_chunk_survives_other_files_gc() {
+        run_shared_chunk_survives_other_files_gc(&coc());
     }
 
     #[test]
@@ -749,6 +1136,7 @@ mod tests {
             prev = m;
         }
         assert!(storage.delete_old_versions(&mut ctx, "f", 1).unwrap() > 0);
+        assert!(replay(&storage, &mut ctx).deleted > 0);
         // Rewrite the v1 content with the stale m1 as prev: every chunk of
         // the new version must be readable, even those m1 claims exist.
         data[..CHUNK].fill(0xA1);
@@ -759,11 +1147,6 @@ mod tests {
                 .unwrap(),
             data
         );
-    }
-
-    #[test]
-    fn cloud_of_clouds_append_uploads_only_dirty_chunks() {
-        run_append_uploads_only_dirty_chunks(&coc());
     }
 
     #[test]
@@ -816,6 +1199,9 @@ mod tests {
         }
         let removed = storage.delete_old_versions(&mut ctx, "f", 2).unwrap();
         assert_eq!(removed, 3);
+        let report = replay(storage, &mut ctx);
+        assert_eq!(report.errors, 0);
+        assert_eq!(storage.pending_releases(), 0);
         // Newest versions survive — including the shared first chunk.
         assert!(storage
             .read_version(
@@ -862,9 +1248,217 @@ mod tests {
         let mut ctx = OpCtx::new(&mut clock, "alice".into());
         let (o, _) = write(&storage, &mut ctx, "f", b"data", None, true);
         storage.delete_all(&mut ctx, "f").unwrap();
+        assert!(replay(&storage, &mut ctx).deleted > 0);
         assert!(storage
             .read_version(&mut ctx, "f", &o.root_hash, &TransferOptions::default())
             .is_err());
+    }
+
+    #[test]
+    fn failed_deletes_stay_journaled_and_a_retry_reclaims_everything() {
+        // The orphan-leak regression: a delete fault mid-reclamation must
+        // leave retryable journal entries, and the next cycle must reclaim
+        // every blob — the old `?`-aborting collector lost them forever.
+        let (storage, cloud) = single_with_cloud();
+        let mut clock = Clock::new();
+        let mut ctx = OpCtx::new(&mut clock, "alice".into());
+        let mut data = vec![0u8; 3 * CHUNK];
+        let mut prev: Option<ChunkMap> = None;
+        for i in 0..4u8 {
+            data.fill(0x10 | i);
+            let (_, m) = write(&storage, &mut ctx, "f", &data, prev.as_ref(), i == 0);
+            prev = Some(m);
+        }
+        assert_eq!(storage.delete_old_versions(&mut ctx, "f", 1).unwrap(), 3);
+        let pending_before = storage.pending_releases();
+        assert!(pending_before > 0);
+
+        // Every delete during the outage fails; the entries stay pending.
+        cloud.set_fault_plan(
+            FaultPlan::outage(
+                SimInstant::EPOCH,
+                ctx.clock.now() + SimDuration::from_secs(60),
+            ),
+            7,
+        );
+        let faulty = replay(&storage, &mut ctx);
+        assert_eq!(faulty.deleted, 0);
+        assert_eq!(faulty.errors as usize, pending_before);
+        assert_eq!(storage.pending_releases(), pending_before, "nothing lost");
+        assert!(
+            storage
+                .blob_audit()
+                .orphans(KeyStyle::Aws, cloud.stored_keys("scfs/"))
+                .is_empty(),
+            "pending entries keep every blob reachable"
+        );
+
+        // The outage ends; the retry pass reclaims every orphan.
+        ctx.clock.advance(SimDuration::from_secs(120));
+        let healed = replay(&storage, &mut ctx);
+        assert_eq!(healed.errors, 0);
+        assert_eq!(healed.retried as usize, pending_before);
+        assert!(healed.reclaimed_after_retry > 0);
+        assert_eq!(storage.pending_releases(), 0);
+        assert!(
+            storage
+                .blob_audit()
+                .orphans(KeyStyle::Aws, cloud.stored_keys("scfs/"))
+                .is_empty(),
+            "zero orphans after the retry cycle"
+        );
+    }
+
+    /// A cloud whose manifest puts fail while `failing` is set — for
+    /// testing that a write aborted after its chunk uploads leaves no
+    /// orphans.
+    struct ManifestPutFails {
+        inner: Arc<SimulatedCloud>,
+        failing: std::sync::atomic::AtomicBool,
+    }
+
+    impl ManifestPutFails {
+        fn new(inner: Arc<SimulatedCloud>) -> Self {
+            ManifestPutFails {
+                inner,
+                failing: std::sync::atomic::AtomicBool::new(false),
+            }
+        }
+
+        fn set_failing(&self, on: bool) {
+            self.failing.store(on, std::sync::atomic::Ordering::SeqCst);
+        }
+    }
+
+    impl ObjectStore for ManifestPutFails {
+        fn id(&self) -> &str {
+            self.inner.id()
+        }
+
+        fn profile(&self) -> &cloud_store::providers::ProviderProfile {
+            self.inner.profile()
+        }
+
+        fn put(&self, ctx: &mut OpCtx<'_>, key: &str, data: &[u8]) -> Result<(), StorageError> {
+            if key.contains("/manifest/") && self.failing.load(std::sync::atomic::Ordering::SeqCst)
+            {
+                return Err(StorageError::unavailable("injected manifest-put fault"));
+            }
+            self.inner.put(ctx, key, data)
+        }
+
+        fn get(&self, ctx: &mut OpCtx<'_>, key: &str) -> Result<Vec<u8>, StorageError> {
+            self.inner.get(ctx, key)
+        }
+
+        fn head(
+            &self,
+            ctx: &mut OpCtx<'_>,
+            key: &str,
+        ) -> Result<cloud_store::types::ObjectMeta, StorageError> {
+            self.inner.head(ctx, key)
+        }
+
+        fn delete(&self, ctx: &mut OpCtx<'_>, key: &str) -> Result<(), StorageError> {
+            self.inner.delete(ctx, key)
+        }
+
+        fn list(&self, ctx: &mut OpCtx<'_>, prefix: &str) -> Result<Vec<String>, StorageError> {
+            self.inner.list(ctx, prefix)
+        }
+
+        fn set_acl(&self, ctx: &mut OpCtx<'_>, key: &str, acl: Acl) -> Result<(), StorageError> {
+            self.inner.set_acl(ctx, key, acl)
+        }
+
+        fn get_acl(&self, ctx: &mut OpCtx<'_>, key: &str) -> Result<Acl, StorageError> {
+            self.inner.get_acl(ctx, key)
+        }
+    }
+
+    #[test]
+    fn failed_write_version_leaves_no_orphaned_chunks() {
+        let sim = Arc::new(SimulatedCloud::test("s3"));
+        let faulty = Arc::new(ManifestPutFails::new(sim.clone()));
+        let storage = SingleCloudStorage::new(faulty.clone());
+        let mut clock = Clock::new();
+        let mut ctx = OpCtx::new(&mut clock, "alice".into());
+        let data = vec![0x77u8; 3 * CHUNK];
+        let map = ChunkMap::build(&data, CHUNK);
+
+        // The chunks upload, then the manifest put fails: the write errors
+        // out after blobs already reached the cloud.
+        faulty.set_failing(true);
+        assert!(storage
+            .write_version(
+                &mut ctx,
+                "f",
+                &data,
+                &map,
+                None,
+                true,
+                None,
+                &TransferOptions::default(),
+            )
+            .is_err());
+        assert!(!sim.stored_keys("scfs/chunks/").is_empty());
+        // The provisional journal entries keep the partial blobs reachable…
+        assert!(storage
+            .blob_audit()
+            .orphans(KeyStyle::Aws, sim.stored_keys("scfs/"))
+            .is_empty());
+        // …and replay reclaims them (the version never committed).
+        faulty.set_failing(false);
+        let report = replay(&storage, &mut ctx);
+        assert_eq!(report.errors, 0);
+        assert!(
+            sim.stored_keys("scfs/").is_empty(),
+            "partial write reclaimed"
+        );
+        assert_eq!(storage.pending_releases(), 0);
+
+        // The file is still writable afterwards, end to end.
+        let (o, _) = write(&storage, &mut ctx, "f", &data, None, true);
+        assert_eq!(
+            storage
+                .read_version(&mut ctx, "f", &o.root_hash, &TransferOptions::default())
+                .unwrap(),
+            data
+        );
+    }
+
+    #[test]
+    fn rewriting_a_pruned_root_cancels_its_pending_manifest_release() {
+        let (storage, cloud) = single_with_cloud();
+        let mut clock = Clock::new();
+        let mut ctx = OpCtx::new(&mut clock, "alice".into());
+        let v1 = vec![1u8; CHUNK];
+        let v2 = vec![2u8; CHUNK];
+        let (o1, m1) = write(&storage, &mut ctx, "f", &v1, None, true);
+        let (_, m2) = write(&storage, &mut ctx, "f", &v2, Some(&m1), false);
+        // Prune v1 but fail its deletes: the release stays pending.
+        cloud.set_fault_plan(
+            FaultPlan::outage(
+                SimInstant::EPOCH,
+                ctx.clock.now() + SimDuration::from_secs(60),
+            ),
+            3,
+        );
+        storage.delete_old_versions(&mut ctx, "f", 1).unwrap();
+        assert!(replay(&storage, &mut ctx).errors > 0);
+        ctx.clock.advance(SimDuration::from_secs(120));
+        // v1's exact content comes back before the retry runs.
+        let (o3, _) = write(&storage, &mut ctx, "f", &v1, Some(&m2), false);
+        assert_eq!(o3.root_hash, o1.root_hash);
+        // The retry must not destroy the recommitted manifest or chunk.
+        let report = replay(&storage, &mut ctx);
+        assert_eq!(report.errors, 0);
+        assert_eq!(
+            storage
+                .read_version(&mut ctx, "f", &o3.root_hash, &TransferOptions::default())
+                .unwrap(),
+            v1
+        );
     }
 
     #[test]

@@ -152,14 +152,21 @@ impl FileCache {
     /// least-recently-used entries if needed.
     pub fn put(&mut self, clock: &mut Clock, path: &str, data: Vec<u8>, hash: Option<ContentHash>) {
         self.tick += 1;
-        self.charge(clock, Bytes::new(data.len() as u64), Bytes::ZERO);
+        let size = data.len() as u64;
+        // A single file larger than the whole cache bypasses it: no bytes
+        // are written, so no transfer latency is charged. The entry the
+        // payload would have replaced still has to go (it is stale), and
+        // losing it to the capacity policy is an eviction like any other.
+        if size > self.capacity.get() {
+            if let Some(old) = self.entries.remove(path) {
+                self.used -= old.data.len() as u64;
+                self.stats.evictions += 1;
+            }
+            return;
+        }
+        self.charge(clock, Bytes::new(size), Bytes::ZERO);
         if let Some(old) = self.entries.remove(path) {
             self.used -= old.data.len() as u64;
-        }
-        let size = data.len() as u64;
-        // A single file larger than the whole cache bypasses it.
-        if size > self.capacity.get() {
-            return;
         }
         while self.used + size > self.capacity.get() {
             if !self.evict_lru() {
@@ -317,6 +324,31 @@ mod tests {
         cache.put(&mut clock, "/huge", vec![0u8; 1000], None);
         assert!(!cache.contains("/huge", None));
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn oversized_puts_charge_no_transfer_latency() {
+        let mut cache = FileCache::disk(Bytes::new(100), 12);
+        let mut clock = Clock::new();
+        let before = clock.now();
+        // A bypassed put writes nothing, so it must not pay the (large)
+        // upload latency of the payload it never stored.
+        cache.put(&mut clock, "/huge", vec![0u8; 50 << 20], None);
+        assert_eq!(clock.now(), before, "bypassed put charged latency");
+    }
+
+    #[test]
+    fn oversized_put_over_an_entry_counts_the_eviction() {
+        let mut cache = FileCache::memory(Bytes::new(100), 13);
+        let mut clock = Clock::new();
+        cache.put(&mut clock, "/f", vec![0u8; 50], None);
+        assert_eq!(cache.stats().evictions, 0);
+        // The oversized replacement bypasses the cache but still displaces
+        // the stale entry — that loss is an eviction, not a silent drop.
+        cache.put(&mut clock, "/f", vec![0u8; 1000], None);
+        assert!(!cache.contains("/f", None));
+        assert_eq!(cache.used_bytes(), Bytes::ZERO);
+        assert_eq!(cache.stats().evictions, 1);
     }
 
     #[test]

@@ -1,0 +1,622 @@
+//! The global, refcounted chunk store: cross-file dedup and leak-free GC.
+//!
+//! Until this refactor chunks were content-addressed *per object id*
+//! (`scfs/{id}/blob/{hash}`), so identical content written under two file
+//! ids — or by two collaborators — moved and was stored twice, and the
+//! garbage collector decided chunk liveness by scanning the versions of one
+//! file at a time. Worse, a failed blob deletion aborted the GC loop *after*
+//! the version registry had already been pruned: the remaining blobs were
+//! permanently orphaned, unreachable by any retry.
+//!
+//! [`ChunkStore`] fixes both, CFS-style (global chunk addressing, see
+//! PAPERS: *CFS: A Distributed File System for Large Scale Container
+//! Platforms*):
+//!
+//! * **One chunk namespace for everything.** Chunks live under a single
+//!   content-addressed namespace (`scfs/chunks/{hash}` on the AWS backend,
+//!   the `chunks|{hash}` DepSky data units on CoC), owned by a dedicated
+//!   chunk-store principal ([`chunk_store_account`]). A chunk is uploaded
+//!   only if its **reference count** is zero — identical content across
+//!   versions, files *and users* moves once. Manifests stay per-object:
+//!   they are the per-file commit point the consistency anchor validates,
+//!   and they carry the user-facing ACL.
+//! * **Reference counting instead of per-file liveness scans.** Every
+//!   committed version holds one reference on each distinct chunk it uses;
+//!   pruning a version releases exactly those references. A chunk is
+//!   reclaimable iff its count is zero, no matter how many files share it.
+//! * **A two-phase release journal makes reclamation idempotent.** Dropping
+//!   a version first *appends* "intent to release" entries (phase one: the
+//!   registry may forget the version, the journal has not), and only then
+//!   are zero-count blobs physically deleted and the entries marked applied
+//!   (phase two). A failed delete leaves its entry pending: the next replay
+//!   retries it instead of leaking the blob. A chunk re-referenced before
+//!   its pending delete runs is *cancelled*, never deleted.
+//!
+//! Writes are journaled too: before uploading, `write_version` appends
+//! *provisional* intents for the chunks (and manifest) it is about to
+//! store, and cancels them once the version's references are committed. A
+//! write that fails mid-flight — after some chunk uploads, or on the
+//! manifest put — therefore leaves its partial blobs covered by pending
+//! entries, and the next replay reclaims them instead of orphaning them.
+//!
+//! ## Shared ownership
+//!
+//! Chunk blobs are owned by the chunk-store principal rather than the user
+//! who happened to upload them first — the shared-ownership compromise
+//! discussed in *Commune: Shared Ownership in an Agnostic Cloud* (PAPERS).
+//! Access control remains with the per-object manifests: a reader can only
+//! learn a chunk's hash from a manifest its ACL lets it read, so the hash
+//! acts as a read capability on the shared namespace. The trade-off (a
+//! revoked reader that cached a manifest can still fetch its chunks until
+//! they are garbage collected) is inherent to content-addressed dedup.
+//!
+//! ## Single-collector assumption
+//!
+//! Refcounts and the journal are state of **one backend instance** — the
+//! deployment's single collector. Every agent sharing a cloud must mount
+//! through the same backend instance (as `workloads::SharedScfsEnv` and
+//! every experiment harness do); an independent instance pointed at the
+//! same bucket must not run GC, because it cannot see the references other
+//! instances hold, and deleting a global chunk it believes is dead could
+//! orphan their files. Distributing the refcount state (a cloud-resident
+//! refcount journal, CFS-style) is the natural next step and is tracked in
+//! the ROADMAP.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use cloud_store::types::AccountId;
+use scfs_crypto::{to_hex, ContentHash};
+
+/// Account name of the shared chunk-store principal that owns every blob in
+/// the global chunk namespace.
+pub const CHUNK_STORE_PRINCIPAL: &str = "scfs-chunkstore";
+
+/// The cloud account under which all global chunk blobs are written, read
+/// and deleted.
+pub fn chunk_store_account() -> AccountId {
+    AccountId::new(CHUNK_STORE_PRINCIPAL)
+}
+
+/// What a pending release intent targets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReleaseTarget {
+    /// A chunk in the global namespace; deleted only once its refcount is 0.
+    Chunk(ContentHash),
+    /// A per-object manifest blob (no refcount: manifests are unique to
+    /// their `(id, root)` pair once no retained version uses the root).
+    Manifest {
+        /// Storage id of the object the manifest belongs to.
+        id: String,
+        /// Root hash the manifest is stored under.
+        root: ContentHash,
+    },
+}
+
+/// One entry of the release journal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalEntry {
+    /// Monotonic sequence number (append order).
+    pub seq: u64,
+    /// The blob this entry intends to release.
+    pub target: ReleaseTarget,
+    /// Failed physical-delete attempts so far; an entry with `attempts > 0`
+    /// being attempted again is a *retry* of a previously leaked blob.
+    pub attempts: u32,
+}
+
+/// Knobs of one journal replay pass ([`crate::config::GcConfig`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JournalOpts {
+    /// Maximum number of pending entries attempted per pass (0 = all).
+    pub replay_batch: usize,
+    /// Number of most recently applied entries retained for inspection.
+    pub keep_applied: usize,
+}
+
+impl Default for JournalOpts {
+    fn default() -> Self {
+        JournalOpts {
+            replay_batch: 0,
+            keep_applied: 64,
+        }
+    }
+}
+
+/// Accounting of one journal replay pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplayReport {
+    /// Pending entries attempted this pass.
+    pub attempted: u64,
+    /// Blobs physically deleted this pass.
+    pub deleted: u64,
+    /// Entries applied without a delete (the chunk was re-referenced while
+    /// the release was pending).
+    pub cancelled: u64,
+    /// Attempted entries that had already failed at least once — each one is
+    /// a blob that the old `?`-aborting collector would have leaked forever.
+    pub retried: u64,
+    /// Deletions that succeeded on a retry: orphans reclaimed.
+    pub reclaimed_after_retry: u64,
+    /// Delete attempts that failed this pass; their entries stay pending.
+    pub errors: u64,
+}
+
+/// The refcounted global chunk store shared by every agent mounting through
+/// one backend instance.
+#[derive(Debug, Default)]
+pub struct ChunkStore {
+    /// Live references per chunk: one per (committed version, distinct
+    /// chunk) pair. Absent or zero means reclaimable.
+    refcounts: HashMap<ContentHash, u64>,
+    /// Release intents not yet applied, oldest first.
+    pending: VecDeque<JournalEntry>,
+    /// Most recently applied entries (bounded by `JournalOpts::keep_applied`).
+    applied: VecDeque<JournalEntry>,
+    next_seq: u64,
+}
+
+impl ChunkStore {
+    /// Whether the global namespace holds a live (referenced) copy of `hash`.
+    pub fn is_stored(&self, hash: &ContentHash) -> bool {
+        self.refcounts.get(hash).is_some_and(|rc| *rc > 0)
+    }
+
+    /// Current reference count of `hash` (0 if unknown).
+    pub fn refcount(&self, hash: &ContentHash) -> u64 {
+        self.refcounts.get(hash).copied().unwrap_or(0)
+    }
+
+    /// Number of distinct chunks with at least one live reference.
+    pub fn stored_chunks(&self) -> usize {
+        self.refcounts.values().filter(|rc| **rc > 0).count()
+    }
+
+    /// Number of pending release intents.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The pending release intents, oldest first.
+    pub fn pending_entries(&self) -> impl Iterator<Item = &JournalEntry> {
+        self.pending.iter()
+    }
+
+    /// The retained applied entries, oldest first.
+    pub fn applied_entries(&self) -> impl Iterator<Item = &JournalEntry> {
+        self.applied.iter()
+    }
+
+    /// Takes one reference on each chunk of a newly committed version.
+    /// `chunks` must be the version's *distinct* chunk set — the exact set a
+    /// later [`ChunkStore::release_version`] of the same version passes back.
+    pub fn retain_version(&mut self, chunks: &HashSet<ContentHash>) {
+        for chunk in chunks {
+            *self.refcounts.entry(*chunk).or_insert(0) += 1;
+        }
+    }
+
+    /// Phase one of releasing a dropped version: drops the version's
+    /// references and appends an intent entry for each chunk whose count
+    /// thereby reached zero (a chunk other versions still hold needs no
+    /// entry — it could only ever be cancelled at replay). The physical
+    /// deletes happen in replay (phase two), so a crash or delete failure
+    /// between the phases leaves retryable journal entries, never orphans.
+    pub fn release_version(&mut self, chunks: impl IntoIterator<Item = ContentHash>) {
+        for chunk in chunks {
+            let rc = self.refcounts.entry(chunk).or_insert(0);
+            *rc = rc.saturating_sub(1);
+            if *rc == 0 {
+                self.append(ReleaseTarget::Chunk(chunk));
+            }
+        }
+    }
+
+    /// Journals intents for chunks a write is *about to upload*: if the
+    /// write fails before it commits its references, replay finds the
+    /// uploaded blobs at refcount zero and reclaims them instead of
+    /// orphaning them. A write that commits cancels these entries via
+    /// [`ChunkStore::cancel_chunk_releases`] (and a surviving entry would be
+    /// cancelled at replay anyway, since the committed chunks hold
+    /// references).
+    pub fn journal_provisional_uploads(&mut self, chunks: impl IntoIterator<Item = ContentHash>) {
+        for chunk in chunks {
+            self.append(ReleaseTarget::Chunk(chunk));
+        }
+    }
+
+    /// Appends the release intent for a manifest no retained version of `id`
+    /// stores its root under. Also used provisionally before a manifest
+    /// upload — replay checks registry liveness before deleting, so a
+    /// committed manifest is never destroyed by its own provisional entry.
+    pub fn release_manifest(&mut self, id: &str, root: ContentHash) {
+        self.append(ReleaseTarget::Manifest {
+            id: id.to_string(),
+            root,
+        });
+    }
+
+    /// Cancels any pending release of `(id, root)` — called when a version
+    /// with that manifest is (re)committed, so a pending delete from an
+    /// earlier prune cannot destroy the recreated blob.
+    pub fn cancel_manifest_release(&mut self, id: &str, root: &ContentHash) {
+        self.cancel_where(|target| {
+            matches!(
+                target,
+                ReleaseTarget::Manifest { id: eid, root: eroot }
+                    if eid == id && eroot == root
+            )
+        });
+    }
+
+    /// Cancels every pending chunk release whose hash is in `live` — called
+    /// when a version commits, clearing its provisional upload intents and
+    /// any stale entry for a chunk the commit just re-referenced.
+    pub fn cancel_chunk_releases(&mut self, live: &HashSet<ContentHash>) {
+        self.cancel_where(
+            |target| matches!(target, ReleaseTarget::Chunk(hash) if live.contains(hash)),
+        );
+    }
+
+    /// Drops the pending entries matching `cancelled` outright: commit-time
+    /// cancellations are pure bookkeeping, and parking them in the applied
+    /// history would grow it unboundedly between replays (compaction only
+    /// runs there) — one write's worth of provisional entries per commit.
+    fn cancel_where(&mut self, cancelled: impl Fn(&ReleaseTarget) -> bool) {
+        self.pending.retain(|entry| !cancelled(&entry.target));
+    }
+
+    fn append(&mut self, target: ReleaseTarget) {
+        self.pending.push_back(JournalEntry {
+            seq: self.next_seq,
+            target,
+            attempts: 0,
+        });
+        self.next_seq += 1;
+    }
+
+    /// Snapshot of up to `batch` pending entries (0 = all), oldest first.
+    pub fn pending_snapshot(&self, batch: usize) -> Vec<JournalEntry> {
+        let take = if batch == 0 {
+            self.pending.len()
+        } else {
+            batch.min(self.pending.len())
+        };
+        self.pending.iter().take(take).cloned().collect()
+    }
+
+    /// Decides what entry `seq` requires *now*: `Some(target)` if the blob
+    /// must be deleted, `None` if the entry was applied without a delete
+    /// (the chunk has been re-referenced in the meantime).
+    pub fn decide(&mut self, seq: u64) -> Option<ReleaseTarget> {
+        let entry = self.pending.iter().find(|e| e.seq == seq)?;
+        match &entry.target {
+            ReleaseTarget::Chunk(hash) if self.refcount(hash) > 0 => {
+                self.mark_applied(seq);
+                None
+            }
+            target => Some(target.clone()),
+        }
+    }
+
+    /// Marks entry `seq` applied (the blob is gone, or provably not needed).
+    pub fn mark_applied(&mut self, seq: u64) {
+        if let Some(pos) = self.pending.iter().position(|e| e.seq == seq) {
+            let entry = self.pending.remove(pos).expect("position just found");
+            if let ReleaseTarget::Chunk(hash) = &entry.target {
+                if self.refcount(hash) == 0 {
+                    self.refcounts.remove(hash);
+                }
+            }
+            self.applied.push_back(entry);
+        }
+    }
+
+    /// Records a failed delete attempt of entry `seq`: the entry stays
+    /// pending but rotates to the back of the queue, so a persistently
+    /// failing blob cannot monopolize a bounded replay batch and starve the
+    /// entries behind it.
+    pub fn mark_failed(&mut self, seq: u64) {
+        if let Some(pos) = self.pending.iter().position(|e| e.seq == seq) {
+            let mut entry = self.pending.remove(pos).expect("position just found");
+            entry.attempts += 1;
+            self.pending.push_back(entry);
+        }
+    }
+
+    /// Trims the applied-entry history to `keep` entries.
+    pub fn compact(&mut self, keep: usize) {
+        while self.applied.len() > keep {
+            self.applied.pop_front();
+        }
+    }
+
+    /// Distinct chunk hashes with a live reference or a pending release —
+    /// exactly the chunk blobs that may legitimately exist in the cloud.
+    pub fn reachable_chunks(&self) -> HashSet<ContentHash> {
+        let mut set: HashSet<ContentHash> = self
+            .refcounts
+            .iter()
+            .filter(|(_, rc)| **rc > 0)
+            .map(|(h, _)| *h)
+            .collect();
+        for entry in &self.pending {
+            if let ReleaseTarget::Chunk(hash) = &entry.target {
+                set.insert(*hash);
+            }
+        }
+        set
+    }
+
+    /// `(id, root)` pairs of manifests with a pending release.
+    pub fn pending_manifests(&self) -> HashSet<(String, ContentHash)> {
+        self.pending
+            .iter()
+            .filter_map(|e| match &e.target {
+                ReleaseTarget::Manifest { id, root } => Some((id.clone(), *root)),
+                ReleaseTarget::Chunk(_) => None,
+            })
+            .collect()
+    }
+}
+
+/// The set of blobs that may legitimately exist in the cloud(s) for one
+/// backend instance: every chunk reachable from a live reference or pending
+/// journal entry, and every manifest a retained version or pending entry
+/// points at. Anything else under the SCFS key space is an orphan — the
+/// leak class the release journal exists to prevent.
+///
+/// Built by `SingleCloudStorage::blob_audit` / `CloudOfCloudsStorage::
+/// blob_audit`; tests feed it the raw key listing of a `SimulatedCloud`
+/// (`stored_keys`) and assert [`BlobAudit::orphans`] is empty.
+#[derive(Debug, Clone)]
+pub struct BlobAudit {
+    chunk_hex: HashSet<String>,
+    manifest_hex: HashSet<(String, String)>,
+}
+
+/// How the audited cloud keys encode SCFS blobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeyStyle {
+    /// Single-cloud keys: `scfs/chunks/{hex}` and `scfs/{id}/manifest/{hex}`.
+    Aws,
+    /// DepSky keys: `depsky/{unit}/...` with units `chunks|{hex}` (global
+    /// chunks) and `{id}|{hex}` (manifests).
+    DepSky,
+}
+
+impl BlobAudit {
+    /// Builds an audit from the reachable chunk hashes and live-or-pending
+    /// manifests of a backend.
+    pub fn new(
+        chunks: impl IntoIterator<Item = ContentHash>,
+        manifests: impl IntoIterator<Item = (String, ContentHash)>,
+    ) -> Self {
+        BlobAudit {
+            chunk_hex: chunks.into_iter().map(|h| to_hex(&h)).collect(),
+            manifest_hex: manifests
+                .into_iter()
+                .map(|(id, h)| (id, to_hex(&h)))
+                .collect(),
+        }
+    }
+
+    /// Whether a stored cloud key is reachable from a live manifest, a live
+    /// chunk reference or a pending journal entry. Keys outside the SCFS
+    /// namespaces are ignored (treated as reachable).
+    pub fn permits(&self, style: KeyStyle, key: &str) -> bool {
+        match style {
+            KeyStyle::Aws => {
+                let Some(rest) = key.strip_prefix("scfs/") else {
+                    return true;
+                };
+                if let Some(hex) = rest.strip_prefix("chunks/") {
+                    return self.chunk_hex.contains(hex);
+                }
+                match rest.split_once("/manifest/") {
+                    Some((id, hex)) => self
+                        .manifest_hex
+                        .contains(&(id.to_string(), hex.to_string())),
+                    None => false,
+                }
+            }
+            KeyStyle::DepSky => {
+                let Some(rest) = key.strip_prefix("depsky/") else {
+                    return true;
+                };
+                let unit = rest.split('/').next().unwrap_or(rest);
+                match unit.split_once('|') {
+                    Some(("chunks", hex)) => self.chunk_hex.contains(hex),
+                    Some((id, hex)) => self
+                        .manifest_hex
+                        .contains(&(id.to_string(), hex.to_string())),
+                    None => false,
+                }
+            }
+        }
+    }
+
+    /// The stored keys *not* reachable: the orphans.
+    pub fn orphans(&self, style: KeyStyle, keys: impl IntoIterator<Item = String>) -> Vec<String> {
+        keys.into_iter()
+            .filter(|k| !self.permits(style, k))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scfs_crypto::sha256;
+
+    fn h(tag: u8) -> ContentHash {
+        sha256(&[tag])
+    }
+
+    #[test]
+    fn retain_release_refcounting() {
+        let mut store = ChunkStore::default();
+        let shared: HashSet<ContentHash> = [h(1), h(2)].into_iter().collect();
+        store.retain_version(&shared);
+        store.retain_version(&shared);
+        assert_eq!(store.refcount(&h(1)), 2);
+        assert!(store.is_stored(&h(1)));
+        store.release_version(shared.iter().copied());
+        assert_eq!(store.refcount(&h(1)), 1);
+        assert!(store.is_stored(&h(1)));
+        assert_eq!(
+            store.pending_len(),
+            0,
+            "a release that leaves references needs no intent — it could only be cancelled"
+        );
+        store.release_version(shared.iter().copied());
+        assert_eq!(store.refcount(&h(1)), 0);
+        assert_eq!(store.pending_len(), 2, "zero-count chunks get intents");
+    }
+
+    #[test]
+    fn provisional_upload_intents_cover_failed_writes() {
+        let mut store = ChunkStore::default();
+        let set: HashSet<ContentHash> = [h(4), h(5)].into_iter().collect();
+        // A write journals its uploads first...
+        store.journal_provisional_uploads(set.iter().copied());
+        assert_eq!(store.pending_len(), 2);
+        // ...and if it never commits, the entries demand deletion (rc 0).
+        let seqs: Vec<u64> = store.pending_entries().map(|e| e.seq).collect();
+        for seq in &seqs {
+            assert!(
+                store.decide(*seq).is_some(),
+                "uncommitted upload is garbage"
+            );
+        }
+        // A committed write cancels its provisional entries instead.
+        store.retain_version(&set);
+        store.cancel_chunk_releases(&set);
+        assert_eq!(store.pending_len(), 0);
+        assert!(store.is_stored(&h(4)));
+    }
+
+    #[test]
+    fn failed_entries_rotate_to_the_back() {
+        let mut store = ChunkStore::default();
+        store.release_manifest("f", h(1));
+        store.release_manifest("f", h(2));
+        let first = store.pending_entries().next().unwrap().seq;
+        store.mark_failed(first);
+        let order: Vec<u64> = store.pending_entries().map(|e| e.seq).collect();
+        assert_eq!(
+            order,
+            vec![first + 1, first],
+            "a failing entry must not block the queue head"
+        );
+        assert_eq!(store.pending_entries().last().unwrap().attempts, 1);
+    }
+
+    #[test]
+    fn decide_cancels_rereferenced_chunks() {
+        let mut store = ChunkStore::default();
+        let set: HashSet<ContentHash> = [h(1)].into_iter().collect();
+        store.retain_version(&set);
+        store.release_version(set.iter().copied());
+        assert_eq!(store.refcount(&h(1)), 0);
+        // A new version re-references the chunk before the delete ran.
+        store.retain_version(&set);
+        let seq = store.pending_entries().next().unwrap().seq;
+        assert_eq!(store.decide(seq), None, "re-referenced chunk is cancelled");
+        assert_eq!(store.pending_len(), 0);
+        assert!(store.is_stored(&h(1)));
+    }
+
+    #[test]
+    fn failed_deletes_stay_pending_and_count_attempts() {
+        let mut store = ChunkStore::default();
+        let set: HashSet<ContentHash> = [h(9)].into_iter().collect();
+        store.retain_version(&set);
+        store.release_version(set.iter().copied());
+        let seq = store.pending_entries().next().unwrap().seq;
+        assert!(matches!(
+            store.decide(seq),
+            Some(ReleaseTarget::Chunk(hash)) if hash == h(9)
+        ));
+        store.mark_failed(seq);
+        let entry = store.pending_entries().next().unwrap();
+        assert_eq!(entry.attempts, 1, "failure recorded, entry still pending");
+        // The retry applies.
+        assert!(store.decide(seq).is_some());
+        store.mark_applied(seq);
+        assert_eq!(store.pending_len(), 0);
+        assert_eq!(store.refcount(&h(9)), 0);
+    }
+
+    #[test]
+    fn manifest_release_and_cancel() {
+        let mut store = ChunkStore::default();
+        store.release_manifest("f1", h(3));
+        store.release_manifest("f2", h(3));
+        assert_eq!(store.pending_len(), 2);
+        store.cancel_manifest_release("f1", &h(3));
+        assert_eq!(store.pending_len(), 1);
+        let left = store.pending_entries().next().unwrap();
+        assert!(matches!(
+            &left.target,
+            ReleaseTarget::Manifest { id, .. } if id == "f2"
+        ));
+    }
+
+    #[test]
+    fn compact_bounds_applied_history() {
+        let mut store = ChunkStore::default();
+        for i in 0..10u8 {
+            store.release_manifest("f", h(i));
+        }
+        let seqs: Vec<u64> = store.pending_entries().map(|e| e.seq).collect();
+        for seq in seqs {
+            store.mark_applied(seq);
+        }
+        store.compact(3);
+        assert_eq!(store.applied_entries().count(), 3);
+        assert_eq!(store.pending_len(), 0);
+    }
+
+    #[test]
+    fn reachable_chunks_include_pending_releases() {
+        let mut store = ChunkStore::default();
+        let live: HashSet<ContentHash> = [h(1)].into_iter().collect();
+        let dead: HashSet<ContentHash> = [h(2)].into_iter().collect();
+        store.retain_version(&live);
+        store.retain_version(&dead);
+        store.release_version(dead.iter().copied());
+        let reachable = store.reachable_chunks();
+        assert!(reachable.contains(&h(1)), "live chunk is reachable");
+        assert!(reachable.contains(&h(2)), "pending release is reachable");
+        assert_eq!(reachable.len(), 2);
+    }
+
+    #[test]
+    fn audit_flags_unknown_scfs_keys_only() {
+        let audit = BlobAudit::new([h(1)], [("alice-f1".to_string(), h(2))]);
+        let keys = vec![
+            format!("scfs/chunks/{}", to_hex(&h(1))),
+            format!("scfs/alice-f1/manifest/{}", to_hex(&h(2))),
+            format!("scfs/chunks/{}", to_hex(&h(7))),
+            "unrelated/key".to_string(),
+        ];
+        let orphans = audit.orphans(KeyStyle::Aws, keys);
+        assert_eq!(orphans, vec![format!("scfs/chunks/{}", to_hex(&h(7)))]);
+    }
+
+    #[test]
+    fn audit_parses_depsky_units() {
+        let audit = BlobAudit::new([h(1)], [("alice-f1".to_string(), h(2))]);
+        let ok_chunk = format!("depsky/chunks|{}/v1/block0", to_hex(&h(1)));
+        let ok_manifest = format!("depsky/alice-f1|{}/metadata", to_hex(&h(2)));
+        let orphan = format!("depsky/chunks|{}/v1/block2", to_hex(&h(9)));
+        assert!(audit.permits(KeyStyle::DepSky, &ok_chunk));
+        assert!(audit.permits(KeyStyle::DepSky, &ok_manifest));
+        assert!(!audit.permits(KeyStyle::DepSky, &orphan));
+    }
+
+    #[test]
+    fn chunk_store_principal_is_stable() {
+        assert_eq!(chunk_store_account().as_str(), CHUNK_STORE_PRINCIPAL);
+    }
+}

@@ -44,9 +44,14 @@ impl Mode {
 }
 
 /// Garbage-collection policy (paper §2.5.3): once an agent has written more
-/// than `written_bytes_threshold`, a background collector deletes all but the
-/// newest `versions_to_keep` versions of each file it owns, as well as the
-/// files the user removed.
+/// than `written_bytes_threshold`, a background collector releases all but
+/// the newest `versions_to_keep` versions of each file it owns, as well as
+/// the files the user removed. Physical reclamation goes through the
+/// refcounted chunk store's two-phase release journal
+/// ([`crate::chunkstore`]): the collector appends release intents, then
+/// replays the journal to delete blobs whose reference count hit zero —
+/// failed deletes stay pending and are retried in later cycles instead of
+/// leaking.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct GcConfig {
     /// Number of written bytes (W) that triggers a collection cycle.
@@ -55,6 +60,13 @@ pub struct GcConfig {
     pub versions_to_keep: usize,
     /// Whether the collector runs at all.
     pub enabled: bool,
+    /// Maximum number of pending release-journal entries the collector
+    /// replays per cycle (0 = all). Bounding the batch spreads the deletion
+    /// work of a huge prune over several cycles.
+    pub journal_replay_batch: usize,
+    /// Number of applied release-journal entries retained for inspection
+    /// (diagnostics and tests; older entries are compacted away).
+    pub journal_keep_applied: usize,
 }
 
 impl Default for GcConfig {
@@ -63,6 +75,18 @@ impl Default for GcConfig {
             written_bytes_threshold: Bytes::mib(256),
             versions_to_keep: 4,
             enabled: true,
+            journal_replay_batch: 0,
+            journal_keep_applied: 64,
+        }
+    }
+}
+
+impl GcConfig {
+    /// The journal knobs in the form the storage backend consumes.
+    pub fn journal_opts(&self) -> crate::chunkstore::JournalOpts {
+        crate::chunkstore::JournalOpts {
+            replay_batch: self.journal_replay_batch,
+            keep_applied: self.journal_keep_applied,
         }
     }
 }
@@ -186,5 +210,10 @@ mod tests {
         assert!(gc.enabled);
         assert!(gc.written_bytes_threshold.get() > 0);
         assert!(gc.versions_to_keep >= 1);
+        assert_eq!(gc.journal_replay_batch, 0, "default replays everything");
+        assert!(gc.journal_keep_applied > 0);
+        let opts = gc.journal_opts();
+        assert_eq!(opts.replay_batch, gc.journal_replay_batch);
+        assert_eq!(opts.keep_applied, gc.journal_keep_applied);
     }
 }

@@ -22,7 +22,11 @@
 //! cloud-of-clouds ([`backend`]), moving through the parallel chunk
 //! [`transfer`] engine (plan → bounded-parallel execution on forked virtual
 //! clocks), and the agent supports the paper's three modes of operation
-//! (blocking, non-blocking, non-sharing; [`config`]).
+//! (blocking, non-blocking, non-sharing; [`config`]). Chunks live in a
+//! global, refcounted, content-addressed namespace ([`chunkstore`]):
+//! identical content moves once across versions, files and users, and the
+//! garbage collector reclaims through a two-phase release journal that
+//! retries failed deletes instead of leaking orphans.
 //!
 //! # Quick start
 //!
@@ -55,6 +59,7 @@ pub mod agent;
 pub mod anchor;
 pub mod backend;
 pub mod cache;
+pub mod chunkstore;
 pub mod config;
 pub mod cost;
 pub mod durability;
@@ -67,6 +72,7 @@ pub mod types;
 
 pub use agent::{AgentStats, ScfsAgent};
 pub use backend::{CloudOfCloudsStorage, FileStorage, SingleCloudStorage};
+pub use chunkstore::{BlobAudit, ChunkStore, JournalOpts, KeyStyle, ReplayReport};
 pub use config::{GcConfig, Mode, ScfsConfig};
 pub use cost::{CostBackend, CostModel};
 pub use durability::{DurabilityLevel, SysCall};

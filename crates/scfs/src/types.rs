@@ -96,6 +96,13 @@ impl ChunkMap {
         sha256(&self.encode())
     }
 
+    /// The distinct chunk hashes of this version — the set of references a
+    /// version holds in the global chunk store (a chunk repeated within the
+    /// file still counts as one reference).
+    pub fn unique_chunks(&self) -> std::collections::HashSet<ContentHash> {
+        self.chunks.iter().copied().collect()
+    }
+
     /// Indices of the chunks of this map that `prev` does not already hold —
     /// the chunks a writer must upload when the previous version is `prev`.
     pub fn dirty_chunks(&self, prev: Option<&ChunkMap>) -> Vec<usize> {

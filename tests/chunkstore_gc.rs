@@ -1,0 +1,427 @@
+//! Integration tests of the refcounted global chunk store and its two-phase
+//! release journal — the acceptance criteria of the chunkstore refactor:
+//!
+//! * identical content written under a second file id (or by a second user)
+//!   uploads zero chunks, on both the AWS and CoC backends;
+//! * deleting one file never reclaims a chunk another file's retained
+//!   version still references;
+//! * with injected delete faults the GC reaches zero orphans within two
+//!   retry cycles — asserted by the orphan-leak check, which lists every
+//!   blob a `SimulatedCloud` actually stores and verifies each one is
+//!   reachable from a live manifest, a live chunk reference or a pending
+//!   release-journal entry;
+//! * journal replay is idempotent under arbitrary repeated delete faults
+//!   (property-tested).
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+use proptest::prelude::*;
+use scfs_repro::cloud_store::error::StorageError;
+use scfs_repro::cloud_store::providers::{ProviderProfile, ProviderSet};
+use scfs_repro::cloud_store::sim_cloud::SimulatedCloud;
+use scfs_repro::cloud_store::store::{ObjectStore, OpCtx};
+use scfs_repro::cloud_store::types::{Acl, ObjectMeta};
+use scfs_repro::coord::replication::ReplicatedCoordinator;
+use scfs_repro::coord::service::CoordinationService;
+use scfs_repro::depsky::config::DepSkyConfig;
+use scfs_repro::depsky::register::DepSkyClient;
+use scfs_repro::scfs::agent::ScfsAgent;
+use scfs_repro::scfs::backend::{CloudOfCloudsStorage, FileStorage, SingleCloudStorage};
+use scfs_repro::scfs::chunkstore::{JournalOpts, KeyStyle};
+use scfs_repro::scfs::config::{Mode, ScfsConfig};
+use scfs_repro::scfs::fs::FileSystem;
+use scfs_repro::scfs::transfer::TransferOptions;
+use scfs_repro::scfs::types::ChunkMap;
+use scfs_repro::sim_core::time::Clock;
+use scfs_repro::sim_core::units::Bytes;
+
+const CHUNK: usize = 64 * 1024;
+
+/// A four-chunk test payload whose `CHUNK`-sized blocks all differ.
+fn four_chunks(tag: u8) -> Vec<u8> {
+    let mut data = vec![0u8; 4 * CHUNK];
+    for (i, chunk) in data.chunks_mut(CHUNK).enumerate() {
+        chunk.fill(tag ^ (i as u8 + 1));
+    }
+    data
+}
+
+fn test_config() -> ScfsConfig {
+    let mut config = ScfsConfig::test(Mode::Blocking);
+    config.chunk_size = Bytes::new(CHUNK as u64);
+    config
+}
+
+/// An object store that fails `delete` according to a scripted pattern
+/// (front of the queue per call; an empty queue succeeds), delegating
+/// everything else — the fault injector for the orphan-leak regression.
+struct FlakyDeleteCloud {
+    inner: Arc<SimulatedCloud>,
+    fail_pattern: Mutex<VecDeque<bool>>,
+}
+
+impl FlakyDeleteCloud {
+    fn new(inner: Arc<SimulatedCloud>) -> Self {
+        FlakyDeleteCloud {
+            inner,
+            fail_pattern: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Scripts the next delete outcomes: `true` = fail.
+    fn script_failures(&self, pattern: impl IntoIterator<Item = bool>) {
+        self.fail_pattern.lock().unwrap().extend(pattern);
+    }
+
+    fn fail_all_for(&self, n: usize) {
+        self.script_failures(std::iter::repeat_n(true, n));
+    }
+
+    fn heal(&self) {
+        self.fail_pattern.lock().unwrap().clear();
+    }
+}
+
+impl ObjectStore for FlakyDeleteCloud {
+    fn id(&self) -> &str {
+        self.inner.id()
+    }
+
+    fn profile(&self) -> &ProviderProfile {
+        self.inner.profile()
+    }
+
+    fn put(&self, ctx: &mut OpCtx<'_>, key: &str, data: &[u8]) -> Result<(), StorageError> {
+        self.inner.put(ctx, key, data)
+    }
+
+    fn get(&self, ctx: &mut OpCtx<'_>, key: &str) -> Result<Vec<u8>, StorageError> {
+        self.inner.get(ctx, key)
+    }
+
+    fn head(&self, ctx: &mut OpCtx<'_>, key: &str) -> Result<ObjectMeta, StorageError> {
+        self.inner.head(ctx, key)
+    }
+
+    fn delete(&self, ctx: &mut OpCtx<'_>, key: &str) -> Result<(), StorageError> {
+        let fail = self
+            .fail_pattern
+            .lock()
+            .unwrap()
+            .pop_front()
+            .unwrap_or(false);
+        if fail {
+            return Err(StorageError::unavailable("injected delete fault"));
+        }
+        self.inner.delete(ctx, key)
+    }
+
+    fn list(&self, ctx: &mut OpCtx<'_>, prefix: &str) -> Result<Vec<String>, StorageError> {
+        self.inner.list(ctx, prefix)
+    }
+
+    fn set_acl(&self, ctx: &mut OpCtx<'_>, key: &str, acl: Acl) -> Result<(), StorageError> {
+        self.inner.set_acl(ctx, key, acl)
+    }
+
+    fn get_acl(&self, ctx: &mut OpCtx<'_>, key: &str) -> Result<Acl, StorageError> {
+        self.inner.get_acl(ctx, key)
+    }
+}
+
+/// The orphan-leak check: every blob the cloud stores under the SCFS
+/// namespace must be reachable from a live manifest, a live chunk reference
+/// or a pending release-journal entry of `storage`.
+fn assert_no_orphans_aws(storage: &SingleCloudStorage, cloud: &SimulatedCloud) {
+    let orphans = storage
+        .blob_audit()
+        .orphans(KeyStyle::Aws, cloud.stored_keys("scfs/"));
+    assert!(orphans.is_empty(), "unreachable blobs leaked: {orphans:?}");
+}
+
+fn assert_no_orphans_coc(storage: &CloudOfCloudsStorage, clouds: &[Arc<SimulatedCloud>]) {
+    let audit = storage.blob_audit();
+    for cloud in clouds {
+        let orphans = audit.orphans(KeyStyle::DepSky, cloud.stored_keys("depsky/"));
+        assert!(
+            orphans.is_empty(),
+            "unreachable blobs leaked in {}: {orphans:?}",
+            cloud.id()
+        );
+    }
+}
+
+fn mount(
+    storage: Arc<dyn FileStorage>,
+    coordinator: Arc<dyn CoordinationService>,
+    user: &str,
+    config: ScfsConfig,
+    seed: u64,
+) -> ScfsAgent {
+    ScfsAgent::mount(user.into(), config, storage, Some(coordinator), seed).unwrap()
+}
+
+fn coc_env() -> (Arc<CloudOfCloudsStorage>, Vec<Arc<SimulatedCloud>>) {
+    let sims: Vec<Arc<SimulatedCloud>> = ProviderSet::test_backend(4)
+        .into_iter()
+        .enumerate()
+        .map(|(i, p)| Arc::new(SimulatedCloud::new(p, i as u64)))
+        .collect();
+    let clouds: Vec<Arc<dyn ObjectStore>> = sims
+        .iter()
+        .map(|c| c.clone() as Arc<dyn ObjectStore>)
+        .collect();
+    let storage = Arc::new(CloudOfCloudsStorage::new(
+        DepSkyClient::new(clouds, DepSkyConfig::scfs_default(), 11).unwrap(),
+    ));
+    (storage, sims)
+}
+
+#[test]
+fn identical_content_under_a_second_file_uploads_zero_chunks_aws() {
+    let cloud = Arc::new(SimulatedCloud::test("s3"));
+    let storage = Arc::new(SingleCloudStorage::new(cloud.clone()));
+    let coordinator: Arc<dyn CoordinationService> = Arc::new(ReplicatedCoordinator::test());
+    let mut fs = mount(storage.clone(), coordinator, "alice", test_config(), 1);
+
+    let data = four_chunks(0);
+    fs.write_file("/a", &data).unwrap();
+    let first = fs.stats();
+    assert_eq!(first.chunk_uploads, 4);
+    assert_eq!(first.dedup_hits_cross_file, 0);
+
+    fs.write_file("/b", &data).unwrap();
+    let second = fs.stats();
+    assert_eq!(
+        second.chunk_uploads, first.chunk_uploads,
+        "identical content under a second file id must upload zero chunks"
+    );
+    assert_eq!(second.dedup_hits_cross_file, 4);
+    assert_eq!(fs.read_file("/b").unwrap(), data);
+    assert_no_orphans_aws(&storage, &cloud);
+}
+
+#[test]
+fn identical_content_under_a_second_file_uploads_zero_chunks_coc() {
+    let (storage, sims) = coc_env();
+    let coordinator: Arc<dyn CoordinationService> = Arc::new(ReplicatedCoordinator::test());
+    let mut fs = mount(storage.clone(), coordinator, "alice", test_config(), 1);
+
+    let data = four_chunks(0x30);
+    fs.write_file("/a", &data).unwrap();
+    assert_eq!(fs.stats().chunk_uploads, 4);
+    fs.write_file("/b", &data).unwrap();
+    assert_eq!(fs.stats().chunk_uploads, 4, "zero chunks moved for /b");
+    assert_eq!(fs.stats().dedup_hits_cross_file, 4);
+    assert_eq!(fs.read_file("/b").unwrap(), data);
+    assert_no_orphans_coc(&storage, &sims);
+}
+
+#[test]
+fn identical_content_from_a_second_user_uploads_zero_chunks() {
+    let cloud = Arc::new(SimulatedCloud::test("s3"));
+    let storage = Arc::new(SingleCloudStorage::new(cloud.clone()));
+    let coordinator: Arc<dyn CoordinationService> = Arc::new(ReplicatedCoordinator::test());
+    let mut alice = mount(
+        storage.clone(),
+        coordinator.clone(),
+        "alice",
+        test_config(),
+        1,
+    );
+    let mut bob = mount(storage.clone(), coordinator, "bob", test_config(), 2);
+
+    let data = four_chunks(0x50);
+    alice.write_file("/alice/doc", &data).unwrap();
+    // Bob writes his *own private file* with identical bytes: the global
+    // chunk store moves nothing, and Bob can still read every byte back —
+    // the chunks are owned by the shared chunk-store principal, not Alice.
+    bob.write_file("/bob/doc", &data).unwrap();
+    assert_eq!(bob.stats().chunk_uploads, 0, "cross-user dedup");
+    assert_eq!(bob.stats().dedup_hits_cross_file, 4);
+    assert_eq!(bob.read_file("/bob/doc").unwrap(), data);
+    assert_no_orphans_aws(&storage, &cloud);
+}
+
+#[test]
+fn deleting_one_file_never_reclaims_chunks_another_file_references() {
+    let cloud = Arc::new(SimulatedCloud::test("s3"));
+    let storage = Arc::new(SingleCloudStorage::new(cloud.clone()));
+    let coordinator: Arc<dyn CoordinationService> = Arc::new(ReplicatedCoordinator::test());
+    let mut config = test_config();
+    config.gc.written_bytes_threshold = Bytes::new(1);
+    config.gc.versions_to_keep = 1;
+    let mut fs = mount(storage.clone(), coordinator, "alice", config, 3);
+
+    let data = four_chunks(0x70);
+    fs.write_file("/keep", &data).unwrap();
+    fs.write_file("/kill", &data).unwrap();
+    fs.unlink("/kill").unwrap();
+    // Any write past the 1-byte threshold triggers a GC cycle that fully
+    // deletes /kill.
+    fs.write_file("/trigger", b"x").unwrap();
+    assert!(fs.stats().gc_runs >= 1);
+
+    // /kill's references are gone, but /keep still holds its own.
+    assert_eq!(fs.read_file("/keep").unwrap(), data);
+    let map = ChunkMap::build(&data, CHUNK);
+    for hash in map.unique_chunks() {
+        assert_eq!(
+            storage.chunk_refcount(&hash),
+            1,
+            "exactly /keep's reference must remain"
+        );
+    }
+    assert_eq!(storage.pending_releases(), 0);
+    assert_no_orphans_aws(&storage, &cloud);
+}
+
+#[test]
+fn gc_reaches_zero_orphans_within_two_cycles_despite_delete_faults() {
+    let sim = Arc::new(SimulatedCloud::test("s3"));
+    let flaky = Arc::new(FlakyDeleteCloud::new(sim.clone()));
+    let storage = Arc::new(SingleCloudStorage::new(flaky.clone()));
+    let coordinator: Arc<dyn CoordinationService> = Arc::new(ReplicatedCoordinator::test());
+    let mut config = test_config();
+    // Three 256 KiB versions cross the threshold on the third close, so the
+    // first GC cycle runs with two prunable versions — under delete faults.
+    config.gc.written_bytes_threshold = Bytes::new(600_000);
+    config.gc.versions_to_keep = 1;
+    let mut fs = mount(storage.clone(), coordinator, "alice", config, 4);
+
+    fs.write_file("/f", &four_chunks(0x01)).unwrap();
+    fs.write_file("/f", &four_chunks(0x02)).unwrap();
+    assert_eq!(fs.stats().gc_runs, 0, "threshold not yet crossed");
+
+    // Cycle 1: every delete fails. The journal must keep every blob
+    // reachable — failures surface in the stats, nothing leaks.
+    flaky.fail_all_for(1000);
+    fs.write_file("/f", &four_chunks(0x03)).unwrap();
+    let after_faulty = fs.stats();
+    assert_eq!(after_faulty.gc_runs, 1);
+    assert!(after_faulty.gc_errors > 0, "failed deletes must be counted");
+    assert!(storage.pending_releases() > 0);
+    assert_no_orphans_aws(&storage, &sim);
+
+    // Cycle 2: the cloud heals. The retry pass reclaims every orphan.
+    flaky.heal();
+    fs.write_file("/refill", &vec![0x99u8; 600_000]).unwrap();
+    let healed = fs.stats();
+    assert_eq!(healed.gc_runs, 2);
+    assert!(healed.gc_retried > 0, "pending entries were re-attempted");
+    assert!(
+        healed.gc_orphans_reclaimed > 0,
+        "retried deletions reclaimed the orphans"
+    );
+    assert_eq!(storage.pending_releases(), 0, "journal fully drained");
+    assert_no_orphans_aws(&storage, &sim);
+    // The retained data was never touched by any of this.
+    assert_eq!(fs.read_file("/f").unwrap(), four_chunks(0x03));
+}
+
+#[test]
+fn coc_gc_leaves_no_orphans() {
+    let (storage, sims) = coc_env();
+    let coordinator: Arc<dyn CoordinationService> = Arc::new(ReplicatedCoordinator::test());
+    let mut config = test_config();
+    config.gc.written_bytes_threshold = Bytes::new(1);
+    config.gc.versions_to_keep = 1;
+    let mut fs = mount(storage.clone(), coordinator, "alice", config, 5);
+
+    for tag in [0x11u8, 0x12, 0x13] {
+        fs.write_file("/f", &four_chunks(tag)).unwrap();
+    }
+    fs.write_file("/kill", &four_chunks(0x44)).unwrap();
+    fs.unlink("/kill").unwrap();
+    fs.write_file("/trigger", b"x").unwrap();
+    assert!(fs.stats().gc_runs >= 1);
+    assert!(fs.stats().gc_reclaimed_versions > 0);
+    assert_eq!(storage.pending_releases(), 0);
+    assert_no_orphans_coc(&storage, &sims);
+    assert_eq!(fs.read_file("/f").unwrap(), four_chunks(0x13));
+}
+
+proptest! {
+    /// Journal replay is idempotent under arbitrary repeated delete faults:
+    /// however the faults interleave across replay passes, once the cloud
+    /// heals the journal drains, no blob is leaked, no retained version is
+    /// damaged, and a further replay is a no-op.
+    #[test]
+    fn prop_journal_replay_is_idempotent_under_repeated_faults(
+        versions in 2usize..5,
+        keep in 1usize..3,
+        fault_pattern in collection::vec(any::<bool>(), 0..40),
+        replay_passes in 1usize..4,
+    ) {
+        let sim = Arc::new(SimulatedCloud::test("s3"));
+        let flaky = Arc::new(FlakyDeleteCloud::new(sim.clone()));
+        let storage = SingleCloudStorage::new(flaky.clone());
+        let mut clock = Clock::new();
+        let mut ctx = OpCtx::new(&mut clock, "alice".into());
+        let opts = TransferOptions::default();
+
+        // f1 accumulates versions that share chunks 0..3 and vary chunk 3;
+        // f2 shares f1's base content entirely.
+        let mut roots = Vec::new();
+        let mut prev: Option<ChunkMap> = None;
+        for v in 0..versions {
+            let mut data = four_chunks(0x20);
+            data[3 * CHUNK..].fill(v as u8 ^ 0xAB);
+            let map = ChunkMap::build(&data, CHUNK);
+            let outcome = storage.write_version(
+                &mut ctx, "f1", &data, &map, prev.as_ref(), v == 0, None, &opts,
+            ).unwrap();
+            roots.push(outcome.root_hash);
+            prev = Some(map);
+        }
+        let shared = four_chunks(0x20);
+        let shared_map = ChunkMap::build(&shared, CHUNK);
+        let o2 = storage.write_version(
+            &mut ctx, "f2", &shared, &shared_map, None, true, None, &opts,
+        ).unwrap();
+
+        let removed = storage.delete_old_versions(&mut ctx, "f1", keep).unwrap();
+        prop_assert_eq!(removed, versions.saturating_sub(keep));
+
+        // Replay under scripted faults, several passes.
+        flaky.script_failures(fault_pattern);
+        for _ in 0..replay_passes {
+            storage
+                .replay_release_journal(&mut ctx, &JournalOpts::default())
+                .unwrap();
+            // Invariant: nothing reachable is ever lost mid-replay.
+            let orphans = storage
+                .blob_audit()
+                .orphans(KeyStyle::Aws, sim.stored_keys("scfs/"));
+            prop_assert!(orphans.is_empty(), "orphans mid-replay: {:?}", orphans);
+        }
+
+        // Heal and drain: a fault-free pass applies every pending entry.
+        flaky.heal();
+        let drained = storage
+            .replay_release_journal(&mut ctx, &JournalOpts::default())
+            .unwrap();
+        prop_assert_eq!(drained.errors, 0);
+        prop_assert_eq!(storage.pending_releases(), 0);
+
+        // Retained versions of f1 and all of f2 are intact.
+        for root in roots.iter().skip(versions.saturating_sub(keep)) {
+            prop_assert!(storage.read_version(&mut ctx, "f1", root, &opts).is_ok());
+        }
+        prop_assert_eq!(
+            storage.read_version(&mut ctx, "f2", &o2.root_hash, &opts).unwrap(),
+            shared
+        );
+        let orphans = storage
+            .blob_audit()
+            .orphans(KeyStyle::Aws, sim.stored_keys("scfs/"));
+        prop_assert!(orphans.is_empty(), "orphans after drain: {:?}", orphans);
+
+        // Idempotence: one more replay does nothing at all.
+        let noop = storage
+            .replay_release_journal(&mut ctx, &JournalOpts::default())
+            .unwrap();
+        prop_assert_eq!(noop.attempted, 0);
+    }
+}
