@@ -123,6 +123,12 @@ impl LocalFs {
         self.open.get(&handle).map(|f| f.path.clone())
     }
 
+    /// Returns the current contents behind an open handle — including
+    /// not-yet-closed writes (for the embedding baselines' `sync`).
+    pub fn handle_contents(&self, handle: FileHandle) -> Option<&[u8]> {
+        self.open.get(&handle).map(|f| f.buffer.as_slice())
+    }
+
     /// Whether the open handle was opened with write access.
     pub fn handle_writable(&self, handle: FileHandle) -> bool {
         self.open

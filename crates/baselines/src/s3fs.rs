@@ -12,6 +12,7 @@ use std::sync::Arc;
 use cloud_store::error::StorageError;
 use cloud_store::store::{ObjectStore, OpCtx};
 use cloud_store::types::{AccountId, Acl, Permission};
+use scfs::durability::DurabilityLevel;
 use scfs::error::ScfsError;
 use scfs::fs::FileSystem;
 use scfs::types::{normalize_path, parent_of, FileHandle, FileMetadata, OpenFlags};
@@ -132,6 +133,14 @@ impl FileSystem for S3fsLike {
         } else {
             Err(ScfsError::BadHandle { handle: handle.0 })
         }
+    }
+
+    fn sync(&mut self, handle: FileHandle) -> Result<DurabilityLevel, ScfsError> {
+        // S3FS writes through: fsync already uploads the whole file
+        // synchronously, so the data is at the single-cloud level (and a
+        // read-only handle mirrors the committed cloud object anyway).
+        self.fsync(handle)?;
+        Ok(DurabilityLevel::SingleCloud)
     }
 
     fn close(&mut self, handle: FileHandle) -> Result<(), ScfsError> {

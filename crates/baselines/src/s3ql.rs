@@ -20,10 +20,12 @@ use std::sync::Arc;
 
 use cloud_store::store::{ObjectStore, OpCtx};
 use cloud_store::types::{AccountId, Acl, Permission};
+use scfs::durability::DurabilityLevel;
 use scfs::error::ScfsError;
 use scfs::fs::FileSystem;
 use scfs::types::{normalize_path, FileHandle, FileMetadata, OpenFlags};
 use scfs_crypto::{sha256, to_hex, ContentHash};
+use sim_core::background::BackgroundScheduler;
 use sim_core::latency::LatencyModel;
 use sim_core::rng::DetRng;
 use sim_core::time::{Clock, SimDuration, SimInstant};
@@ -38,7 +40,10 @@ pub struct S3qlLike {
     chunk_size: usize,
     sub_chunk_penalty: LatencyModel,
     rng: DetRng,
-    background_cursor: SimInstant,
+    /// Background uploads run as scheduler jobs on per-path lanes, like the
+    /// SCFS agent's: re-uploads of the same file serialize, different files
+    /// overlap (the real S3QL's upload threads).
+    scheduler: BackgroundScheduler,
     uploads: u64,
     /// Hashes of the blocks already in the cloud (S3QL's dedup table).
     uploaded_blocks: HashSet<ContentHash>,
@@ -58,7 +63,7 @@ impl S3qlLike {
             // pays a read-modify-write of the enclosing chunk.
             sub_chunk_penalty: LatencyModel::uniform_ms(0.42, 0.50),
             rng: DetRng::new(seed ^ 0x5A5A),
-            background_cursor: SimInstant::EPOCH,
+            scheduler: BackgroundScheduler::new(),
             uploads: 0,
             uploaded_blocks: HashSet::new(),
             dedup_skipped: 0,
@@ -78,36 +83,55 @@ impl S3qlLike {
 
     /// Instant at which all queued background uploads complete.
     pub fn background_drain_instant(&self) -> SimInstant {
-        self.background_cursor
+        self.scheduler.drain_instant()
     }
 
-    fn background_upload(&mut self, path: &str) {
+    /// Uploads the committed contents of `path` on the file's background
+    /// lane and returns the completion instant.
+    fn background_upload(&mut self, path: &str) -> SimInstant {
         let data = self.inner.raw_contents(path).unwrap_or(&[]).to_vec();
-        let start = self.inner.clock().now().max(self.background_cursor);
-        let mut bg_clock = Clock::starting_at(start);
-        let mut ctx = OpCtx::new(&mut bg_clock, self.account.clone());
-        // One content-addressed object per block, deduplicated: a block
-        // whose hash is already stored is not uploaded again.
-        for chunk in data.chunks(self.chunk_size.max(1)) {
-            let hash = sha256(chunk);
-            if !self.uploaded_blocks.insert(hash) {
-                self.dedup_skipped += 1;
-                continue;
-            }
-            let key = format!("s3ql/block/{}", to_hex(&hash));
-            let _ = self.cloud.put(&mut ctx, &key, chunk);
-        }
-        if data.is_empty() {
-            let hash = sha256(&[]);
-            if self.uploaded_blocks.insert(hash) {
+        self.upload_blocks(path, data)
+    }
+
+    /// Uploads `data` as deduplicated blocks on `lane` and returns the
+    /// completion instant.
+    fn upload_blocks(&mut self, lane: &str, data: Vec<u8>) -> SimInstant {
+        let now = self.inner.clock().now();
+        let S3qlLike {
+            scheduler,
+            cloud,
+            account,
+            chunk_size,
+            uploaded_blocks,
+            dedup_skipped,
+            ..
+        } = self;
+        let account = account.clone();
+        let token = scheduler.spawn(now, Some(lane), |bg_clock| {
+            let mut ctx = OpCtx::new(bg_clock, account);
+            // One content-addressed object per block, deduplicated: a block
+            // whose hash is already stored is not uploaded again.
+            for chunk in data.chunks((*chunk_size).max(1)) {
+                let hash = sha256(chunk);
+                if !uploaded_blocks.insert(hash) {
+                    *dedup_skipped += 1;
+                    continue;
+                }
                 let key = format!("s3ql/block/{}", to_hex(&hash));
-                let _ = self.cloud.put(&mut ctx, &key, &[]);
-            } else {
-                self.dedup_skipped += 1;
+                let _ = cloud.put(&mut ctx, &key, chunk);
             }
-        }
+            if data.is_empty() {
+                let hash = sha256(&[]);
+                if uploaded_blocks.insert(hash) {
+                    let key = format!("s3ql/block/{}", to_hex(&hash));
+                    let _ = cloud.put(&mut ctx, &key, &[]);
+                } else {
+                    *dedup_skipped += 1;
+                }
+            }
+        });
         self.uploads += 1;
-        self.background_cursor = bg_clock.now();
+        token.ready_at()
     }
 }
 
@@ -150,6 +174,27 @@ impl FileSystem for S3qlLike {
 
     fn fsync(&mut self, handle: FileHandle) -> Result<(), ScfsError> {
         self.inner.fsync(handle)
+    }
+
+    fn sync(&mut self, handle: FileHandle) -> Result<DurabilityLevel, ScfsError> {
+        self.inner.fsync(handle)?;
+        match self.inner.handle_path(handle) {
+            Some(path) => {
+                // Upload the handle's current contents (not-yet-closed
+                // writes included) on the file's lane and wait for the
+                // completion — S3QL's `s3qlctrl flushcache`, per file: the
+                // single-cloud level of Table 1.
+                let data = self
+                    .inner
+                    .handle_contents(handle)
+                    .unwrap_or_default()
+                    .to_vec();
+                let ready = self.upload_blocks(&path, data);
+                self.inner.clock_mut().advance_to(ready);
+                Ok(DurabilityLevel::SingleCloud)
+            }
+            None => Ok(DurabilityLevel::LocalDisk),
+        }
     }
 
     fn close(&mut self, handle: FileHandle) -> Result<(), ScfsError> {
@@ -269,6 +314,57 @@ mod tests {
             "small-chunk writes should be much slower ({small} vs {large})"
         );
         fs.close(h).unwrap();
+    }
+
+    #[test]
+    fn sync_waits_for_the_cloud_upload_and_reports_level_2() {
+        let (mut fs, cloud) = fs();
+        let h = fs.open("/f", OpenFlags::create()).unwrap();
+        let data: Vec<u8> = (0..256 * 1024).map(|i| (i % 251) as u8).collect();
+        fs.write(h, 0, &data).unwrap();
+        let level = fs.sync(h).unwrap();
+        assert_eq!(level, DurabilityLevel::SingleCloud);
+        assert!(cloud.metrics().snapshot().puts >= 2, "blocks uploaded");
+        assert!(
+            fs.now() >= fs.background_drain_instant(),
+            "sync waited for its own upload"
+        );
+        fs.close(h).unwrap();
+    }
+
+    #[test]
+    fn closes_of_different_files_overlap_in_the_background() {
+        // A WAN-latency cloud, so uploads take visible virtual time.
+        let cloud = Arc::new(SimulatedCloud::new(
+            cloud_store::providers::ProviderProfile::amazon_s3(),
+            5,
+        ));
+        let mut fs = S3qlLike::new("alice".into(), cloud as Arc<dyn ObjectStore>, 5);
+        let data_a: Vec<u8> = (0..300 * 1024).map(|i| (i % 251) as u8).collect();
+        let data_b: Vec<u8> = (0..300 * 1024).map(|i| (i % 241) as u8).collect();
+
+        let start = fs.now();
+        fs.write_file("/a", &data_a).unwrap();
+        let a_close = fs.now();
+        let a_ready = fs.background_drain_instant();
+        fs.write_file("/b", &data_b).unwrap();
+        let b_close = fs.now();
+        let drain = fs.background_drain_instant();
+        assert_eq!(fs.upload_count(), 2);
+
+        // Uploads run on per-file lanes: the drain is bounded by the later
+        // close plus one upload, strictly less than the sum of both uploads
+        // (the old scalar cursor queued /b behind /a, making it the sum).
+        let upload_a = a_ready.duration_since(a_close);
+        let upload_b = drain.duration_since(b_close);
+        assert!(upload_a > SimDuration::ZERO);
+        assert!(upload_b > SimDuration::ZERO);
+        assert!(
+            drain.duration_since(start) < upload_a + upload_b,
+            "drain {} vs serialized {}",
+            drain.duration_since(start),
+            upload_a + upload_b
+        );
     }
 
     #[test]

@@ -15,6 +15,14 @@
 //! Runs under `cargo bench --bench transfer_engine` (the CI bench-smoke
 //! step); it is a plain `main`, not a Criterion harness, because the metric
 //! is simulated seconds rather than host wall-clock.
+//!
+//! The results are **appended** to the committed `BENCH_transfer.json` at
+//! the repository root — one run record per line, so the file is the
+//! in-repo perf trajectory across PRs. A run identical to the last recorded
+//! one leaves the file untouched (virtual time is deterministic, so a
+//! perf-neutral change produces a byte-identical record); the CI bench-smoke
+//! step diffs the file to show exactly how the trajectory moved. The latest
+//! run is also mirrored to `target/BENCH_transfer.json` for the CI artifact.
 
 use scfs::config::{Mode, ScfsConfig};
 use scfs::fs::FileSystem;
@@ -57,6 +65,50 @@ fn close_latencies_secs(backend: Backend, parallel: usize, data: &[u8]) -> (f64,
     (cold, dedup)
 }
 
+/// The header and footer of the trajectory file; run records live between
+/// them, one JSON object per line (`{"run": N, "results": [...]}`).
+const HEADER: &str = "{\"benchmark\": \"transfer_engine\", \"workload\": \
+     \"dirty close of a 16-chunk (16 MiB) file, blocking mode, WAN profiles; \
+     dedup column = closing an identical copy under a second path (global chunk store)\", \
+     \"unit\": \"virtual seconds (deterministic)\", \"runs\": [";
+const FOOTER: &str = "]}";
+
+/// Appends `results` as a new run record to the trajectory at `path`,
+/// unless the last recorded run already carries the identical results
+/// (deterministic virtual time: perf-neutral changes leave the file alone).
+/// Returns the full file contents after the update.
+fn append_run(path: &std::path::Path, results: &str) -> String {
+    let mut records: Vec<String> = match std::fs::read_to_string(path) {
+        Ok(existing) => existing
+            .lines()
+            .map(str::trim)
+            .filter(|line| line.starts_with("{\"run\""))
+            .map(|line| line.trim_end_matches(',').to_string())
+            .collect(),
+        Err(_) => Vec::new(),
+    };
+    let results_of = |record: &str| {
+        record
+            .split_once("\"results\": ")
+            .map(|(_, r)| r.to_string())
+    };
+    let next = format!("{{\"run\": {}, \"results\": {results}}}", records.len() + 1);
+    if records.last().and_then(|r| results_of(r)) != results_of(&next) {
+        records.push(next);
+    }
+    let mut out = String::new();
+    out.push_str(HEADER);
+    out.push('\n');
+    for (i, record) in records.iter().enumerate() {
+        out.push_str(record);
+        out.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
+    }
+    out.push_str(FOOTER);
+    out.push('\n');
+    std::fs::write(path, &out).expect("write perf trajectory");
+    out
+}
+
 fn main() {
     let data = sixteen_mib();
     let mut rows = Vec::new();
@@ -76,26 +128,24 @@ fn main() {
                 sequential / secs
             );
             rows.push(format!(
-                "    {{\"backend\": \"{label}\", \"parallelism\": {parallel}, \
+                "{{\"backend\": \"{label}\", \"parallelism\": {parallel}, \
                  \"close_virtual_secs\": {secs:.6}, \"speedup_vs_sequential\": {:.4}, \
                  \"dedup_copy_close_virtual_secs\": {dedup_secs:.6}}}",
                 sequential / secs
             ));
         }
     }
-    let json = format!(
-        "{{\n  \"benchmark\": \"transfer_engine\",\n  \"workload\": \
-         \"dirty close of a {CHUNKS}-chunk ({CHUNKS} MiB) file, blocking mode, WAN profiles; \
-         dedup column = closing an identical copy under a second path (global chunk store)\",\n  \
-         \"unit\": \"virtual seconds (deterministic)\",\n  \"results\": [\n{}\n  ]\n}}\n",
-        rows.join(",\n")
-    );
-    // Benches run with the package as cwd; emit into the workspace target/.
-    let target = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-        .join("../..")
-        .join("target");
+    let results = format!("[{}]", rows.join(", "));
+
+    // The committed trajectory lives at the repository root; benches run
+    // with the package as cwd.
+    let repo_root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let trajectory = append_run(&repo_root.join("BENCH_transfer.json"), &results);
+    println!("trajectory: BENCH_transfer.json");
+
+    // Mirror to target/ for the CI artifact upload.
+    let target = repo_root.join("target");
     std::fs::create_dir_all(&target).expect("target dir");
-    let out = target.join("BENCH_transfer.json");
-    std::fs::write(&out, &json).expect("write BENCH_transfer.json");
-    println!("wrote {}", out.display());
+    std::fs::write(target.join("BENCH_transfer.json"), &trajectory)
+        .expect("write BENCH_transfer.json mirror");
 }

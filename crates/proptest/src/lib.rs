@@ -136,7 +136,7 @@ pub mod collection {
         }
     }
 
-    /// Length specification accepted by [`vec`].
+    /// Length specification accepted by [`vec()`].
     #[derive(Debug, Clone)]
     pub struct SizeRange(pub std::ops::Range<usize>);
 

@@ -10,7 +10,7 @@
 //! This crate implements all of those primitives from scratch so that the
 //! workspace has no external cryptography dependencies:
 //!
-//! * [`sha256`] and [`sha1`] — collision-resistant hashes (the paper uses
+//! * [`sha256()`] and [`sha1()`] — collision-resistant hashes (the paper uses
 //!   SHA-1 for metadata tuples; we provide SHA-256 as the default and SHA-1
 //!   for fidelity).
 //! * [`chacha20`] — a stream cipher used to encrypt file contents before

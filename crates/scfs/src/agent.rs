@@ -10,6 +10,7 @@ use cloud_store::store::OpCtx;
 use cloud_store::types::{AccountId, Acl, Permission};
 use coord::lock::LockManager;
 use coord::service::{CoordinationService, SessionId};
+use sim_core::background::{BackgroundScheduler, Pending};
 use sim_core::latency::LatencyProfile;
 use sim_core::rng::DetRng;
 use sim_core::time::{Clock, SimDuration, SimInstant};
@@ -19,11 +20,17 @@ use crate::anchor::{anchored_chunk, anchored_manifest};
 use crate::backend::FileStorage;
 use crate::cache::FileCache;
 use crate::config::{Mode, ScfsConfig};
+use crate::durability::DurabilityLevel;
 use crate::error::ScfsError;
 use crate::fs::FileSystem;
 use crate::metadata_service::MetadataService;
 use crate::transfer::{execute_plan, TransferOptions, TransferPlan};
 use crate::types::{normalize_path, ChunkMap, FileHandle, FileMetadata, FileType, OpenFlags};
+
+/// Scheduler lane of the garbage collector: GC cycles serialize with one
+/// another but overlap with uploads and prefetches. Distinct from every
+/// object lane (storage ids always contain `-f`).
+const GC_LANE: &str = "gc";
 
 /// Counters describing the agent's activity, used by the experiment
 /// harnesses to explain latency results.
@@ -78,6 +85,10 @@ pub struct AgentStats {
     pub range_reads: u64,
     /// Chunks fetched ahead of a sequential reader on the background clock.
     pub prefetched_chunks: u64,
+    /// Non-blocking closes that had to wait for an earlier pending upload to
+    /// complete because `max_pending_uploads` commits were already in flight
+    /// (the explicit backpressure of the bounded upload queue).
+    pub backpressure_stalls: u64,
 }
 
 /// State of one open file.
@@ -120,6 +131,24 @@ impl OpenFile {
     }
 }
 
+/// One in-flight background version commit of this agent: the state a
+/// surfaced [`Pending`] token is built from.
+#[derive(Debug, Clone)]
+struct PendingUpload {
+    /// Path of the object at close time (pending records are retired before
+    /// a rename can move the path).
+    path: String,
+    /// The metadata as committed by the background job — this agent's
+    /// read-your-writes source for reopens and stats while the commit
+    /// instant is still in the foreground's future.
+    metadata: FileMetadata,
+    /// Virtual instant the background job started (after lane queueing).
+    started_at: SimInstant,
+    /// Virtual instant the whole commit (chunks, manifest, metadata update,
+    /// unlock) completes.
+    ready_at: SimInstant,
+}
+
 /// The SCFS agent: one per mounted client.
 pub struct ScfsAgent {
     user: AccountId,
@@ -135,9 +164,15 @@ pub struct ScfsAgent {
     open_files: HashMap<FileHandle, OpenFile>,
     next_handle: u64,
     next_storage_id: u64,
-    /// Completion instant of the last queued background upload; background
-    /// work is serialized behind this cursor (one uploader thread).
-    background_cursor: SimInstant,
+    /// Background jobs — uploads, prefetches, GC cycles — run as scheduler
+    /// jobs on per-object lanes: work on the same object serializes, work on
+    /// different objects overlaps in virtual time.
+    scheduler: BackgroundScheduler,
+    /// In-flight background version commits, by storage id. Bounded by
+    /// `config.max_pending_uploads` (close applies backpressure); each entry
+    /// is the one token `setfacl`, `sync` and reopens of that object wait
+    /// on — never a global drain.
+    pending_uploads: HashMap<String, PendingUpload>,
     written_since_gc: u64,
     /// Files this agent has written: storage id → (path, deleted?).
     owned_files: HashMap<String, (String, bool)>,
@@ -199,7 +234,8 @@ impl ScfsAgent {
             open_files: HashMap::new(),
             next_handle: 1,
             next_storage_id: 1,
-            background_cursor: SimInstant::EPOCH,
+            scheduler: BackgroundScheduler::new(),
+            pending_uploads: HashMap::new(),
             written_since_gc: 0,
             owned_files: HashMap::new(),
             stats: AgentStats::default(),
@@ -227,10 +263,124 @@ impl ScfsAgent {
         self.metadata.set_shared_prefixes(prefixes);
     }
 
-    /// Instant at which all currently queued background uploads will have
-    /// completed (the durability horizon of non-blocking mode).
+    /// Instant at which every background job spawned so far (uploads,
+    /// prefetches, GC) has completed — the coarse durability horizon of
+    /// non-blocking mode. Prefer [`ScfsAgent::upload_token`] to wait for one
+    /// object precisely.
     pub fn background_drain_instant(&self) -> SimInstant {
-        self.background_cursor
+        self.scheduler.drain_instant()
+    }
+
+    /// Completion token of the in-flight background upload of `path`, if
+    /// any: the durability promotion this object is still waiting for. The
+    /// token's value is the level (Table 1) the data reaches at
+    /// [`Pending::ready_at`] — a second mount of the same account waits on
+    /// it ([`ScfsAgent::wait_for`]) instead of sleeping past a drain
+    /// estimate.
+    pub fn upload_token(&self, path: &str) -> Option<Pending<DurabilityLevel>> {
+        let path = normalize_path(path).ok()?;
+        let pending = self.pending_by_path(&path)?;
+        Some(Pending::new(
+            self.storage.cloud_durability(),
+            pending.started_at,
+            pending.ready_at,
+        ))
+    }
+
+    /// Blocks this client until `token` completes (advances its clock to the
+    /// token's ready instant; free if already past it).
+    pub fn wait_for<T>(&mut self, token: &Pending<T>) {
+        self.clock.advance_to(token.ready_at());
+    }
+
+    /// Drops the records of background uploads that have completed by now.
+    fn reap_completed_uploads(&mut self) {
+        let now = self.clock.now();
+        self.pending_uploads.retain(|_, p| p.ready_at > now);
+    }
+
+    /// The in-flight upload of `path`, if any.
+    fn pending_by_path(&self, path: &str) -> Option<&PendingUpload> {
+        let now = self.clock.now();
+        self.pending_uploads
+            .values()
+            .find(|p| p.path == path && p.ready_at > now)
+    }
+
+    /// This agent's freshest view of `path`: `md`, unless an in-flight
+    /// background commit of the object carries a newer version — the
+    /// read-your-writes rule that bridges the metadata cache's expiry while
+    /// the commit instant is still in the foreground's future.
+    fn with_pending_commit(&self, path: &str, md: FileMetadata) -> FileMetadata {
+        match self.pending_by_path(path) {
+            Some(pending) if pending.metadata.version_count > md.version_count => {
+                pending.metadata.clone()
+            }
+            _ => md,
+        }
+    }
+
+    /// Waits for the in-flight upload of one object (by storage id), if any
+    /// — the per-object wait that replaced the global background cursor.
+    fn wait_pending_upload(&mut self, storage_id: &str) {
+        if let Some(pending) = self.pending_uploads.remove(storage_id) {
+            self.clock.advance_to(pending.ready_at);
+        }
+    }
+
+    /// Waits for the in-flight upload of one object (by path), if any.
+    fn wait_pending_upload_of_path(&mut self, path: &str) {
+        let id = self
+            .pending_uploads
+            .iter()
+            .find(|(_, p)| p.path == path)
+            .map(|(id, _)| id.clone());
+        if let Some(id) = id {
+            self.wait_pending_upload(&id);
+        }
+    }
+
+    /// Waits for every in-flight upload of `path` or anything under it,
+    /// plus (for `rename`) the destination tree — rename moves whole
+    /// prefixes and may clobber the destination, and a pending record left
+    /// behind would resolve reads of the old path to the moved object.
+    fn wait_pending_uploads_under(&mut self, from: &str, to: &str) {
+        let from_dir = format!("{from}/");
+        let to_dir = format!("{to}/");
+        let ids: Vec<String> = self
+            .pending_uploads
+            .iter()
+            .filter(|(_, p)| {
+                p.path == from
+                    || p.path == to
+                    || p.path.starts_with(&from_dir)
+                    || p.path.starts_with(&to_dir)
+            })
+            .map(|(id, _)| id.clone())
+            .collect();
+        for id in ids {
+            self.wait_pending_upload(&id);
+        }
+    }
+
+    /// Close backpressure: blocks until fewer than `max_pending_uploads`
+    /// background commits are in flight, waiting on the earliest completion
+    /// token — the bounded, explicit form of the old unbounded implicit
+    /// upload queue.
+    fn apply_close_backpressure(&mut self) {
+        self.reap_completed_uploads();
+        let max = self.config.max_pending_uploads.max(1);
+        while self.pending_uploads.len() >= max {
+            let earliest = self
+                .pending_uploads
+                .values()
+                .map(|p| p.ready_at)
+                .min()
+                .expect("backpressure loop requires pending uploads");
+            self.stats.backpressure_stalls += 1;
+            self.clock.advance_to(earliest);
+            self.reap_completed_uploads();
+        }
     }
 
     fn charge_syscall(&mut self) {
@@ -312,16 +462,24 @@ impl ScfsAgent {
         } else {
             None
         };
-        let outcome = storage.write_version(
-            ctx,
-            &metadata.storage_id,
-            data,
-            map,
-            prev,
-            never_uploaded,
-            cloud_acl.as_ref(),
-            opts,
-        )?;
+        // The blocking write is the async twin awaited immediately: begin on
+        // a throwaway scheduler (this call already runs on whichever clock —
+        // foreground or lane fork — owns the commit) and wait the token.
+        let mut sched = BackgroundScheduler::new();
+        let outcome = storage
+            .begin_write_version(
+                &mut sched,
+                ctx.clock.now(),
+                ctx.account.clone(),
+                &metadata.storage_id,
+                data,
+                map,
+                prev,
+                never_uploaded,
+                cloud_acl.as_ref(),
+                opts,
+            )
+            .wait(ctx.clock)?;
         let hash = outcome.root_hash;
         stats.cloud_uploads += 1;
         stats.chunk_uploads += outcome.chunks_uploaded;
@@ -341,9 +499,57 @@ impl ScfsAgent {
         Ok(metadata)
     }
 
+    /// Schedules the upload-and-commit of a new version of `metadata`'s
+    /// object as a background job on the object's lane (commits of the same
+    /// object serialize, different objects overlap) and returns its
+    /// completion token. Blocking mode waits the token immediately;
+    /// non-blocking mode records it and returns.
+    fn begin_upload(
+        &mut self,
+        metadata: FileMetadata,
+        data: &[u8],
+        map: &ChunkMap,
+        prev: Option<&ChunkMap>,
+        never_uploaded: bool,
+        unlock: bool,
+    ) -> Pending<Result<FileMetadata, ScfsError>> {
+        let opts = self.transfer_options();
+        let lane = metadata.storage_id.clone();
+        let ScfsAgent {
+            scheduler,
+            storage,
+            metadata: metadata_svc,
+            locks,
+            stats,
+            clock,
+            user,
+            ..
+        } = self;
+        let account = user.clone();
+        scheduler.spawn(clock.now(), Some(&lane), |bg_clock| {
+            let mut ctx = OpCtx::new(bg_clock, account);
+            Self::upload_and_commit(
+                storage,
+                metadata_svc,
+                locks,
+                &mut ctx,
+                metadata,
+                data,
+                map,
+                prev,
+                never_uploaded,
+                unlock,
+                &opts,
+                stats,
+            )
+        })
+    }
+
     /// Runs the garbage collector if the written-bytes threshold was crossed
-    /// (paper §2.5.3). The collector runs on a background clock so it does
-    /// not add latency to foreground operations.
+    /// (paper §2.5.3). The whole cycle — version prunes, tombstone removal
+    /// and the release-journal replay — runs as one job on the scheduler's
+    /// GC lane: cycles serialize with one another but overlap with uploads
+    /// and prefetches, and never charge the foreground clock.
     fn maybe_run_gc(&mut self) {
         if !self.config.gc.enabled
             || self.written_since_gc < self.config.gc.written_bytes_threshold.get()
@@ -352,55 +558,72 @@ impl ScfsAgent {
         }
         self.written_since_gc = 0;
         self.stats.gc_runs += 1;
-        let mut bg_clock = Clock::starting_at(self.clock.now().max(self.background_cursor));
-        let mut ctx = OpCtx::new(&mut bg_clock, self.user.clone());
         let keep = self.config.gc.versions_to_keep;
-        let mut reclaimed = 0u64;
-        let mut errors = 0u64;
-        let mut fully_deleted: Vec<String> = Vec::new();
-        for (storage_id, (path, deleted)) in &self.owned_files {
-            if *deleted {
-                match self.storage.delete_all(&mut ctx, storage_id) {
-                    // The blobs are released; the tombstone may go only once
-                    // its metadata delete actually commits — a failed delete
-                    // keeps the entry so a later cycle retries it instead of
-                    // stranding the tombstone forever.
-                    Ok(()) => match self.metadata.delete(&mut ctx, path) {
-                        Ok(()) => fully_deleted.push(storage_id.clone()),
+        let journal_opts = self.config.gc.journal_opts();
+        // The collector observes the commits this agent has already issued,
+        // so its timeline must start after the in-flight ones complete — a
+        // reclaimed blob must not disappear at a virtual instant before the
+        // upload that wrote it has landed.
+        let start = self
+            .pending_uploads
+            .values()
+            .map(|p| p.ready_at)
+            .fold(self.clock.now(), SimInstant::max);
+        let ScfsAgent {
+            scheduler,
+            storage,
+            metadata,
+            owned_files,
+            stats,
+            user,
+            ..
+        } = self;
+        let account = user.clone();
+        scheduler.spawn(start, Some(GC_LANE), |bg_clock| {
+            let mut ctx = OpCtx::new(bg_clock, account);
+            let mut reclaimed = 0u64;
+            let mut errors = 0u64;
+            let mut fully_deleted: Vec<String> = Vec::new();
+            for (storage_id, (path, deleted)) in owned_files.iter() {
+                if *deleted {
+                    match storage.delete_all(&mut ctx, storage_id) {
+                        // The blobs are released; the tombstone may go only
+                        // once its metadata delete actually commits — a
+                        // failed delete keeps the entry so a later cycle
+                        // retries it instead of stranding the tombstone.
+                        Ok(()) => match metadata.delete(&mut ctx, path) {
+                            Ok(()) => fully_deleted.push(storage_id.clone()),
+                            Err(_) => errors += 1,
+                        },
+                        // The tombstone stays; the next cycle retries, and
+                        // the failure is surfaced through the stats.
                         Err(_) => errors += 1,
-                    },
-                    // The tombstone stays; the next cycle retries, and the
-                    // failure is surfaced through the stats.
-                    Err(_) => errors += 1,
-                }
-            } else {
-                match self.storage.delete_old_versions(&mut ctx, storage_id, keep) {
-                    Ok(n) => reclaimed += n as u64,
-                    Err(_) => errors += 1,
+                    }
+                } else {
+                    match storage.delete_old_versions(&mut ctx, storage_id, keep) {
+                        Ok(n) => reclaimed += n as u64,
+                        Err(_) => errors += 1,
+                    }
                 }
             }
-        }
-        for id in fully_deleted {
-            self.owned_files.remove(&id);
-        }
-        // Phase two: replay the release journal — physically delete the
-        // blobs whose refcount hit zero, retrying any entry an earlier cycle
-        // failed on. This is what turns a failed delete into a delayed
-        // reclamation rather than a leaked orphan.
-        match self
-            .storage
-            .replay_release_journal(&mut ctx, &self.config.gc.journal_opts())
-        {
-            Ok(report) => {
-                self.stats.gc_retried += report.retried;
-                self.stats.gc_orphans_reclaimed += report.reclaimed_after_retry;
-                self.stats.gc_errors += report.errors;
+            for id in fully_deleted {
+                owned_files.remove(&id);
             }
-            Err(_) => errors += 1,
-        }
-        self.stats.gc_reclaimed_versions += reclaimed;
-        self.stats.gc_errors += errors;
-        self.background_cursor = self.background_cursor.max(bg_clock.now());
+            // Phase two: replay the release journal — physically delete the
+            // blobs whose refcount hit zero, retrying any entry an earlier
+            // cycle failed on. This is what turns a failed delete into a
+            // delayed reclamation rather than a leaked orphan.
+            match storage.replay_release_journal(&mut ctx, &journal_opts) {
+                Ok(report) => {
+                    stats.gc_retried += report.retried;
+                    stats.gc_orphans_reclaimed += report.reclaimed_after_retry;
+                    stats.gc_errors += report.errors;
+                }
+                Err(_) => errors += 1,
+            }
+            stats.gc_reclaimed_versions += reclaimed;
+            stats.gc_errors += errors;
+        });
     }
 
     /// Loads the chunk-map manifest of the version of `metadata`'s object
@@ -662,34 +885,48 @@ impl ScfsAgent {
             self.config.anchor_read_retries,
             self.config.anchor_retry_backoff,
         );
-        let mut bg_clock = Clock::starting_at(self.clock.now().max(self.background_cursor));
-        let mut bg_ctx = OpCtx::new(&mut bg_clock, self.user.clone());
-        let outcome = execute_plan(&mut bg_ctx, &opts, &plan, |job, fork_ctx| {
-            anchored_chunk(
-                fork_ctx,
-                storage.as_ref(),
-                &storage_id,
-                &job.hash,
-                retries,
-                backoff,
-            )
+        // The prefetch is a scheduler job on the object's lane: it never
+        // blocks the caller, serializes behind an in-flight upload of the
+        // same object (read-after-write order) and overlaps with everything
+        // else. Errors make the job a no-op; the foreground fault path will
+        // retry and surface them.
+        let ScfsAgent {
+            scheduler,
+            clock,
+            user,
+            mem_cache,
+            disk_cache,
+            stats,
+            ..
+        } = self;
+        let account = user.clone();
+        let token = scheduler.spawn(clock.now(), Some(&storage_id), |bg_clock| {
+            let mut bg_ctx = OpCtx::new(bg_clock, account);
+            let (chunks, _) = execute_plan(&mut bg_ctx, &opts, &plan, |job, fork_ctx| {
+                anchored_chunk(
+                    fork_ctx,
+                    storage.as_ref(),
+                    &storage_id,
+                    &job.hash,
+                    retries,
+                    backoff,
+                )
+            })?;
+            for (job, chunk) in plan.jobs().iter().zip(chunks) {
+                stats.prefetched_chunks += 1;
+                stats.chunk_downloads += 1;
+                stats.bytes_downloaded += chunk.data.len() as u64;
+                let key = Self::chunk_cache_key(&job.hash);
+                disk_cache.put(bg_ctx.clock, &key, chunk.data.clone(), Some(job.hash));
+                mem_cache.put(bg_ctx.clock, &key, chunk.data, Some(job.hash));
+            }
+            Ok::<_, ScfsError>(plan)
         });
-        let (chunks, _) = match outcome {
-            Ok(done) => done,
+        let ready_at = token.ready_at();
+        let plan = match token.into_inner() {
+            Ok(plan) => plan,
             Err(_) => return,
         };
-        let ready_at = bg_clock.now();
-        self.background_cursor = self.background_cursor.max(ready_at);
-        for (job, chunk) in plan.jobs().iter().zip(chunks) {
-            self.stats.prefetched_chunks += 1;
-            self.stats.chunk_downloads += 1;
-            self.stats.bytes_downloaded += chunk.data.len() as u64;
-            let key = Self::chunk_cache_key(&job.hash);
-            self.disk_cache
-                .put(&mut bg_clock, &key, chunk.data.clone(), Some(job.hash));
-            self.mem_cache
-                .put(&mut bg_clock, &key, chunk.data, Some(job.hash));
-        }
         // Every planned chunk (and any duplicate of it among the candidates)
         // becomes available at the background completion instant.
         for index in candidates {
@@ -810,6 +1047,111 @@ impl ScfsAgent {
         Ok(())
     }
 
+    /// The `sync` path on one open file: promote its current contents to
+    /// cloud durability (see [`crate::durability`]). A dirty or
+    /// never-committed handle is chunked, spilled to the local disk and
+    /// committed synchronously on the object's lane; a clean handle waits on
+    /// the object's in-flight token, if any.
+    fn sync_open(&mut self, file: &mut OpenFile) -> Result<DurabilityLevel, ScfsError> {
+        if file.dirty || file.never_uploaded {
+            self.materialize(file)?;
+            let buffer = file.buffer.clone();
+            let map = ChunkMap::build(&buffer, self.config.chunk_size.get() as usize);
+            // Level 1 first, as always — then the commit.
+            self.cache_version_locally(&map, &buffer);
+            self.written_since_gc += buffer.len() as u64;
+            // The lane orders this commit behind any in-flight upload of the
+            // same object; the new token supersedes the pending record.
+            self.pending_uploads.remove(&file.metadata.storage_id);
+            let token = self.begin_upload(
+                file.metadata.clone(),
+                &buffer,
+                &map,
+                file.chunk_map.as_ref(),
+                file.never_uploaded,
+                false,
+            );
+            let committed = token.wait(&mut self.clock)?;
+            file.metadata = committed;
+            file.chunk_map = Some(map);
+            file.present = None;
+            file.dirty = false;
+            file.never_uploaded = false;
+            self.maybe_run_gc();
+        } else {
+            let storage_id = file.metadata.storage_id.clone();
+            self.wait_pending_upload(&storage_id);
+        }
+        Ok(self.storage.cloud_durability())
+    }
+
+    /// The manifest-only copy: commit a new version of the destination that
+    /// references the source version's chunks through the chunk store's
+    /// refcounts — zero chunk transfers. Returns `Ok(None)` when the
+    /// preconditions do not hold (the caller materializes instead).
+    #[allow(clippy::too_many_arguments)]
+    fn copy_and_commit(
+        storage: &Arc<dyn FileStorage>,
+        metadata_svc: &mut MetadataService,
+        locks: &Option<LockManager>,
+        ctx: &mut OpCtx<'_>,
+        mut dst_md: FileMetadata,
+        src_id: &str,
+        root: scfs_crypto::ContentHash,
+        size: u64,
+        unlock: bool,
+        stats: &mut AgentStats,
+    ) -> Result<Option<FileMetadata>, ScfsError> {
+        // Same ACL rule as `upload_and_commit`: shared destinations carry
+        // the file ACL on the freshly written manifest.
+        let cloud_acl = if dst_md.is_shared() || dst_md.owner != ctx.account {
+            let mut acl = dst_md.acl.clone();
+            acl.grant(dst_md.owner.clone(), Permission::Write);
+            acl.grant(ctx.account.clone(), Permission::Write);
+            Some(acl)
+        } else {
+            None
+        };
+        let outcome = match storage.copy_version(
+            ctx,
+            src_id,
+            &dst_md.storage_id,
+            &root,
+            cloud_acl.as_ref(),
+        )? {
+            Some(outcome) => outcome,
+            None => return Ok(None),
+        };
+        stats.cloud_uploads += 1;
+        stats.bytes_uploaded += outcome.bytes_uploaded;
+        stats.dedup_hits_cross_file += outcome.dedup_cross_file;
+        dst_md.version_hash = Some(outcome.root_hash);
+        dst_md.size = size;
+        dst_md.modified_at = ctx.clock.now();
+        dst_md.version_count += 1;
+        metadata_svc.update(ctx, dst_md.clone())?;
+        if unlock {
+            if let Some(locks) = locks {
+                locks.unlock(ctx, &Self::lock_id(&dst_md))?;
+            }
+        }
+        Ok(Some(dst_md))
+    }
+
+    /// The fallback copy: materialize the source and write it through the
+    /// normal open/read/write/close path (what the [`FileSystem`] trait
+    /// default does for every other system).
+    fn copy_by_materializing(&mut self, from: &str, to: &str) -> Result<(), ScfsError> {
+        let src = self.open(from, OpenFlags::read_only())?;
+        let size = self.handle_size(src)?;
+        let data = self.read(src, 0, size as usize)?;
+        self.close(src)?;
+        let dst = self.open(to, OpenFlags::create_truncate())?;
+        self.write(dst, 0, &data)?;
+        self.close(dst)?;
+        Ok(())
+    }
+
     fn get_open(&self, handle: FileHandle) -> Result<&OpenFile, ScfsError> {
         self.open_files
             .get(&handle)
@@ -835,11 +1177,19 @@ impl FileSystem for ScfsAgent {
         let path = normalize_path(path)?;
 
         // Step 1: read the file metadata (or create it).
-        let mut ctx = OpCtx::new(&mut self.clock, self.user.clone());
-        let existing = match self.metadata.get(&mut ctx, &path) {
-            Ok(md) if !md.deleted => Some(md),
-            _ => None,
+        let existing = {
+            let mut ctx = OpCtx::new(&mut self.clock, self.user.clone());
+            match self.metadata.get(&mut ctx, &path) {
+                Ok(md) if !md.deleted => Some(md),
+                _ => None,
+            }
         };
+        // Read-your-writes across the metadata cache's expiry: while this
+        // agent's own non-blocking commit of the object is still in flight,
+        // the coordination service may serve the previous version — the
+        // pending token's committed metadata is the fresher truth, per
+        // object, with no wait and no global drain.
+        let existing = existing.map(|md| self.with_pending_commit(&path, md));
         let (mut metadata, never_uploaded) = match existing {
             Some(md) => {
                 if md.file_type != FileType::File {
@@ -855,15 +1205,11 @@ impl FileSystem for ScfsAgent {
                 if !flags.create {
                     return Err(ScfsError::not_found(path));
                 }
-                let storage_id = {
-                    // `alloc_storage_id` needs `&mut self`; end the ctx borrow first.
-                    drop(ctx);
-                    self.alloc_storage_id()
-                };
+                let storage_id = self.alloc_storage_id();
                 let now = self.clock.now();
                 let md = FileMetadata::new_file(&path, self.user.clone(), storage_id, now);
-                let mut ctx2 = OpCtx::new(&mut self.clock, self.user.clone());
-                self.metadata.create(&mut ctx2, md.clone())?;
+                let mut ctx = OpCtx::new(&mut self.clock, self.user.clone());
+                self.metadata.create(&mut ctx, md.clone())?;
                 self.owned_files
                     .insert(md.storage_id.clone(), (path.clone(), false));
                 (md, true)
@@ -981,6 +1327,17 @@ impl FileSystem for ScfsAgent {
         Ok(())
     }
 
+    fn sync(&mut self, handle: FileHandle) -> Result<DurabilityLevel, ScfsError> {
+        self.charge_syscall();
+        let mut file = self
+            .open_files
+            .remove(&handle)
+            .ok_or(ScfsError::BadHandle { handle: handle.0 })?;
+        let result = self.sync_open(&mut file);
+        self.open_files.insert(handle, file);
+        result
+    }
+
     fn close(&mut self, handle: FileHandle) -> Result<(), ScfsError> {
         self.charge_syscall();
         let file = self
@@ -1010,7 +1367,6 @@ impl FileSystem for ScfsAgent {
             never_uploaded,
             ..
         } = file;
-        let opts = self.transfer_options();
 
         // Chunk the new version; its root hash — the one hash the anchor
         // stores — is known immediately, before any cloud access.
@@ -1024,27 +1380,23 @@ impl FileSystem for ScfsAgent {
             Mode::Blocking => {
                 // Consistency-anchor write, fully synchronous: dirty chunks
                 // to the cloud(s), then metadata to the coordination service,
-                // then unlock (Figure 4, close path).
-                let mut ctx = OpCtx::new(&mut self.clock, self.user.clone());
-                Self::upload_and_commit(
-                    &self.storage,
-                    &mut self.metadata,
-                    &self.locks,
-                    &mut ctx,
+                // then unlock (Figure 4, close path) — the background job
+                // awaited immediately on the foreground clock.
+                let token = self.begin_upload(
                     metadata,
                     &buffer,
                     &map,
                     prev_map.as_ref(),
                     never_uploaded,
                     locked,
-                    &opts,
-                    &mut self.stats,
-                )?;
+                );
+                token.wait(&mut self.clock)?;
             }
             Mode::NonBlocking | Mode::NonSharing => {
                 // The close returns now; the upload, metadata update and
-                // unlock happen on the background timeline. This client's own
-                // view is updated immediately through the local caches.
+                // unlock happen on the object's background lane. This
+                // client's own view is updated immediately through the local
+                // caches; everyone else waits on this object's token.
                 let mut updated = metadata.clone();
                 updated.version_hash = Some(new_hash);
                 updated.size = buffer.len() as u64;
@@ -1053,24 +1405,32 @@ impl FileSystem for ScfsAgent {
                 let now = self.clock.now();
                 self.metadata.update_local(updated, now);
 
-                let bg_start = self.clock.now().max(self.background_cursor);
-                let mut bg_clock = Clock::starting_at(bg_start);
-                let mut bg_ctx = OpCtx::new(&mut bg_clock, self.user.clone());
-                Self::upload_and_commit(
-                    &self.storage,
-                    &mut self.metadata,
-                    &self.locks,
-                    &mut bg_ctx,
+                // Bounded queue: at most `max_pending_uploads` commits in
+                // flight, with the close stalling on the earliest token.
+                self.apply_close_backpressure();
+                let storage_id = metadata.storage_id.clone();
+                let token = self.begin_upload(
                     metadata,
                     &buffer,
                     &map,
                     prev_map.as_ref(),
                     never_uploaded,
                     locked,
-                    &opts,
-                    &mut self.stats,
-                )?;
-                self.background_cursor = bg_clock.now();
+                );
+                let (started_at, ready_at) = (token.started_at(), token.ready_at());
+                let committed = token.into_inner()?;
+                // A second close of the same object supersedes the earlier
+                // record: the lane already ordered the commits, and the
+                // later token covers the earlier one.
+                self.pending_uploads.insert(
+                    storage_id,
+                    PendingUpload {
+                        path: committed.path.clone(),
+                        metadata: committed,
+                        started_at,
+                        ready_at,
+                    },
+                );
             }
         }
 
@@ -1087,12 +1447,16 @@ impl FileSystem for ScfsAgent {
             md.size = open.buffer.len() as u64;
             return Ok(md);
         }
-        let mut ctx = OpCtx::new(&mut self.clock, self.user.clone());
-        let md = self.metadata.get(&mut ctx, &path)?;
+        let md = {
+            let mut ctx = OpCtx::new(&mut self.clock, self.user.clone());
+            self.metadata.get(&mut ctx, &path)?
+        };
         if md.deleted {
             return Err(ScfsError::not_found(path));
         }
-        Ok(md)
+        // Read-your-writes: an in-flight background commit of this object is
+        // already part of this client's view (see `open`).
+        Ok(self.with_pending_commit(&path, md))
     }
 
     fn mkdir(&mut self, path: &str) -> Result<(), ScfsError> {
@@ -1117,8 +1481,10 @@ impl FileSystem for ScfsAgent {
     fn unlink(&mut self, path: &str) -> Result<(), ScfsError> {
         self.charge_syscall();
         let path = normalize_path(path)?;
-        let mut ctx = OpCtx::new(&mut self.clock, self.user.clone());
-        let mut md = self.metadata.get(&mut ctx, &path)?;
+        let md = {
+            let mut ctx = OpCtx::new(&mut self.clock, self.user.clone());
+            self.metadata.get(&mut ctx, &path)?
+        };
         if md.deleted {
             return Err(ScfsError::not_found(path));
         }
@@ -1129,11 +1495,40 @@ impl FileSystem for ScfsAgent {
             });
         }
         // Files are only marked as deleted; the garbage collector reclaims
-        // the cloud objects later (paper §2.5.3).
+        // the cloud objects later (paper §2.5.3). The tombstone carries this
+        // agent's freshest view of the object (including a version committed
+        // by a still-pending upload).
+        let mut md = self.with_pending_commit(&path, md);
         md.deleted = true;
-        self.metadata.update(&mut ctx, md.clone())?;
         if let Some(entry) = self.owned_files.get_mut(&md.storage_id) {
             entry.1 = true;
+        }
+        if self.pending_uploads.contains_key(&md.storage_id) {
+            // An upload of this object is still in flight: commit the
+            // tombstone on the object's lane, *after* that commit, so the
+            // background metadata update cannot resurrect the file — and the
+            // foreground never waits (unlinking a transient file right after
+            // a non-blocking close is the hot path of Figure 8).
+            let storage_id = md.storage_id.clone();
+            self.pending_uploads.remove(&storage_id);
+            let now = self.clock.now();
+            self.metadata.update_local(md.clone(), now);
+            let ScfsAgent {
+                scheduler,
+                metadata,
+                clock,
+                user,
+                ..
+            } = self;
+            let account = user.clone();
+            let token = scheduler.spawn(clock.now(), Some(&storage_id), |bg_clock| {
+                let mut ctx = OpCtx::new(bg_clock, account);
+                metadata.update(&mut ctx, md)
+            });
+            token.into_inner()?;
+        } else {
+            let mut ctx = OpCtx::new(&mut self.clock, self.user.clone());
+            self.metadata.update(&mut ctx, md)?;
         }
         // Cached chunks and manifests are content-addressed, not keyed by
         // path; they age out of the LRU caches once nothing reads them.
@@ -1144,8 +1539,23 @@ impl FileSystem for ScfsAgent {
         self.charge_syscall();
         let from = normalize_path(from)?;
         let to = normalize_path(to)?;
+        // Rename moves a whole path prefix and may clobber the destination:
+        // the moved metadata must carry any in-flight version commits, and
+        // pending records under either tree would go stale — settle exactly
+        // those tokens first.
+        self.wait_pending_uploads_under(&from, &to);
         let mut ctx = OpCtx::new(&mut self.clock, self.user.clone());
         self.metadata.rename(&mut ctx, &from, &to)?;
+        // The GC bookkeeping moves with the prefix: a later unlink + GC of a
+        // renamed file must delete the tombstone under its *current* path.
+        let from_dir = format!("{from}/");
+        for (path, _) in self.owned_files.values_mut() {
+            if *path == from {
+                *path = to.clone();
+            } else if let Some(rest) = path.strip_prefix(&from_dir) {
+                *path = format!("{to}/{rest}");
+            }
+        }
         Ok(())
     }
 
@@ -1157,11 +1567,11 @@ impl FileSystem for ScfsAgent {
     ) -> Result<(), ScfsError> {
         self.charge_syscall();
         let path = normalize_path(path)?;
-        // Permission changes are applied after any pending background upload
-        // of this agent has committed, so the grant cannot be overwritten by
-        // an in-flight metadata update from an earlier non-blocking close.
-        let drain = self.background_cursor;
-        self.clock.advance_to(drain);
+        // The grant must not be overwritten by an in-flight metadata update
+        // from an earlier non-blocking close of this file — wait on *this
+        // object's* completion token, not on the global drain: grants on
+        // other files proceed while unrelated uploads are still in flight.
+        self.wait_pending_upload_of_path(&path);
         let mut ctx = OpCtx::new(&mut self.clock, self.user.clone());
         let metadata = self.metadata.get(&mut ctx, &path)?;
         if metadata.owner != self.user {
@@ -1183,6 +1593,160 @@ impl FileSystem for ScfsAgent {
         let path = normalize_path(path)?;
         let mut ctx = OpCtx::new(&mut self.clock, self.user.clone());
         Ok(self.metadata.get(&mut ctx, &path)?.acl)
+    }
+
+    /// Manifest-only copy: the destination's new version references the
+    /// source version's chunks through the global chunk store's refcounts,
+    /// so zero chunks move — only a manifest and a metadata update — and
+    /// every referenced chunk counts as a cross-file dedup hit
+    /// ([`AgentStats::dedup_hits_cross_file`]). Falls back to the
+    /// materializing open/read/write/close path (the trait default) when the
+    /// source has no committed version, a dirty open handle hides newer
+    /// bytes, or the backend keeps no chunk registry.
+    fn copy_file(&mut self, from: &str, to: &str) -> Result<(), ScfsError> {
+        self.charge_syscall();
+        let from = normalize_path(from)?;
+        let to = normalize_path(to)?;
+        let src_md = {
+            let mut ctx = OpCtx::new(&mut self.clock, self.user.clone());
+            match self.metadata.get(&mut ctx, &from) {
+                Ok(md) if !md.deleted => md,
+                _ => return Err(ScfsError::not_found(from)),
+            }
+        };
+        if src_md.file_type != FileType::File {
+            return Err(ScfsError::WrongType {
+                path: from,
+                expected: "file",
+            });
+        }
+        // This agent's own in-flight commit of the source is part of its
+        // view (read-your-writes), and fixes the commit's lower time bound.
+        let src_md = self.with_pending_commit(&from, src_md);
+        // Like the materializing default (whose `open` reads the committed
+        // version, never another handle's dirty buffer), the copy source is
+        // the last committed version; a file that never committed one falls
+        // back to the open/read/write path.
+        let root = match src_md.version_hash {
+            Some(root) => root,
+            None => return self.copy_by_materializing(&from, &to),
+        };
+        let size = src_md.size;
+        let src_id = src_md.storage_id.clone();
+        let src_ready = self.pending_by_path(&from).map(|p| p.ready_at);
+
+        // Destination metadata: a new version of an existing file, or a
+        // fresh object — exactly what a write-open would have set up.
+        let existing_dst = {
+            let mut ctx = OpCtx::new(&mut self.clock, self.user.clone());
+            match self.metadata.get(&mut ctx, &to) {
+                Ok(md) if !md.deleted => Some(md),
+                _ => None,
+            }
+        };
+        let dst_md = match existing_dst {
+            Some(md) => {
+                if md.file_type != FileType::File {
+                    return Err(ScfsError::WrongType {
+                        path: to,
+                        expected: "file",
+                    });
+                }
+                md
+            }
+            None => {
+                let storage_id = self.alloc_storage_id();
+                let now = self.clock.now();
+                let md = FileMetadata::new_file(&to, self.user.clone(), storage_id, now);
+                let mut ctx = OpCtx::new(&mut self.clock, self.user.clone());
+                self.metadata.create(&mut ctx, md.clone())?;
+                self.owned_files
+                    .insert(md.storage_id.clone(), (to.clone(), false));
+                md
+            }
+        };
+
+        // Write lock on the destination, as a write-open would take it.
+        let mut locked = false;
+        if self.config.mode.uses_coordination() && !self.metadata.is_private(&to, Some(&dst_md)) {
+            if let Some(locks) = &self.locks {
+                let mut ctx = OpCtx::new(&mut self.clock, self.user.clone());
+                locks.try_lock(&mut ctx, &Self::lock_id(&dst_md))?;
+                locked = true;
+            }
+        }
+
+        // The commit runs on the destination's lane, no earlier than the
+        // source's chunks are in the cloud; blocking mode waits the token,
+        // the other modes surface it like any non-blocking close.
+        let blocking = self.config.mode.blocking_close();
+        if !blocking {
+            self.apply_close_backpressure();
+        }
+        let start = match src_ready {
+            Some(ready) => self.clock.now().max(ready),
+            None => self.clock.now(),
+        };
+        let lane = dst_md.storage_id.clone();
+        let ScfsAgent {
+            scheduler,
+            storage,
+            metadata: metadata_svc,
+            locks,
+            stats,
+            user,
+            ..
+        } = self;
+        let account = user.clone();
+        let token = scheduler.spawn(start, Some(&lane), |bg_clock| {
+            let mut ctx = OpCtx::new(bg_clock, account);
+            Self::copy_and_commit(
+                storage,
+                metadata_svc,
+                locks,
+                &mut ctx,
+                dst_md,
+                &src_id,
+                root,
+                size,
+                locked,
+                stats,
+            )
+        });
+        let (started_at, ready_at) = (token.started_at(), token.ready_at());
+        let committed = if blocking {
+            token.wait(&mut self.clock)?
+        } else {
+            token.into_inner()?
+        };
+        match committed {
+            Some(md) => {
+                if !blocking {
+                    // The manifest-only commit is known to have succeeded:
+                    // only now does this client's local view advance (an
+                    // optimistic update before the outcome would advertise a
+                    // version that may never exist when the backend falls
+                    // back to materializing).
+                    let now = self.clock.now();
+                    self.metadata.update_local(md.clone(), now);
+                    self.pending_uploads.insert(
+                        lane,
+                        PendingUpload {
+                            path: md.path.clone(),
+                            metadata: md,
+                            started_at,
+                            ready_at,
+                        },
+                    );
+                }
+                self.written_since_gc += size;
+                self.maybe_run_gc();
+                Ok(())
+            }
+            // The backend keeps no chunk registry for the source (or a
+            // chunk is no longer stored): materialize instead.
+            None => self.copy_by_materializing(&from, &to),
+        }
     }
 }
 
@@ -1687,5 +2251,188 @@ mod tests {
             fs.close(FileHandle(99)),
             Err(ScfsError::BadHandle { .. })
         ));
+    }
+
+    /// An agent over a WAN-latency simulated cloud, so background uploads
+    /// take visible virtual time.
+    fn wan_agent(config: ScfsConfig) -> ScfsAgent {
+        let cloud = Arc::new(SimulatedCloud::new(
+            cloud_store::providers::ProviderProfile::amazon_s3(),
+            9,
+        ));
+        let storage = Arc::new(SingleCloudStorage::new(cloud));
+        let coord: Arc<dyn CoordinationService> = Arc::new(ReplicatedCoordinator::test());
+        ScfsAgent::mount("alice".into(), config, storage, Some(coord), 9).unwrap()
+    }
+
+    #[test]
+    fn sync_waits_only_on_the_objects_token_and_reports_cloud_level() {
+        let mut fs = wan_agent(ScfsConfig::test(Mode::NonBlocking));
+        fs.write_file("/f", &vec![1u8; 300_000]).unwrap();
+        let token = fs
+            .upload_token("/f")
+            .expect("upload pending after NB close");
+        assert!(token.ready_at() > fs.now(), "commit is in the future");
+        let h = fs.open("/f", OpenFlags::read_only()).unwrap();
+        let level = fs.sync(h).unwrap();
+        assert_eq!(level, DurabilityLevel::SingleCloud);
+        assert!(fs.now() >= token.ready_at(), "sync waited for the commit");
+        assert!(fs.upload_token("/f").is_none(), "token retired");
+        fs.close(h).unwrap();
+    }
+
+    #[test]
+    fn sync_commits_a_dirty_handle_without_closing_it() {
+        let mut fs = test_agent(Mode::Blocking);
+        let h = fs.open("/f", OpenFlags::create()).unwrap();
+        fs.write(h, 0, &vec![7u8; 10_000]).unwrap();
+        let level = fs.sync(h).unwrap();
+        assert_eq!(level, DurabilityLevel::SingleCloud);
+        assert_eq!(fs.stats().cloud_uploads, 1);
+        // The handle stays open and writable; close commits only the delta.
+        fs.write(h, 0, &vec![8u8; 10_000]).unwrap();
+        fs.close(h).unwrap();
+        assert_eq!(fs.stats().cloud_uploads, 2);
+        assert_eq!(fs.read_file("/f").unwrap(), vec![8u8; 10_000]);
+        let md = fs.stat("/f").unwrap();
+        assert_eq!(md.version_count, 2);
+    }
+
+    #[test]
+    fn copy_file_is_manifest_only_and_counts_dedup_hits() {
+        let mut fs = test_agent(Mode::Blocking);
+        // Four distinct 1 MiB chunks.
+        let mut data = vec![0u8; 4 << 20];
+        for (i, chunk) in data.chunks_mut(1 << 20).enumerate() {
+            chunk.fill(i as u8 + 1);
+        }
+        fs.write_file("/src", &data).unwrap();
+        let chunks_before = fs.stats().chunk_uploads;
+        let dedup_before = fs.stats().dedup_hits_cross_file;
+        fs.copy_file("/src", "/dst").unwrap();
+        assert_eq!(
+            fs.stats().chunk_uploads,
+            chunks_before,
+            "a manifest-only copy moves zero chunks"
+        );
+        assert_eq!(
+            fs.stats().dedup_hits_cross_file,
+            dedup_before + 4,
+            "every referenced chunk is a cross-file dedup hit"
+        );
+        assert_eq!(fs.read_file("/dst").unwrap(), data);
+        assert_eq!(fs.stat("/dst").unwrap().size, data.len() as u64);
+        // The source stays intact and independently versioned.
+        assert_eq!(fs.read_file("/src").unwrap(), data);
+    }
+
+    #[test]
+    fn copy_file_copies_the_committed_version_like_the_default_path() {
+        let mut fs = test_agent(Mode::Blocking);
+        fs.write_file("/src", &vec![3u8; 8_000]).unwrap();
+        let h = fs.open("/src", OpenFlags::read_write()).unwrap();
+        fs.write(h, 0, &vec![4u8; 8_000]).unwrap();
+        // A dirty buffer behind another handle is invisible to a fresh open,
+        // so the copy carries the committed version — exactly what the
+        // materializing trait default does.
+        fs.copy_file("/src", "/dst").unwrap();
+        assert_eq!(fs.read_file("/dst").unwrap(), vec![3u8; 8_000]);
+        fs.close(h).unwrap();
+        assert_eq!(fs.read_file("/src").unwrap(), vec![4u8; 8_000]);
+        // A file without any committed version goes through the fallback.
+        let h2 = fs.open("/fresh", OpenFlags::create()).unwrap();
+        fs.write(h2, 0, b"in-memory only").unwrap();
+        fs.close(h2).unwrap();
+        fs.copy_file("/fresh", "/fresh-copy").unwrap();
+        assert_eq!(fs.read_file("/fresh-copy").unwrap(), b"in-memory only");
+    }
+
+    #[test]
+    fn close_backpressure_bounds_the_pending_upload_queue() {
+        let mut config = ScfsConfig::test(Mode::NonBlocking);
+        config.max_pending_uploads = 2;
+        let mut fs = wan_agent(config);
+        for i in 0..5 {
+            fs.write_file(&format!("/f{i}"), &vec![i as u8; 400_000])
+                .unwrap();
+        }
+        assert!(
+            fs.stats().backpressure_stalls >= 1,
+            "the third close must stall behind the two pending uploads"
+        );
+        assert!(fs.pending_uploads.len() <= 2);
+    }
+
+    #[test]
+    fn rename_settles_pending_uploads_under_the_moved_prefix() {
+        let mut fs = wan_agent(ScfsConfig::test(Mode::NonBlocking));
+        fs.write_file("/dir/f", &vec![1u8; 300_000]).unwrap();
+        fs.write_file("/dir/f", &vec![2u8; 300_000]).unwrap();
+        assert!(fs.upload_token("/dir/f").is_some());
+        fs.rename("/dir", "/new").unwrap();
+        assert!(
+            fs.upload_token("/dir/f").is_none(),
+            "no stale pending record may survive under the old path"
+        );
+        // A fresh file at the old path is independent of the moved object.
+        fs.write_file("/dir/f", b"fresh").unwrap();
+        assert_eq!(fs.read_file("/dir/f").unwrap(), b"fresh");
+        assert_eq!(fs.read_file("/new/f").unwrap(), vec![2u8; 300_000]);
+    }
+
+    #[test]
+    fn gc_reclaims_files_unlinked_after_a_rename() {
+        let cloud = Arc::new(SimulatedCloud::test("s3"));
+        let storage = Arc::new(SingleCloudStorage::new(cloud));
+        let coord: Arc<dyn CoordinationService> = Arc::new(ReplicatedCoordinator::test());
+        let mut config = ScfsConfig::test(Mode::Blocking);
+        config.gc.written_bytes_threshold = Bytes::new(50_000);
+        config.gc.versions_to_keep = 1;
+        let mut fs = ScfsAgent::mount("alice".into(), config, storage, Some(coord), 5).unwrap();
+        fs.write_file("/dir/doomed", &vec![1u8; 10_000]).unwrap();
+        fs.rename("/dir", "/moved").unwrap();
+        fs.unlink("/moved/doomed").unwrap();
+        for _ in 0..10 {
+            fs.write_file("/big", &vec![7u8; 10_000]).unwrap();
+        }
+        let stats = fs.stats();
+        assert!(stats.gc_runs >= 1);
+        assert_eq!(
+            stats.gc_errors, 0,
+            "the tombstone delete must target the renamed path"
+        );
+        assert!(matches!(
+            fs.stat("/moved/doomed"),
+            Err(ScfsError::NotFound { .. })
+        ));
+    }
+
+    #[test]
+    fn setfacl_waits_only_on_its_own_objects_token() {
+        let mut config = ScfsConfig::test(Mode::NonBlocking);
+        // Sequential transfers keep /big's background upload far longer than
+        // the foreground work between the two closes.
+        config.max_parallel_transfers = 1;
+        let mut fs = wan_agent(config);
+        // 32 distinct chunks, so the upload cannot collapse through dedup.
+        let mut big = vec![0u8; 32 << 20];
+        for (i, chunk) in big.chunks_mut(1 << 20).enumerate() {
+            chunk.fill(i as u8 + 1);
+        }
+        fs.write_file("/big", &big).unwrap();
+        fs.write_file("/small", &vec![2u8; 10_000]).unwrap();
+        let big = fs.upload_token("/big").expect("big upload pending");
+        fs.setfacl("/small", &"bob".into(), Permission::Read)
+            .unwrap();
+        assert!(
+            fs.now() < big.ready_at(),
+            "the grant on /small must not drain /big's upload ({} vs {})",
+            fs.now(),
+            big.ready_at()
+        );
+        assert!(fs
+            .getfacl("/small")
+            .unwrap()
+            .allows(&"bob".into(), Permission::Read));
     }
 }

@@ -27,14 +27,17 @@ use std::sync::Arc;
 
 use cloud_store::error::StorageError;
 use cloud_store::store::{ObjectStore, OpCtx};
-use cloud_store::types::Acl;
+use cloud_store::types::{AccountId, Acl};
 use depsky::register::DepSkyClient;
 use parking_lot::Mutex;
 use scfs_crypto::{sha256, to_hex, ContentHash};
+use sim_core::background::{BackgroundScheduler, Pending};
+use sim_core::time::SimInstant;
 
 use crate::chunkstore::{
     chunk_store_account, BlobAudit, ChunkStore, JournalOpts, ReleaseTarget, ReplayReport,
 };
+use crate::durability::DurabilityLevel;
 use crate::error::ScfsError;
 use crate::transfer::{execute_plan, TransferOptions, TransferPlan};
 use crate::types::ChunkMap;
@@ -94,6 +97,17 @@ impl VersionRegistry {
     /// Whether this registry has any record of `id`.
     fn tracks(&self, id: &str) -> bool {
         self.versions.contains_key(id)
+    }
+
+    /// The chunk map of the retained version of `id` stored under `root`,
+    /// if this instance still tracks it.
+    fn map_of(&self, id: &str, root: &ContentHash) -> Option<ChunkMap> {
+        self.versions
+            .get(id)?
+            .iter()
+            .rev()
+            .find(|v| v.root == *root)
+            .map(|v| v.map.clone())
     }
 
     /// Every chunk hash referenced by a retained version of `id` — the
@@ -268,9 +282,83 @@ pub trait FileStorage: Send + Sync {
         hash: &ContentHash,
     ) -> Result<Vec<u8>, ScfsError>;
 
+    /// Async twin of [`FileStorage::write_version`]: schedules the version
+    /// commit as a background job on the object's lane of `sched` (commits
+    /// of the same object serialize; different objects overlap) and returns
+    /// its completion token. The job runs on a scheduler-owned forked clock,
+    /// so the caller's clock is not charged — the blocking form is
+    /// `begin_write_version(...).wait(ctx.clock)`.
+    #[allow(clippy::too_many_arguments)]
+    fn begin_write_version(
+        &self,
+        sched: &mut BackgroundScheduler,
+        now: SimInstant,
+        account: AccountId,
+        id: &str,
+        data: &[u8],
+        map: &ChunkMap,
+        prev: Option<&ChunkMap>,
+        is_new: bool,
+        acl: Option<&Acl>,
+        opts: &TransferOptions,
+    ) -> Pending<Result<WriteOutcome, ScfsError>> {
+        sched.spawn(now, Some(id), |bg_clock| {
+            let mut ctx = OpCtx::new(bg_clock, account);
+            self.write_version(&mut ctx, id, data, map, prev, is_new, acl, opts)
+        })
+    }
+
+    /// Async twin of the chunk-fetch path: schedules the transfer of the
+    /// chunks of `map` at `indices` on the object's lane of `sched` and
+    /// returns a token for their bytes, in `indices` order (duplicate
+    /// content moves once and fills every requesting position).
+    #[allow(clippy::too_many_arguments)]
+    fn begin_read_chunks(
+        &self,
+        sched: &mut BackgroundScheduler,
+        now: SimInstant,
+        account: AccountId,
+        id: &str,
+        map: &ChunkMap,
+        indices: Vec<usize>,
+        opts: &TransferOptions,
+    ) -> Pending<Result<Vec<Vec<u8>>, ScfsError>> {
+        let plan = TransferPlan::fetch(map, indices.iter().copied(), |_| false);
+        sched.spawn(now, Some(id), |bg_clock| {
+            let mut ctx = OpCtx::new(bg_clock, account);
+            let (chunks, _) = execute_plan(&mut ctx, opts, &plan, |job, fork_ctx| {
+                self.read_chunk(fork_ctx, id, &job.hash)
+            })?;
+            let by_hash: HashMap<&ContentHash, &Vec<u8>> = plan
+                .jobs()
+                .iter()
+                .map(|job| &job.hash)
+                .zip(chunks.iter())
+                .collect();
+            indices
+                .iter()
+                .map(|&index| {
+                    let hash = &map.chunks()[index];
+                    let chunk = by_hash.get(hash).ok_or(StorageError::NotFound {
+                        key: id.to_string(),
+                    })?;
+                    if chunk.len() != map.chunk_len(index) {
+                        return Err(StorageError::IntegrityViolation {
+                            key: id.to_string(),
+                        }
+                        .into());
+                    }
+                    Ok((*chunk).clone())
+                })
+                .collect()
+        })
+    }
+
     /// Reads and reassembles the whole version of `id` whose root hash is
     /// `hash` (manifest plus every chunk), fetching the chunks through the
-    /// transfer engine at most `opts.max_parallel` at a time.
+    /// transfer engine at most `opts.max_parallel` at a time. This is the
+    /// blocking path re-expressed over the async twin: a begin on a
+    /// throwaway scheduler followed by an immediate wait.
     fn read_version(
         &self,
         ctx: &mut OpCtx<'_>,
@@ -279,33 +367,49 @@ pub trait FileStorage: Send + Sync {
         opts: &TransferOptions,
     ) -> Result<Vec<u8>, ScfsError> {
         let map = self.read_manifest(ctx, id, hash)?;
-        let plan = TransferPlan::fetch(&map, 0..map.chunk_count(), |_| false);
-        let (chunks, _) = execute_plan(ctx, opts, &plan, |job, fork_ctx| {
-            self.read_chunk(fork_ctx, id, &job.hash)
-        })?;
-        // The plan is hash-deduplicated: one fetched chunk fills every
-        // position holding the same content.
-        let by_hash: HashMap<&ContentHash, &Vec<u8>> = plan
-            .jobs()
-            .iter()
-            .map(|job| &job.hash)
-            .zip(chunks.iter())
-            .collect();
+        let mut sched = BackgroundScheduler::new();
+        let chunks = self
+            .begin_read_chunks(
+                &mut sched,
+                ctx.clock.now(),
+                ctx.account.clone(),
+                id,
+                &map,
+                (0..map.chunk_count()).collect(),
+                opts,
+            )
+            .wait(ctx.clock)?;
         let mut data = vec![0u8; map.file_len() as usize];
-        for (index, chunk_hash) in map.chunks().iter().enumerate() {
-            let chunk = by_hash.get(chunk_hash).ok_or(StorageError::NotFound {
-                key: id.to_string(),
-            })?;
-            let range = map.byte_range(index);
-            if chunk.len() != range.len() {
-                return Err(StorageError::IntegrityViolation {
-                    key: id.to_string(),
-                }
-                .into());
-            }
-            data[range].copy_from_slice(chunk);
+        for (index, chunk) in chunks.iter().enumerate() {
+            data[map.byte_range(index)].copy_from_slice(chunk);
         }
         Ok(data)
+    }
+
+    /// Commits a new version of `dst_id` that references the chunks of the
+    /// version of `src_id` stored under `root` — a manifest-only copy: zero
+    /// chunks move, the destination takes one chunk-store reference per
+    /// distinct chunk, and only the (re-tagged) manifest is uploaded.
+    /// Returns `Ok(None)` when the backend cannot commit such a copy (no
+    /// registry record and no globally stored chunks to reference); callers
+    /// fall back to a materializing copy.
+    fn copy_version(
+        &self,
+        ctx: &mut OpCtx<'_>,
+        src_id: &str,
+        dst_id: &str,
+        root: &ContentHash,
+        acl: Option<&Acl>,
+    ) -> Result<Option<WriteOutcome>, ScfsError> {
+        let _ = (ctx, src_id, dst_id, root, acl);
+        Ok(None)
+    }
+
+    /// The durability level (Table 1) data reaches once a version commit on
+    /// this backend completes: level 2 for a single cloud, level 3 for a
+    /// cloud-of-clouds.
+    fn cloud_durability(&self) -> DurabilityLevel {
+        DurabilityLevel::SingleCloud
     }
 
     /// Releases all but the newest `keep` versions of `id`: each dropped
@@ -362,6 +466,11 @@ pub trait FileStorage: Send + Sync {
 trait ChunkedBackend: Send + Sync {
     /// Short backend label for result tables.
     fn backend_label(&self) -> &'static str;
+
+    /// Durability level a committed version reaches on this backend.
+    fn backend_durability(&self) -> DurabilityLevel {
+        DurabilityLevel::SingleCloud
+    }
 
     /// The version registry and global chunk store of this instance.
     fn state(&self) -> &Mutex<StoreState>;
@@ -421,6 +530,10 @@ trait ChunkedBackend: Send + Sync {
 impl<B: ChunkedBackend> FileStorage for B {
     fn label(&self) -> &'static str {
         self.backend_label()
+    }
+
+    fn cloud_durability(&self) -> DurabilityLevel {
+        self.backend_durability()
     }
 
     fn write_version(
@@ -507,6 +620,55 @@ impl<B: ChunkedBackend> FileStorage for B {
             waves: report.waves,
             dedup_cross_file,
         })
+    }
+
+    fn copy_version(
+        &self,
+        ctx: &mut OpCtx<'_>,
+        src_id: &str,
+        dst_id: &str,
+        root: &ContentHash,
+        acl: Option<&Acl>,
+    ) -> Result<Option<WriteOutcome>, ScfsError> {
+        // The source map comes from the registry when this instance tracks
+        // the version, otherwise from the cloud manifest.
+        let map = match self.state().lock().registry.map_of(src_id, root) {
+            Some(map) => map,
+            None => self.read_manifest(ctx, src_id, root)?,
+        };
+        let unique = map.unique_chunks();
+        {
+            // Every referenced chunk must be globally stored (the live
+            // source version guarantees that on the instance that wrote it);
+            // otherwise a manifest-only copy would commit an unreadable
+            // version — signal the caller to materialize instead.
+            let mut state = self.state().lock();
+            if !unique.iter().all(|h| state.chunks.is_stored(h)) {
+                return Ok(None);
+            }
+            // Provisional release intent, exactly like `write_version`: if
+            // the manifest put below fails, replay reclaims it.
+            state.chunks.release_manifest(dst_id, *root);
+        }
+        let manifest = map.encode();
+        self.put_manifest(ctx, dst_id, root, &manifest)?;
+        if let Some(acl) = acl {
+            self.set_manifest_acl(ctx, dst_id, root, acl)?;
+        }
+        {
+            let mut state = self.state().lock();
+            state.chunks.cancel_manifest_release(dst_id, root);
+            state.chunks.retain_version(&unique);
+            state.chunks.cancel_chunk_releases(&unique);
+            state.registry.push(dst_id, *root, map);
+        }
+        Ok(Some(WriteOutcome {
+            root_hash: *root,
+            chunks_uploaded: 0,
+            bytes_uploaded: manifest.len() as u64,
+            waves: 0,
+            dedup_cross_file: unique.len() as u64,
+        }))
     }
 
     fn read_manifest(
@@ -836,6 +998,10 @@ impl CloudOfCloudsStorage {
 impl ChunkedBackend for CloudOfCloudsStorage {
     fn backend_label(&self) -> &'static str {
         "CoC"
+    }
+
+    fn backend_durability(&self) -> DurabilityLevel {
+        DurabilityLevel::CloudOfClouds
     }
 
     fn state(&self) -> &Mutex<StoreState> {

@@ -38,6 +38,17 @@
 //! write that fails mid-flight — after some chunk uploads, or on the
 //! manifest put — therefore leaves its partial blobs covered by pending
 //! entries, and the next replay reclaims them instead of orphaning them.
+//! Manifest-only copies ([`crate::backend::FileStorage::copy_version`])
+//! follow the same protocol: the destination takes one reference per
+//! distinct source chunk and commits only a manifest — the agent's
+//! `copy_file` moves zero chunks.
+//!
+//! Journal replay is driven by the agent's garbage collector, which since
+//! the completion-token redesign runs as a job on the
+//! [`sim_core::background::BackgroundScheduler`]'s GC lane: cycles
+//! serialize with one another (the single collector, below) but overlap
+//! with uploads and prefetches in virtual time, and each cycle's
+//! phase-one releases and phase-two replay share one forked clock.
 //!
 //! ## Shared ownership
 //!

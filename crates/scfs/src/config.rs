@@ -119,6 +119,12 @@ pub struct ScfsConfig {
     /// the background clock once a handle shows a sequential read pattern
     /// (0 disables prefetch).
     pub prefetch_chunks: usize,
+    /// Maximum number of background version commits (non-blocking closes)
+    /// in flight at once. A `close` that would exceed the bound blocks until
+    /// the earliest pending upload completes — explicit backpressure instead
+    /// of an unbounded implicit queue (counted in
+    /// [`crate::agent::AgentStats::backpressure_stalls`]).
+    pub max_pending_uploads: usize,
     /// Garbage-collection policy.
     pub gc: GcConfig,
     /// Lease duration of file write locks.
@@ -146,6 +152,7 @@ impl ScfsConfig {
             chunk_size: Bytes::new(crate::types::DEFAULT_CHUNK_SIZE as u64),
             max_parallel_transfers: crate::transfer::DEFAULT_MAX_PARALLEL,
             prefetch_chunks: 2,
+            max_pending_uploads: 64,
             gc: GcConfig::default(),
             lock_lease: SimDuration::from_secs(120),
             syscall_overhead: LatencyModel::Uniform {
@@ -202,6 +209,7 @@ mod tests {
         let c = ScfsConfig::paper_default(Mode::Blocking);
         assert_eq!(c.max_parallel_transfers, 4);
         assert_eq!(c.prefetch_chunks, 2);
+        assert!(c.max_pending_uploads >= 1);
     }
 
     #[test]

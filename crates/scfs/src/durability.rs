@@ -9,6 +9,31 @@
 //! | 1     | local disk      | milliseconds | process/OS crash   | `fsync` |
 //! | 2     | single cloud    | seconds      | local disk failure | `close` |
 //! | 3     | cloud-of-clouds | seconds      | f cloud providers  | `close` |
+//!
+//! # `sync(handle)`: explicit durability promotion
+//!
+//! The table describes what each call guarantees *when it returns* — and in
+//! the non-blocking and non-sharing modes a `close` returns at level 1, with
+//! levels 2/3 reached only when the background upload's completion token
+//! fires. [`crate::fs::FileSystem::sync`] is the explicit promotion call
+//! that closes this gap on demand, per object:
+//!
+//! * a dirty (or never-uploaded) handle is chunked, spilled to the local
+//!   disk (level 1) and committed to the backend synchronously, exactly like
+//!   a blocking close but without releasing the handle;
+//! * a clean handle with an in-flight background upload waits on *that
+//!   object's* [`sim_core::background::Pending`] token — not on the global
+//!   drain horizon;
+//! * either way `sync` returns the level the backend provides:
+//!   [`DurabilityLevel::SingleCloud`] (2) on AWS,
+//!   [`DurabilityLevel::CloudOfClouds`] (3) on the cloud-of-clouds —
+//!   regardless of the agent's operation mode ([`level_on_return`] with
+//!   [`SysCall::Sync`]).
+//!
+//! A second mount of the same account reaches the same point without the
+//! handle: the writer surfaces its upload token
+//! (`ScfsAgent::upload_token`), and the other mount waits on it precisely
+//! instead of sleeping past a drain estimate.
 
 use crate::config::Mode;
 
@@ -65,6 +90,8 @@ pub enum SysCall {
     Fsync,
     /// A `close` of a modified file.
     Close,
+    /// A `sync` of an open file: explicit promotion to cloud durability.
+    Sync,
 }
 
 /// The durability level guaranteed *when the call returns*, for a given
@@ -80,15 +107,14 @@ pub fn level_on_return(call: SysCall, mode: Mode, cloud_of_clouds: bool) -> Dura
         SysCall::Fsync => DurabilityLevel::LocalDisk,
         SysCall::Close => {
             if mode.blocking_close() {
-                if cloud_of_clouds {
-                    DurabilityLevel::CloudOfClouds
-                } else {
-                    DurabilityLevel::SingleCloud
-                }
+                cloud_level(cloud_of_clouds)
             } else {
                 DurabilityLevel::LocalDisk
             }
         }
+        // `sync` blocks until the object's version commit (pending or
+        // started by the call itself) lands in the cloud, in every mode.
+        SysCall::Sync => cloud_level(cloud_of_clouds),
     }
 }
 
@@ -97,13 +123,16 @@ pub fn level_eventually(call: SysCall, cloud_of_clouds: bool) -> DurabilityLevel
     match call {
         SysCall::Write => DurabilityLevel::MainMemory,
         SysCall::Fsync => DurabilityLevel::LocalDisk,
-        SysCall::Close => {
-            if cloud_of_clouds {
-                DurabilityLevel::CloudOfClouds
-            } else {
-                DurabilityLevel::SingleCloud
-            }
-        }
+        SysCall::Close | SysCall::Sync => cloud_level(cloud_of_clouds),
+    }
+}
+
+/// Level 2 or 3, depending on the backend (Table 1's two cloud rows).
+pub fn cloud_level(cloud_of_clouds: bool) -> DurabilityLevel {
+    if cloud_of_clouds {
+        DurabilityLevel::CloudOfClouds
+    } else {
+        DurabilityLevel::SingleCloud
     }
 }
 
@@ -153,6 +182,25 @@ mod tests {
             level_on_return(SysCall::Close, Mode::Blocking, true),
             DurabilityLevel::CloudOfClouds
         );
+    }
+
+    #[test]
+    fn sync_promotes_to_cloud_level_in_every_mode() {
+        for mode in [Mode::Blocking, Mode::NonBlocking, Mode::NonSharing] {
+            assert_eq!(
+                level_on_return(SysCall::Sync, mode, false),
+                DurabilityLevel::SingleCloud
+            );
+            assert_eq!(
+                level_on_return(SysCall::Sync, mode, true),
+                DurabilityLevel::CloudOfClouds
+            );
+        }
+        assert_eq!(
+            level_eventually(SysCall::Sync, true),
+            DurabilityLevel::CloudOfClouds
+        );
+        assert_eq!(cloud_level(false), DurabilityLevel::SingleCloud);
     }
 
     #[test]

@@ -11,6 +11,7 @@
 
 use sim_core::time::{Clock, SimInstant};
 
+use crate::durability::DurabilityLevel;
 use crate::error::ScfsError;
 use crate::types::{FileHandle, FileMetadata, OpenFlags};
 
@@ -50,6 +51,18 @@ pub trait FileSystem {
 
     /// Flushes an open file to the local disk (durability level 1 of Table 1).
     fn fsync(&mut self, handle: FileHandle) -> Result<(), ScfsError>;
+
+    /// Promotes an open file's contents to the highest durability level the
+    /// system provides and returns the level reached (Table 1; see
+    /// [`crate::durability`]). Cloud-backed systems block until the object's
+    /// version commit — pending in the background or started by this call —
+    /// has landed; systems without a cloud tier stop at the local disk.
+    ///
+    /// The default covers local systems: flush to disk, report level 1.
+    fn sync(&mut self, handle: FileHandle) -> Result<DurabilityLevel, ScfsError> {
+        self.fsync(handle)?;
+        Ok(DurabilityLevel::LocalDisk)
+    }
 
     /// Closes an open file, synchronizing data and metadata according to the
     /// system's mode (consistency-on-close).

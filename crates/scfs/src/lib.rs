@@ -28,31 +28,63 @@
 //! garbage collector reclaims through a two-phase release journal that
 //! retries failed deletes instead of leaking orphans.
 //!
+//! Background work — non-blocking uploads, prefetch, garbage collection — is
+//! modelled as first-class completion tokens
+//! ([`sim_core::background::Pending`]) scheduled on per-object lanes of a
+//! [`sim_core::background::BackgroundScheduler`]: uploads of different files
+//! overlap in virtual time, commits of the same object serialize, and every
+//! caller — `setfacl`, reopens, [`fs::FileSystem::sync`], even a second
+//! mount of the same account ([`agent::ScfsAgent::upload_token`]) — waits
+//! precisely on *one object's* token instead of a global drain horizon.
+//! [`fs::FileSystem::sync`] surfaces the durability promotion of Table 1
+//! ([`durability`]): it returns only when the object's data has reached the
+//! backend's cloud level.
+//!
 //! # Quick start
+//!
+//! The async session API, end to end: a non-blocking close returns at local
+//! durability (level 1), the surfaced token tells everyone exactly when the
+//! cloud commit lands, and `sync` promotes on demand (level 2/3).
 //!
 //! ```
 //! use std::sync::Arc;
+//! use cloud_store::providers::ProviderProfile;
 //! use cloud_store::sim_cloud::SimulatedCloud;
 //! use coord::replication::ReplicatedCoordinator;
 //! use coord::service::CoordinationService;
 //! use scfs::agent::ScfsAgent;
 //! use scfs::backend::SingleCloudStorage;
 //! use scfs::config::{Mode, ScfsConfig};
+//! use scfs::durability::DurabilityLevel;
 //! use scfs::fs::FileSystem;
+//! use scfs::types::OpenFlags;
 //!
-//! let cloud = Arc::new(SimulatedCloud::test("s3"));
+//! // A WAN-latency simulated cloud: uploads take real virtual time.
+//! let cloud = Arc::new(SimulatedCloud::new(ProviderProfile::amazon_s3(), 42));
 //! let storage = Arc::new(SingleCloudStorage::new(cloud));
 //! let coordinator: Arc<dyn CoordinationService> = Arc::new(ReplicatedCoordinator::test());
 //! let mut fs = ScfsAgent::mount(
 //!     "alice".into(),
-//!     ScfsConfig::test(Mode::Blocking),
+//!     ScfsConfig::test(Mode::NonBlocking),
 //!     storage,
 //!     Some(coordinator),
 //!     42,
 //! ).unwrap();
 //!
+//! // The close returns after local persistence; the upload is a background
+//! // job on the file's lane, surfaced as a completion token.
 //! fs.write_file("/docs/hello.txt", b"hello cloud-of-clouds").unwrap();
+//! let token = fs.upload_token("/docs/hello.txt").expect("upload in flight");
+//!
+//! // This client reads its own writes immediately...
 //! assert_eq!(fs.read_file("/docs/hello.txt").unwrap(), b"hello cloud-of-clouds");
+//!
+//! // ...and `sync` waits on exactly this object's token, promoting the
+//! // data to cloud durability (Table 1, level 2 on a single cloud).
+//! let h = fs.open("/docs/hello.txt", OpenFlags::read_only()).unwrap();
+//! assert_eq!(fs.sync(h).unwrap(), DurabilityLevel::SingleCloud);
+//! assert!(fs.now() >= token.ready_at());
+//! fs.close(h).unwrap();
 //! ```
 
 pub mod agent;
@@ -71,12 +103,13 @@ pub mod transfer;
 pub mod types;
 
 pub use agent::{AgentStats, ScfsAgent};
-pub use backend::{CloudOfCloudsStorage, FileStorage, SingleCloudStorage};
+pub use backend::{CloudOfCloudsStorage, FileStorage, SingleCloudStorage, WriteOutcome};
 pub use chunkstore::{BlobAudit, ChunkStore, JournalOpts, KeyStyle, ReplayReport};
 pub use config::{GcConfig, Mode, ScfsConfig};
 pub use cost::{CostBackend, CostModel};
 pub use durability::{DurabilityLevel, SysCall};
 pub use error::ScfsError;
 pub use fs::FileSystem;
+pub use sim_core::background::{BackgroundScheduler, Pending};
 pub use transfer::{TransferOptions, TransferPlan};
 pub use types::{FileHandle, FileMetadata, FileType, OpenFlags};

@@ -20,6 +20,13 @@
 //! Both backends route uploads and fetches through this engine
 //! ([`crate::backend`]), and the agent uses it directly for chunk-level
 //! cache faulting and sequential-read prefetch ([`crate::agent`]).
+//!
+//! The plan/execute seam is also where the storage API's async twin cuts:
+//! [`crate::backend::FileStorage::begin_write_version`] and
+//! [`crate::backend::FileStorage::begin_read_chunks`] run the same plans as
+//! jobs on a [`sim_core::background::BackgroundScheduler`] lane and hand the
+//! caller a [`sim_core::background::Pending`] completion token; the blocking
+//! calls are the degenerate `begin_*(...).wait(clock)` form.
 
 use cloud_store::store::OpCtx;
 use scfs_crypto::ContentHash;

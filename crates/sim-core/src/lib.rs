@@ -14,6 +14,9 @@
 //!   coordination-service accesses, local disk and memory.
 //! * [`parallel`] — fork/join helpers for concurrent requests on virtual
 //!   time (quorum waits, bounded-parallel chunk transfers).
+//! * [`background`] — completion tokens ([`background::Pending`]) and the
+//!   lane-based [`background::BackgroundScheduler`] for work that outlives
+//!   the call that started it (write-back uploads, prefetch, GC).
 //! * [`fault`] — fault injection: outage windows, drop probabilities and
 //!   data corruption, used to exercise the Byzantine-fault-tolerant paths.
 //! * [`stats`] — mean/percentile summaries used when reporting the paper's
@@ -25,6 +28,7 @@
 //! Everything here is deterministic given a seed, which makes the reproduced
 //! tables stable across runs.
 
+pub mod background;
 pub mod fault;
 pub mod latency;
 pub mod parallel;
@@ -34,6 +38,7 @@ pub mod time;
 pub mod trace;
 pub mod units;
 
+pub use background::{BackgroundScheduler, Pending};
 pub use fault::{FaultInjector, FaultPlan, OutageWindow};
 pub use latency::{BandwidthModel, LatencyModel, LatencyProfile};
 pub use parallel::ForkedRun;

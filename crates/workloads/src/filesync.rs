@@ -7,6 +7,7 @@
 //! file system (`/tmp`) instead, which the paper shows makes the blocking
 //! variants dramatically more responsive.
 
+use scfs::durability::DurabilityLevel;
 use scfs::error::ScfsError;
 use scfs::fs::FileSystem;
 use scfs::types::OpenFlags;
@@ -106,6 +107,28 @@ pub fn run_file_sync(
     })
 }
 
+/// Latency of a *durable save*: write + close + `sync` to the system's
+/// highest durability level (Table 1), and the level reached. In blocking
+/// mode the close already waits for the cloud; in the non-blocking and
+/// non-sharing modes `sync` waits only on the document's own completion
+/// token — the explicit promotion the async storage API surfaces. Systems
+/// without a cloud tier stop at the local disk.
+pub fn durable_save(
+    fs: &mut dyn FileSystem,
+    doc_size: Bytes,
+    seed: u64,
+) -> Result<(f64, DurabilityLevel), ScfsError> {
+    let mut rng = sim_core::rng::DetRng::new(seed);
+    let doc = format!("/docs/durable-{seed}.odt");
+    let contents = rng.bytes(doc_size.get() as usize);
+    let start = fs.now();
+    fs.write_file(&doc, &contents)?;
+    let h = fs.open(&doc, OpenFlags::read_only())?;
+    let level = fs.sync(h)?;
+    fs.close(h)?;
+    Ok((fs.now().duration_since(start).as_secs_f64(), level))
+}
+
 /// Runs Figure 8 for the given systems (each with and without local lock
 /// files) and returns the result table.
 pub fn figure8(systems: &[SystemKind], doc_size: Bytes, seed: u64) -> Table {
@@ -172,6 +195,30 @@ mod tests {
             total_fs > total_local * 1.5,
             "lock files in the FS ({total_fs:.2}s) should be much slower than local lock files ({total_local:.2}s)"
         );
+    }
+
+    #[test]
+    fn durable_save_promotes_non_blocking_mode_to_cloud_level() {
+        let size = Bytes::kib(256);
+        // A plain non-blocking save returns at local-disk durability and is
+        // fast; the durable save waits for the document's own upload token
+        // and reaches the cloud level — costing real upload time.
+        let mut nb = build_system(SystemKind::ScfsAwsNb, 7);
+        let plain_start = nb.now();
+        nb.write_file("/docs/plain.odt", &vec![7u8; size.get() as usize])
+            .unwrap();
+        let plain_s = nb.now().duration_since(plain_start).as_secs_f64();
+        let (durable_s, level) = durable_save(nb.as_mut(), size, 7).unwrap();
+        assert_eq!(level, DurabilityLevel::SingleCloud);
+        assert!(
+            durable_s > plain_s * 1.5,
+            "durable save ({durable_s:.3}s) must pay the upload a plain NB \
+             save ({plain_s:.3}s) defers"
+        );
+        // A purely local system stops at the local disk.
+        let mut local = build_system(SystemKind::LocalFs, 7);
+        let (_, level) = durable_save(local.as_mut(), size, 7).unwrap();
+        assert_eq!(level, DurabilityLevel::LocalDisk);
     }
 
     #[test]

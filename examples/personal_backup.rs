@@ -7,6 +7,7 @@
 
 use scfs_repro::scfs::config::{Mode, ScfsConfig};
 use scfs_repro::scfs::fs::FileSystem;
+use scfs_repro::scfs::types::OpenFlags;
 use scfs_repro::sim_core::units::Bytes;
 use scfs_repro::workloads::setup::{build_scfs, Backend};
 
@@ -30,6 +31,26 @@ fn main() {
     println!(
         "background uploads drain at:   {}",
         fs.background_drain_instant()
+    );
+    // Each pending save is a first-class completion token; the thesis is the
+    // one document worth promoting to cloud durability before shutdown.
+    if let Some(token) = fs.upload_token("/home/thesis.tex") {
+        println!(
+            "thesis upload in flight:       started {}, lands {}",
+            token.started_at(),
+            token.ready_at()
+        );
+    }
+    let h = fs
+        .open("/home/thesis.tex", OpenFlags::read_only())
+        .expect("open thesis");
+    let level = fs.sync(h).expect("promote thesis to cloud durability");
+    fs.close(h).expect("close thesis");
+    println!(
+        "thesis synced to level {} ({}) at {}",
+        level.level(),
+        level.tolerates(),
+        fs.now()
     );
 
     let stats = fs.stats();
