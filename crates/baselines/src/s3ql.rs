@@ -13,7 +13,11 @@
 //! and a block whose hash was already uploaded is skipped. This keeps the
 //! baseline honest against SCFS's refcounted global chunk store — both
 //! systems move identical content once; what S3QL still lacks is sharing,
-//! cloud-of-clouds redundancy and a GC that can reclaim safely.
+//! cloud-of-clouds redundancy and a GC that can reclaim safely. Its
+//! blocks are also strictly **fixed-size** (as in the real system), so a
+//! mid-file insert shifts every later block boundary and re-uploads the
+//! tail — the workload SCFS's content-defined chunking
+//! (`scfs::config::ChunkingMode::Cdc`) turns into an O(edit) transfer.
 
 use std::collections::HashSet;
 use std::sync::Arc;

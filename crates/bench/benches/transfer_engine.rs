@@ -7,8 +7,16 @@
 //! closing an identical copy of the file under a *second* path: with the
 //! refcounted global chunk store that close uploads zero chunks (only the
 //! new manifest moves), so the dedup column tracks how much of the write
-//! path the cross-file dedup eliminates. Everything is written to
-//! `target/BENCH_transfer.json` so future PRs can track both trajectories.
+//! path the cross-file dedup eliminates.
+//!
+//! A second scenario records the **mid-file-insert** workload
+//! (`workloads::editsync`): a 1 KiB insert at the midpoint of a committed
+//! 16 MiB file, closed once under fixed-size chunking and once under
+//! content-defined chunking. Fixed-size chunking re-uploads the whole
+//! shifted tail (O(file)); CDC re-aligns the tail to identical hashes and
+//! moves O(edit) chunks — the shift-resistant dedup win, tracked per
+//! backend as chunks moved and close latency. Everything is written to
+//! `target/BENCH_transfer.json` so future PRs can track the trajectories.
 //! Virtual time is deterministic given the seed, so the emitted numbers are
 //! stable across machines.
 //!
@@ -26,6 +34,8 @@
 
 use scfs::config::{Mode, ScfsConfig};
 use scfs::fs::FileSystem;
+use sim_core::units::Bytes;
+use workloads::editsync::{run_mid_file_insert, InsertResult};
 use workloads::setup::{Backend, SharedScfsEnv};
 
 const MIB: usize = 1 << 20;
@@ -63,6 +73,15 @@ fn close_latencies_secs(backend: Backend, parallel: usize, data: &[u8]) -> (f64,
         "the identical copy must upload zero chunks"
     );
     (cold, dedup)
+}
+
+/// The mid-file-insert workload under the given chunking: a 1 KiB insert at
+/// the midpoint of a committed 16 MiB file, on a fresh agent.
+fn insert_outcome(backend: Backend, config: ScfsConfig) -> InsertResult {
+    let env = SharedScfsEnv::new(backend, Mode::Blocking, 7);
+    let mut fs = env.mount("alice", config, 7);
+    run_mid_file_insert(&mut fs, "/bench/doc", Bytes::mib(16), Bytes::kib(1), 7)
+        .expect("mid-file insert commits")
 }
 
 /// The header and footer of the trajectory file; run records live between
@@ -134,6 +153,34 @@ fn main() {
                 sequential / secs
             ));
         }
+    }
+    println!("transfer_engine: 1 KiB mid-file insert into a committed 16 MiB file");
+    for backend in [Backend::Aws, Backend::CloudOfClouds] {
+        let label = match backend {
+            Backend::Aws => "AWS",
+            Backend::CloudOfClouds => "CoC",
+        };
+        let fixed = insert_outcome(backend, ScfsConfig::paper_default(Mode::Blocking));
+        let cdc = insert_outcome(
+            backend,
+            ScfsConfig::paper_default(Mode::Blocking).with_cdc(),
+        );
+        assert!(
+            cdc.insert_chunks <= 8 && fixed.insert_chunks >= 8,
+            "CDC must move O(edit) chunks ({}) and fixed-size O(file) ({})",
+            cdc.insert_chunks,
+            fixed.insert_chunks
+        );
+        println!(
+            "  {label} fixed: {:>2} chunks, {:>7.3}s close | cdc: {:>2} chunks, {:>7.3}s close",
+            fixed.insert_chunks, fixed.insert_close_s, cdc.insert_chunks, cdc.insert_close_s
+        );
+        rows.push(format!(
+            "{{\"backend\": \"{label}\", \"scenario\": \"midfile_insert_1kib_into_16mib\", \
+             \"fixed_insert_chunks\": {}, \"fixed_insert_close_virtual_secs\": {:.6}, \
+             \"cdc_insert_chunks\": {}, \"cdc_insert_close_virtual_secs\": {:.6}}}",
+            fixed.insert_chunks, fixed.insert_close_s, cdc.insert_chunks, cdc.insert_close_s
+        ));
     }
     let results = format!("[{}]", rows.join(", "));
 

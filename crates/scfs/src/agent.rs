@@ -1021,8 +1021,21 @@ impl ScfsAgent {
                 path: file.path.clone(),
             });
         }
+        // Checked end-offset arithmetic against the maximum file size: a
+        // huge-offset write must error out instead of wrapping in release
+        // (and then panicking on the slice) — the read path already clamps
+        // with saturating math.
+        let end = offset
+            .checked_add(data.len() as u64)
+            .filter(|&end| end <= crate::types::MAX_FILE_LEN)
+            .ok_or_else(|| {
+                ScfsError::invalid(format!(
+                    "write of {} bytes at offset {offset} exceeds the maximum file size of {} bytes",
+                    data.len(),
+                    crate::types::MAX_FILE_LEN
+                ))
+            })? as usize;
         self.materialize(file)?;
-        let end = offset as usize + data.len();
         if file.buffer.len() < end {
             file.buffer.resize(end, 0);
         }
@@ -1040,6 +1053,14 @@ impl ScfsAgent {
                 path: file.path.clone(),
             });
         }
+        // Same bound as `write_ranged`: growing a file past the maximum size
+        // must error, not wrap the usize conversion below.
+        if size > crate::types::MAX_FILE_LEN {
+            return Err(ScfsError::invalid(format!(
+                "truncate to {size} bytes exceeds the maximum file size of {} bytes",
+                crate::types::MAX_FILE_LEN
+            )));
+        }
         self.materialize(file)?;
         file.buffer.resize(size as usize, 0);
         file.dirty = true;
@@ -1056,7 +1077,7 @@ impl ScfsAgent {
         if file.dirty || file.never_uploaded {
             self.materialize(file)?;
             let buffer = file.buffer.clone();
-            let map = ChunkMap::build(&buffer, self.config.chunk_size.get() as usize);
+            let map = self.config.chunk_map(&buffer);
             // Level 1 first, as always — then the commit.
             self.cache_version_locally(&map, &buffer);
             self.written_since_gc += buffer.len() as u64;
@@ -1322,7 +1343,7 @@ impl FileSystem for ScfsAgent {
         // Durability level 1: the data reaches the local disk, as chunks.
         // No manifest is spilled — the version is not committed yet, so
         // there is no root hash for a reader to look it up under.
-        let map = ChunkMap::build(&buffer, self.config.chunk_size.get() as usize);
+        let map = self.config.chunk_map(&buffer);
         self.spill_chunks(&map, &buffer, false);
         Ok(())
     }
@@ -1370,7 +1391,7 @@ impl FileSystem for ScfsAgent {
 
         // Chunk the new version; its root hash — the one hash the anchor
         // stores — is known immediately, before any cloud access.
-        let map = ChunkMap::build(&buffer, self.config.chunk_size.get() as usize);
+        let map = self.config.chunk_map(&buffer);
         let new_hash = map.root_hash();
         // The data always reaches the local disk first (level 1).
         self.cache_version_locally(&map, &buffer);
@@ -2201,6 +2222,88 @@ mod tests {
             stats.gc_errors
         );
         assert!(last_errors >= 2, "the entry is retried each cycle");
+    }
+
+    #[test]
+    fn huge_offset_write_errors_instead_of_panicking() {
+        // Regression: `offset as usize + data.len()` wrapped in release
+        // builds and panicked on the slice; it must be a checked error now.
+        let mut fs = test_agent(Mode::Blocking);
+        let h = fs.open("/f", OpenFlags::create()).unwrap();
+        fs.write(h, 0, b"ok").unwrap();
+        for offset in [
+            u64::MAX,
+            u64::MAX - 1,
+            crate::types::MAX_FILE_LEN,
+            crate::types::MAX_FILE_LEN - 1,
+        ] {
+            assert!(
+                matches!(fs.write(h, offset, b"boom"), Err(ScfsError::Invalid { .. })),
+                "write at offset {offset} must be rejected"
+            );
+        }
+        // A write ending exactly at the bound is in principle legal (it just
+        // allocates); the guard must only reject what *exceeds* the bound.
+        assert!(matches!(
+            fs.write(h, crate::types::MAX_FILE_LEN - 3, b"boom"),
+            Err(ScfsError::Invalid { .. })
+        ));
+        // The handle is still usable and the data intact.
+        assert_eq!(fs.read(h, 0, 2).unwrap(), b"ok");
+        fs.write(h, 2, b"!").unwrap();
+        fs.close(h).unwrap();
+        assert_eq!(fs.read_file("/f").unwrap(), b"ok!");
+    }
+
+    #[test]
+    fn huge_truncate_errors_instead_of_wrapping() {
+        let mut fs = test_agent(Mode::Blocking);
+        let h = fs.open("/f", OpenFlags::create()).unwrap();
+        fs.write(h, 0, b"data").unwrap();
+        assert!(matches!(
+            fs.truncate(h, crate::types::MAX_FILE_LEN + 1),
+            Err(ScfsError::Invalid { .. })
+        ));
+        assert!(matches!(
+            fs.truncate(h, u64::MAX),
+            Err(ScfsError::Invalid { .. })
+        ));
+        fs.truncate(h, 2).unwrap();
+        fs.close(h).unwrap();
+        assert_eq!(fs.read_file("/f").unwrap(), b"da");
+    }
+
+    #[test]
+    fn cdc_agent_round_trips_and_reuses_shifted_chunks() {
+        // The whole data path — transfer engine, chunk store, caches, lazy
+        // reads — must work unchanged over content-defined maps.
+        let cloud = Arc::new(SimulatedCloud::test("s3"));
+        let storage = Arc::new(SingleCloudStorage::new(cloud));
+        let coord: Arc<dyn CoordinationService> = Arc::new(ReplicatedCoordinator::test());
+        let mut config = ScfsConfig::test(Mode::Blocking);
+        config.chunk_size = Bytes::kib(4);
+        let mut fs =
+            ScfsAgent::mount("alice".into(), config.with_cdc(), storage, Some(coord), 7).unwrap();
+        let mut rng = sim_core::rng::DetRng::new(17);
+        let data = rng.bytes(256 * 1024);
+        fs.write_file("/f", &data).unwrap();
+        assert_eq!(fs.read_file("/f").unwrap(), data);
+        let chunks_before = fs.stats().chunk_uploads;
+
+        // Insert 100 bytes near the front: the shifted tail must re-align,
+        // so only a handful of chunks move — not the ~60 chunks after the
+        // edit point.
+        let h = fs.open("/f", OpenFlags::read_write()).unwrap();
+        let mut edited = data.clone();
+        edited.splice(10_000..10_000, rng.bytes(100));
+        fs.write(h, 10_000, &edited[10_000..]).unwrap();
+        fs.close(h).unwrap();
+        let moved = fs.stats().chunk_uploads - chunks_before;
+        assert!(
+            moved <= 8,
+            "a 100-byte insert moved {moved} chunks under CDC"
+        );
+        assert_eq!(fs.read_file("/f").unwrap(), edited);
     }
 
     #[test]

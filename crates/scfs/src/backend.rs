@@ -10,7 +10,10 @@
 //!   not already in the **global chunk store** (chunks are content-addressed
 //!   across versions, files and users; see [`crate::chunkstore`]) plus a
 //!   small [`ChunkMap`] manifest stored per object under its root hash (the
-//!   storage-service half of the consistency-anchor algorithm);
+//!   storage-service half of the consistency-anchor algorithm). Everything
+//!   here is boundary-agnostic: dirty-chunk selection, dedup and refcounts
+//!   compare content hashes, so fixed-size and content-defined
+//!   ([`ChunkMap::build_cdc`]) maps move through unchanged;
 //! * read the manifest with a given root hash, and individual chunks by
 //!   content hash (only the chunks a reader is missing);
 //! * release old versions — each version drops one reference per distinct

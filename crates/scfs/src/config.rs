@@ -5,6 +5,23 @@ use sim_core::latency::LatencyModel;
 use sim_core::time::SimDuration;
 use sim_core::units::Bytes;
 
+use crate::types::{CdcParams, ChunkMap};
+
+/// How the data path splits file contents into chunks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChunkingMode {
+    /// Fixed-size chunks of [`ScfsConfig::chunk_size`] bytes. Serializes as
+    /// v1 manifests (the pre-extent format, so committed registries keep
+    /// working), but an insert in the middle of a file shifts every
+    /// subsequent boundary and re-uploads the whole tail.
+    Fixed,
+    /// Content-defined boundaries (Gear/FastCDC rolling hash) with the given
+    /// min/avg/max knobs: an insert or delete moves only O(edit) chunks
+    /// because the shifted tail re-aligns to identical chunk hashes.
+    /// Serializes as v2 manifests carrying the per-chunk extent table.
+    Cdc(CdcParams),
+}
+
 /// The three modes of operation supported by the prototype (paper §3.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Mode {
@@ -106,10 +123,14 @@ pub struct ScfsConfig {
     /// Whether private name spaces are used for non-shared files (§2.7,
     /// Figure 10(b)). The headline experiments disable PNS (worst case).
     pub private_name_spaces: bool,
-    /// Chunk size of the content-addressed data path: files are stored as
-    /// fixed-size chunks of this many bytes, and only dirty chunks are
-    /// uploaded on close (missing chunks downloaded on read).
+    /// Chunk size of the content-addressed data path: the fixed chunk size
+    /// under [`ChunkingMode::Fixed`] (and the conventional reference point
+    /// for the CDC knobs). Only dirty chunks are uploaded on close (missing
+    /// chunks downloaded on read).
     pub chunk_size: Bytes,
+    /// How file contents are cut into chunks: fixed-size strides or
+    /// content-defined (shift-resistant) boundaries.
+    pub chunking: ChunkingMode,
     /// Maximum number of chunk transfers the engine keeps in flight at once:
     /// a dirty close or a cold range read moves its chunks in waves of this
     /// many parallel transfers, so a 16-chunk upload costs
@@ -150,6 +171,7 @@ impl ScfsConfig {
             disk_cache_capacity: Bytes::gib(16),
             private_name_spaces: false,
             chunk_size: Bytes::new(crate::types::DEFAULT_CHUNK_SIZE as u64),
+            chunking: ChunkingMode::Fixed,
             max_parallel_transfers: crate::transfer::DEFAULT_MAX_PARALLEL,
             prefetch_chunks: 2,
             max_pending_uploads: 64,
@@ -170,6 +192,23 @@ impl ScfsConfig {
         ScfsConfig {
             syscall_overhead: LatencyModel::zero(),
             ..ScfsConfig::paper_default(mode)
+        }
+    }
+
+    /// Switches to content-defined chunking with [`ScfsConfig::chunk_size`]
+    /// as the target average (min `avg/4`, max `4*avg`).
+    pub fn with_cdc(mut self) -> Self {
+        self.chunking = ChunkingMode::Cdc(CdcParams::with_avg(self.chunk_size.get() as usize));
+        self
+    }
+
+    /// Cuts `data` into the chunk map this configuration's chunking mode
+    /// prescribes — the one seam every writer (close, fsync, sync) chunks
+    /// through.
+    pub fn chunk_map(&self, data: &[u8]) -> ChunkMap {
+        match self.chunking {
+            ChunkingMode::Fixed => ChunkMap::build(data, self.chunk_size.get() as usize),
+            ChunkingMode::Cdc(params) => ChunkMap::build_cdc(data, &params),
         }
     }
 }
@@ -210,6 +249,29 @@ mod tests {
         assert_eq!(c.max_parallel_transfers, 4);
         assert_eq!(c.prefetch_chunks, 2);
         assert!(c.max_pending_uploads >= 1);
+    }
+
+    #[test]
+    fn chunking_defaults_to_fixed_and_with_cdc_derives_knobs() {
+        let c = ScfsConfig::paper_default(Mode::Blocking);
+        assert_eq!(c.chunking, ChunkingMode::Fixed);
+        let data = vec![1u8; 3 << 20];
+        let fixed = c.chunk_map(&data);
+        assert_eq!(fixed.chunk_count(), 3, "1 MiB fixed chunks");
+
+        let cdc = c.clone().with_cdc();
+        match cdc.chunking {
+            ChunkingMode::Cdc(p) => {
+                assert_eq!(p.avg_size, 1 << 20);
+                assert_eq!(p.min_size, 1 << 18);
+                assert_eq!(p.max_size, 1 << 22);
+            }
+            other => panic!("expected CDC chunking, got {other:?}"),
+        }
+        // Both modes chunk through the same seam and cover the same bytes.
+        let map = cdc.chunk_map(&data);
+        assert_eq!(map.file_len(), data.len() as u64);
+        assert!(map.chunk_count() >= 1);
     }
 
     #[test]

@@ -28,6 +28,15 @@
 //! garbage collector reclaims through a two-phase release journal that
 //! retries failed deletes instead of leaking orphans.
 //!
+//! Chunk boundaries are either fixed-size strides or **content-defined**
+//! (Gear/FastCDC rolling hash; [`config::ChunkingMode`],
+//! [`types::CdcParams`]): under CDC, an insert in the middle of a file
+//! re-cuts only the chunks around the edit and the shifted tail re-aligns
+//! to identical hashes, so the dedup survives byte shifts that would force
+//! fixed-size chunking to re-upload the whole tail. Both layouts sit
+//! behind the same [`types::ChunkMap`] extent API, serialized as v1
+//! (fixed, backward-compatible) or v2 (extent-table) manifests.
+//!
 //! Background work — non-blocking uploads, prefetch, garbage collection — is
 //! modelled as first-class completion tokens
 //! ([`sim_core::background::Pending`]) scheduled on per-object lanes of a
@@ -105,11 +114,11 @@ pub mod types;
 pub use agent::{AgentStats, ScfsAgent};
 pub use backend::{CloudOfCloudsStorage, FileStorage, SingleCloudStorage, WriteOutcome};
 pub use chunkstore::{BlobAudit, ChunkStore, JournalOpts, KeyStyle, ReplayReport};
-pub use config::{GcConfig, Mode, ScfsConfig};
+pub use config::{ChunkingMode, GcConfig, Mode, ScfsConfig};
 pub use cost::{CostBackend, CostModel};
 pub use durability::{DurabilityLevel, SysCall};
 pub use error::ScfsError;
 pub use fs::FileSystem;
 pub use sim_core::background::{BackgroundScheduler, Pending};
 pub use transfer::{TransferOptions, TransferPlan};
-pub use types::{FileHandle, FileMetadata, FileType, OpenFlags};
+pub use types::{CdcParams, ChunkMap, FileHandle, FileMetadata, FileType, OpenFlags};

@@ -7,7 +7,8 @@
 //! * a [`TransferPlan`] lists exactly which chunks have to move (dirty
 //!   chunks not already stored on upload, missing chunks on fetch), computed
 //!   from a [`ChunkMap`] plus a presence predicate (backend registry or
-//!   local cache state);
+//!   local cache state) — by content hash only, so fixed-size and
+//!   content-defined maps plan identically;
 //! * [`execute_plan`] runs the per-chunk operations in *waves* of up to
 //!   [`TransferOptions::max_parallel`] concurrent transfers, each on a fork
 //!   of the caller's clock (the same fork/join machinery DepSky uses for its

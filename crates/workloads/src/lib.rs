@@ -8,6 +8,8 @@
 //! * [`filebench`] — the six Filebench micro-benchmarks of Table 3.
 //! * [`filesync`] — the OpenOffice-style file-synchronization benchmark of
 //!   Figures 7 and 8.
+//! * [`editsync`] — the insert-in-the-middle edit workload contrasting
+//!   fixed-size and content-defined chunking.
 //! * [`sharing`] — the two-client sharing-latency experiment of Figure 9.
 //! * [`sweeps`] — the metadata-cache and private-name-space parameter sweeps
 //!   of Figure 10.
@@ -15,6 +17,7 @@
 //!   the durability table (Table 1).
 
 pub mod costs;
+pub mod editsync;
 pub mod filebench;
 pub mod filesync;
 pub mod results;
