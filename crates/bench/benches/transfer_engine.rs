@@ -84,50 +84,6 @@ fn insert_outcome(backend: Backend, config: ScfsConfig) -> InsertResult {
         .expect("mid-file insert commits")
 }
 
-/// The header and footer of the trajectory file; run records live between
-/// them, one JSON object per line (`{"run": N, "results": [...]}`).
-const HEADER: &str = "{\"benchmark\": \"transfer_engine\", \"workload\": \
-     \"dirty close of a 16-chunk (16 MiB) file, blocking mode, WAN profiles; \
-     dedup column = closing an identical copy under a second path (global chunk store)\", \
-     \"unit\": \"virtual seconds (deterministic)\", \"runs\": [";
-const FOOTER: &str = "]}";
-
-/// Appends `results` as a new run record to the trajectory at `path`,
-/// unless the last recorded run already carries the identical results
-/// (deterministic virtual time: perf-neutral changes leave the file alone).
-/// Returns the full file contents after the update.
-fn append_run(path: &std::path::Path, results: &str) -> String {
-    let mut records: Vec<String> = match std::fs::read_to_string(path) {
-        Ok(existing) => existing
-            .lines()
-            .map(str::trim)
-            .filter(|line| line.starts_with("{\"run\""))
-            .map(|line| line.trim_end_matches(',').to_string())
-            .collect(),
-        Err(_) => Vec::new(),
-    };
-    let results_of = |record: &str| {
-        record
-            .split_once("\"results\": ")
-            .map(|(_, r)| r.to_string())
-    };
-    let next = format!("{{\"run\": {}, \"results\": {results}}}", records.len() + 1);
-    if records.last().and_then(|r| results_of(r)) != results_of(&next) {
-        records.push(next);
-    }
-    let mut out = String::new();
-    out.push_str(HEADER);
-    out.push('\n');
-    for (i, record) in records.iter().enumerate() {
-        out.push_str(record);
-        out.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
-    }
-    out.push_str(FOOTER);
-    out.push('\n');
-    std::fs::write(path, &out).expect("write perf trajectory");
-    out
-}
-
 fn main() {
     let data = sixteen_mib();
     let mut rows = Vec::new();
@@ -183,16 +139,6 @@ fn main() {
         ));
     }
     let results = format!("[{}]", rows.join(", "));
-
-    // The committed trajectory lives at the repository root; benches run
-    // with the package as cwd.
-    let repo_root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
-    let trajectory = append_run(&repo_root.join("BENCH_transfer.json"), &results);
+    bench::record_trajectory("transfer_engine", &results);
     println!("trajectory: BENCH_transfer.json");
-
-    // Mirror to target/ for the CI artifact upload.
-    let target = repo_root.join("target");
-    std::fs::create_dir_all(&target).expect("target dir");
-    std::fs::write(target.join("BENCH_transfer.json"), &trajectory)
-        .expect("write BENCH_transfer.json mirror");
 }

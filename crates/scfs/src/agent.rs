@@ -18,7 +18,7 @@ use sim_core::units::Bytes;
 
 use crate::anchor::{anchored_chunk, anchored_manifest};
 use crate::backend::FileStorage;
-use crate::cache::FileCache;
+use crate::cache::{TieredCache, TieredStats, WriteMode};
 use crate::config::{Mode, ScfsConfig};
 use crate::durability::DurabilityLevel;
 use crate::error::ScfsError;
@@ -26,6 +26,9 @@ use crate::fs::FileSystem;
 use crate::metadata_service::MetadataService;
 use crate::transfer::{execute_plan, TransferOptions, TransferPlan};
 use crate::types::{normalize_path, ChunkMap, FileHandle, FileMetadata, FileType, OpenFlags};
+
+/// Chunk payloads in request order, plus whether the cloud was touched.
+type FetchedChunks = (Vec<Arc<[u8]>>, bool);
 
 /// Scheduler lane of the garbage collector: GC cycles serialize with one
 /// another but overlap with uploads and prefetches. Distinct from every
@@ -158,8 +161,7 @@ pub struct ScfsAgent {
     storage: Arc<dyn FileStorage>,
     metadata: MetadataService,
     locks: Option<LockManager>,
-    mem_cache: FileCache,
-    disk_cache: FileCache,
+    cache: TieredCache,
     mem_latency: LatencyProfile,
     open_files: HashMap<FileHandle, OpenFile>,
     next_handle: u64,
@@ -221,8 +223,7 @@ impl ScfsAgent {
         let metadata =
             MetadataService::new(coord, use_pns, user.clone(), config.metadata_cache_expiry);
         Ok(ScfsAgent {
-            mem_cache: FileCache::memory(config.memory_cache_capacity, seed ^ 0x11),
-            disk_cache: FileCache::disk(config.disk_cache_capacity, seed ^ 0x22),
+            cache: TieredCache::new(&config.cache, seed),
             mem_latency: LatencyProfile::main_memory(),
             user,
             config,
@@ -245,6 +246,12 @@ impl ScfsAgent {
     /// The agent's activity counters.
     pub fn stats(&self) -> AgentStats {
         self.stats
+    }
+
+    /// The two-level cache's counters: per-tier hits/misses/evictions,
+    /// promotions and demotions.
+    pub fn cache_stats(&self) -> TieredStats {
+        self.cache.stats()
     }
 
     /// The agent's metadata service (exposes PNS and cache statistics).
@@ -637,19 +644,9 @@ impl ScfsAgent {
         root: scfs_crypto::ContentHash,
     ) -> Result<ChunkMap, ScfsError> {
         let manifest_key = Self::manifest_cache_key(&root);
-        let cached_manifest = self
-            .mem_cache
-            .get(&mut self.clock, &manifest_key, Some(&root))
-            .or_else(|| {
-                let from_disk = self
-                    .disk_cache
-                    .get(&mut self.clock, &manifest_key, Some(&root));
-                if let Some(bytes) = &from_disk {
-                    self.mem_cache
-                        .put(&mut self.clock, &manifest_key, bytes.clone(), Some(root));
-                }
-                from_disk
-            });
+        // The tiered cache handles the memory → disk fallthrough and
+        // promotes a disk hit into memory by moving the Arc.
+        let cached_manifest = self.cache.get(&mut self.clock, &manifest_key, Some(&root));
         match cached_manifest {
             Some(bytes) => ChunkMap::decode(&bytes).map_err(|e| {
                 ScfsError::invalid(format!("cached manifest corrupted: {}", e.reason))
@@ -666,11 +663,14 @@ impl ScfsAgent {
                 )?;
                 self.stats.cloud_downloads += 1;
                 self.stats.anchor_retries += fetched.retries as u64;
-                let bytes = fetched.data.encode();
-                self.disk_cache
-                    .put(&mut self.clock, &manifest_key, bytes.clone(), Some(root));
-                self.mem_cache
-                    .put(&mut self.clock, &manifest_key, bytes, Some(root));
+                let bytes: Arc<[u8]> = fetched.data.encode().into();
+                self.cache.put(
+                    &mut self.clock,
+                    &manifest_key,
+                    bytes,
+                    Some(root),
+                    WriteMode::CacheOnly,
+                );
                 Ok(fetched.data)
             }
         }
@@ -687,17 +687,16 @@ impl ScfsAgent {
         metadata: &FileMetadata,
         map: &ChunkMap,
         wanted: &[usize],
-    ) -> Result<(Vec<Vec<u8>>, bool), ScfsError> {
+    ) -> Result<FetchedChunks, ScfsError> {
         // Plan: exactly the wanted chunks absent from both cache levels
-        // (probes are free and pin the planned cache hits in the LRU).
-        let (mem_cache, disk_cache) = (&mut self.mem_cache, &mut self.disk_cache);
+        // (probes are free and pin the planned cache hits in the policy).
+        let cache = &mut self.cache;
         let plan = TransferPlan::fetch(map, wanted.iter().copied(), |hash| {
-            let key = Self::chunk_cache_key(hash);
-            mem_cache.probe(&key, Some(hash)) || disk_cache.probe(&key, Some(hash))
+            cache.probe(&Self::chunk_cache_key(hash), Some(hash))
         });
 
         // Execute: fetch the misses in parallel on forked foreground clocks.
-        let mut fetched: HashMap<scfs_crypto::ContentHash, Vec<u8>> = HashMap::new();
+        let mut fetched: HashMap<scfs_crypto::ContentHash, Arc<[u8]>> = HashMap::new();
         let cloud_touched = !plan.is_empty();
         if cloud_touched {
             let storage = self.storage.clone();
@@ -733,11 +732,17 @@ impl ScfsAgent {
                 self.stats.bytes_downloaded += chunk.data.len() as u64;
                 self.stats.anchor_retries += chunk.retries as u64;
                 let key = Self::chunk_cache_key(&job.hash);
-                self.disk_cache
-                    .put(&mut self.clock, &key, chunk.data.clone(), Some(job.hash));
-                self.mem_cache
-                    .put(&mut self.clock, &key, chunk.data.clone(), Some(job.hash));
-                fetched.insert(job.hash, chunk.data);
+                let data: Arc<[u8]> = chunk.data.into();
+                // Memory-first: a clean chunk the cloud still holds reaches
+                // disk later by demotion if it stays warm enough to matter.
+                self.cache.put(
+                    &mut self.clock,
+                    &key,
+                    data.clone(),
+                    Some(job.hash),
+                    WriteMode::CacheOnly,
+                );
+                fetched.insert(job.hash, data);
             }
         }
 
@@ -749,37 +754,28 @@ impl ScfsAgent {
                 Some(bytes) => bytes.clone(),
                 None => {
                     let key = Self::chunk_cache_key(&hash);
-                    match self.mem_cache.get(&mut self.clock, &key, Some(&hash)) {
+                    // The tiered get promotes a disk hit into memory by
+                    // moving the Arc (one insert charge, no payload copy).
+                    match self.cache.get(&mut self.clock, &key, Some(&hash)) {
                         Some(chunk) => chunk,
-                        None => match self.disk_cache.get(&mut self.clock, &key, Some(&hash)) {
-                            Some(chunk) => {
-                                self.mem_cache.put(
-                                    &mut self.clock,
-                                    &key,
-                                    chunk.clone(),
-                                    Some(hash),
-                                );
-                                chunk
-                            }
-                            None => {
-                                // A planned cache hit was evicted by this very
-                                // call's cloud puts (tiny caches): fall back to
-                                // a direct cloud fetch rather than failing.
-                                let mut ctx = OpCtx::new(&mut self.clock, self.user.clone());
-                                let refetched = anchored_chunk(
-                                    &mut ctx,
-                                    self.storage.as_ref(),
-                                    &metadata.storage_id,
-                                    &hash,
-                                    self.config.anchor_read_retries,
-                                    self.config.anchor_retry_backoff,
-                                )?;
-                                self.stats.chunk_downloads += 1;
-                                self.stats.bytes_downloaded += refetched.data.len() as u64;
-                                self.stats.anchor_retries += refetched.retries as u64;
-                                refetched.data
-                            }
-                        },
+                        None => {
+                            // A planned cache hit was evicted by this very
+                            // call's cloud puts (tiny caches): fall back to
+                            // a direct cloud fetch rather than failing.
+                            let mut ctx = OpCtx::new(&mut self.clock, self.user.clone());
+                            let refetched = anchored_chunk(
+                                &mut ctx,
+                                self.storage.as_ref(),
+                                &metadata.storage_id,
+                                &hash,
+                                self.config.anchor_read_retries,
+                                self.config.anchor_retry_backoff,
+                            )?;
+                            self.stats.chunk_downloads += 1;
+                            self.stats.bytes_downloaded += refetched.data.len() as u64;
+                            self.stats.anchor_retries += refetched.retries as u64;
+                            refetched.data.into()
+                        }
                     }
                 }
             };
@@ -821,7 +817,7 @@ impl ScfsAgent {
         }
         let (chunks, cloud_touched) = self.fetch_chunks(&file.metadata, &map, missing)?;
         for (&index, chunk) in missing.iter().zip(&chunks) {
-            file.buffer[map.byte_range(index)].copy_from_slice(chunk);
+            file.buffer[map.byte_range(index)].copy_from_slice(&chunk[..]);
             if let Some(present) = &mut file.present {
                 present[index] = true;
             }
@@ -870,10 +866,9 @@ impl ScfsAgent {
         if candidates.is_empty() {
             return;
         }
-        let (mem_cache, disk_cache) = (&mut self.mem_cache, &mut self.disk_cache);
+        let cache = &mut self.cache;
         let plan = TransferPlan::fetch(&map, candidates.iter().copied(), |hash| {
-            let key = Self::chunk_cache_key(hash);
-            mem_cache.probe(&key, Some(hash)) || disk_cache.probe(&key, Some(hash))
+            cache.probe(&Self::chunk_cache_key(hash), Some(hash))
         });
         if plan.is_empty() {
             return;
@@ -894,8 +889,7 @@ impl ScfsAgent {
             scheduler,
             clock,
             user,
-            mem_cache,
-            disk_cache,
+            cache,
             stats,
             ..
         } = self;
@@ -917,8 +911,13 @@ impl ScfsAgent {
                 stats.chunk_downloads += 1;
                 stats.bytes_downloaded += chunk.data.len() as u64;
                 let key = Self::chunk_cache_key(&job.hash);
-                disk_cache.put(bg_ctx.clock, &key, chunk.data.clone(), Some(job.hash));
-                mem_cache.put(bg_ctx.clock, &key, chunk.data, Some(job.hash));
+                cache.put(
+                    bg_ctx.clock,
+                    &key,
+                    chunk.data.into(),
+                    Some(job.hash),
+                    WriteMode::CacheOnly,
+                );
             }
             Ok::<_, ScfsError>(plan)
         });
@@ -940,28 +939,32 @@ impl ScfsAgent {
     /// the data survives a client restart even before the cloud upload
     /// commits), optionally mirroring into the memory cache.
     fn spill_chunks(&mut self, map: &ChunkMap, data: &[u8], also_memory: bool) {
+        let mode = if also_memory {
+            WriteMode::Through
+        } else {
+            WriteMode::DiskOnly
+        };
         for (index, chunk_hash) in map.chunks().iter().enumerate() {
             let key = Self::chunk_cache_key(chunk_hash);
-            let chunk = data[map.byte_range(index)].to_vec();
-            if also_memory {
-                self.mem_cache
-                    .put(&mut self.clock, &key, chunk.clone(), Some(*chunk_hash));
-            }
-            self.disk_cache
-                .put(&mut self.clock, &key, chunk, Some(*chunk_hash));
+            let chunk: Arc<[u8]> = Arc::from(&data[map.byte_range(index)]);
+            self.cache
+                .put(&mut self.clock, &key, chunk, Some(*chunk_hash), mode);
         }
     }
 
     /// Writes a version's chunks and manifest into both cache levels.
     fn cache_version_locally(&mut self, map: &ChunkMap, data: &[u8]) {
         self.spill_chunks(map, data, true);
-        let manifest = map.encode();
+        let manifest: Arc<[u8]> = map.encode().into();
         let root = map.root_hash();
         let manifest_key = Self::manifest_cache_key(&root);
-        self.disk_cache
-            .put(&mut self.clock, &manifest_key, manifest.clone(), Some(root));
-        self.mem_cache
-            .put(&mut self.clock, &manifest_key, manifest, Some(root));
+        self.cache.put(
+            &mut self.clock,
+            &manifest_key,
+            manifest,
+            Some(root),
+            WriteMode::Through,
+        );
     }
 
     /// The lazy byte-range read path: maps `[offset, offset + len)` onto

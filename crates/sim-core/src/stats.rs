@@ -2,8 +2,12 @@
 //!
 //! Figure 9 of the paper reports 50th and 90th percentile sharing latencies;
 //! Table 3 and Figures 8/10 report mean latencies over repeated runs. This
-//! module provides a small, dependency-free [`Summary`] accumulator and a
-//! fixed-bucket [`Histogram`] for latency distributions.
+//! module provides a small, dependency-free [`Summary`] accumulator, a
+//! fixed-bucket [`Histogram`] for latency distributions, and a per-operation
+//! [`OpRecorder`] the fleet harness uses to report p50/p99 per file-system
+//! call.
+
+use std::collections::BTreeMap;
 
 use crate::time::SimDuration;
 
@@ -227,6 +231,64 @@ impl Histogram {
     }
 }
 
+/// Per-operation latency recorder: one [`Summary`] per operation name, in a
+/// deterministic (sorted) order. The fleet harness records every timed
+/// file-system call here and reports throughput plus p50/p99 per operation.
+#[derive(Debug, Clone, Default)]
+pub struct OpRecorder {
+    ops: BTreeMap<String, Summary>,
+}
+
+impl OpRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        OpRecorder::default()
+    }
+
+    /// Records one sample of `op` (stored in seconds).
+    pub fn record(&mut self, op: &str, latency: SimDuration) {
+        self.ops
+            .entry(op.to_string())
+            .or_default()
+            .add_duration(latency);
+    }
+
+    /// The operation names seen so far, sorted.
+    pub fn ops(&self) -> impl Iterator<Item = &str> {
+        self.ops.keys().map(|k| k.as_str())
+    }
+
+    /// The summary of `op`, if any samples were recorded.
+    pub fn summary(&self, op: &str) -> Option<&Summary> {
+        self.ops.get(op)
+    }
+
+    /// Mutable summary of `op` (for percentile queries, which sort).
+    pub fn summary_mut(&mut self, op: &str) -> Option<&mut Summary> {
+        self.ops.get_mut(op)
+    }
+
+    /// Percentile of `op` in seconds; 0.0 when the op was never recorded.
+    pub fn percentile(&mut self, op: &str, p: f64) -> f64 {
+        self.ops.get_mut(op).map_or(0.0, |s| s.percentile(p))
+    }
+
+    /// Total number of samples across all operations.
+    pub fn total_count(&self) -> usize {
+        self.ops.values().map(Summary::count).sum()
+    }
+
+    /// Merges another recorder's samples into this one (fleet aggregation).
+    pub fn merge(&mut self, other: &OpRecorder) {
+        for (op, summary) in &other.ops {
+            let dst = self.ops.entry(op.clone()).or_default();
+            for &v in summary.samples() {
+                dst.add(v);
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -298,6 +360,27 @@ mod tests {
     #[should_panic(expected = "at least one bucket")]
     fn histogram_rejects_zero_buckets() {
         let _ = Histogram::new(0, 1.0);
+    }
+
+    #[test]
+    fn op_recorder_groups_by_operation_and_merges() {
+        let mut r = OpRecorder::new();
+        r.record("read", SimDuration::from_millis(10));
+        r.record("read", SimDuration::from_millis(30));
+        r.record("close", SimDuration::from_millis(100));
+        assert_eq!(r.ops().collect::<Vec<_>>(), vec!["close", "read"]);
+        assert_eq!(r.summary("read").unwrap().count(), 2);
+        assert!((r.percentile("read", 100.0) - 0.030).abs() < 1e-9);
+        assert_eq!(r.percentile("open", 50.0), 0.0);
+        assert_eq!(r.total_count(), 3);
+
+        let mut other = OpRecorder::new();
+        other.record("read", SimDuration::from_millis(20));
+        other.record("open", SimDuration::from_millis(1));
+        r.merge(&other);
+        assert_eq!(r.summary("read").unwrap().count(), 3);
+        assert_eq!(r.summary("open").unwrap().count(), 1);
+        assert_eq!(r.total_count(), 5);
     }
 
     proptest! {

@@ -1,0 +1,479 @@
+//! Fleet-scale workload harness: thousands of simulated SCFS mounts driving
+//! a zipfian, shared-directory workload on virtual time.
+//!
+//! The ROADMAP's north star is SCFS behaviour at the scale of a large
+//! deployment — far beyond the two-client experiments of the paper's §4.
+//! This harness simulates a *fleet*: `mounts` clients grouped into `teams`,
+//! each team sharing one account and one shared directory of
+//! `files_per_team` files. Every mount runs a deterministic arrival process
+//! on its own virtual clock (exponential think times from a forked
+//! [`DetRng`]) and issues a configurable read/write mix; files are chosen
+//! by a zipfian popularity draw, so the head of the distribution becomes a
+//! shared-directory hotspot — hot in every mount's cache, and contended by
+//! writers (lock conflicts are counted, not hidden).
+//!
+//! The harness is event-driven: a binary heap keyed by `(virtual instant,
+//! mount)` interleaves all mounts in virtual-time order, so 10⁴+ mounts run
+//! in one pass without threads. Every file-system call is timed into a
+//! [`sim_core::stats::OpRecorder`] (p50/p99 per operation), and the
+//! per-mount [`scfs::cache::TieredStats`] are aggregated so cache policies
+//! ([`scfs::cache::PolicyKind`]) can be compared by measured hit rate.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use scfs::agent::ScfsAgent;
+use scfs::cache::TieredStats;
+use scfs::config::{Mode, ScfsConfig};
+use scfs::error::ScfsError;
+use scfs::fs::FileSystem;
+use scfs::types::OpenFlags;
+use sim_core::rng::DetRng;
+use sim_core::stats::OpRecorder;
+use sim_core::time::{SimDuration, SimInstant};
+use sim_core::units::Bytes;
+
+use crate::setup::{Backend, SharedScfsEnv};
+
+/// A zipfian sampler over `0..n` (index 0 most popular): the CDF is
+/// precomputed once, each draw is one uniform variate plus a binary search.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the distribution for `n` items with skew `theta`
+    /// (`theta = 0` is uniform; ~0.99 is the classic YCSB skew).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "zipf needs at least one item");
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for rank in 1..=n {
+            total += 1.0 / (rank as f64).powf(theta);
+            cdf.push(total);
+        }
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Draws one index.
+    pub fn sample(&self, rng: &mut DetRng) -> usize {
+        let u = rng.next_f64();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+/// Configuration of one fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Storage backend all teams share.
+    pub backend: Backend,
+    /// SCFS operation mode (must use coordination: the fleet shares files).
+    pub mode: Mode,
+    /// Total simulated mounts (clients).
+    pub mounts: usize,
+    /// Teams the mounts are split into; each team shares one account and
+    /// one shared directory.
+    pub teams: usize,
+    /// Files populated in each team's shared directory.
+    pub files_per_team: usize,
+    /// Size of every populated file.
+    pub file_size: Bytes,
+    /// Operations each mount issues after the population epoch.
+    pub ops_per_mount: usize,
+    /// Fraction of operations that are whole-file reads (the rest are
+    /// small in-place edits committed by `close`).
+    pub read_fraction: f64,
+    /// Skew of the zipfian file-popularity draw.
+    pub zipf_theta: f64,
+    /// Mean think time between a mount's operations.
+    pub mean_think: SimDuration,
+    /// The agent configuration every mount uses (cache policies and
+    /// capacities live in `scfs.cache`).
+    pub scfs: ScfsConfig,
+    /// Master seed: same seed, same trace.
+    pub seed: u64,
+}
+
+impl FleetConfig {
+    /// A small, fast configuration (CI smoke and unit tests): 60 mounts in
+    /// 6 teams over 4 KiB files.
+    pub fn smoke(backend: Backend) -> Self {
+        FleetConfig {
+            backend,
+            mode: Mode::Blocking,
+            mounts: 60,
+            teams: 6,
+            files_per_team: 32,
+            file_size: Bytes::kib(4),
+            ops_per_mount: 8,
+            read_fraction: 0.9,
+            zipf_theta: 0.99,
+            mean_think: SimDuration::from_secs(30),
+            scfs: ScfsConfig::test(Mode::Blocking),
+            seed: 0xF1EE7,
+        }
+    }
+}
+
+/// What one fleet run measured.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// Mounts simulated.
+    pub mounts: usize,
+    /// Whole-file reads executed.
+    pub reads: u64,
+    /// Edit+commit writes executed.
+    pub writes: u64,
+    /// Write attempts refused because another mount held the file lock.
+    pub lock_conflicts: u64,
+    /// Virtual time from the population epoch to the last mount's last op.
+    pub makespan: SimDuration,
+    /// Per-operation latency summaries (open/read/write/close).
+    pub recorder: OpRecorder,
+    /// Cache counters aggregated over every mount.
+    pub cache: TieredStats,
+    /// Payload bytes downloaded from the cloud, fleet-wide.
+    pub bytes_downloaded: u64,
+    /// Payload bytes uploaded to the cloud, fleet-wide.
+    pub bytes_uploaded: u64,
+    /// Version fetches that touched the cloud, fleet-wide.
+    pub cloud_downloads: u64,
+    /// Individual chunks downloaded from the cloud, fleet-wide.
+    pub chunk_downloads: u64,
+    /// Reads served entirely from the caches.
+    pub cache_served_reads: u64,
+    /// Memory-tier policy label of the run.
+    pub memory_policy: &'static str,
+    /// Disk-tier policy label of the run.
+    pub disk_policy: &'static str,
+    /// FNV-1a hash over every `(mount, op, file, instant)` tuple: two runs
+    /// with the same seed must produce the same trace hash.
+    pub trace_hash: u64,
+}
+
+impl FleetReport {
+    /// Operations executed in total.
+    pub fn ops_executed(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Operations per virtual second over the makespan.
+    pub fn throughput(&self) -> f64 {
+        let secs = self.makespan.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.ops_executed() as f64 / secs
+        }
+    }
+
+    /// Memory-tier hit rate by lookup count.
+    pub fn memory_hit_rate(&self) -> f64 {
+        TieredStats::hit_rate(&self.cache.memory)
+    }
+
+    /// Disk-tier hit rate by lookup count.
+    pub fn disk_hit_rate(&self) -> f64 {
+        TieredStats::hit_rate(&self.cache.disk)
+    }
+
+    /// Fleet-wide hit rate by bytes: bytes served from either tier over
+    /// bytes served plus bytes fetched from the cloud.
+    pub fn byte_hit_rate(&self) -> f64 {
+        let hit = self.cache.memory.bytes_hit + self.cache.disk.bytes_hit;
+        let total = hit + self.bytes_downloaded;
+        if total == 0 {
+            0.0
+        } else {
+            hit as f64 / total as f64
+        }
+    }
+}
+
+/// Deterministic, per-file-distinct payload: a repeating 8-byte stamp of the
+/// team and file indices, so every file's chunks hash differently but no
+/// time is spent generating random bytes.
+fn file_payload(team: usize, file: usize, size: usize) -> Vec<u8> {
+    let stamp = ((team as u64) << 32 | file as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+    let mut data = vec![0u8; size];
+    for (i, b) in data.iter_mut().enumerate() {
+        *b = (stamp >> ((i % 8) * 8)) as u8;
+    }
+    data
+}
+
+fn shared_path(team: usize, file: usize) -> String {
+    format!("/t{team}/shared/f{file}")
+}
+
+fn fnv_mix(hash: &mut u64, value: u64) {
+    for byte in value.to_le_bytes() {
+        *hash ^= byte as u64;
+        *hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+}
+
+struct MountState {
+    agent: ScfsAgent,
+    rng: DetRng,
+    team: usize,
+    remaining: usize,
+}
+
+/// Runs one fleet: populates every team's shared directory, then drives all
+/// mounts through their operation mix in virtual-time order.
+///
+/// # Panics
+///
+/// Panics if the configuration is inconsistent (a non-coordinated mode, no
+/// teams, fewer mounts than teams) or if the file system returns an error
+/// other than a write-lock conflict.
+pub fn run_fleet(cfg: &FleetConfig) -> FleetReport {
+    assert!(
+        cfg.mode.uses_coordination(),
+        "the fleet shares directories; Mode::NonSharing cannot"
+    );
+    assert!(cfg.teams > 0, "need at least one team");
+    assert!(cfg.mounts >= cfg.teams, "need at least one mount per team");
+    assert!(cfg.files_per_team > 0, "need files to operate on");
+
+    let env = SharedScfsEnv::new(cfg.backend, cfg.mode, cfg.seed);
+
+    // Population: one writer mount per team creates the shared directory.
+    // The epoch every operating mount starts at lies past the last commit
+    // (foreground and background), so all population writes are visible.
+    let mut epoch = SimInstant::EPOCH;
+    for team in 0..cfg.teams {
+        let mut writer = env.mount(
+            &format!("team{team}"),
+            cfg.scfs.clone(),
+            cfg.seed.wrapping_add(0x5EED).wrapping_add(team as u64),
+        );
+        for file in 0..cfg.files_per_team {
+            let data = file_payload(team, file, cfg.file_size.get() as usize);
+            writer
+                .write_file(&shared_path(team, file), &data)
+                .expect("population writes cannot conflict");
+        }
+        epoch = epoch
+            .max(writer.now())
+            .max(writer.background_drain_instant());
+    }
+    // Clear of any metadata-cache expiry window.
+    let epoch = epoch + SimDuration::from_secs(1);
+
+    // Mount the fleet: team accounts are shared, so every mount of a team
+    // sees the team's files without per-file ACL grants (no ACL storm at
+    // 10⁴ mounts).
+    let zipf = Zipf::new(cfg.files_per_team, cfg.zipf_theta);
+    let mut mounts: Vec<MountState> = (0..cfg.mounts)
+        .map(|m| {
+            let team = m % cfg.teams;
+            let mut agent = env.mount(
+                &format!("team{team}"),
+                cfg.scfs.clone(),
+                cfg.seed.wrapping_add(0xA11CE).wrapping_add(m as u64),
+            );
+            let mut rng = DetRng::new(cfg.seed ^ (m as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            // Deterministic staggered arrival after the population epoch.
+            let arrival =
+                epoch
+                    .duration_since(agent.now())
+                    .saturating_add(SimDuration::from_secs_f64(
+                        rng.exponential(cfg.mean_think.as_secs_f64()),
+                    ));
+            agent.sleep(arrival);
+            MountState {
+                agent,
+                rng,
+                team,
+                remaining: cfg.ops_per_mount,
+            }
+        })
+        .collect();
+
+    // Event loop: always advance the mount with the earliest virtual clock,
+    // so cross-mount interleaving (cache reuse, lock contention) happens in
+    // virtual-time order regardless of fleet size.
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = mounts
+        .iter()
+        .enumerate()
+        .map(|(idx, st)| Reverse((st.agent.now().as_nanos(), idx)))
+        .collect();
+    let mut recorder = OpRecorder::new();
+    let (mut reads, mut writes, mut lock_conflicts) = (0u64, 0u64, 0u64);
+    let mut trace_hash = 0xcbf2_9ce4_8422_2325u64;
+    let edit_len = 4096.min(cfg.file_size.get() as usize).max(1);
+
+    while let Some(Reverse((_, idx))) = heap.pop() {
+        let st = &mut mounts[idx];
+        if st.remaining == 0 {
+            continue;
+        }
+        st.remaining -= 1;
+        let file = zipf.sample(&mut st.rng);
+        let path = shared_path(st.team, file);
+        let is_read = st.rng.chance(cfg.read_fraction);
+        if is_read {
+            let t0 = st.agent.now();
+            let handle = st
+                .agent
+                .open(&path, OpenFlags::read_only())
+                .expect("populated files open for read");
+            let t1 = st.agent.now();
+            let size = st.agent.handle_size(handle).expect("open handle");
+            let data = st.agent.read(handle, 0, size as usize).expect("read");
+            assert_eq!(data.len() as u64, size, "short read of {path}");
+            let t2 = st.agent.now();
+            st.agent.close(handle).expect("close clean handle");
+            let t3 = st.agent.now();
+            recorder.record("open", t1.duration_since(t0));
+            recorder.record("read", t2.duration_since(t1));
+            recorder.record("close_clean", t3.duration_since(t2));
+            reads += 1;
+            fnv_mix(&mut trace_hash, idx as u64);
+            fnv_mix(&mut trace_hash, 1);
+        } else {
+            let t0 = st.agent.now();
+            match st.agent.open(&path, OpenFlags::read_write()) {
+                Ok(handle) => {
+                    let t1 = st.agent.now();
+                    let edit = st.rng.bytes(edit_len);
+                    st.agent.write(handle, 0, &edit).expect("write open handle");
+                    let t2 = st.agent.now();
+                    st.agent.close(handle).expect("commit edited file");
+                    let t3 = st.agent.now();
+                    recorder.record("open", t1.duration_since(t0));
+                    recorder.record("write", t2.duration_since(t1));
+                    recorder.record("close_commit", t3.duration_since(t2));
+                    writes += 1;
+                    fnv_mix(&mut trace_hash, idx as u64);
+                    fnv_mix(&mut trace_hash, 2);
+                }
+                Err(ScfsError::Locked { .. }) => {
+                    // Another mount is committing this hot file: count the
+                    // conflict and move on (the app-level retry is a fresh
+                    // arrival).
+                    lock_conflicts += 1;
+                    fnv_mix(&mut trace_hash, idx as u64);
+                    fnv_mix(&mut trace_hash, 3);
+                }
+                Err(e) => panic!("fleet write open failed: {e}"),
+            }
+        }
+        fnv_mix(&mut trace_hash, file as u64);
+        fnv_mix(&mut trace_hash, st.agent.now().as_nanos());
+        if st.remaining > 0 {
+            let think =
+                SimDuration::from_secs_f64(st.rng.exponential(cfg.mean_think.as_secs_f64()));
+            st.agent.sleep(think);
+            heap.push(Reverse((st.agent.now().as_nanos(), idx)));
+        }
+    }
+
+    // Aggregate.
+    let mut cache = TieredStats::default();
+    let mut end = epoch;
+    let (mut bytes_down, mut bytes_up, mut cloud_downloads, mut chunk_downloads, mut cache_reads) =
+        (0u64, 0u64, 0u64, 0u64, 0u64);
+    for st in &mounts {
+        cache.merge(&st.agent.cache_stats());
+        let stats = st.agent.stats();
+        bytes_down += stats.bytes_downloaded;
+        bytes_up += stats.bytes_uploaded;
+        cloud_downloads += stats.cloud_downloads;
+        chunk_downloads += stats.chunk_downloads;
+        cache_reads += stats.cache_served_reads;
+        end = end.max(st.agent.now());
+    }
+    FleetReport {
+        mounts: cfg.mounts,
+        reads,
+        writes,
+        lock_conflicts,
+        makespan: end.duration_since(epoch),
+        recorder,
+        cache,
+        bytes_downloaded: bytes_down,
+        bytes_uploaded: bytes_up,
+        cloud_downloads,
+        chunk_downloads,
+        cache_served_reads: cache_reads,
+        memory_policy: cfg.scfs.cache.memory_policy.label(),
+        disk_policy: cfg.scfs.cache.disk_policy.label(),
+        trace_hash,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_head_is_hotter_than_tail() {
+        let zipf = Zipf::new(100, 0.99);
+        let mut rng = DetRng::new(7);
+        let mut counts = vec![0u64; 100];
+        for _ in 0..20_000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10], "rank 0 must beat rank 10");
+        assert!(counts[0] > counts[99] * 10, "head ≫ tail");
+        let head: u64 = counts[..10].iter().sum();
+        assert!(
+            head > 10_000,
+            "the top 10% draws the majority under theta=0.99, got {head}"
+        );
+    }
+
+    #[test]
+    fn zipf_theta_zero_is_roughly_uniform() {
+        let zipf = Zipf::new(10, 0.0);
+        let mut rng = DetRng::new(9);
+        let mut counts = vec![0u64; 10];
+        for _ in 0..10_000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((700..1300).contains(&(c as i64)), "uniform-ish, got {c}");
+        }
+    }
+
+    #[test]
+    fn file_payloads_are_distinct_per_file() {
+        let a = file_payload(0, 0, 1024);
+        let b = file_payload(0, 1, 1024);
+        let c = file_payload(1, 0, 1024);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+    }
+
+    #[test]
+    fn smoke_fleet_runs_and_reports() {
+        let mut cfg = FleetConfig::smoke(Backend::Aws);
+        cfg.mounts = 12;
+        cfg.teams = 3;
+        cfg.files_per_team = 8;
+        cfg.ops_per_mount = 4;
+        let report = run_fleet(&cfg);
+        assert_eq!(report.mounts, 12);
+        assert_eq!(
+            report.reads + report.writes + report.lock_conflicts,
+            (cfg.mounts * cfg.ops_per_mount) as u64
+        );
+        assert!(report.recorder.summary("open").is_some());
+        assert!(report.makespan > SimDuration::ZERO);
+        assert!(report.throughput() > 0.0);
+        let lookups = report.cache.memory.hits + report.cache.memory.misses;
+        assert!(lookups > 0, "reads must touch the cache");
+    }
+}

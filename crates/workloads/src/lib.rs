@@ -11,6 +11,8 @@
 //! * [`editsync`] — the insert-in-the-middle edit workload contrasting
 //!   fixed-size and content-defined chunking.
 //! * [`sharing`] — the two-client sharing-latency experiment of Figure 9.
+//! * [`fleet`] — the fleet-scale harness: 10⁴+ simulated mounts driving a
+//!   zipfian, shared-directory workload to measure the tiered chunk cache.
 //! * [`sweeps`] — the metadata-cache and private-name-space parameter sweeps
 //!   of Figure 10.
 //! * [`costs`] — the operation and storage cost analyses of Figure 11 and
@@ -20,6 +22,7 @@ pub mod costs;
 pub mod editsync;
 pub mod filebench;
 pub mod filesync;
+pub mod fleet;
 pub mod results;
 pub mod setup;
 pub mod sharing;

@@ -1,0 +1,339 @@
+//! Integration tests of the pluggable-policy two-tier chunk cache and the
+//! fleet-scale workload harness — the acceptance criteria of the cache
+//! refactor:
+//!
+//! * eviction cost is independent of the resident entry count (an
+//!   operation-count budget per eviction, no O(n) victim scan), both on the
+//!   bare tier and across fleet runs on both backends;
+//! * a chunk evicted from the memory tier is demoted to the disk tier and a
+//!   later read is served from disk without a cloud download;
+//! * at least two policies are selectable per tier through `ScfsConfig` and
+//!   produce different measured hit rates on a zipfian fleet run, on both
+//!   backends;
+//! * `used_bytes` always equals the byte-sum of resident entries and never
+//!   exceeds capacity, under arbitrary put/get/remove/probe sequences, for
+//!   every policy (property-tested);
+//! * the fleet harness is deterministic: the same seed reproduces the same
+//!   trace hash and the same measured numbers.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use scfs_repro::scfs::cache::{CacheTier, PolicyKind};
+use scfs_repro::scfs::config::{Mode, ScfsConfig};
+use scfs_repro::scfs::fs::FileSystem;
+use scfs_repro::sim_core::time::{Clock, SimDuration};
+use scfs_repro::sim_core::units::Bytes;
+use scfs_repro::workloads::fleet::{run_fleet, FleetConfig, FleetReport};
+use scfs_repro::workloads::setup::{Backend, SharedScfsEnv};
+
+const ENTRY: usize = 1024;
+
+/// Policy work (in `steps`) per insert once the tier is full, with
+/// `resident` entries resident. Every insert misses, so each one runs the
+/// admission filter and (if admitted) the eviction loop.
+fn steps_per_insert_at(policy: PolicyKind, resident: usize) -> f64 {
+    let mut tier = CacheTier::memory(Bytes::new((ENTRY * resident) as u64), policy, 7);
+    let mut clock = Clock::new();
+    let payload: Arc<[u8]> = vec![0u8; ENTRY].into();
+    for i in 0..resident {
+        // The lookup miss feeds the frequency sketch so TinyLFU admits.
+        tier.get(&mut clock, &format!("warm{i}"), None);
+        tier.put(&mut clock, &format!("warm{i}"), payload.clone(), None);
+    }
+    assert_eq!(tier.len(), resident, "warm fill must exactly fit");
+    let before = tier.stats();
+    const OPS: u64 = 512;
+    for i in 0..OPS {
+        tier.get(&mut clock, &format!("cold{i}"), None);
+        tier.put(&mut clock, &format!("cold{i}"), payload.clone(), None);
+    }
+    let after = tier.stats();
+    assert!(
+        after.evictions > before.evictions,
+        "{policy:?} at {resident} resident: the cold scan must evict"
+    );
+    (after.policy_steps - before.policy_steps) as f64 / OPS as f64
+}
+
+/// The O(1)-eviction acceptance criterion on the bare tier: growing the
+/// resident set 64× must not grow the per-eviction policy work. A policy
+/// that scanned all residents for its victim would be ~64× more expensive
+/// on the large tier.
+#[test]
+fn eviction_cost_is_independent_of_resident_count() {
+    for policy in [PolicyKind::Lru, PolicyKind::TinyLfu] {
+        let small = steps_per_insert_at(policy, 64);
+        let large = steps_per_insert_at(policy, 4096);
+        assert!(
+            large <= small * 3.0,
+            "{policy:?}: steps/insert grew from {small:.1} at 64 resident \
+             to {large:.1} at 4096 resident — victim selection is scanning"
+        );
+    }
+    // GDSF orders victims through a priority queue: O(log n), not O(1) —
+    // the log factor from 64 to 4096 resident is 2, so the same bound holds
+    // with slack.
+    let small = steps_per_insert_at(PolicyKind::Gdsf, 64);
+    let large = steps_per_insert_at(PolicyKind::Gdsf, 4096);
+    assert!(
+        large <= small * 4.0,
+        "Gdsf: steps/insert grew from {small:.1} to {large:.1}"
+    );
+}
+
+fn policy_fleet(
+    backend: Backend,
+    memory_policy: PolicyKind,
+    memory_capacity: Bytes,
+) -> FleetConfig {
+    let mut cfg = FleetConfig::smoke(backend);
+    cfg.mounts = 20;
+    cfg.teams = 2;
+    cfg.files_per_team = 24;
+    cfg.ops_per_mount = 10;
+    cfg.scfs = ScfsConfig::test(Mode::Blocking)
+        .with_cache_policies(memory_policy, PolicyKind::Lru)
+        .with_cache_capacities(memory_capacity, Bytes::kib(96));
+    cfg
+}
+
+/// The same acceptance criterion at fleet level, on both backends: the same
+/// zipfian workload against a 16× larger memory tier must not cost more
+/// policy steps per cache lookup. An O(n) victim scan would charge the
+/// large tier (16× the resident entries) far more work per eviction.
+#[test]
+fn fleet_eviction_cost_stays_flat_across_cache_sizes_on_both_backends() {
+    for backend in [Backend::Aws, Backend::CloudOfClouds] {
+        let mut ratios = Vec::new();
+        for capacity in [Bytes::kib(16), Bytes::kib(256)] {
+            let report = run_fleet(&policy_fleet(backend, PolicyKind::Lru, capacity));
+            let mem = report.cache.memory;
+            let lookups = mem.hits + mem.misses;
+            assert!(lookups > 0, "{backend:?}: fleet must exercise the cache");
+            ratios.push(mem.policy_steps as f64 / lookups as f64);
+        }
+        assert!(
+            ratios[1] <= ratios[0] * 3.0 + 1.0,
+            "{backend:?}: policy steps per lookup grew from {:.2} to {:.2} \
+             with a 16× larger tier",
+            ratios[0],
+            ratios[1]
+        );
+    }
+}
+
+/// The demotion acceptance criterion, on one backend: chunks fetched from
+/// the cloud land in the memory tier, get demoted to disk when evicted, and
+/// a later read of a demoted chunk is served from disk — promotions rise,
+/// cloud chunk downloads do not.
+fn demoted_chunks_are_served_from_disk(backend: Backend) {
+    let env = SharedScfsEnv::new(backend, Mode::Blocking, 11);
+    let files = 8usize;
+    let payload = |i: usize| vec![i as u8 + 1; 4 * 1024];
+
+    let mut writer = env.mount("alice", ScfsConfig::test(Mode::Blocking), 3);
+    for i in 0..files {
+        writer
+            .write_file(&format!("/shared/f{i}"), &payload(i))
+            .expect("population write commits");
+    }
+    let epoch = writer.now().max(writer.background_drain_instant());
+
+    // The reader's memory tier holds ~3 of the 8 chunks, so the first sweep
+    // keeps evicting; its disk tier holds everything.
+    let reader_config =
+        ScfsConfig::test(Mode::Blocking).with_cache_capacities(Bytes::kib(12), Bytes::mib(4));
+    let mut reader = env.mount("alice", reader_config, 5);
+    reader.sleep(
+        epoch
+            .duration_since(reader.now())
+            .saturating_add(SimDuration::from_secs(1)),
+    );
+
+    for i in 0..files {
+        let data = reader
+            .read_file(&format!("/shared/f{i}"))
+            .expect("populated file reads");
+        assert_eq!(data, payload(i), "payload of f{i} survives the caches");
+    }
+    let sweep_stats = reader.stats();
+    let sweep_cache = reader.cache_stats();
+    assert!(
+        sweep_stats.chunk_downloads >= files as u64,
+        "{backend:?}: the first sweep fetches every chunk from the cloud"
+    );
+    assert!(
+        sweep_cache.memory.evictions > 0,
+        "{backend:?}: a 12 KiB memory tier cannot hold 8 chunks"
+    );
+    assert!(
+        sweep_cache.demotions > 0,
+        "{backend:?}: memory evictions of cloud-fetched chunks must demote to disk"
+    );
+
+    // Re-read the first file: long evicted from memory, resident on disk.
+    let data = reader.read_file("/shared/f0").expect("demoted file reads");
+    assert_eq!(data, payload(0));
+    let after_stats = reader.stats();
+    let after_cache = reader.cache_stats();
+    assert_eq!(
+        after_stats.chunk_downloads, sweep_stats.chunk_downloads,
+        "{backend:?}: the demoted chunk must be served without a cloud download"
+    );
+    assert!(
+        after_cache.disk.hits > sweep_cache.disk.hits,
+        "{backend:?}: the re-read must hit the disk tier"
+    );
+    assert!(
+        after_cache.promotions > sweep_cache.promotions,
+        "{backend:?}: the disk hit must promote the chunk back to memory"
+    );
+}
+
+#[test]
+fn demoted_chunks_are_served_from_disk_on_aws() {
+    demoted_chunks_are_served_from_disk(Backend::Aws);
+}
+
+#[test]
+fn demoted_chunks_are_served_from_disk_on_coc() {
+    demoted_chunks_are_served_from_disk(Backend::CloudOfClouds);
+}
+
+/// The policy-selection acceptance criterion: three memory policies chosen
+/// through `ScfsConfig` run the same zipfian fleet and record different hit
+/// rates, on both backends.
+#[test]
+fn policies_selected_via_config_produce_different_fleet_hit_rates() {
+    for backend in [Backend::Aws, Backend::CloudOfClouds] {
+        let reports: Vec<FleetReport> = [PolicyKind::Lru, PolicyKind::TinyLfu, PolicyKind::Gdsf]
+            .into_iter()
+            .map(|policy| run_fleet(&policy_fleet(backend, policy, Bytes::kib(16))))
+            .collect();
+        assert_eq!(reports[0].memory_policy, "lru");
+        assert_eq!(reports[1].memory_policy, "tinylfu");
+        assert_eq!(reports[2].memory_policy, "gdsf");
+        for report in &reports {
+            assert_eq!(report.disk_policy, "lru");
+            assert!(
+                report.cache.memory.evictions > 0,
+                "{backend:?}/{}: the fleet must pressure the memory tier",
+                report.memory_policy
+            );
+        }
+        let rates: Vec<f64> = reports.iter().map(FleetReport::memory_hit_rate).collect();
+        assert!(
+            rates
+                .iter()
+                .zip(&rates[1..])
+                .any(|(a, b)| (a - b).abs() > 1e-6),
+            "{backend:?}: at least two policies must measure different hit \
+             rates, got {rates:?}"
+        );
+    }
+}
+
+/// Same seed, same trace: the fleet harness replays byte-identically.
+#[test]
+fn fleet_runs_are_deterministic_per_seed() {
+    let cfg = policy_fleet(Backend::Aws, PolicyKind::TinyLfu, Bytes::kib(16));
+    let mut a = run_fleet(&cfg);
+    let mut b = run_fleet(&cfg);
+    assert_eq!(
+        a.trace_hash, b.trace_hash,
+        "identical seeds, identical traces"
+    );
+    assert_eq!(a.reads, b.reads);
+    assert_eq!(a.writes, b.writes);
+    assert_eq!(a.lock_conflicts, b.lock_conflicts);
+    assert_eq!(a.makespan, b.makespan);
+    assert_eq!(a.cache.memory, b.cache.memory);
+    assert_eq!(a.cache.disk, b.cache.disk);
+    assert_eq!(a.recorder.total_count(), b.recorder.total_count());
+    assert_eq!(
+        a.recorder.percentile("read", 99.0),
+        b.recorder.percentile("read", 99.0)
+    );
+
+    let mut other = cfg;
+    other.seed ^= 0xDEAD_BEEF;
+    let c = run_fleet(&other);
+    assert_ne!(
+        a.trace_hash, c.trace_hash,
+        "a different seed must reshuffle"
+    );
+}
+
+/// The harness holds at fleet scale: 10⁴ mounts in one event-driven pass
+/// (seconds in release, but slow in debug builds — ignored by default; run
+/// with `cargo test --release -- --ignored fleet_scale`).
+#[test]
+#[ignore = "large: 10^4 mounts, run explicitly in release"]
+fn fleet_scale_ten_thousand_mounts() {
+    let mut cfg = FleetConfig::smoke(Backend::Aws);
+    cfg.mounts = 10_000;
+    cfg.teams = 100;
+    cfg.files_per_team = 32;
+    cfg.ops_per_mount = 4;
+    let report = run_fleet(&cfg);
+    assert_eq!(report.mounts, 10_000);
+    assert_eq!(
+        report.ops_executed() + report.lock_conflicts,
+        (cfg.mounts * cfg.ops_per_mount) as u64
+    );
+    assert!(report.memory_hit_rate() > 0.0);
+}
+
+/// Key `i` always carries this many payload bytes, so a recount over
+/// `contains` reconstructs the exact expected byte total.
+fn key_size(i: usize) -> usize {
+    i * 397 % 3000 + 64
+}
+
+proptest! {
+    /// The accounting invariant, for every policy: after any sequence of
+    /// put/get/remove/probe, `used_bytes` equals the byte-sum of the
+    /// resident entries and never exceeds capacity.
+    #[test]
+    fn prop_used_bytes_matches_resident_sum(ops in collection::vec(any::<u16>(), 1..120)) {
+        for policy in [PolicyKind::Lru, PolicyKind::TinyLfu, PolicyKind::Gdsf] {
+            let mut tier = CacheTier::memory(Bytes::kib(8), policy, 7);
+            let mut clock = Clock::new();
+            for &op in &ops {
+                let key_idx = (op & 0x0f) as usize;
+                let key = format!("k{key_idx}");
+                match (op >> 4) % 4 {
+                    0 => {
+                        let payload: Arc<[u8]> = vec![key_idx as u8; key_size(key_idx)].into();
+                        tier.put(&mut clock, &key, payload, None);
+                    }
+                    1 => {
+                        tier.get(&mut clock, &key, None);
+                    }
+                    2 => tier.remove(&key),
+                    _ => {
+                        tier.probe(&key, None);
+                    }
+                }
+                prop_assert!(
+                    tier.used_bytes() <= tier.capacity(),
+                    "{:?}: {} used of {} capacity",
+                    policy,
+                    tier.used_bytes(),
+                    tier.capacity()
+                );
+                let resident: u64 = (0..16)
+                    .filter(|&i| tier.contains(&format!("k{i}"), None))
+                    .map(|i| key_size(i) as u64)
+                    .sum();
+                prop_assert_eq!(
+                    tier.used_bytes().get(),
+                    resident,
+                    "{:?}: used_bytes drifted from the resident set",
+                    policy
+                );
+            }
+        }
+    }
+}
