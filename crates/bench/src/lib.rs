@@ -25,7 +25,9 @@ const TRAJECTORY_HEADER: &str = "{\"benchmark\": \"scfs_perf_trajectory\", \"uni
      \"dirty close of a 16-chunk (16 MiB) file, blocking mode, WAN profiles; \
      dedup column = closing an identical copy under a second path\", \"fleet_cache\": \
      \"zipfian fleet over the two-tier chunk cache, per-policy hit rates and \
-     p50/p99 operation latencies\"}, \"runs\": [";
+     p50/p99 operation latencies\", \"metadata_plane\": \
+     \"stat/open/mkdir/rename storm over the sharded quorum-replicated \
+     metadata plane; throughput and per-op p50/p99 per shard count\"}, \"runs\": [";
 const TRAJECTORY_FOOTER: &str = "]}";
 
 /// Appends `results` as a new run record tagged `bench` to the trajectory

@@ -6,6 +6,8 @@
 //! replication layer can order it, apply it and vote on the resulting
 //! [`Reply`].
 
+use std::sync::Arc;
+
 use cloud_store::types::{AccountId, Acl};
 use sim_core::time::SimInstant;
 
@@ -14,6 +16,10 @@ use crate::service::{Entry, SessionId};
 
 /// A state-machine command (an update; reads are served outside the command
 /// log, as both ZooKeeper and DepSpace do for performance).
+///
+/// Values and ACLs are reference-counted ([`Arc`]) so that replaying one
+/// command on every replica of a group shares the payload instead of copying
+/// it N× per operation.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
     /// Create or update an entry unconditionally.
@@ -21,7 +27,7 @@ pub enum Command {
         /// Entry key.
         key: String,
         /// New value.
-        value: Vec<u8>,
+        value: Arc<[u8]>,
     },
     /// Conditional update: `expected = None` means the entry must not exist.
     Cas {
@@ -30,7 +36,7 @@ pub enum Command {
         /// Expected current version (`None` = must not exist).
         expected: Option<u64>,
         /// New value.
-        value: Vec<u8>,
+        value: Arc<[u8]>,
     },
     /// Create an ephemeral entry owned by `session`, failing if a live entry
     /// already exists under the key.
@@ -38,7 +44,7 @@ pub enum Command {
         /// Entry key.
         key: String,
         /// Value stored with the entry.
-        value: Vec<u8>,
+        value: Arc<[u8]>,
         /// Owning session.
         session: SessionId,
         /// Instant at which the entry expires if not removed earlier.
@@ -54,7 +60,7 @@ pub enum Command {
         /// Entry key.
         key: String,
         /// New ACL.
-        acl: Acl,
+        acl: Arc<Acl>,
     },
     /// Rename all entries with `old_prefix` to use `new_prefix` (the DepSpace
     /// trigger extension used to implement `rename`).
@@ -159,7 +165,7 @@ mod tests {
         assert_eq!(
             Command::Put {
                 key: "k".into(),
-                value: vec![]
+                value: Vec::new().into()
             }
             .name(),
             "put"

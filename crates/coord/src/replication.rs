@@ -169,6 +169,24 @@ impl ReplicationConfig {
         }
     }
 
+    /// A colocated "metro" crash-fault-tolerant profile for the sharded
+    /// metadata plane: replicas in nearby datacentres (2–6 ms apart) reached
+    /// by clients over an 8–16 ms metro round trip. This is the per-register-
+    /// group deployment the `metadata_plane` bench scales in shard count.
+    pub fn metro_crash(f: usize) -> Self {
+        ReplicationConfig {
+            mode: ReplicationMode::CrashFaultTolerant { f },
+            replicas: (0..2 * f + 1)
+                .map(|i| ReplicaConfig {
+                    name: format!("metro-{i}"),
+                    client_rtt: LatencyModel::uniform_ms(8.0, 16.0),
+                })
+                .collect(),
+            inter_replica_rtt: LatencyModel::uniform_ms(2.0, 6.0),
+            processing: LatencyModel::uniform_ms(2.0, 6.0),
+        }
+    }
+
     /// An instantaneous deployment for functional tests.
     pub fn test_instant(mode: ReplicationMode) -> Self {
         ReplicationConfig {
@@ -432,7 +450,7 @@ impl ReplicatedCoordinator {
 
 /// Samples `count` values from `model` and returns the `k`-th smallest
 /// (0-based); returns zero when `count` is 0.
-fn kth_smallest_sample(
+pub(crate) fn kth_smallest_sample(
     model: &LatencyModel,
     rng: &mut DetRng,
     count: usize,
@@ -452,7 +470,7 @@ impl CoordinationService for ReplicatedCoordinator {
             ctx,
             Command::Put {
                 key: key.to_string(),
-                value,
+                value: value.into(),
             },
         )?
         .expect_version()
@@ -470,7 +488,7 @@ impl CoordinationService for ReplicatedCoordinator {
             Command::Cas {
                 key: key.to_string(),
                 expected,
-                value,
+                value: value.into(),
             },
         )?
         .expect_version()
@@ -489,7 +507,7 @@ impl CoordinationService for ReplicatedCoordinator {
             ctx,
             Command::CreateEphemeral {
                 key: key.to_string(),
-                value,
+                value: value.into(),
                 session: session.clone(),
                 expires_at,
             },
@@ -524,7 +542,7 @@ impl CoordinationService for ReplicatedCoordinator {
             ctx,
             Command::SetAcl {
                 key: key.to_string(),
-                acl,
+                acl: acl.into(),
             },
         )?
         .expect_unit()

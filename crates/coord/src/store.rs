@@ -1,7 +1,8 @@
 //! The single-replica state machine: a versioned, ACL-protected tuple store.
 //!
-//! This is the deterministic core that the replication layer
-//! ([`crate::replication`]) orders commands for. It corresponds to the data
+//! This is the deterministic core that the replication layers
+//! ([`crate::replication`] for the SMR path, [`crate::abd`] for the
+//! quorum-register path) order commands for. It corresponds to the data
 //! model shared by ZooKeeper znodes and DepSpace tuples as used by SCFS
 //! (paper §2.5.1): small named entries holding serialized metadata, with
 //! per-entry ACLs and *ephemeral* entries that disappear when the owning
@@ -13,8 +14,14 @@
 //! "what did client B observe at t = 3 s, given that client A's background
 //! upload only updated the metadata at t = 5 s?" — the crux of the
 //! non-blocking mode and of the sharing experiment (Figure 9).
+//!
+//! Entry payloads are stored as `Arc<[u8]>` (and ACLs as `Arc<Acl>`): a
+//! command replayed on the N replicas of a register group shares one payload
+//! allocation instead of copying it N×, and pushing a new history event
+//! never deep-copies the value.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use cloud_store::types::{AccountId, Acl, Permission};
 use sim_core::time::SimInstant;
@@ -24,13 +31,54 @@ use crate::error::CoordError;
 use crate::service::{Entry, SessionId};
 
 /// The live content of an entry at some point in time.
+///
+/// Crate-visible so the quorum-register layer ([`crate::abd`]) can snapshot,
+/// transport and re-install states during read write-back and cross-shard
+/// renames without round-tripping through the public [`Entry`] type.
 #[derive(Debug, Clone, PartialEq)]
-struct EntryState {
-    value: Vec<u8>,
-    version: u64,
-    owner: AccountId,
-    acl: Acl,
-    ephemeral: Option<(SessionId, SimInstant)>,
+pub(crate) struct EntryState {
+    pub(crate) value: Arc<[u8]>,
+    pub(crate) version: u64,
+    pub(crate) owner: AccountId,
+    pub(crate) acl: Arc<Acl>,
+    pub(crate) ephemeral: Option<(SessionId, SimInstant)>,
+}
+
+impl EntryState {
+    /// Converts the internal state into the public read result.
+    pub(crate) fn to_entry(&self, key: &str, updated_at: SimInstant) -> Entry {
+        Entry {
+            key: key.to_string(),
+            value: self.value.to_vec(),
+            version: self.version,
+            owner: self.owner.clone(),
+            acl: (*self.acl).clone(),
+            ephemeral: self.ephemeral.clone(),
+            updated_at,
+        }
+    }
+
+    /// Whether `who` may read this entry.
+    pub(crate) fn readable_by(&self, who: &AccountId) -> bool {
+        &self.owner == who || self.acl.allows(who, Permission::Read)
+    }
+
+    /// Whether `who` may overwrite this entry.
+    pub(crate) fn writable_by(&self, who: &AccountId) -> bool {
+        &self.owner == who || self.acl.allows(who, Permission::Write)
+    }
+}
+
+/// The outcome of installing an ABD write on one replica.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum AbdWriteOutcome {
+    /// The timestamp was newer than anything stored: the value is installed.
+    Installed,
+    /// A write with a higher timestamp already landed; the incoming write is
+    /// linearized before it and acknowledged without changing state.
+    Stale,
+    /// The issuer lacks write permission on the current entry.
+    Denied,
 }
 
 /// One committed change to a key: the instant it became effective and the new
@@ -102,24 +150,39 @@ impl TupleStore {
         TupleStore::default()
     }
 
+    /// Bounded range scan over the keys starting with `prefix`: seeks to the
+    /// first candidate with `BTreeMap::range` and stops at the first key past
+    /// the prefix, so the cost is O(log n + matches) instead of a full-store
+    /// walk per call.
+    fn prefix_range<'a>(
+        &'a self,
+        prefix: &'a str,
+    ) -> impl Iterator<Item = (&'a String, &'a KeyHistory)> + 'a {
+        self.keys
+            .range(prefix.to_string()..)
+            .take_while(move |(k, _)| k.starts_with(prefix))
+    }
+
     /// Applies one command at commit instant `now` and returns its reply.
     pub fn apply(&mut self, signed: &SignedCommand, now: SimInstant) -> Reply {
         let who = &signed.issuer;
         match &signed.command {
-            Command::Put { key, value } => self.apply_put(key, value.clone(), who, None, now),
+            Command::Put { key, value } => self.apply_put(key, Arc::clone(value), who, None, now),
             Command::Cas {
                 key,
                 expected,
                 value,
-            } => self.apply_put(key, value.clone(), who, Some(*expected), now),
+            } => self.apply_put(key, Arc::clone(value), who, Some(*expected), now),
             Command::CreateEphemeral {
                 key,
                 value,
                 session,
                 expires_at,
-            } => self.apply_create_ephemeral(key, value.clone(), session, *expires_at, who, now),
+            } => {
+                self.apply_create_ephemeral(key, Arc::clone(value), session, *expires_at, who, now)
+            }
             Command::Delete { key } => self.apply_delete(key, who, now),
-            Command::SetAcl { key, acl } => self.apply_set_acl(key, acl.clone(), who, now),
+            Command::SetAcl { key, acl } => self.apply_set_acl(key, Arc::clone(acl), who, now),
             Command::RenamePrefix {
                 old_prefix,
                 new_prefix,
@@ -136,31 +199,21 @@ impl TupleStore {
         let state = history
             .state_at(now)
             .ok_or_else(|| CoordError::not_found(key))?;
-        if &state.owner != who && !state.acl.allows(who, Permission::Read) {
+        if !state.readable_by(who) {
             return Err(CoordError::AccessDenied {
                 key: key.to_string(),
                 account: who.to_string(),
             });
         }
-        Ok(Entry {
-            key: key.to_string(),
-            value: state.value.clone(),
-            version: state.version,
-            owner: state.owner.clone(),
-            acl: state.acl.clone(),
-            ephemeral: state.ephemeral.clone(),
-            updated_at: history.updated_at(now).unwrap_or(SimInstant::EPOCH),
-        })
+        Ok(state.to_entry(key, history.updated_at(now).unwrap_or(SimInstant::EPOCH)))
     }
 
     /// Lists the keys with `prefix` that `who` may read, as seen at `now`.
     pub fn list(&self, prefix: &str, who: &AccountId, now: SimInstant) -> Vec<String> {
-        self.keys
-            .iter()
-            .filter(|(k, _)| k.starts_with(prefix))
+        self.prefix_range(prefix)
             .filter_map(|(k, h)| {
                 h.state_at(now).and_then(|s| {
-                    if &s.owner == who || s.acl.allows(who, Permission::Read) {
+                    if s.readable_by(who) {
                         Some(k.clone())
                     } else {
                         None
@@ -186,10 +239,130 @@ impl TupleStore {
             .sum()
     }
 
+    /// ABD read phase at one replica: the register timestamp (the highest
+    /// version ever assigned, so deletions and lease expiries never move it
+    /// backwards) and the live state, read as of instant `now`.
+    pub(crate) fn abd_snapshot(
+        &self,
+        key: &str,
+        now: SimInstant,
+    ) -> (u64, Option<EntryState>, Option<SimInstant>) {
+        match self.keys.get(key) {
+            Some(history) => (
+                history.max_version(),
+                history.state_at(now).cloned(),
+                history.updated_at(now),
+            ),
+            None => (0, None, None),
+        }
+    }
+
+    /// ABD write-back at one replica: installs `state` (whose `version` must
+    /// carry the register timestamp) iff the timestamp is newer than anything
+    /// this replica has seen for the key. Returns whether it was installed.
+    pub(crate) fn abd_install(&mut self, key: &str, state: EntryState, now: SimInstant) -> bool {
+        let history = self.keys.entry(key.to_string()).or_default();
+        if state.version <= history.max_version() {
+            return false;
+        }
+        history.push(HistoryEvent {
+            at: now,
+            state: Some(state),
+        });
+        true
+    }
+
+    /// ABD write phase at one replica: checks write permission against the
+    /// replica's current state, then installs the value at timestamp `ts`
+    /// (preserving the current owner and ACL on overwrite).
+    pub(crate) fn abd_write(
+        &mut self,
+        key: &str,
+        ts: u64,
+        value: Arc<[u8]>,
+        who: &AccountId,
+        now: SimInstant,
+    ) -> AbdWriteOutcome {
+        let history = self.keys.entry(key.to_string()).or_default();
+        let current = history.state_at(now).cloned();
+        if let Some(cur) = &current {
+            if !cur.writable_by(who) {
+                return AbdWriteOutcome::Denied;
+            }
+        }
+        if ts <= history.max_version() {
+            return AbdWriteOutcome::Stale;
+        }
+        let state = EntryState {
+            value,
+            version: ts,
+            owner: current
+                .as_ref()
+                .map(|c| c.owner.clone())
+                .unwrap_or_else(|| who.clone()),
+            acl: current
+                .map(|c| c.acl)
+                .unwrap_or_else(|| Arc::new(Acl::private())),
+            ephemeral: None,
+        };
+        history.push(HistoryEvent {
+            at: now,
+            state: Some(state),
+        });
+        AbdWriteOutcome::Installed
+    }
+
+    /// Snapshot of every live entry under `prefix` at `now`, with its
+    /// register timestamp — the collect phase of a cross-shard rename.
+    pub(crate) fn collect_prefix(
+        &self,
+        prefix: &str,
+        now: SimInstant,
+    ) -> Vec<(String, u64, EntryState)> {
+        self.prefix_range(prefix)
+            .filter_map(|(k, h)| {
+                h.state_at(now)
+                    .map(|s| (k.clone(), h.max_version(), s.clone()))
+            })
+            .collect()
+    }
+
+    /// Apply phase of a cross-shard rename on one replica: tombstones the
+    /// `deletes` and installs the `inserts` (fresh version at the target key)
+    /// at one commit instant. Permission checks happen in the collect phase,
+    /// before any shard mutates.
+    pub(crate) fn apply_rename_batch(
+        &mut self,
+        deletes: &[String],
+        inserts: &[(String, EntryState)],
+        now: SimInstant,
+    ) {
+        for key in deletes {
+            self.keys
+                .entry(key.clone())
+                .or_default()
+                .push(HistoryEvent {
+                    at: now,
+                    state: None,
+                });
+        }
+        for (key, state) in inserts {
+            let target = self.keys.entry(key.clone()).or_default();
+            let version = target.max_version().max(state.version) + 1;
+            target.push(HistoryEvent {
+                at: now,
+                state: Some(EntryState {
+                    version,
+                    ..state.clone()
+                }),
+            });
+        }
+    }
+
     fn apply_put(
         &mut self,
         key: &str,
-        value: Vec<u8>,
+        value: Arc<[u8]>,
         who: &AccountId,
         expected: Option<Option<u64>>,
         now: SimInstant,
@@ -228,7 +401,7 @@ impl TupleStore {
 
         // Access control for overwrites.
         if let Some(cur) = &current {
-            if &cur.owner != who && !cur.acl.allows(who, Permission::Write) {
+            if !cur.writable_by(who) {
                 return Reply::Error(CoordError::AccessDenied {
                     key: key.to_string(),
                     account: who.to_string(),
@@ -244,7 +417,9 @@ impl TupleStore {
                 .as_ref()
                 .map(|c| c.owner.clone())
                 .unwrap_or_else(|| who.clone()),
-            acl: current.map(|c| c.acl).unwrap_or_else(Acl::private),
+            acl: current
+                .map(|c| c.acl)
+                .unwrap_or_else(|| Arc::new(Acl::private())),
             ephemeral: None,
         };
         history.push(HistoryEvent {
@@ -257,7 +432,7 @@ impl TupleStore {
     fn apply_create_ephemeral(
         &mut self,
         key: &str,
-        value: Vec<u8>,
+        value: Arc<[u8]>,
         session: &SessionId,
         expires_at: SimInstant,
         who: &AccountId,
@@ -285,7 +460,7 @@ impl TupleStore {
                 value,
                 version: new_version,
                 owner: who.clone(),
-                acl: Acl::private(),
+                acl: Arc::new(Acl::private()),
                 ephemeral: Some((session.clone(), expires_at)),
             }),
         });
@@ -299,7 +474,7 @@ impl TupleStore {
         let Some(current) = history.state_at(now) else {
             return Reply::Error(CoordError::not_found(key));
         };
-        if &current.owner != who && !current.acl.allows(who, Permission::Write) {
+        if !current.writable_by(who) {
             return Reply::Error(CoordError::AccessDenied {
                 key: key.to_string(),
                 account: who.to_string(),
@@ -312,7 +487,13 @@ impl TupleStore {
         Reply::Unit
     }
 
-    fn apply_set_acl(&mut self, key: &str, acl: Acl, who: &AccountId, now: SimInstant) -> Reply {
+    fn apply_set_acl(
+        &mut self,
+        key: &str,
+        acl: Arc<Acl>,
+        who: &AccountId,
+        now: SimInstant,
+    ) -> Reply {
         let Some(history) = self.keys.get_mut(key) else {
             return Reply::Error(CoordError::not_found(key));
         };
@@ -347,17 +528,18 @@ impl TupleStore {
         if old_prefix.is_empty() {
             return Reply::Error(CoordError::invalid("empty rename prefix"));
         }
+        // Bounded range scan: only the keys under the prefix are visited,
+        // instead of cloning every matching key out of a full-store walk.
         let affected: Vec<String> = self
-            .keys
-            .iter()
-            .filter(|(k, h)| k.starts_with(old_prefix) && h.state_at(now).is_some())
+            .prefix_range(old_prefix)
+            .filter(|(_, h)| h.state_at(now).is_some())
             .map(|(k, _)| k.clone())
             .collect();
 
         // Check permissions up front so the rename is all-or-nothing.
         for key in &affected {
             let state = self.keys[key].state_at(now).expect("filtered above");
-            if &state.owner != who && !state.acl.allows(who, Permission::Write) {
+            if !state.writable_by(who) {
                 return Reply::Error(CoordError::AccessDenied {
                     key: key.clone(),
                     account: who.to_string(),
@@ -407,6 +589,10 @@ mod tests {
         SimInstant::from_secs(secs)
     }
 
+    fn val(bytes: &[u8]) -> Arc<[u8]> {
+        bytes.into()
+    }
+
     #[test]
     fn put_and_get_round_trip() {
         let mut store = TupleStore::new();
@@ -415,7 +601,7 @@ mod tests {
                 "alice",
                 Command::Put {
                     key: "/f".into(),
-                    value: b"meta".to_vec(),
+                    value: val(b"meta"),
                 },
             ),
             t(1),
@@ -435,7 +621,7 @@ mod tests {
                 "alice",
                 Command::Put {
                     key: "/f".into(),
-                    value: b"v1".to_vec(),
+                    value: val(b"v1"),
                 },
             ),
             t(1),
@@ -445,7 +631,7 @@ mod tests {
                 "alice",
                 Command::Put {
                     key: "/f".into(),
-                    value: b"v2".to_vec(),
+                    value: val(b"v2"),
                 },
             ),
             t(10),
@@ -471,7 +657,7 @@ mod tests {
                 Command::Cas {
                     key: "/f".into(),
                     expected: None,
-                    value: b"v1".to_vec(),
+                    value: val(b"v1"),
                 },
             ),
             t(1),
@@ -484,7 +670,7 @@ mod tests {
                 Command::Cas {
                     key: "/f".into(),
                     expected: None,
-                    value: b"v1".to_vec(),
+                    value: val(b"v1"),
                 },
             ),
             t(2),
@@ -497,7 +683,7 @@ mod tests {
                 Command::Cas {
                     key: "/f".into(),
                     expected: Some(9),
-                    value: b"v2".to_vec(),
+                    value: val(b"v2"),
                 },
             ),
             t(3),
@@ -512,7 +698,7 @@ mod tests {
                 Command::Cas {
                     key: "/f".into(),
                     expected: Some(1),
-                    value: b"v2".to_vec(),
+                    value: val(b"v2"),
                 },
             ),
             t(4),
@@ -529,7 +715,7 @@ mod tests {
                 Command::Cas {
                     key: "/missing".into(),
                     expected: Some(1),
-                    value: vec![],
+                    value: val(b""),
                 },
             ),
             t(1),
@@ -548,7 +734,7 @@ mod tests {
                 "alice",
                 Command::Put {
                     key: "/f".into(),
-                    value: b"v".to_vec(),
+                    value: val(b"v"),
                 },
             ),
             t(1),
@@ -563,7 +749,7 @@ mod tests {
                 "bob",
                 Command::Put {
                     key: "/f".into(),
-                    value: b"x".to_vec(),
+                    value: val(b"x"),
                 },
             ),
             t(2),
@@ -577,7 +763,7 @@ mod tests {
                 "alice",
                 Command::SetAcl {
                     key: "/f".into(),
-                    acl,
+                    acl: acl.into(),
                 },
             ),
             t(3),
@@ -588,7 +774,7 @@ mod tests {
                 "bob",
                 Command::Put {
                     key: "/f".into(),
-                    value: b"x".to_vec(),
+                    value: val(b"x"),
                 },
             ),
             t(4),
@@ -600,7 +786,7 @@ mod tests {
                 "bob",
                 Command::SetAcl {
                     key: "/f".into(),
-                    acl: Acl::private(),
+                    acl: Acl::private().into(),
                 },
             ),
             t(5),
@@ -616,7 +802,7 @@ mod tests {
                 "alice",
                 Command::CreateEphemeral {
                     key: "/lock/f".into(),
-                    value: vec![],
+                    value: val(b""),
                     session: SessionId::new("s1"),
                     expires_at: t(10),
                 },
@@ -630,7 +816,7 @@ mod tests {
                 "bob",
                 Command::CreateEphemeral {
                     key: "/lock/f".into(),
-                    value: vec![],
+                    value: val(b""),
                     session: SessionId::new("s2"),
                     expires_at: t(20),
                 },
@@ -645,7 +831,7 @@ mod tests {
                 "bob",
                 Command::CreateEphemeral {
                     key: "/lock/f".into(),
-                    value: vec![],
+                    value: val(b""),
                     session: SessionId::new("s2"),
                     expires_at: t(30),
                 },
@@ -667,7 +853,7 @@ mod tests {
                 "a",
                 Command::Put {
                     key: "/x".into(),
-                    value: vec![1],
+                    value: val(&[1]),
                 },
             ),
             t(1),
@@ -692,7 +878,7 @@ mod tests {
                     "alice",
                     Command::Put {
                         key: k.into(),
-                        value: v.as_bytes().to_vec(),
+                        value: val(v.as_bytes()),
                     },
                 ),
                 t(1),
@@ -736,7 +922,7 @@ mod tests {
                 "alice",
                 Command::Put {
                     key: "/dir/a".into(),
-                    value: vec![],
+                    value: val(b""),
                 },
             ),
             t(1),
@@ -763,7 +949,7 @@ mod tests {
                 "alice",
                 Command::Put {
                     key: "/m/a".into(),
-                    value: vec![0; 100],
+                    value: val(&[0; 100]),
                 },
             ),
             t(1),
@@ -773,7 +959,7 @@ mod tests {
                 "alice",
                 Command::Put {
                     key: "/m/b".into(),
-                    value: vec![0; 50],
+                    value: val(&[0; 50]),
                 },
             ),
             t(1),
@@ -786,6 +972,31 @@ mod tests {
     }
 
     #[test]
+    fn list_range_scan_matches_only_the_prefix() {
+        let mut store = TupleStore::new();
+        // Keys that sort before, inside and after the prefix range; "/mz"
+        // sorts after every "/m/…" key and must not match "/m/".
+        for k in ["/a", "/m/1", "/m/2", "/m0", "/mz", "/z"] {
+            store.apply(
+                &signed(
+                    "alice",
+                    Command::Put {
+                        key: k.into(),
+                        value: val(b"x"),
+                    },
+                ),
+                t(1),
+            );
+        }
+        assert_eq!(
+            store.list("/m/", &"alice".into(), t(2)),
+            vec!["/m/1".to_string(), "/m/2".to_string()]
+        );
+        assert_eq!(store.list("/", &"alice".into(), t(2)).len(), 6);
+        assert!(store.list("/q", &"alice".into(), t(2)).is_empty());
+    }
+
+    #[test]
     fn empty_keys_rejected() {
         let mut store = TupleStore::new();
         assert!(matches!(
@@ -794,7 +1005,7 @@ mod tests {
                     "a",
                     Command::Put {
                         key: "".into(),
-                        value: vec![]
+                        value: val(b"")
                     }
                 ),
                 t(1)
@@ -814,5 +1025,64 @@ mod tests {
             ),
             Reply::Error(CoordError::InvalidRequest { .. })
         ));
+    }
+
+    #[test]
+    fn abd_snapshot_install_and_write() {
+        let mut store = TupleStore::new();
+        let (ts, state, _) = store.abd_snapshot("/r", t(1));
+        assert_eq!(ts, 0);
+        assert!(state.is_none());
+
+        // A fresh ABD write installs at its timestamp.
+        let outcome = store.abd_write("/r", 5 << 20, val(b"v1"), &"alice".into(), t(1));
+        assert_eq!(outcome, AbdWriteOutcome::Installed);
+        let (ts, state, _) = store.abd_snapshot("/r", t(2));
+        assert_eq!(ts, 5 << 20);
+        assert_eq!(&*state.unwrap().value, b"v1");
+
+        // A stale write (lower ts) is acknowledged without changing state.
+        let outcome = store.abd_write("/r", 3 << 20, val(b"old"), &"alice".into(), t(3));
+        assert_eq!(outcome, AbdWriteOutcome::Stale);
+        assert_eq!(store.get("/r", &"alice".into(), t(4)).unwrap().value, b"v1");
+
+        // A non-owner without write permission is denied.
+        let outcome = store.abd_write("/r", 9 << 20, val(b"evil"), &"bob".into(), t(5));
+        assert_eq!(outcome, AbdWriteOutcome::Denied);
+
+        // Write-back installs an exact state only if its ts is newer.
+        let (_, state, _) = store.abd_snapshot("/r", t(5));
+        let mut wb = state.unwrap();
+        assert!(!store.abd_install("/r", wb.clone(), t(6)), "same ts: no-op");
+        wb.version = 7 << 20;
+        assert!(store.abd_install("/r", wb, t(6)));
+        let (ts, _, _) = store.abd_snapshot("/r", t(7));
+        assert_eq!(ts, 7 << 20);
+    }
+
+    #[test]
+    fn rename_batch_moves_state_across_stores() {
+        let mut src = TupleStore::new();
+        let mut dst = TupleStore::new();
+        src.apply(
+            &signed(
+                "alice",
+                Command::Put {
+                    key: "/dir/a".into(),
+                    value: val(b"1"),
+                },
+            ),
+            t(1),
+        );
+        let collected = src.collect_prefix("/dir/", t(2));
+        assert_eq!(collected.len(), 1);
+        let (key, _, state) = collected.into_iter().next().unwrap();
+        assert_eq!(key, "/dir/a");
+        src.apply_rename_batch(&[key], &[], t(3));
+        dst.apply_rename_batch(&[], &[("/new/a".into(), state)], t(3));
+        assert!(src.get("/dir/a", &"alice".into(), t(4)).is_err());
+        let moved = dst.get("/new/a", &"alice".into(), t(4)).unwrap();
+        assert_eq!(moved.value, b"1");
+        assert_eq!(moved.owner, AccountId::new("alice"));
     }
 }

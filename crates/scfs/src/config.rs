@@ -159,6 +159,12 @@ pub struct ScfsConfig {
     pub anchor_read_retries: usize,
     /// Back-off between consistency-anchor read retries.
     pub anchor_retry_backoff: SimDuration,
+    /// Number of shards the coordination plane partitions the metadata
+    /// namespace over (`coord::sharded::ShardTopology`). `1` keeps the
+    /// paper's single consistency-anchor deployment; larger values route
+    /// metadata tuples across that many ABD register groups by directory
+    /// hash, scaling aggregate metadata throughput near-linearly.
+    pub metadata_shards: usize,
 }
 
 impl ScfsConfig {
@@ -183,7 +189,14 @@ impl ScfsConfig {
             },
             anchor_read_retries: 50,
             anchor_retry_backoff: SimDuration::from_millis(200),
+            metadata_shards: 1,
         }
+    }
+
+    /// Partitions the metadata namespace over `shards` register groups.
+    pub fn with_metadata_shards(mut self, shards: usize) -> Self {
+        self.metadata_shards = shards.max(1);
+        self
     }
 
     /// A configuration with no syscall overhead and no caches expiring, for

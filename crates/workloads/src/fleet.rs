@@ -22,6 +22,7 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use coord::sharded::ShardTopology;
 use scfs::agent::ScfsAgent;
 use scfs::cache::TieredStats;
 use scfs::config::{Mode, ScfsConfig};
@@ -413,6 +414,354 @@ pub fn run_fleet(cfg: &FleetConfig) -> FleetReport {
     }
 }
 
+/// Weights of the metadata-heavy operation mix. Draws are proportional to
+/// the weights; they need not sum to one.
+#[derive(Debug, Clone, Copy)]
+pub struct MetadataMix {
+    /// `stat` of a populated file.
+    pub stat: f64,
+    /// `open(read-only)` + `close` of a populated file.
+    pub open: f64,
+    /// `mkdir` of a fresh, uniquely named directory.
+    pub mkdir: f64,
+    /// `rename` of the mount's private file (never contended).
+    pub rename: f64,
+}
+
+impl MetadataMix {
+    /// A stat-dominated storm, the shape of a build/indexer scan with some
+    /// namespace churn.
+    pub fn storm() -> Self {
+        MetadataMix {
+            stat: 0.55,
+            open: 0.25,
+            mkdir: 0.12,
+            rename: 0.08,
+        }
+    }
+
+    fn draw(&self, rng: &mut DetRng) -> MetadataOp {
+        let total = self.stat + self.open + self.mkdir + self.rename;
+        let mut u = rng.next_f64() * total;
+        for (weight, op) in [
+            (self.stat, MetadataOp::Stat),
+            (self.open, MetadataOp::Open),
+            (self.mkdir, MetadataOp::Mkdir),
+        ] {
+            if u < weight {
+                return op;
+            }
+            u -= weight;
+        }
+        MetadataOp::Rename
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MetadataOp {
+    Stat,
+    Open,
+    Mkdir,
+    Rename,
+}
+
+/// Configuration of one metadata-heavy fleet run over the sharded plane.
+#[derive(Debug, Clone)]
+pub struct MetadataFleetConfig {
+    /// Storage backend (data-path traffic is negligible here, but files
+    /// still live somewhere).
+    pub backend: Backend,
+    /// SCFS operation mode (must use coordination).
+    pub mode: Mode,
+    /// The coordination plane's `shards × replicas` topology.
+    pub topology: ShardTopology,
+    /// Total simulated mounts (clients).
+    pub mounts: usize,
+    /// Teams for the overlapping-directory variant (ignored when
+    /// `disjoint_dirs`).
+    pub teams: usize,
+    /// Files populated in each mount's (or team's) directory.
+    pub files_per_dir: usize,
+    /// Metadata operations each mount issues after the population epoch.
+    pub ops_per_mount: usize,
+    /// Operation mix weights.
+    pub mix: MetadataMix,
+    /// `true`: every mount works in its own home directory (the shard-
+    /// scaling case). `false`: mounts share team directories, so directory
+    /// hashing concentrates the load on few shards (the contrast case).
+    pub disjoint_dirs: bool,
+    /// Skew of the zipfian file-popularity draw within a directory.
+    pub zipf_theta: f64,
+    /// Mean think time between a mount's operations.
+    pub mean_think: SimDuration,
+    /// The agent configuration every mount uses. Set
+    /// `metadata_cache_expiry` to zero so every `stat` actually reaches the
+    /// coordination plane — with the 500 ms paper cache, a metadata storm
+    /// mostly measures the client cache instead.
+    pub scfs: ScfsConfig,
+    /// Master seed: same seed, same trace.
+    pub seed: u64,
+}
+
+impl MetadataFleetConfig {
+    /// A small, fast configuration (CI smoke and unit tests) over `shards`
+    /// instantaneous register groups.
+    pub fn smoke(shards: usize) -> Self {
+        let mut scfs = ScfsConfig::test(Mode::Blocking);
+        scfs.metadata_cache_expiry = SimDuration::ZERO;
+        MetadataFleetConfig {
+            backend: Backend::Aws,
+            mode: Mode::Blocking,
+            topology: ShardTopology::test(shards),
+            mounts: 12,
+            teams: 3,
+            files_per_dir: 8,
+            ops_per_mount: 6,
+            mix: MetadataMix::storm(),
+            disjoint_dirs: true,
+            zipf_theta: 0.8,
+            mean_think: SimDuration::from_millis(50),
+            scfs,
+            seed: 0x5CA1E,
+        }
+    }
+}
+
+/// What one metadata-heavy fleet run measured.
+#[derive(Debug, Clone)]
+pub struct MetadataFleetReport {
+    /// Mounts simulated.
+    pub mounts: usize,
+    /// Shards of the coordination plane.
+    pub shards: usize,
+    /// `stat` calls executed.
+    pub stats: u64,
+    /// `open`+`close` pairs executed.
+    pub opens: u64,
+    /// Directories created.
+    pub mkdirs: u64,
+    /// Renames executed.
+    pub renames: u64,
+    /// Operations refused by lock contention (counted, not retried).
+    pub conflicts: u64,
+    /// Virtual time from the population epoch to the last mount's last op.
+    pub makespan: SimDuration,
+    /// Per-operation-class latency summaries: `stat`, `open`, `mkdir` and
+    /// `rename` are recorded separately so shard-scaling claims can be made
+    /// per class, not over one folded histogram.
+    pub recorder: OpRecorder,
+    /// FNV-1a trace hash: same seed, same trace.
+    pub trace_hash: u64,
+}
+
+impl MetadataFleetReport {
+    /// Metadata operations executed in total.
+    pub fn ops_executed(&self) -> u64 {
+        self.stats + self.opens + self.mkdirs + self.renames
+    }
+
+    /// Aggregate metadata operations per virtual second over the makespan.
+    pub fn throughput(&self) -> f64 {
+        let secs = self.makespan.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.ops_executed() as f64 / secs
+        }
+    }
+}
+
+struct MetadataMountState {
+    agent: ScfsAgent,
+    rng: DetRng,
+    dir: String,
+    remaining: usize,
+    dirs_made: usize,
+    own_version: usize,
+}
+
+/// The directory and account a mount works in.
+fn metadata_home(cfg: &MetadataFleetConfig, mount: usize) -> (String, String) {
+    if cfg.disjoint_dirs {
+        (format!("u{mount}"), format!("/u{mount}"))
+    } else {
+        let team = mount % cfg.teams;
+        (format!("team{team}"), format!("/t{team}/shared"))
+    }
+}
+
+/// Runs one metadata-heavy fleet: populates every working directory, then
+/// drives all mounts through stat/open/mkdir/rename storms in virtual-time
+/// order over the sharded coordination plane.
+///
+/// # Panics
+///
+/// Panics if the configuration is inconsistent (a non-coordinated mode, no
+/// mounts, no files) or if the file system returns an error other than a
+/// lock conflict.
+pub fn run_fleet_metadata(cfg: &MetadataFleetConfig) -> MetadataFleetReport {
+    assert!(
+        cfg.mode.uses_coordination(),
+        "the metadata plane is the system under test; Mode::NonSharing bypasses it"
+    );
+    assert!(cfg.mounts > 0, "need at least one mount");
+    assert!(cfg.files_per_dir > 0, "need files to stat and open");
+    assert!(
+        cfg.disjoint_dirs || cfg.teams > 0,
+        "overlapping directories need at least one team"
+    );
+
+    let env = SharedScfsEnv::with_topology(cfg.backend, cfg.mode, cfg.topology.clone(), cfg.seed);
+
+    // Population: each mount mounts its account; the owner of each working
+    // directory (every mount when disjoint, the first mount of each team
+    // when overlapping) creates the stat/open targets, and every mount
+    // creates the private file its renames will churn.
+    let mut epoch = SimInstant::EPOCH;
+    let mut mounts: Vec<MetadataMountState> = (0..cfg.mounts)
+        .map(|m| {
+            let (account, dir) = metadata_home(cfg, m);
+            let mut agent = env.mount(
+                &account,
+                cfg.scfs.clone(),
+                cfg.seed.wrapping_add(0xA11CE).wrapping_add(m as u64),
+            );
+            let populates_dir = cfg.disjoint_dirs || m < cfg.teams;
+            if populates_dir {
+                // `mkdir` (unlike `write_file`) checks its parent, so the
+                // working directory must exist before the storm's mkdirs.
+                if let Some(parent) = dir.rfind('/').filter(|&p| p > 0).map(|p| &dir[..p]) {
+                    agent.mkdir(parent).expect("fresh team parent directory");
+                }
+                agent.mkdir(&dir).expect("fresh working directory");
+                for f in 0..cfg.files_per_dir {
+                    let data = file_payload(m, f, 256);
+                    agent
+                        .write_file(&format!("{dir}/f{f}"), &data)
+                        .expect("population writes cannot conflict");
+                }
+            }
+            agent
+                .write_file(&format!("{dir}/own_m{m}_v0"), &file_payload(m, !0, 64))
+                .expect("private file creation cannot conflict");
+            epoch = epoch.max(agent.now()).max(agent.background_drain_instant());
+            let rng = DetRng::new(cfg.seed ^ (m as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            MetadataMountState {
+                agent,
+                rng,
+                dir,
+                remaining: cfg.ops_per_mount,
+                dirs_made: 0,
+                own_version: 0,
+            }
+        })
+        .collect();
+    let epoch = epoch + SimDuration::from_secs(1);
+
+    // Staggered arrivals past the population epoch.
+    for st in mounts.iter_mut() {
+        let arrival =
+            epoch
+                .duration_since(st.agent.now())
+                .saturating_add(SimDuration::from_secs_f64(
+                    st.rng.exponential(cfg.mean_think.as_secs_f64()),
+                ));
+        st.agent.sleep(arrival);
+    }
+
+    let zipf = Zipf::new(cfg.files_per_dir, cfg.zipf_theta);
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = mounts
+        .iter()
+        .enumerate()
+        .map(|(idx, st)| Reverse((st.agent.now().as_nanos(), idx)))
+        .collect();
+    let mut recorder = OpRecorder::new();
+    let (mut stats, mut opens, mut mkdirs, mut renames, mut conflicts) =
+        (0u64, 0u64, 0u64, 0u64, 0u64);
+    let mut trace_hash = 0xcbf2_9ce4_8422_2325u64;
+
+    while let Some(Reverse((_, idx))) = heap.pop() {
+        let st = &mut mounts[idx];
+        if st.remaining == 0 {
+            continue;
+        }
+        st.remaining -= 1;
+        let op = cfg.mix.draw(&mut st.rng);
+        let t0 = st.agent.now();
+        match op {
+            MetadataOp::Stat => {
+                let file = zipf.sample(&mut st.rng);
+                let path = format!("{}/f{file}", st.dir);
+                st.agent.stat(&path).expect("populated files stat");
+                recorder.record("stat", st.agent.now().duration_since(t0));
+                stats += 1;
+                fnv_mix(&mut trace_hash, file as u64);
+            }
+            MetadataOp::Open => {
+                let file = zipf.sample(&mut st.rng);
+                let path = format!("{}/f{file}", st.dir);
+                let handle = st
+                    .agent
+                    .open(&path, OpenFlags::read_only())
+                    .expect("populated files open for read");
+                st.agent.close(handle).expect("close clean handle");
+                recorder.record("open", st.agent.now().duration_since(t0));
+                opens += 1;
+                fnv_mix(&mut trace_hash, file as u64);
+            }
+            MetadataOp::Mkdir => {
+                let path = format!("{}/m{idx}_d{}", st.dir, st.dirs_made);
+                st.dirs_made += 1;
+                st.agent.mkdir(&path).expect("fresh directory names");
+                recorder.record("mkdir", st.agent.now().duration_since(t0));
+                mkdirs += 1;
+                fnv_mix(&mut trace_hash, st.dirs_made as u64);
+            }
+            MetadataOp::Rename => {
+                let from = format!("{}/own_m{idx}_v{}", st.dir, st.own_version);
+                let to = format!("{}/own_m{idx}_v{}", st.dir, st.own_version + 1);
+                match st.agent.rename(&from, &to) {
+                    Ok(()) => {
+                        st.own_version += 1;
+                        recorder.record("rename", st.agent.now().duration_since(t0));
+                        renames += 1;
+                    }
+                    Err(ScfsError::Locked { .. }) => conflicts += 1,
+                    Err(e) => panic!("metadata fleet rename failed: {e}"),
+                }
+                fnv_mix(&mut trace_hash, st.own_version as u64);
+            }
+        }
+        fnv_mix(&mut trace_hash, idx as u64);
+        fnv_mix(&mut trace_hash, st.agent.now().as_nanos());
+        if st.remaining > 0 {
+            let think =
+                SimDuration::from_secs_f64(st.rng.exponential(cfg.mean_think.as_secs_f64()));
+            st.agent.sleep(think);
+            heap.push(Reverse((st.agent.now().as_nanos(), idx)));
+        }
+    }
+
+    let end = mounts
+        .iter()
+        .map(|st| st.agent.now())
+        .max()
+        .unwrap_or(epoch)
+        .max(epoch);
+    MetadataFleetReport {
+        mounts: cfg.mounts,
+        shards: cfg.topology.shards,
+        stats,
+        opens,
+        mkdirs,
+        renames,
+        conflicts,
+        makespan: end.duration_since(epoch),
+        recorder,
+        trace_hash,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -475,5 +824,66 @@ mod tests {
         assert!(report.throughput() > 0.0);
         let lookups = report.cache.memory.hits + report.cache.memory.misses;
         assert!(lookups > 0, "reads must touch the cache");
+    }
+
+    #[test]
+    fn metadata_mix_draw_covers_all_ops() {
+        let mix = MetadataMix::storm();
+        let mut rng = DetRng::new(7);
+        let mut seen = [false; 4];
+        for _ in 0..512 {
+            let op = mix.draw(&mut rng);
+            seen[match op {
+                MetadataOp::Stat => 0,
+                MetadataOp::Open => 1,
+                MetadataOp::Mkdir => 2,
+                MetadataOp::Rename => 3,
+            }] = true;
+        }
+        assert_eq!(seen, [true; 4], "every op class must be drawable");
+    }
+
+    #[test]
+    fn metadata_smoke_runs_and_records_per_op_classes() {
+        let cfg = MetadataFleetConfig::smoke(2);
+        let report = run_fleet_metadata(&cfg);
+        assert_eq!(report.mounts, 12);
+        assert_eq!(report.shards, 2);
+        assert_eq!(
+            report.ops_executed() + report.conflicts,
+            (cfg.mounts * cfg.ops_per_mount) as u64
+        );
+        assert!(report.makespan > SimDuration::ZERO);
+        assert!(report.throughput() > 0.0);
+        // Satellite: per-op-class histograms, not one folded histogram. The
+        // smoke run is large enough that every class occurs.
+        for op in ["stat", "open", "mkdir", "rename"] {
+            assert!(
+                report.recorder.summary(op).is_some(),
+                "missing recorder class {op}"
+            );
+        }
+    }
+
+    #[test]
+    fn metadata_overlapping_dirs_share_team_directories() {
+        let mut cfg = MetadataFleetConfig::smoke(2);
+        cfg.disjoint_dirs = false;
+        let report = run_fleet_metadata(&cfg);
+        assert_eq!(
+            report.ops_executed() + report.conflicts,
+            (cfg.mounts * cfg.ops_per_mount) as u64
+        );
+        assert!(report.stats + report.opens > 0);
+    }
+
+    #[test]
+    fn metadata_fleet_is_deterministic() {
+        let cfg = MetadataFleetConfig::smoke(3);
+        let a = run_fleet_metadata(&cfg);
+        let b = run_fleet_metadata(&cfg);
+        assert_eq!(a.trace_hash, b.trace_hash);
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.ops_executed(), b.ops_executed());
     }
 }

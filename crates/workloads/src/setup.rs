@@ -12,6 +12,7 @@ use cloud_store::sim_cloud::SimulatedCloud;
 use cloud_store::store::ObjectStore;
 use coord::replication::{ReplicatedCoordinator, ReplicationConfig};
 use coord::service::CoordinationService;
+use coord::sharded::{ShardTopology, ShardedCoordinator};
 use depsky::config::DepSkyConfig;
 use depsky::register::DepSkyClient;
 use scfs::agent::ScfsAgent;
@@ -112,6 +113,22 @@ impl SharedScfsEnv {
         }
     }
 
+    /// Builds a shared environment whose coordination plane uses an explicit
+    /// `shards × replicas` topology (the sharded metadata plane).
+    pub fn with_topology(backend: Backend, mode: Mode, topology: ShardTopology, seed: u64) -> Self {
+        let storage = build_storage(backend, seed);
+        let coordinator = if mode.uses_coordination() {
+            Some(Arc::new(ShardedCoordinator::new(topology, seed)) as Arc<dyn CoordinationService>)
+        } else {
+            None
+        };
+        SharedScfsEnv {
+            storage,
+            coordinator,
+            mode,
+        }
+    }
+
     /// Mounts an agent for `user` on this environment.
     pub fn mount(&self, user: &str, config: ScfsConfig, seed: u64) -> ScfsAgent {
         ScfsAgent::mount(
@@ -163,11 +180,38 @@ pub fn build_coordinator(backend: Backend, seed: u64) -> Arc<dyn CoordinationSer
     Arc::new(ReplicatedCoordinator::new(config, seed))
 }
 
+/// Builds the coordination service for a backend with `shards` register
+/// groups. `shards <= 1` keeps the paper's single-anchor deployment (same
+/// construction and seed as [`build_coordinator`], so existing trajectories
+/// are unchanged); more shards build the ABD metadata plane with a matching
+/// per-group fault model (crash-tolerant for AWS, Byzantine for CoC).
+pub fn build_coordinator_sharded(
+    backend: Backend,
+    shards: usize,
+    seed: u64,
+) -> Arc<dyn CoordinationService> {
+    if shards <= 1 {
+        return build_coordinator(backend, seed);
+    }
+    let group = match backend {
+        Backend::Aws => ReplicationConfig::metro_crash(1),
+        Backend::CloudOfClouds => ReplicationConfig::coc_byzantine(),
+    };
+    Arc::new(ShardedCoordinator::new(
+        ShardTopology::new(shards, group),
+        seed,
+    ))
+}
+
 /// Builds one SCFS variant with the paper's default configuration.
 pub fn build_scfs(backend: Backend, mode: Mode, config: ScfsConfig, seed: u64) -> ScfsAgent {
     let storage = build_storage(backend, seed);
     let coordinator = if mode.uses_coordination() {
-        Some(build_coordinator(backend, seed ^ 0x9999))
+        Some(build_coordinator_sharded(
+            backend,
+            config.metadata_shards,
+            seed ^ 0x9999,
+        ))
     } else {
         None
     };

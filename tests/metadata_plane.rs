@@ -1,0 +1,335 @@
+//! Integration tests of the sharded, quorum-replicated metadata plane — the
+//! acceptance criteria of the coordination-layer rebuild:
+//!
+//! * the namespace router is stable (same key, same shard, across router
+//!   instances and across processes — the hash is a pinned FNV-1a, not the
+//!   process-seeded std hasher) and balanced (no shard gets pathologically
+//!   more or fewer directories than the mean), property-tested;
+//! * the ABD register protocol is linearizable at the register level:
+//!   concurrent reads during a write return the old or the new value (never
+//!   a third one), reads that finish before the write starts return old,
+//!   reads that start after the write finishes return new, and once any
+//!   read returns new, no later non-overlapping read returns old
+//!   (property-tested over random schedules);
+//! * quorum reads stay correct with one crashed, partitioned or Byzantine
+//!   replica per group (the existing `FaultInjector` plumbing, wired
+//!   through `ShardedCoordinator::set_replica_fault`);
+//! * the sharded coordinator behaves like the single-anchor one end to end
+//!   (put/get/cas/list/rename across shard boundaries);
+//! * the metadata-heavy fleet mode scales with the shard count and records
+//!   per-op-class latencies.
+
+use proptest::prelude::*;
+use scfs_repro::cloud_store::store::OpCtx;
+use scfs_repro::coord::abd::RegisterGroup;
+use scfs_repro::coord::replication::ReplicationConfig;
+use scfs_repro::coord::router::{dirname, fnv1a, NamespaceRouter};
+use scfs_repro::coord::service::CoordinationService;
+use scfs_repro::coord::sharded::{ShardTopology, ShardedCoordinator};
+use scfs_repro::scfs::config::{Mode, ScfsConfig};
+use scfs_repro::sim_core::fault::FaultPlan;
+use scfs_repro::sim_core::time::{Clock, SimDuration, SimInstant};
+use scfs_repro::workloads::fleet::{run_fleet_metadata, MetadataFleetConfig};
+
+// ---------------------------------------------------------------------------
+// Router stability and balance
+// ---------------------------------------------------------------------------
+
+/// The routing hash is pinned FNV-1a: these reference vectors must never
+/// change, or a rolling upgrade would re-partition the namespace.
+#[test]
+fn router_hash_is_process_stable_fnv1a() {
+    assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+    assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+    assert_eq!(fnv1a(b"foobar"), 0x8594_4171_f739_67e8);
+    // The routing rule itself is pinned: hash of the directory component,
+    // modulo the shard count.
+    let router = NamespaceRouter::new(8);
+    for key in ["/scfs/meta/u7/f3", "/a/b/c", "rootless", "/top"] {
+        assert_eq!(
+            router.route(key),
+            (fnv1a(dirname(key).as_bytes()) % 8) as usize
+        );
+    }
+    // Lock keys route by full key, so each lock spreads independently of
+    // its directory.
+    assert_eq!(
+        router.route("/scfs/locks/u7/f3"),
+        (fnv1a(b"/scfs/locks/u7/f3") % 8) as usize
+    );
+}
+
+#[test]
+fn independent_router_instances_agree() {
+    let a = NamespaceRouter::new(5);
+    let b = NamespaceRouter::new(5);
+    for i in 0..200 {
+        let key = format!("/scfs/meta/dir{}/file{}", i % 17, i);
+        assert_eq!(a.route(&key), b.route(&key), "{key}");
+        // Same directory, same shard: the sibling always colocates.
+        assert_eq!(
+            a.route(&key),
+            a.route(&format!("/scfs/meta/dir{}/other", i % 17))
+        );
+    }
+}
+
+proptest! {
+    /// Any set of directories spreads over the shards without a
+    /// pathological hot or empty shard: every key in a directory lands on
+    /// that directory's shard, and directory counts stay within a loose
+    /// band around the mean.
+    #[test]
+    fn prop_router_balances_directories(salt in any::<u32>(), dirs in 256usize..512) {
+        let shards = 8usize;
+        let router = NamespaceRouter::new(shards);
+        let mut load = vec![0u64; shards];
+        for d in 0..dirs {
+            let dir = format!("/scfs/meta/team{salt}/project-{d}");
+            let shard = router.route(&format!("{dir}/README"));
+            prop_assert_eq!(shard, router.route(&format!("{dir}/src")), "{}", dir);
+            load[shard] += 1;
+        }
+        let mean = dirs as f64 / shards as f64;
+        let max = *load.iter().max().unwrap() as f64;
+        let min = *load.iter().min().unwrap() as f64;
+        prop_assert!(max <= 2.0 * mean, "hot shard: {max} of mean {mean} ({load:?})");
+        prop_assert!(min >= mean / 3.0, "starved shard: {min} of mean {mean} ({load:?})");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ABD linearizability
+// ---------------------------------------------------------------------------
+
+fn ctx_at<'a>(clock: &'a mut Clock, at: SimInstant, who: &str) -> OpCtx<'a> {
+    clock.advance_to(at);
+    OpCtx::new(clock, who.into())
+}
+
+proptest! {
+    /// Random read schedules around one write: every read returns the old
+    /// or the new value; reads strictly before the write see old, strictly
+    /// after see new; and new is never followed by old between
+    /// non-overlapping reads (the write-back makes reads linearization
+    /// points).
+    #[test]
+    fn prop_abd_reads_are_linearizable(seed in any::<u32>(), write_delay in 0u64..30, reads in collection::vec(0u64..150, 4..9)) {
+        let group = RegisterGroup::new(ReplicationConfig::metro_crash(1), seed as u64);
+        let base = SimInstant::from_secs(1);
+
+        // Install the old value well before the contention window.
+        let mut clock = Clock::new();
+        let mut ctx = OpCtx::new(&mut clock, "w".into());
+        group.write(&mut ctx, "/reg", b"old".to_vec().into()).unwrap();
+        prop_assert!(clock.now() < base, "initial write must settle before the window");
+
+        // One writer plus the readers, executed in virtual start order (the
+        // stores are time-indexed, so this interleaves them correctly).
+        let w_start = base + SimDuration::from_millis(write_delay);
+        #[derive(Debug)]
+        enum Op { Write, Read }
+        let mut schedule: Vec<(SimInstant, Op)> = vec![(w_start, Op::Write)];
+        for &r in &reads {
+            schedule.push((base + SimDuration::from_millis(r), Op::Read));
+        }
+        schedule.sort_by_key(|(at, _)| *at);
+
+        let mut write_span = None;
+        let mut read_log: Vec<(SimInstant, SimInstant, bool)> = Vec::new();
+        for (at, op) in schedule {
+            let mut clock = Clock::new();
+            match op {
+                Op::Write => {
+                    let mut ctx = ctx_at(&mut clock, at, "w");
+                    group.write(&mut ctx, "/reg", b"new".to_vec().into()).unwrap();
+                    write_span = Some((at, clock.now()));
+                }
+                Op::Read => {
+                    let mut ctx = ctx_at(&mut clock, at, "w");
+                    let entry = group.read(&mut ctx, "/reg").unwrap();
+                    prop_assert!(
+                        entry.value == b"old" || entry.value == b"new",
+                        "read returned a third value: {:?}",
+                        entry.value
+                    );
+                    read_log.push((at, clock.now(), entry.value == b"new"));
+                }
+            }
+        }
+
+        let (w_start, w_end) = write_span.unwrap();
+        for &(start, end, saw_new) in &read_log {
+            if end < w_start {
+                prop_assert!(!saw_new, "read finished before the write started but saw new");
+            }
+            if start > w_end {
+                prop_assert!(saw_new, "read started after the write finished but saw old");
+            }
+        }
+        // Monotonicity across non-overlapping read pairs.
+        for (i, &(_, end_a, new_a)) in read_log.iter().enumerate() {
+            for &(start_b, _, new_b) in &read_log[i + 1..] {
+                if end_a < start_b {
+                    prop_assert!(
+                        !new_a || new_b,
+                        "a read observed new, then a later read observed old"
+                    );
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fault masking through the sharded plane
+// ---------------------------------------------------------------------------
+
+#[test]
+fn reads_survive_a_crashed_replica_in_every_shard() {
+    let plane = ShardedCoordinator::new(ShardTopology::metro(2, 1), 11);
+    let mut clock = Clock::new();
+    let mut ctx = OpCtx::new(&mut clock, "alice".into());
+    for i in 0..8 {
+        plane
+            .put(&mut ctx, &format!("/d{i}/file"), vec![i as u8])
+            .unwrap();
+    }
+    // One of the three replicas of each group crashes: f = 1 is exactly the
+    // budget, so every read and write must still succeed.
+    let now = ctx.clock.now();
+    for shard in 0..2 {
+        plane.set_replica_fault(shard, 2, FaultPlan::crash_at(now), 5);
+    }
+    for i in 0..8 {
+        let entry = plane.get(&mut ctx, &format!("/d{i}/file")).unwrap();
+        assert_eq!(entry.value, vec![i as u8]);
+    }
+    plane.put(&mut ctx, "/d0/file", b"v2".to_vec()).unwrap();
+    assert_eq!(plane.get(&mut ctx, "/d0/file").unwrap().value, b"v2");
+}
+
+#[test]
+fn reads_outvote_a_byzantine_replica() {
+    // BFT f = 1: four replicas, reads need f + 1 = 2 matching replies, so a
+    // single lying replica can never form a winning vote.
+    let plane = ShardedCoordinator::new(
+        ShardTopology::new(2, ReplicationConfig::coc_byzantine()),
+        13,
+    );
+    let mut clock = Clock::new();
+    let mut ctx = OpCtx::new(&mut clock, "alice".into());
+    plane.put(&mut ctx, "/dir/file", b"truth".to_vec()).unwrap();
+    plane.set_replica_fault(
+        plane.router().route("/dir/file"),
+        0,
+        FaultPlan::always_byzantine(),
+        7,
+    );
+    for _ in 0..10 {
+        assert_eq!(plane.get(&mut ctx, "/dir/file").unwrap().value, b"truth");
+    }
+}
+
+#[test]
+fn reads_ride_out_a_replica_outage() {
+    let plane = ShardedCoordinator::new(ShardTopology::metro(1, 1), 17);
+    let mut clock = Clock::new();
+    let mut ctx = OpCtx::new(&mut clock, "alice".into());
+    plane.put(&mut ctx, "/dir/file", b"v1".to_vec()).unwrap();
+    let now = ctx.clock.now();
+    plane.set_replica_fault(
+        0,
+        1,
+        FaultPlan::outage(now, now + SimDuration::from_secs(60)),
+        3,
+    );
+    // During the outage the remaining two replicas form the quorum...
+    assert_eq!(plane.get(&mut ctx, "/dir/file").unwrap().value, b"v1");
+    plane.put(&mut ctx, "/dir/file", b"v2".to_vec()).unwrap();
+    // ...and after it ends, the recovered replica answers with a stale
+    // timestamp and is outvoted (and written back to).
+    clock.advance(SimDuration::from_secs(120));
+    let mut ctx = OpCtx::new(&mut clock, "alice".into());
+    assert_eq!(plane.get(&mut ctx, "/dir/file").unwrap().value, b"v2");
+}
+
+// ---------------------------------------------------------------------------
+// Sharded coordinator end to end
+// ---------------------------------------------------------------------------
+
+#[test]
+fn sharded_plane_serves_the_full_coordination_api() {
+    let plane = ShardedCoordinator::new(ShardTopology::test(4), 23);
+    let mut clock = Clock::new();
+    let mut ctx = OpCtx::new(&mut clock, "alice".into());
+
+    // Entries spread over shards but list unions them back together.
+    for d in 0..6 {
+        plane
+            .put(&mut ctx, &format!("/scfs/meta/d{d}/f"), vec![d as u8])
+            .unwrap();
+    }
+    let listed = plane.list(&mut ctx, "/scfs/meta/").unwrap();
+    assert_eq!(listed.len(), 6);
+
+    // CAS is serialized through the owning group's SMR lane and sees the
+    // versions the ABD lane produced.
+    let v = plane.get(&mut ctx, "/scfs/meta/d0/f").unwrap().version;
+    plane
+        .cas(&mut ctx, "/scfs/meta/d0/f", Some(v), b"cas".to_vec())
+        .unwrap();
+    assert!(plane
+        .cas(&mut ctx, "/scfs/meta/d0/f", Some(v), b"stale".to_vec())
+        .is_err());
+
+    // Rename moves a whole subtree across shard boundaries.
+    let moved = plane
+        .rename_prefix(&mut ctx, "/scfs/meta/d1", "/scfs/meta/renamed")
+        .unwrap();
+    assert_eq!(moved, 1);
+    assert!(plane.get(&mut ctx, "/scfs/meta/d1/f").is_err());
+    assert_eq!(
+        plane.get(&mut ctx, "/scfs/meta/renamed/f").unwrap().value,
+        vec![1]
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Fleet-mode shard scaling
+// ---------------------------------------------------------------------------
+
+/// A reduced version of the `metadata_plane` bench claim, fast enough for
+/// the test suite: 1 → 4 shards must at least double the metadata
+/// throughput of a saturating disjoint-directory storm, and every op class
+/// must be recorded separately.
+#[test]
+fn metadata_fleet_throughput_scales_with_shards() {
+    let run = |shards: usize| {
+        let mut cfg = MetadataFleetConfig::smoke(shards);
+        cfg.topology = ShardTopology::metro(shards, 1);
+        cfg.mounts = 48;
+        cfg.ops_per_mount = 12;
+        cfg.mean_think = SimDuration::from_millis(10);
+        let mut scfs = ScfsConfig::test(Mode::Blocking);
+        scfs.metadata_cache_expiry = SimDuration::ZERO;
+        cfg.scfs = scfs;
+        run_fleet_metadata(&cfg)
+    };
+    let narrow = run(1);
+    let wide = run(4);
+    let scaling = wide.throughput() / narrow.throughput();
+    assert!(
+        scaling >= 2.0,
+        "1→4 shards must at least double throughput, got {scaling:.2}x \
+         ({:.1} → {:.1} ops/s)",
+        narrow.throughput(),
+        wide.throughput()
+    );
+    for op in ["stat", "open", "mkdir", "rename"] {
+        assert!(
+            wide.recorder.summary(op).is_some(),
+            "missing per-op class {op}"
+        );
+    }
+}
