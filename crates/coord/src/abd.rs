@@ -97,6 +97,7 @@ impl RegisterGroup {
     pub fn new(config: ReplicationConfig, seed: u64) -> Self {
         config
             .validate()
+            // scfs-lint: allow(E002, constructor-time config validation is a programming error, not a runtime fault)
             .expect("replication configuration is inconsistent");
         let replicas = (0..config.replicas.len())
             .map(|_| {

@@ -234,6 +234,7 @@ impl ReplicatedCoordinator {
     pub fn new(config: ReplicationConfig, seed: u64) -> Self {
         config
             .validate()
+            // scfs-lint: allow(E002, constructor-time config validation is a programming error, not a runtime fault)
             .expect("replication configuration is inconsistent");
         let replica_faults = (0..config.replicas.len())
             .map(|_| Mutex::new(FaultInjector::inert()))

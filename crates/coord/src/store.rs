@@ -538,7 +538,9 @@ impl TupleStore {
 
         // Check permissions up front so the rename is all-or-nothing.
         for key in &affected {
-            let state = self.keys[key].state_at(now).expect("filtered above");
+            let Some(state) = self.keys.get(key).and_then(|h| h.state_at(now)) else {
+                continue;
+            };
             if !state.writable_by(who) {
                 return Reply::Error(CoordError::AccessDenied {
                     key: key.clone(),
@@ -548,19 +550,17 @@ impl TupleStore {
         }
 
         for key in &affected {
-            let state = self.keys[key]
-                .state_at(now)
-                .expect("filtered above")
-                .clone();
+            let Some(state) = self.keys.get(key).and_then(|h| h.state_at(now)).cloned() else {
+                continue;
+            };
             let new_key = format!("{new_prefix}{}", &key[old_prefix.len()..]);
             // Delete the old entry.
-            self.keys
-                .get_mut(key)
-                .expect("key exists")
-                .push(HistoryEvent {
+            if let Some(history) = self.keys.get_mut(key) {
+                history.push(HistoryEvent {
                     at: now,
                     state: None,
                 });
+            }
             // Create the new one, preserving value, owner and ACL.
             let target = self.keys.entry(new_key).or_default();
             let version = target.max_version() + 1;

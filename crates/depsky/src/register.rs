@@ -6,7 +6,7 @@
 //! coordination service — not the eventually-consistent clouds — decides
 //! which version a reader observes.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use cloud_store::error::StorageError;
@@ -50,7 +50,7 @@ pub struct DepSkyClient {
     config: DepSkyConfig,
     coder: ErasureCoder,
     keygen: Mutex<KeyGenerator>,
-    metadata_cache: Mutex<HashMap<String, DataUnitMetadata>>,
+    metadata_cache: Mutex<BTreeMap<String, DataUnitMetadata>>,
 }
 
 impl std::fmt::Debug for DepSkyClient {
@@ -86,7 +86,7 @@ impl DepSkyClient {
             config,
             coder,
             keygen: Mutex::new(KeyGenerator::from_seed(seed)),
-            metadata_cache: Mutex::new(HashMap::new()),
+            metadata_cache: Mutex::new(BTreeMap::new()),
         })
     }
 

@@ -1,0 +1,19 @@
+// Fixture: clock discipline done right — no C-rule may fire when linted as
+// crate `scfs`.
+
+fn threaded(clock: &mut Clock) -> SimInstant {
+    clock.now()
+}
+
+fn settled_token(sched: &mut BackgroundScheduler, clock: &mut Clock) {
+    let _ = sched.spawn(clock.now(), None, |_| 1).wait(clock); // settled
+}
+
+fn escaping_token(sched: &mut BackgroundScheduler, at: SimInstant) -> Pending<u32> {
+    sched.spawn(at, None, |_| 1)
+}
+
+fn bound_token(sched: &mut BackgroundScheduler, at: SimInstant) -> u32 {
+    let token = sched.spawn(at, None, |_| 1);
+    token.into_inner()
+}

@@ -1,0 +1,20 @@
+// Fixture: C-rule violations. Linted as crate `scfs` (an ambient-clock
+// scoped crate) the ambient construction and the dropped token both fire.
+
+fn ambient_clock() {
+    let clock = Clock::new(); // C003
+    drop(clock);
+}
+
+fn ambient_clock_at(start: SimInstant) {
+    let clock = Clock::starting_at(start); // C003
+    drop(clock);
+}
+
+fn dropped_token(sched: &mut BackgroundScheduler) {
+    let _ = sched.spawn(now, None, |_| 1); // C002
+}
+
+fn dropped_begin(store: &Store) {
+    let _ = store.begin_write_version(1); // C002
+}

@@ -1,0 +1,42 @@
+// Fixture: no D-rule may fire here. The banned names appear only inside
+// strings, comments and test code, and the containers are ordered.
+
+// A comment mentioning Instant::now() and rand::thread_rng() is fine.
+
+fn describe() -> &'static str {
+    "call Instant::now() or HashMap iteration and the linter objects"
+}
+
+fn raw() -> &'static str {
+    r#"SystemTime::now() inside a raw string, RandomState too"#
+}
+
+struct Holder {
+    map: BTreeMap<String, u64>,
+    lookup: HashMap<String, u64>,
+}
+
+impl Holder {
+    fn ordered_iteration(&self) -> Vec<u64> {
+        self.map.values().copied().collect()
+    }
+
+    fn lookup_only(&self, key: &str) -> Option<&u64> {
+        self.lookup.get(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tests_may_do_anything() {
+        let t = std::time::Instant::now();
+        let mut m = HashMap::new();
+        m.insert(1, 2);
+        for (k, v) in &m {
+            drop((k, v, t));
+        }
+    }
+}

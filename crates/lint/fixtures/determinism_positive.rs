@@ -1,0 +1,41 @@
+// Fixture: every D-rule should fire on this file when linted as an
+// order-sensitive crate. Not compiled — parsed by the engine tests.
+
+use std::time::Instant;
+
+fn wall_clock() -> Instant {
+    Instant::now() // D001
+}
+
+fn wall_clock_too() {
+    let _t = std::time::SystemTime::now(); // D001
+}
+
+fn ambient_randomness() -> u64 {
+    let mut rng = rand::thread_rng(); // D002 (x2: rand:: and thread_rng)
+    rng.gen()
+}
+
+fn seeded_hashing() {
+    let state = std::collections::hash_map::RandomState::new(); // D003
+    drop(state);
+}
+
+struct Holder {
+    map: HashMap<String, u64>,
+}
+
+impl Holder {
+    fn leak_order(&self) -> Vec<u64> {
+        self.map.values().copied().collect() // D004
+    }
+
+    fn leak_order_loop(&self) -> u64 {
+        let mut total = 0;
+        for (_k, v) in &self.map {
+            // D004
+            total += v;
+        }
+        total
+    }
+}

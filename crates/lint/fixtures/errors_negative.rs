@@ -1,0 +1,24 @@
+// Fixture: error handling done right (or legitimately waived) — linted as
+// crate `scfs`, no *active* E-rule violation may remain.
+
+fn propagates(x: Option<u32>) -> Result<u32, ScfsError> {
+    x.ok_or_else(|| ScfsError::invalid("missing"))
+}
+
+fn defaults(x: Option<u32>) -> u32 {
+    x.unwrap_or(0) + x.unwrap_or_default()
+}
+
+fn waived(x: Option<u32>) -> u32 {
+    // scfs-lint: allow(E001, invariant: caller checked is_some on the line above)
+    x.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_unwrap_freely() {
+        Some(1).unwrap();
+        assert!(true, "panic! in a test message: panic!");
+    }
+}

@@ -1,0 +1,18 @@
+// Fixture: error-hygiene violations. Linted as crate `scfs`, each of the
+// four data-path escapes fires its E-rule.
+
+fn unwraps(x: Option<u32>) -> u32 {
+    x.unwrap() // E001
+}
+
+fn expects(x: Option<u32>) -> u32 {
+    x.expect("present") // E002
+}
+
+fn panics() {
+    panic!("boom"); // E003
+}
+
+fn unreachable_code() -> u32 {
+    unreachable!() // E003
+}

@@ -1,0 +1,13 @@
+// Fixture: layering done right — linted as crate `coord`, these imports all
+// follow the declared DAG (coord may use sim_core and cloud_store).
+
+use cloud_store::types::AccountId;
+use sim_core::time::{Clock, SimInstant};
+
+fn fine(clock: &mut Clock) -> SimInstant {
+    clock.now()
+}
+
+fn also_fine(account: &AccountId) -> usize {
+    account.as_str().len()
+}

@@ -1,0 +1,9 @@
+// Fixture: layering violations. Linted as crate `coord`, both the use item
+// and the inline path into `scfs` break the declared DAG.
+
+use scfs::agent::ScfsAgent; // L001
+
+fn reach_up() {
+    let account = scfs::chunkstore::chunk_store_account(); // L001
+    drop(account);
+}

@@ -1,0 +1,258 @@
+//! The committed-debt ratchet: `lint-baseline.toml`.
+//!
+//! The baseline records, per `(file, rule)`, how many *unwaived* violations
+//! the tree is allowed to carry. Checking compares actual counts against it
+//! in both directions:
+//!
+//! - **actual > baseline** → fail: a new violation was introduced.
+//! - **baseline > actual** → fail: the baseline overstates the debt. Someone
+//!   fixed violations without regenerating the file, so the ratchet is stale
+//!   and the fix is unprotected — regenerate with `scfs-lint emit-baseline`.
+//!
+//! Together the two directions mean the committed count can only go down,
+//! and every reduction is locked in by the same commit that earns it.
+//!
+//! The file format is a deliberately tiny TOML subset — `[[entry]]` tables
+//! with `file`, `rule` and `count` keys — written and parsed by this module
+//! so the linter stays dependency-free. Entries are sorted, so regeneration
+//! is byte-stable and diffs are reviewable.
+
+use std::collections::BTreeMap;
+
+use crate::rules::Violation;
+
+/// Debt counts keyed by `(file, rule)`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    pub entries: BTreeMap<(String, String), u32>,
+}
+
+/// One divergence between the tree and the baseline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Drift {
+    /// More violations than the baseline allows: `actual - allowed` new ones.
+    New {
+        file: String,
+        rule: String,
+        allowed: u32,
+        actual: u32,
+    },
+    /// Fewer violations than recorded: the ratchet is stale.
+    Stale {
+        file: String,
+        rule: String,
+        allowed: u32,
+        actual: u32,
+    },
+}
+
+impl Baseline {
+    /// Collapses unwaived violations into per-`(file, rule)` counts.
+    pub fn from_violations(violations: &[Violation]) -> Baseline {
+        let mut entries: BTreeMap<(String, String), u32> = BTreeMap::new();
+        for v in violations {
+            if v.waived.is_some() {
+                continue;
+            }
+            *entries
+                .entry((v.file.clone(), v.rule.to_string()))
+                .or_insert(0) += 1;
+        }
+        Baseline { entries }
+    }
+
+    /// Compares the tree's counts against the committed ones, reporting every
+    /// divergence in either direction (sorted by file, then rule).
+    pub fn drift(&self, actual: &Baseline) -> Vec<Drift> {
+        let mut out = Vec::new();
+        let mut keys: Vec<&(String, String)> =
+            self.entries.keys().chain(actual.entries.keys()).collect();
+        keys.sort();
+        keys.dedup();
+        for key in keys {
+            let allowed = self.entries.get(key).copied().unwrap_or(0);
+            let got = actual.entries.get(key).copied().unwrap_or(0);
+            let (file, rule) = (key.0.clone(), key.1.clone());
+            if got > allowed {
+                out.push(Drift::New {
+                    file,
+                    rule,
+                    allowed,
+                    actual: got,
+                });
+            } else if allowed > got {
+                out.push(Drift::Stale {
+                    file,
+                    rule,
+                    allowed,
+                    actual: got,
+                });
+            }
+        }
+        out
+    }
+
+    /// Serializes to the TOML subset, byte-stable for identical content.
+    pub fn to_toml(&self, header: &str) -> String {
+        let mut out = String::new();
+        for line in header.lines() {
+            out.push_str("# ");
+            out.push_str(line);
+            out.push('\n');
+        }
+        for ((file, rule), count) in &self.entries {
+            out.push_str("\n[[entry]]\n");
+            out.push_str(&format!("file = \"{file}\"\n"));
+            out.push_str(&format!("rule = \"{rule}\"\n"));
+            out.push_str(&format!("count = {count}\n"));
+        }
+        out
+    }
+
+    /// Parses the subset written by [`Baseline::to_toml`]. Unknown keys and
+    /// malformed lines are errors: a baseline that cannot be read exactly
+    /// must not silently admit debt.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut entries = BTreeMap::new();
+        let mut file: Option<String> = None;
+        let mut rule: Option<String> = None;
+        let mut count: Option<u32> = None;
+        let mut open = false;
+
+        let mut flush = |file: &mut Option<String>,
+                         rule: &mut Option<String>,
+                         count: &mut Option<u32>,
+                         open: bool|
+         -> Result<(), String> {
+            if !open {
+                return Ok(());
+            }
+            match (file.take(), rule.take(), count.take()) {
+                (Some(f), Some(r), Some(c)) => {
+                    if entries.insert((f.clone(), r.clone()), c).is_some() {
+                        return Err(format!("duplicate baseline entry for {f} / {r}"));
+                    }
+                    Ok(())
+                }
+                _ => Err("incomplete [[entry]]: needs file, rule and count".to_string()),
+            }
+        };
+
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line == "[[entry]]" {
+                flush(&mut file, &mut rule, &mut count, open)?;
+                open = true;
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!("line {}: expected `key = value`", lineno + 1));
+            };
+            if !open {
+                return Err(format!("line {}: key outside [[entry]]", lineno + 1));
+            }
+            let key = key.trim();
+            let value = value.trim();
+            match key {
+                "file" | "rule" => {
+                    let inner = value
+                        .strip_prefix('"')
+                        .and_then(|v| v.strip_suffix('"'))
+                        .ok_or_else(|| {
+                            format!("line {}: {key} must be a quoted string", lineno + 1)
+                        })?;
+                    if key == "file" {
+                        file = Some(inner.to_string());
+                    } else {
+                        rule = Some(inner.to_string());
+                    }
+                }
+                "count" => {
+                    count = Some(value.parse::<u32>().map_err(|_| {
+                        format!("line {}: count must be a non-negative integer", lineno + 1)
+                    })?);
+                }
+                other => return Err(format!("line {}: unknown key `{other}`", lineno + 1)),
+            }
+        }
+        flush(&mut file, &mut rule, &mut count, open)?;
+        Ok(Baseline { entries })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(file: &str, rule: &'static str, waived: bool) -> Violation {
+        Violation {
+            rule,
+            file: file.to_string(),
+            line: 1,
+            message: String::new(),
+            waived: waived.then(|| "reason".to_string()),
+        }
+    }
+
+    #[test]
+    fn round_trip_is_exact() {
+        let vs = vec![
+            v("a.rs", "E001", false),
+            v("a.rs", "E001", false),
+            v("b.rs", "D004", false),
+            v("b.rs", "E002", true), // waived: not counted
+        ];
+        let base = Baseline::from_violations(&vs);
+        let text = base.to_toml("generated by a test\nsecond header line");
+        let parsed = Baseline::parse(&text).unwrap();
+        assert_eq!(base, parsed);
+        assert_eq!(parsed.entries[&("a.rs".into(), "E001".into())], 2);
+        assert!(!parsed.entries.contains_key(&("b.rs".into(), "E002".into())));
+    }
+
+    #[test]
+    fn drift_detects_new_and_stale_in_both_directions() {
+        let committed = Baseline::parse(
+            "[[entry]]\nfile = \"a.rs\"\nrule = \"E001\"\ncount = 2\n\
+             [[entry]]\nfile = \"b.rs\"\nrule = \"D004\"\ncount = 1\n",
+        )
+        .unwrap();
+        // a.rs grew a violation; b.rs's was fixed without regenerating.
+        let actual = Baseline::from_violations(&[
+            v("a.rs", "E001", false),
+            v("a.rs", "E001", false),
+            v("a.rs", "E001", false),
+        ]);
+        let drift = committed.drift(&actual);
+        assert_eq!(drift.len(), 2);
+        assert!(matches!(
+            &drift[0],
+            Drift::New { file, allowed: 2, actual: 3, .. } if file == "a.rs"
+        ));
+        assert!(matches!(
+            &drift[1],
+            Drift::Stale { file, allowed: 1, actual: 0, .. } if file == "b.rs"
+        ));
+    }
+
+    #[test]
+    fn identical_counts_have_no_drift() {
+        let a = Baseline::from_violations(&[v("a.rs", "E001", false)]);
+        assert!(a.drift(&a.clone()).is_empty());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        assert!(Baseline::parse("file = \"a.rs\"").is_err()); // key outside entry
+        assert!(Baseline::parse("[[entry]]\nfile = \"a.rs\"\n").is_err()); // incomplete
+        assert!(Baseline::parse("[[entry]]\nfile = a.rs\nrule = \"E\"\ncount = 1").is_err());
+        assert!(Baseline::parse(
+            "[[entry]]\nfile = \"a\"\nrule = \"E\"\ncount = 1\n\
+             [[entry]]\nfile = \"a\"\nrule = \"E\"\ncount = 2\n"
+        )
+        .is_err()); // duplicate
+    }
+}

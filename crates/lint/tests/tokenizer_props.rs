@@ -1,0 +1,91 @@
+//! Tokenizer property tests: banned names hidden inside strings, comments
+//! and raw strings must never produce violations, while the same names in
+//! code position always must. Sources are generated from integer seeds (the
+//! vendored proptest shim has no string strategy).
+
+use lint::config::LintConfig;
+use lint::rules::lint_file;
+use lint::scanner::SourceFile;
+use proptest::proptest;
+
+const BANNED: &[(&str, &str)] = &[
+    ("Instant", "D001"),
+    ("SystemTime", "D001"),
+    ("thread_rng", "D002"),
+    ("RandomState", "D003"),
+];
+
+/// Hides `ident` in a non-code position chosen by `wrap`.
+fn hidden(ident: &str, wrap: usize, pad: usize) -> String {
+    let padding = "\n".repeat(pad);
+    match wrap % 6 {
+        0 => format!("{padding}// calls {ident}::now() here\nfn f() {{}}\n"),
+        1 => format!("{padding}/* {ident} inside a block comment */\nfn f() {{}}\n"),
+        2 => format!("{padding}fn f() -> &'static str {{ \"{ident}\" }}\n"),
+        3 => format!("{padding}fn f() -> &'static str {{ r#\"{ident}::now()\"# }}\n"),
+        4 => format!("{padding}/* outer /* nested {ident} */ still comment */\nfn f() {{}}\n"),
+        _ => format!("{padding}fn f() -> u8 {{ b\"{ident}\"[0] }}\n"),
+    }
+}
+
+/// Places `ident` in real code position.
+fn exposed(ident: &str, pad: usize) -> String {
+    let padding = "\n".repeat(pad);
+    format!("{padding}fn f() {{ let v = {ident}::default(); drop(v); }}\n")
+}
+
+fn violations(src: &str) -> Vec<&'static str> {
+    let sf = SourceFile::parse("crates/scfs/src/gen.rs", "scfs", src);
+    lint_file(&sf, &LintConfig::default())
+        .into_iter()
+        .filter(|v| v.waived.is_none())
+        .map(|v| v.rule)
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn hidden_idents_never_fire(which in 0usize..4, wrap in 0usize..6, pad in 0usize..5) {
+        let (ident, _) = BANNED[which];
+        let src = hidden(ident, wrap, pad);
+        let rules = violations(&src);
+        assert!(
+            rules.is_empty(),
+            "hidden `{ident}` (wrap {wrap}) fired {rules:?} in:\n{src}"
+        );
+    }
+
+    #[test]
+    fn exposed_idents_always_fire(which in 0usize..4, pad in 0usize..5) {
+        let (ident, rule) = BANNED[which];
+        let src = exposed(ident, pad);
+        let rules = violations(&src);
+        assert!(
+            rules.contains(&rule),
+            "exposed `{ident}` missed {rule}, got {rules:?} in:\n{src}"
+        );
+    }
+
+    #[test]
+    fn reported_lines_match_the_ident_line(which in 0usize..4, pad in 0usize..8) {
+        let (ident, rule) = BANNED[which];
+        let src = exposed(ident, pad);
+        let sf = SourceFile::parse("crates/scfs/src/gen.rs", "scfs", &src);
+        let vs = lint_file(&sf, &LintConfig::default());
+        let hit = vs.iter().find(|v| v.rule == rule).expect("must fire");
+        // The ident sits on the line after `pad` newlines (1-based).
+        assert_eq!(hit.line as usize, pad + 1, "wrong line in:\n{src}");
+    }
+
+    #[test]
+    fn token_lines_are_monotonic(wrap in 0usize..6, pad in 0usize..5, which in 0usize..4) {
+        let (ident, _) = BANNED[which];
+        let src = format!("{}{}", hidden(ident, wrap, pad), exposed(ident, 0));
+        let sf = SourceFile::parse("crates/scfs/src/gen.rs", "scfs", &src);
+        let mut last = 0u32;
+        for tok in &sf.tokens {
+            assert!(tok.line >= last, "line numbers went backwards in:\n{src}");
+            last = tok.line;
+        }
+    }
+}

@@ -3,7 +3,7 @@
 //! the two cache levels, the three operation modes, private name spaces and
 //! the background garbage collector.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 use cloud_store::store::OpCtx;
@@ -163,7 +163,9 @@ pub struct ScfsAgent {
     locks: Option<LockManager>,
     cache: TieredCache,
     mem_latency: LatencyProfile,
-    open_files: HashMap<FileHandle, OpenFile>,
+    /// Ordered: `flush_all`-style sweeps and the dirty-handle scan iterate,
+    /// so the container must not leak hash order into simulated behaviour.
+    open_files: BTreeMap<FileHandle, OpenFile>,
     next_handle: u64,
     next_storage_id: u64,
     /// Background jobs — uploads, prefetches, GC cycles — run as scheduler
@@ -174,10 +176,11 @@ pub struct ScfsAgent {
     /// `config.max_pending_uploads` (close applies backpressure); each entry
     /// is the one token `setfacl`, `sync` and reopens of that object wait
     /// on — never a global drain.
-    pending_uploads: HashMap<String, PendingUpload>,
+    pending_uploads: BTreeMap<String, PendingUpload>,
     written_since_gc: u64,
-    /// Files this agent has written: storage id → (path, deleted?).
-    owned_files: HashMap<String, (String, bool)>,
+    /// Files this agent has written: storage id → (path, deleted?). The GC
+    /// cycle iterates this, so it is ordered for run-to-run determinism.
+    owned_files: BTreeMap<String, (String, bool)>,
     stats: AgentStats,
 }
 
@@ -227,18 +230,19 @@ impl ScfsAgent {
             mem_latency: LatencyProfile::main_memory(),
             user,
             config,
+            // scfs-lint: allow(C003, mount is the agent's clock root; every session starts at the virtual epoch by design)
             clock: Clock::new(),
             rng: DetRng::new(seed),
             storage,
             metadata,
             locks,
-            open_files: HashMap::new(),
+            open_files: BTreeMap::new(),
             next_handle: 1,
             next_storage_id: 1,
             scheduler: BackgroundScheduler::new(),
-            pending_uploads: HashMap::new(),
+            pending_uploads: BTreeMap::new(),
             written_since_gc: 0,
-            owned_files: HashMap::new(),
+            owned_files: BTreeMap::new(),
             stats: AgentStats::default(),
         })
     }
@@ -378,12 +382,9 @@ impl ScfsAgent {
         self.reap_completed_uploads();
         let max = self.config.max_pending_uploads.max(1);
         while self.pending_uploads.len() >= max {
-            let earliest = self
-                .pending_uploads
-                .values()
-                .map(|p| p.ready_at)
-                .min()
-                .expect("backpressure loop requires pending uploads");
+            let Some(earliest) = self.pending_uploads.values().map(|p| p.ready_at).min() else {
+                break;
+            };
             self.stats.backpressure_stalls += 1;
             self.clock.advance_to(earliest);
             self.reap_completed_uploads();
@@ -586,51 +587,56 @@ impl ScfsAgent {
             ..
         } = self;
         let account = user.clone();
-        scheduler.spawn(start, Some(GC_LANE), |bg_clock| {
-            let mut ctx = OpCtx::new(bg_clock, account);
-            let mut reclaimed = 0u64;
-            let mut errors = 0u64;
-            let mut fully_deleted: Vec<String> = Vec::new();
-            for (storage_id, (path, deleted)) in owned_files.iter() {
-                if *deleted {
-                    match storage.delete_all(&mut ctx, storage_id) {
-                        // The blobs are released; the tombstone may go only
-                        // once its metadata delete actually commits — a
-                        // failed delete keeps the entry so a later cycle
-                        // retries it instead of stranding the tombstone.
-                        Ok(()) => match metadata.delete(&mut ctx, path) {
-                            Ok(()) => fully_deleted.push(storage_id.clone()),
+        scheduler
+            .spawn(start, Some(GC_LANE), |bg_clock| {
+                let mut ctx = OpCtx::new(bg_clock, account);
+                let mut reclaimed = 0u64;
+                let mut errors = 0u64;
+                let mut fully_deleted: Vec<String> = Vec::new();
+                for (storage_id, (path, deleted)) in owned_files.iter() {
+                    if *deleted {
+                        match storage.delete_all(&mut ctx, storage_id) {
+                            // The blobs are released; the tombstone may go only
+                            // once its metadata delete actually commits — a
+                            // failed delete keeps the entry so a later cycle
+                            // retries it instead of stranding the tombstone.
+                            Ok(()) => match metadata.delete(&mut ctx, path) {
+                                Ok(()) => fully_deleted.push(storage_id.clone()),
+                                Err(_) => errors += 1,
+                            },
+                            // The tombstone stays; the next cycle retries, and
+                            // the failure is surfaced through the stats.
                             Err(_) => errors += 1,
-                        },
-                        // The tombstone stays; the next cycle retries, and
-                        // the failure is surfaced through the stats.
-                        Err(_) => errors += 1,
-                    }
-                } else {
-                    match storage.delete_old_versions(&mut ctx, storage_id, keep) {
-                        Ok(n) => reclaimed += n as u64,
-                        Err(_) => errors += 1,
+                        }
+                    } else {
+                        match storage.delete_old_versions(&mut ctx, storage_id, keep) {
+                            Ok(n) => reclaimed += n as u64,
+                            Err(_) => errors += 1,
+                        }
                     }
                 }
-            }
-            for id in fully_deleted {
-                owned_files.remove(&id);
-            }
-            // Phase two: replay the release journal — physically delete the
-            // blobs whose refcount hit zero, retrying any entry an earlier
-            // cycle failed on. This is what turns a failed delete into a
-            // delayed reclamation rather than a leaked orphan.
-            match storage.replay_release_journal(&mut ctx, &journal_opts) {
-                Ok(report) => {
-                    stats.gc_retried += report.retried;
-                    stats.gc_orphans_reclaimed += report.reclaimed_after_retry;
-                    stats.gc_errors += report.errors;
+                for id in fully_deleted {
+                    owned_files.remove(&id);
                 }
-                Err(_) => errors += 1,
-            }
-            stats.gc_reclaimed_versions += reclaimed;
-            stats.gc_errors += errors;
-        });
+                // Phase two: replay the release journal — physically delete the
+                // blobs whose refcount hit zero, retrying any entry an earlier
+                // cycle failed on. This is what turns a failed delete into a
+                // delayed reclamation rather than a leaked orphan.
+                match storage.replay_release_journal(&mut ctx, &journal_opts) {
+                    Ok(report) => {
+                        stats.gc_retried += report.retried;
+                        stats.gc_orphans_reclaimed += report.reclaimed_after_retry;
+                        stats.gc_errors += report.errors;
+                    }
+                    Err(_) => errors += 1,
+                }
+                stats.gc_reclaimed_versions += reclaimed;
+                stats.gc_errors += errors;
+            })
+            // The GC lane serializes collection cycles; the token's value is
+            // (), so the bookkeeping can be taken immediately — foreground
+            // operations never wait on the collector.
+            .into_inner();
     }
 
     /// Loads the chunk-map manifest of the version of `metadata`'s object
@@ -804,10 +810,11 @@ impl ScfsAgent {
         if missing.is_empty() {
             return Ok(());
         }
-        let map = file
-            .chunk_map
-            .clone()
-            .expect("faulting requires a chunk map");
+        let Some(map) = file.chunk_map.clone() else {
+            return Err(ScfsError::invalid(
+                "read fault on a file without a chunk map",
+            ));
+        };
         // An in-flight prefetch already has the data on the way: wait for
         // its background completion instead of fetching twice.
         for index in missing {

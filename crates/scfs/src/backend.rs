@@ -25,7 +25,7 @@
 //!   the shared chunk-store principal and are capability-protected by the
 //!   manifest ACLs, so `setfacl` is O(versions), not O(versions × chunks)).
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashSet};
 use std::sync::Arc;
 
 use cloud_store::error::StorageError;
@@ -85,7 +85,9 @@ struct StoredVersion {
 /// chunk store's refcount, never a scan over this map.
 #[derive(Debug, Default)]
 struct VersionRegistry {
-    versions: HashMap<String, Vec<StoredVersion>>,
+    /// Ordered by object id so audits ([`VersionRegistry::all_manifests`])
+    /// enumerate in a run-independent order.
+    versions: BTreeMap<String, Vec<StoredVersion>>,
 }
 
 impl VersionRegistry {
@@ -332,7 +334,7 @@ pub trait FileStorage: Send + Sync {
             let (chunks, _) = execute_plan(&mut ctx, opts, &plan, |job, fork_ctx| {
                 self.read_chunk(fork_ctx, id, &job.hash)
             })?;
-            let by_hash: HashMap<&ContentHash, &Vec<u8>> = plan
+            let by_hash: BTreeMap<&ContentHash, &Vec<u8>> = plan
                 .jobs()
                 .iter()
                 .map(|job| &job.hash)

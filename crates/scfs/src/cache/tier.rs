@@ -211,19 +211,12 @@ impl CacheTier {
         // Every lookup feeds the admission filter, so frequency estimates
         // cover keys that are not (or no longer) resident.
         self.policy.record_access(hash_key(key));
-        let hit = match self.index.get(key) {
-            Some(&id) => {
-                let entry = self.slots[id as usize]
-                    .as_ref()
-                    .expect("indexed entries are resident");
-                if Self::fresh(entry, expected_hash) {
-                    Some((id, entry.data.clone(), entry.hash))
-                } else {
-                    None
-                }
-            }
-            None => None,
-        };
+        // An index entry pointing at a vacated slot would be an invariant
+        // breach; it degrades to a miss rather than a panic on the read path.
+        let hit = self.index.get(key).copied().and_then(|id| {
+            let entry = self.slots.get(id as usize)?.as_ref()?;
+            Self::fresh(entry, expected_hash).then(|| (id, entry.data.clone(), entry.hash))
+        });
         match hit {
             Some((id, data, hash)) => {
                 self.policy.on_access(id);
@@ -296,57 +289,60 @@ impl CacheTier {
         // Single index lookup decides replace-in-place vs fresh insert; the
         // old implementation hashed the key up to three times per put
         // (remove, evict loop, insert).
-        if let Some(&id) = self.index.get(key) {
-            // Replacing in place: retire the old payload from the policy and
-            // the byte accounting, make room, then re-register. While the
-            // entry is out of the policy it cannot be chosen as a victim.
-            let slot = self.slots[id as usize]
-                .as_mut()
-                .expect("indexed entries are resident");
-            self.used -= slot.data.len() as u64;
-            slot.data = data;
-            slot.hash = hash;
-            self.policy.on_remove(id);
-            while self.used + size > self.capacity.get() {
-                match self.evict_one() {
-                    Some(e) => evicted.push(e),
-                    None => break,
+        if let Some(id) = self.index.get(key).copied() {
+            if let Some(slot) = self.slots.get_mut(id as usize).and_then(|s| s.as_mut()) {
+                // Replacing in place: retire the old payload from the policy
+                // and the byte accounting, make room, then re-register. While
+                // the entry is out of the policy it cannot be a victim.
+                self.used -= slot.data.len() as u64;
+                slot.data = data;
+                slot.hash = hash;
+                self.policy.on_remove(id);
+                while self.used + size > self.capacity.get() {
+                    match self.evict_one() {
+                        Some(e) => evicted.push(e),
+                        None => break,
+                    }
                 }
-            }
-            self.used += size;
-            self.policy.on_insert(id, key_hash, size);
-        } else {
-            // Under capacity pressure the admission policy may refuse the
-            // newcomer instead of displacing a more valuable victim.
-            if self.used + size > self.capacity.get() && !self.policy.admit(key_hash, size) {
-                self.stats.admission_rejects += 1;
+                self.used += size;
+                self.policy.on_insert(id, key_hash, size);
                 return evicted;
             }
-            while self.used + size > self.capacity.get() {
-                match self.evict_one() {
-                    Some(e) => evicted.push(e),
-                    None => break,
-                }
-            }
-            let entry = Entry {
-                key: key.to_string(),
-                data,
-                hash,
-            };
-            let id = match self.free.pop() {
-                Some(id) => {
-                    self.slots[id as usize] = Some(entry);
-                    id
-                }
-                None => {
-                    self.slots.push(Some(entry));
-                    (self.slots.len() - 1) as EntryId
-                }
-            };
-            self.index.insert(key.to_string(), id);
-            self.used += size;
-            self.policy.on_insert(id, key_hash, size);
+            // An index entry naming a vacated slot is an invariant breach;
+            // drop it and fall through to a fresh insert instead of
+            // panicking on the write path.
+            self.index.remove(key);
         }
+        // Under capacity pressure the admission policy may refuse the
+        // newcomer instead of displacing a more valuable victim.
+        if self.used + size > self.capacity.get() && !self.policy.admit(key_hash, size) {
+            self.stats.admission_rejects += 1;
+            return evicted;
+        }
+        while self.used + size > self.capacity.get() {
+            match self.evict_one() {
+                Some(e) => evicted.push(e),
+                None => break,
+            }
+        }
+        let entry = Entry {
+            key: key.to_string(),
+            data,
+            hash,
+        };
+        let id = match self.free.pop() {
+            Some(id) => {
+                self.slots[id as usize] = Some(entry);
+                id
+            }
+            None => {
+                self.slots.push(Some(entry));
+                (self.slots.len() - 1) as EntryId
+            }
+        };
+        self.index.insert(key.to_string(), id);
+        self.used += size;
+        self.policy.on_insert(id, key_hash, size);
         evicted
     }
 
@@ -362,9 +358,9 @@ impl CacheTier {
     /// the stats.
     fn remove_resident(&mut self, key: &str) -> Option<Entry> {
         let id = self.index.remove(key)?;
-        let entry = self.slots[id as usize]
-            .take()
-            .expect("indexed entries are resident");
+        // A vacated slot behind a live index entry degrades to "nothing to
+        // remove" (the index entry is already gone).
+        let entry = self.slots.get_mut(id as usize).and_then(|s| s.take())?;
         self.policy.on_remove(id);
         self.used -= entry.data.len() as u64;
         self.free.push(id);
@@ -375,9 +371,12 @@ impl CacheTier {
     /// no clones on the eviction path.
     fn evict_one(&mut self) -> Option<Evicted> {
         let id = self.policy.victim()?;
-        let entry = self.slots[id as usize]
-            .take()
-            .expect("the policy only names resident victims");
+        let Some(entry) = self.slots.get_mut(id as usize).and_then(|s| s.take()) else {
+            // A victim naming a vacated slot would loop forever if retried;
+            // retire it from the policy and report no eviction.
+            self.policy.on_remove(id);
+            return None;
+        };
         self.policy.on_remove(id);
         self.index.remove(&entry.key);
         self.used -= entry.data.len() as u64;
@@ -397,33 +396,27 @@ impl CacheTier {
     /// charged and no hit/miss is counted — this is a planning query, not a
     /// data access.
     pub fn probe(&mut self, key: &str, expected_hash: Option<&ContentHash>) -> bool {
-        match self.index.get(key) {
-            Some(&id) => {
-                let entry = self.slots[id as usize]
-                    .as_ref()
-                    .expect("indexed entries are resident");
-                let fresh = Self::fresh(entry, expected_hash);
-                if fresh {
-                    self.policy.on_access(id);
-                }
-                fresh
-            }
-            None => false,
+        let Some(id) = self.index.get(key).copied() else {
+            return false;
+        };
+        let fresh = self
+            .slots
+            .get(id as usize)
+            .and_then(|s| s.as_ref())
+            .is_some_and(|entry| Self::fresh(entry, expected_hash));
+        if fresh {
+            self.policy.on_access(id);
         }
+        fresh
     }
 
     /// Whether the tier holds an entry for `key` matching `expected_hash`
     /// (no latency charged, no recency refreshed; accounting only).
     pub fn contains(&self, key: &str, expected_hash: Option<&ContentHash>) -> bool {
-        match self.index.get(key) {
-            Some(&id) => {
-                let entry = self.slots[id as usize]
-                    .as_ref()
-                    .expect("indexed entries are resident");
-                Self::fresh(entry, expected_hash)
-            }
-            None => false,
-        }
+        self.index
+            .get(key)
+            .and_then(|&id| self.slots.get(id as usize)?.as_ref())
+            .is_some_and(|entry| Self::fresh(entry, expected_hash))
     }
 }
 

@@ -73,7 +73,7 @@
 //! refcount journal, CFS-style) is the natural next step and is tracked in
 //! the ROADMAP.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashSet, VecDeque};
 
 use cloud_store::types::AccountId;
 use scfs_crypto::{to_hex, ContentHash};
@@ -157,8 +157,9 @@ pub struct ReplayReport {
 #[derive(Debug, Default)]
 pub struct ChunkStore {
     /// Live references per chunk: one per (committed version, distinct
-    /// chunk) pair. Absent or zero means reclaimable.
-    refcounts: HashMap<ContentHash, u64>,
+    /// chunk) pair. Absent or zero means reclaimable. Ordered so snapshots
+    /// ([`ChunkStore::reachable_chunks`]) iterate deterministically.
+    refcounts: BTreeMap<ContentHash, u64>,
     /// Release intents not yet applied, oldest first.
     pending: VecDeque<JournalEntry>,
     /// Most recently applied entries (bounded by `JournalOpts::keep_applied`).
@@ -200,7 +201,7 @@ impl ChunkStore {
     /// Takes one reference on each chunk of a newly committed version.
     /// `chunks` must be the version's *distinct* chunk set — the exact set a
     /// later [`ChunkStore::release_version`] of the same version passes back.
-    pub fn retain_version(&mut self, chunks: &HashSet<ContentHash>) {
+    pub fn retain_version(&mut self, chunks: &BTreeSet<ContentHash>) {
         for chunk in chunks {
             *self.refcounts.entry(*chunk).or_insert(0) += 1;
         }
@@ -262,7 +263,7 @@ impl ChunkStore {
     /// Cancels every pending chunk release whose hash is in `live` — called
     /// when a version commits, clearing its provisional upload intents and
     /// any stale entry for a chunk the commit just re-referenced.
-    pub fn cancel_chunk_releases(&mut self, live: &HashSet<ContentHash>) {
+    pub fn cancel_chunk_releases(&mut self, live: &BTreeSet<ContentHash>) {
         self.cancel_where(
             |target| matches!(target, ReleaseTarget::Chunk(hash) if live.contains(hash)),
         );
@@ -311,8 +312,10 @@ impl ChunkStore {
 
     /// Marks entry `seq` applied (the blob is gone, or provably not needed).
     pub fn mark_applied(&mut self, seq: u64) {
-        if let Some(pos) = self.pending.iter().position(|e| e.seq == seq) {
-            let entry = self.pending.remove(pos).expect("position just found");
+        let Some(pos) = self.pending.iter().position(|e| e.seq == seq) else {
+            return;
+        };
+        if let Some(entry) = self.pending.remove(pos) {
             if let ReleaseTarget::Chunk(hash) = &entry.target {
                 if self.refcount(hash) == 0 {
                     self.refcounts.remove(hash);
@@ -327,8 +330,10 @@ impl ChunkStore {
     /// failing blob cannot monopolize a bounded replay batch and starve the
     /// entries behind it.
     pub fn mark_failed(&mut self, seq: u64) {
-        if let Some(pos) = self.pending.iter().position(|e| e.seq == seq) {
-            let mut entry = self.pending.remove(pos).expect("position just found");
+        let Some(pos) = self.pending.iter().position(|e| e.seq == seq) else {
+            return;
+        };
+        if let Some(mut entry) = self.pending.remove(pos) {
             entry.attempts += 1;
             self.pending.push_back(entry);
         }
@@ -343,8 +348,8 @@ impl ChunkStore {
 
     /// Distinct chunk hashes with a live reference or a pending release —
     /// exactly the chunk blobs that may legitimately exist in the cloud.
-    pub fn reachable_chunks(&self) -> HashSet<ContentHash> {
-        let mut set: HashSet<ContentHash> = self
+    pub fn reachable_chunks(&self) -> BTreeSet<ContentHash> {
+        let mut set: BTreeSet<ContentHash> = self
             .refcounts
             .iter()
             .filter(|(_, rc)| **rc > 0)
@@ -359,7 +364,7 @@ impl ChunkStore {
     }
 
     /// `(id, root)` pairs of manifests with a pending release.
-    pub fn pending_manifests(&self) -> HashSet<(String, ContentHash)> {
+    pub fn pending_manifests(&self) -> BTreeSet<(String, ContentHash)> {
         self.pending
             .iter()
             .filter_map(|e| match &e.target {
@@ -466,7 +471,7 @@ mod tests {
     #[test]
     fn retain_release_refcounting() {
         let mut store = ChunkStore::default();
-        let shared: HashSet<ContentHash> = [h(1), h(2)].into_iter().collect();
+        let shared: BTreeSet<ContentHash> = [h(1), h(2)].into_iter().collect();
         store.retain_version(&shared);
         store.retain_version(&shared);
         assert_eq!(store.refcount(&h(1)), 2);
@@ -487,7 +492,7 @@ mod tests {
     #[test]
     fn provisional_upload_intents_cover_failed_writes() {
         let mut store = ChunkStore::default();
-        let set: HashSet<ContentHash> = [h(4), h(5)].into_iter().collect();
+        let set: BTreeSet<ContentHash> = [h(4), h(5)].into_iter().collect();
         // A write journals its uploads first...
         store.journal_provisional_uploads(set.iter().copied());
         assert_eq!(store.pending_len(), 2);
@@ -525,7 +530,7 @@ mod tests {
     #[test]
     fn decide_cancels_rereferenced_chunks() {
         let mut store = ChunkStore::default();
-        let set: HashSet<ContentHash> = [h(1)].into_iter().collect();
+        let set: BTreeSet<ContentHash> = [h(1)].into_iter().collect();
         store.retain_version(&set);
         store.release_version(set.iter().copied());
         assert_eq!(store.refcount(&h(1)), 0);
@@ -540,7 +545,7 @@ mod tests {
     #[test]
     fn failed_deletes_stay_pending_and_count_attempts() {
         let mut store = ChunkStore::default();
-        let set: HashSet<ContentHash> = [h(9)].into_iter().collect();
+        let set: BTreeSet<ContentHash> = [h(9)].into_iter().collect();
         store.retain_version(&set);
         store.release_version(set.iter().copied());
         let seq = store.pending_entries().next().unwrap().seq;
@@ -591,8 +596,8 @@ mod tests {
     #[test]
     fn reachable_chunks_include_pending_releases() {
         let mut store = ChunkStore::default();
-        let live: HashSet<ContentHash> = [h(1)].into_iter().collect();
-        let dead: HashSet<ContentHash> = [h(2)].into_iter().collect();
+        let live: BTreeSet<ContentHash> = [h(1)].into_iter().collect();
+        let dead: BTreeSet<ContentHash> = [h(2)].into_iter().collect();
         store.retain_version(&live);
         store.retain_version(&dead);
         store.release_version(dead.iter().copied());

@@ -8,7 +8,7 @@
 //! trigger more than five `stat`s), which is the knob explored in
 //! Figure 10(a).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use cloud_store::store::OpCtx;
@@ -38,7 +38,9 @@ pub struct MetadataService {
     coord: Option<Arc<dyn CoordinationService>>,
     pns: Option<PrivateNameSpace>,
     user: AccountId,
-    cache: HashMap<String, (FileMetadata, SimInstant)>,
+    /// Ordered so expiry sweeps ([`MetadataService::rename`]'s prefix
+    /// retain) visit entries in a run-independent order.
+    cache: BTreeMap<String, (FileMetadata, SimInstant)>,
     cache_expiry: SimDuration,
     shared_prefixes: Vec<String>,
     stats: MetadataStats,
@@ -75,7 +77,7 @@ impl MetadataService {
             coord,
             pns,
             user,
-            cache: HashMap::new(),
+            cache: BTreeMap::new(),
             cache_expiry,
             shared_prefixes: vec!["/shared".to_string()],
             stats: MetadataStats::default(),
@@ -195,7 +197,11 @@ impl MetadataService {
     pub fn create(&mut self, ctx: &mut OpCtx<'_>, metadata: FileMetadata) -> Result<(), ScfsError> {
         let path = metadata.path.clone();
         if self.is_private(&path, Some(&metadata)) {
-            let pns = self.pns.as_mut().expect("is_private implies a PNS");
+            let Some(pns) = self.pns.as_mut() else {
+                return Err(ScfsError::invalid(
+                    "private path routed to a service with no private name space",
+                ));
+            };
             if pns.get(&path).is_some() {
                 return Err(ScfsError::AlreadyExists { path });
             }
@@ -223,7 +229,11 @@ impl MetadataService {
     pub fn update(&mut self, ctx: &mut OpCtx<'_>, metadata: FileMetadata) -> Result<(), ScfsError> {
         let path = metadata.path.clone();
         if self.is_private(&path, Some(&metadata)) {
-            let pns = self.pns.as_mut().expect("is_private implies a PNS");
+            let Some(pns) = self.pns.as_mut() else {
+                return Err(ScfsError::invalid(
+                    "private path routed to a service with no private name space",
+                ));
+            };
             pns.insert(metadata.clone());
         } else {
             let coord = self.coord.as_ref().ok_or_else(|| {

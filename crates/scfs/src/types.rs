@@ -283,8 +283,9 @@ impl ChunkMap {
 
     /// The distinct chunk hashes of this version — the set of references a
     /// version holds in the global chunk store (a chunk repeated within the
-    /// file still counts as one reference).
-    pub fn unique_chunks(&self) -> std::collections::HashSet<ContentHash> {
+    /// file still counts as one reference). Ordered, so refcount bookkeeping
+    /// derived from it is iteration-order deterministic.
+    pub fn unique_chunks(&self) -> std::collections::BTreeSet<ContentHash> {
         self.chunks.iter().copied().collect()
     }
 

@@ -38,6 +38,8 @@ use crate::time::{Clock, SimDuration, SimInstant};
 /// [`ready_at`]: Pending::ready_at
 /// [`into_inner`]: Pending::into_inner
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[must_use = "a dropped Pending is a background job nobody can wait on; \
+              settle it with wait(), into_inner() or return it"]
 pub struct Pending<T> {
     value: T,
     started_at: SimInstant,
@@ -263,8 +265,10 @@ mod tests {
     fn in_flight_and_next_completion_track_the_window() {
         let mut sched = BackgroundScheduler::new();
         let now = SimInstant::EPOCH;
-        sched.spawn(now, Some("a"), delay_job(100));
-        sched.spawn(now, Some("b"), delay_job(40));
+        // The tokens are deliberately unused: this test watches the
+        // scheduler's own counters, not the jobs' values.
+        let _a = sched.spawn(now, Some("a"), delay_job(100));
+        let _b = sched.spawn(now, Some("b"), delay_job(40));
         assert_eq!(sched.in_flight(now), 2);
         assert_eq!(
             sched.next_completion(now),

@@ -32,6 +32,7 @@ pub struct ForkedRun<T> {
 /// `clock`, and returns the outcomes sorted by completion instant (ties keep
 /// submission order). The caller's clock is *not* advanced — join with
 /// [`join_all`] or [`join_nth`] afterwards.
+#[must_use = "dropping the runs loses every fork's completion instant; join them into the clock"]
 pub fn run_forked<T>(
     clock: &Clock,
     indices: impl IntoIterator<Item = usize>,
@@ -66,6 +67,7 @@ pub fn join_all(clock: &mut Clock, completions: impl IntoIterator<Item = SimInst
 /// pairs in completion order. Returns `true` if at least `n` outcomes
 /// succeeded; otherwise the clock is advanced to the last completion and
 /// `false` is returned (a quorum could not be reached).
+#[must_use = "the quorum verdict decides whether the caller may proceed"]
 pub fn join_nth(
     clock: &mut Clock,
     outcomes: impl IntoIterator<Item = (SimInstant, bool)> + Clone,

@@ -238,6 +238,7 @@ pub struct Clock {
 
 impl Clock {
     /// Creates a clock positioned at the virtual epoch.
+    #[must_use]
     pub fn new() -> Self {
         Clock {
             now: SimInstant::EPOCH,
@@ -245,6 +246,7 @@ impl Clock {
     }
 
     /// Creates a clock positioned at `start`.
+    #[must_use]
     pub fn starting_at(start: SimInstant) -> Self {
         Clock { now: start }
     }
@@ -270,6 +272,7 @@ impl Clock {
     }
 
     /// Forks a clock for a background task starting at the current instant.
+    #[must_use = "an unused fork silently serializes virtual time"]
     pub fn fork(&self) -> Clock {
         Clock { now: self.now }
     }
@@ -281,6 +284,7 @@ impl Clock {
 }
 
 impl Default for Clock {
+    // scfs-lint: allow(C001, trait impl methods cannot carry must_use; Clock::new is annotated)
     fn default() -> Self {
         Clock::new()
     }

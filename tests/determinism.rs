@@ -1,0 +1,62 @@
+//! Regression tests for whole-run determinism after the ordered-container
+//! sweep (`scfs-lint` rule D004): every map the agent, chunk store, metadata
+//! service or DepSky register iterates is now a `BTreeMap`/`BTreeSet`, so a
+//! fleet run's trace must be a pure function of its seed — across repeated
+//! runs in one process and regardless of std's per-process `HashMap` seed.
+//!
+//! The trace hash folds every `(mount, op, file, instant)` tuple through
+//! FNV-1a, so any iteration-order leak anywhere on the simulated data or
+//! metadata path shows up as a hash mismatch here.
+
+use scfs_repro::workloads::fleet::{
+    run_fleet, run_fleet_metadata, FleetConfig, MetadataFleetConfig,
+};
+use scfs_repro::workloads::setup::Backend;
+
+/// Two runs of the same data-plane fleet config replay byte-identically, on
+/// both backends (the cloud-of-clouds path exercises `depsky::register`'s metadata
+/// cache, the AWS path the plain chunk store).
+#[test]
+fn data_fleet_trace_is_seed_deterministic() {
+    for backend in [Backend::Aws, Backend::CloudOfClouds] {
+        let cfg = FleetConfig::smoke(backend);
+        let a = run_fleet(&cfg);
+        let b = run_fleet(&cfg);
+        assert_eq!(
+            a.trace_hash, b.trace_hash,
+            "{backend:?}: same seed, same trace"
+        );
+        assert_eq!(a.reads, b.reads, "{backend:?}");
+        assert_eq!(a.writes, b.writes, "{backend:?}");
+        assert_eq!(a.lock_conflicts, b.lock_conflicts, "{backend:?}");
+        assert_eq!(a.makespan, b.makespan, "{backend:?}");
+        assert_eq!(a.bytes_downloaded, b.bytes_downloaded, "{backend:?}");
+        assert_eq!(a.bytes_uploaded, b.bytes_uploaded, "{backend:?}");
+        assert_eq!(a.chunk_downloads, b.chunk_downloads, "{backend:?}");
+        assert_eq!(a.cache.memory, b.cache.memory, "{backend:?}");
+        assert_eq!(a.cache.disk, b.cache.disk, "{backend:?}");
+    }
+}
+
+/// Same for the metadata-heavy fleet: the sharded coordination plane (ABD
+/// quorums, router, per-shard registers) replays byte-identically, and a
+/// different seed reshuffles the trace.
+#[test]
+fn metadata_fleet_trace_is_seed_deterministic() {
+    let cfg = MetadataFleetConfig::smoke(4);
+    let a = run_fleet_metadata(&cfg);
+    let b = run_fleet_metadata(&cfg);
+    assert_eq!(a.trace_hash, b.trace_hash, "same seed, same trace");
+    assert_eq!(a.stats, b.stats);
+    assert_eq!(a.opens, b.opens);
+    assert_eq!(a.mkdirs, b.mkdirs);
+    assert_eq!(a.renames, b.renames);
+    assert_eq!(a.conflicts, b.conflicts);
+    assert_eq!(a.makespan, b.makespan);
+    assert_eq!(a.recorder.total_count(), b.recorder.total_count());
+
+    let mut other = cfg;
+    other.seed ^= 0x0DD5_EED5;
+    let c = run_fleet_metadata(&other);
+    assert_ne!(a.trace_hash, c.trace_hash, "a new seed must reshuffle");
+}
