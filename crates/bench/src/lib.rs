@@ -27,7 +27,10 @@ const TRAJECTORY_HEADER: &str = "{\"benchmark\": \"scfs_perf_trajectory\", \"uni
      \"zipfian fleet over the two-tier chunk cache, per-policy hit rates and \
      p50/p99 operation latencies\", \"metadata_plane\": \
      \"stat/open/mkdir/rename storm over the sharded quorum-replicated \
-     metadata plane; throughput and per-op p50/p99 per shard count\"}, \"runs\": [";
+     metadata plane; throughput and per-op p50/p99 per shard count\", \"provider_matrix\": \
+     \"zipfian fleet over the heterogeneous seven-provider matrix; per-policy \
+     dollars/user/month, read SLO compliance and read/commit p50/p99, healthy \
+     and degraded (one cloud 10x latency, one cloud 10x price)\"}, \"runs\": [";
 const TRAJECTORY_FOOTER: &str = "]}";
 
 /// Appends `results` as a new run record tagged `bench` to the trajectory

@@ -81,6 +81,60 @@ impl PriceBook {
         }
     }
 
+    /// Deep-archival tier: storage an order of magnitude below S3, retrieval
+    /// traffic cheap, but the latency profile (see
+    /// [`crate::providers::ProviderProfile::archival_deep`]) makes it usable
+    /// only when a placement policy decides the latency budget allows it.
+    pub fn archival_deep() -> Self {
+        PriceBook {
+            outbound_per_gb: MicroDollars::from_dollars(0.03),
+            inbound_per_gb: MicroDollars::ZERO,
+            storage_per_gb_month: MicroDollars::from_dollars(0.01),
+            get_per_10k: MicroDollars::from_dollars(0.004),
+            put_per_10k: MicroDollars::from_dollars(0.01),
+            delete_per_10k: MicroDollars::ZERO,
+        }
+    }
+
+    /// Premium edge/CDN-backed object store: the fastest profile in the
+    /// matrix, priced at a steep multiple of every 2014 book.
+    pub fn premium_edge() -> Self {
+        PriceBook {
+            outbound_per_gb: MicroDollars::from_dollars(0.25),
+            inbound_per_gb: MicroDollars::ZERO,
+            storage_per_gb_month: MicroDollars::from_dollars(0.20),
+            get_per_10k: MicroDollars::from_dollars(0.05),
+            put_per_10k: MicroDollars::from_dollars(0.20),
+            delete_per_10k: MicroDollars::ZERO,
+        }
+    }
+
+    /// Budget regional object store: priced below the majors, reflecting the
+    /// looser availability story of its provider.
+    pub fn flaky_regional() -> Self {
+        PriceBook {
+            outbound_per_gb: MicroDollars::from_dollars(0.10),
+            inbound_per_gb: MicroDollars::ZERO,
+            storage_per_gb_month: MicroDollars::from_dollars(0.06),
+            get_per_10k: MicroDollars::from_dollars(0.002),
+            put_per_10k: MicroDollars::from_dollars(0.002),
+            delete_per_10k: MicroDollars::ZERO,
+        }
+    }
+
+    /// Uniformly scales every price in the book by `factor` — the "one cloud
+    /// hikes its prices 10x" degraded-matrix sweep.
+    pub fn scaled(&self, factor: f64) -> Self {
+        PriceBook {
+            outbound_per_gb: self.outbound_per_gb * factor,
+            inbound_per_gb: self.inbound_per_gb * factor,
+            storage_per_gb_month: self.storage_per_gb_month * factor,
+            get_per_10k: self.get_per_10k * factor,
+            put_per_10k: self.put_per_10k * factor,
+            delete_per_10k: self.delete_per_10k * factor,
+        }
+    }
+
     /// Cost of downloading `size` bytes.
     pub fn download_cost(&self, size: Bytes) -> MicroDollars {
         self.outbound_per_gb * size.as_gib_f64()
@@ -284,6 +338,41 @@ mod tests {
         assert!((p.put_op_cost().get() - 5.0).abs() < 1e-9);
         assert!((p.get_op_cost().get() - 0.4).abs() < 1e-9);
         assert_eq!(p.delete_op_cost(), MicroDollars::ZERO);
+    }
+
+    #[test]
+    fn matrix_books_order_as_designed() {
+        let archive = PriceBook::archival_deep();
+        let premium = PriceBook::premium_edge();
+        let s3 = PriceBook::amazon_s3();
+        let flaky = PriceBook::flaky_regional();
+        let gib = Bytes::gib(1);
+        // Archive is the cheapest on every axis, premium the most expensive.
+        for book in [&s3, &flaky, &premium] {
+            assert!(archive.storage_cost(gib, 30.0).get() < book.storage_cost(gib, 30.0).get());
+            assert!(archive.download_cost(gib).get() < book.download_cost(gib).get());
+        }
+        for book in [&archive, &s3, &flaky] {
+            assert!(premium.storage_cost(gib, 30.0).get() > book.storage_cost(gib, 30.0).get());
+            assert!(premium.put_op_cost().get() > book.put_op_cost().get());
+        }
+        assert!(flaky.storage_cost(gib, 30.0).get() < s3.storage_cost(gib, 30.0).get());
+    }
+
+    #[test]
+    fn scaled_book_multiplies_every_axis() {
+        let base = PriceBook::amazon_s3();
+        let hiked = base.scaled(10.0);
+        let gib = Bytes::gib(1);
+        assert!(
+            (hiked.download_cost(gib).get() - base.download_cost(gib).get() * 10.0).abs() < 1e-6
+        );
+        assert!(
+            (hiked.storage_cost(gib, 30.0).get() - base.storage_cost(gib, 30.0).get() * 10.0).abs()
+                < 1e-6
+        );
+        assert!((hiked.put_op_cost().get() - base.put_op_cost().get() * 10.0).abs() < 1e-9);
+        assert_eq!(hiked.delete_op_cost(), MicroDollars::ZERO);
     }
 
     #[test]

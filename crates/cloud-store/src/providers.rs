@@ -184,6 +184,105 @@ impl ProviderProfile {
         }
     }
 
+    /// A cheap-but-slow archival tier: storage and traffic cost a fraction of
+    /// S3's prices, but every request pays a multi-second retrieval latency
+    /// and the pipes are narrow. Modeled on 2014-era cold-storage offerings
+    /// (Glacier-class), which SCFS could only use for rarely-read blocks.
+    pub fn archival_deep() -> Self {
+        ProviderProfile {
+            id: "archive".into(),
+            name: "Deep Archive (US)".into(),
+            region: "us-central".into(),
+            latency: LatencyProfile {
+                request: LatencyModel::LogNormal {
+                    median_millis: 2600.0,
+                    sigma: 0.35,
+                },
+                upload: BandwidthModel::mib_per_sec(2.0),
+                download: BandwidthModel::mib_per_sec(2.5),
+            },
+            consistency: ConsistencyMode::Eventual {
+                visibility: LatencyModel::LogNormal {
+                    median_millis: 1500.0,
+                    sigma: 0.5,
+                },
+            },
+            prices: PriceBook::archival_deep(),
+            vm_prices: VmPricing::ec2(),
+        }
+    }
+
+    /// An expensive-but-fast premium tier: a CDN-fronted object store in the
+    /// client's own region with sub-200ms requests and wide pipes, charging
+    /// several times S3's rates for the privilege.
+    pub fn premium_edge() -> Self {
+        ProviderProfile {
+            id: "premium".into(),
+            name: "Premium Edge (EU)".into(),
+            region: "eu-south".into(),
+            latency: LatencyProfile {
+                request: LatencyModel::LogNormal {
+                    median_millis: 140.0,
+                    sigma: 0.2,
+                },
+                upload: BandwidthModel::mib_per_sec(20.0),
+                download: BandwidthModel::mib_per_sec(30.0),
+            },
+            consistency: ConsistencyMode::Strong,
+            prices: PriceBook::premium_edge(),
+            vm_prices: VmPricing::ec2(),
+        }
+    }
+
+    /// A flaky regional provider: mid-range prices and decent median latency,
+    /// but a heavier-tailed request distribution than any of the majors.
+    /// Request *drops* are injected by the harnesses via `FaultPlan`, not
+    /// baked into the profile, so functional tests stay reliable by default.
+    pub fn flaky_regional() -> Self {
+        ProviderProfile {
+            id: "flaky".into(),
+            name: "Regional Object Store (BR)".into(),
+            region: "sa-east".into(),
+            latency: LatencyProfile {
+                request: LatencyModel::LogNormal {
+                    median_millis: 700.0,
+                    sigma: 0.55,
+                },
+                upload: BandwidthModel::mib_per_sec(3.0),
+                download: BandwidthModel::mib_per_sec(4.0),
+            },
+            consistency: ConsistencyMode::Eventual {
+                visibility: LatencyModel::LogNormal {
+                    median_millis: 1200.0,
+                    sigma: 0.6,
+                },
+            },
+            prices: PriceBook::flaky_regional(),
+            vm_prices: VmPricing::rackspace(),
+        }
+    }
+
+    /// Returns a copy of this profile with every latency (request and
+    /// transfer) slowed down by `factor` — the "one cloud 10x slower"
+    /// degraded-matrix sweep. The id/name/prices are unchanged so ledgers and
+    /// policies still recognize the provider.
+    pub fn with_latency_scaled(&self, factor: f64) -> Self {
+        ProviderProfile {
+            latency: self.latency.scaled(factor),
+            ..self.clone()
+        }
+    }
+
+    /// Returns a copy of this profile with every storage price multiplied by
+    /// `factor` — the "one cloud hikes its prices 10x" sweep. VM prices are
+    /// left alone; placement only reasons about storage costs.
+    pub fn with_prices_scaled(&self, factor: f64) -> Self {
+        ProviderProfile {
+            prices: self.prices.scaled(factor),
+            ..self.clone()
+        }
+    }
+
     /// Elastichosts, UK — used only as a *compute* cloud in the paper (one of
     /// the four coordination-service hosts); it has no blob-storage service,
     /// so its storage latency profile is never exercised.
@@ -244,6 +343,27 @@ impl ProviderSet {
         (0..n)
             .map(|i| ProviderProfile::instantaneous(&format!("cloud{i}")))
             .collect()
+    }
+
+    /// The heterogeneous provider matrix: the four 2014 paper clouds plus a
+    /// premium edge tier, a flaky regional store and a deep-archival tier.
+    ///
+    /// The order is load-bearing for placement experiments: the first
+    /// `total_clouds` entries (premium, S3, flaky) are the *identity* holder
+    /// set a placement-oblivious `AllClouds` deployment uses for data blocks,
+    /// which deliberately includes the most expensive and the least reliable
+    /// providers — exactly the situation a placement policy exists to
+    /// improve on.
+    pub fn heterogeneous_matrix() -> Vec<ProviderProfile> {
+        vec![
+            ProviderProfile::premium_edge(),
+            ProviderProfile::amazon_s3(),
+            ProviderProfile::flaky_regional(),
+            ProviderProfile::windows_azure(),
+            ProviderProfile::google_cloud_storage(),
+            ProviderProfile::rackspace(),
+            ProviderProfile::archival_deep(),
+        ]
     }
 }
 
@@ -320,5 +440,70 @@ mod tests {
     fn test_backend_sizes() {
         assert_eq!(ProviderSet::test_backend(4).len(), 4);
         assert_eq!(ProviderSet::coc_compute_backend().len(), 4);
+    }
+
+    #[test]
+    fn heterogeneous_matrix_is_seven_distinct_providers() {
+        use sim_core::units::Bytes;
+        let matrix = ProviderSet::heterogeneous_matrix();
+        assert_eq!(matrix.len(), 7);
+        let ids: std::collections::BTreeSet<_> = matrix.iter().map(|p| p.id.clone()).collect();
+        assert_eq!(ids.len(), 7, "ids must be unique");
+        // The diversity the placement policies exploit: premium is the
+        // fastest, archive the slowest; archive is the cheapest to store on,
+        // premium the most expensive.
+        let mean = |p: &ProviderProfile| {
+            p.latency
+                .mean_op(Bytes::kib(16), Bytes::ZERO)
+                .as_millis_f64()
+        };
+        let premium = matrix.iter().find(|p| p.id == "premium").unwrap();
+        let archive = matrix.iter().find(|p| p.id == "archive").unwrap();
+        for p in &matrix {
+            if p.id != "premium" {
+                assert!(mean(premium) < mean(p), "premium should beat {}", p.id);
+            }
+            if p.id != "archive" {
+                assert!(mean(archive) > mean(p), "archive should trail {}", p.id);
+            }
+        }
+        let store = |p: &ProviderProfile| p.prices.storage_cost(Bytes::gib(1), 30.0).get();
+        for p in &matrix {
+            if p.id != "premium" {
+                assert!(store(premium) > store(p));
+            }
+            if p.id != "archive" {
+                assert!(store(archive) < store(p));
+            }
+        }
+    }
+
+    #[test]
+    fn latency_scaling_slows_only_latency() {
+        use sim_core::units::Bytes;
+        let base = ProviderProfile::amazon_s3();
+        let slow = base.with_latency_scaled(10.0);
+        let b = base
+            .latency
+            .mean_op(Bytes::mib(1), Bytes::ZERO)
+            .as_secs_f64();
+        let s = slow
+            .latency
+            .mean_op(Bytes::mib(1), Bytes::ZERO)
+            .as_secs_f64();
+        assert!((s / b - 10.0).abs() < 1e-6);
+        assert_eq!(slow.prices, base.prices);
+        assert_eq!(slow.id, base.id);
+    }
+
+    #[test]
+    fn price_scaling_hikes_only_prices() {
+        use sim_core::units::Bytes;
+        let base = ProviderProfile::rackspace();
+        let hiked = base.with_prices_scaled(10.0);
+        assert_eq!(hiked.latency, base.latency);
+        let b = base.prices.storage_cost(Bytes::gib(1), 30.0).get();
+        let h = hiked.prices.storage_cost(Bytes::gib(1), 30.0).get();
+        assert!((h / b - 10.0).abs() < 1e-6);
     }
 }

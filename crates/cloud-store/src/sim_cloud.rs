@@ -90,6 +90,13 @@ impl SimulatedCloud {
         *self.faults.lock() = FaultInjector::new(plan, seed);
     }
 
+    /// The provider profile this cloud was built from (pricing, latency and
+    /// consistency) — placement registries and cost reports read it back
+    /// instead of carrying a parallel copy.
+    pub fn profile(&self) -> &ProviderProfile {
+        &self.profile
+    }
+
     /// Access to the operation counters.
     pub fn metrics(&self) -> &CloudMetrics {
         &self.metrics

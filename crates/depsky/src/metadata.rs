@@ -12,6 +12,11 @@ use scfs_crypto::ContentHash;
 
 use crate::wire::{DecodeError, Reader, Writer};
 
+/// High bit of the encoded data-cloud count, set when an explicit placement
+/// vector follows the block hashes. Identity-placed versions never set it,
+/// keeping their encoding byte-identical to the pre-placement format.
+const PLACEMENT_FLAG: u32 = 0x8000_0000;
+
 /// Description of one written version of a data unit.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct VersionInfo {
@@ -29,6 +34,38 @@ pub struct VersionInfo {
     /// use these to discard blocks corrupted by a Byzantine cloud before
     /// attempting reconstruction.
     pub block_hashes: Vec<ContentHash>,
+    /// Which cloud holds each block slot, chosen by a placement policy at
+    /// write time: `placements[slot]` is the cloud index of slot `slot`.
+    /// Empty means the identity placement (slot `i` on cloud `i`) — the
+    /// paper's fixed layout — and encodes to the exact pre-placement bytes,
+    /// so placement-oblivious deployments keep byte-identical metadata.
+    pub placements: Vec<u32>,
+}
+
+impl VersionInfo {
+    /// The clouds holding this version's blocks, in slot order.
+    pub fn holder_clouds(&self) -> Vec<usize> {
+        if self.placements.is_empty() {
+            (0..self.data_clouds as usize).collect()
+        } else {
+            self.placements.iter().map(|&c| c as usize).collect()
+        }
+    }
+
+    /// The block slot stored on `cloud`, if that cloud holds one. Readers
+    /// use this to look up the expected block hash for an outcome's cloud.
+    pub fn slot_for_cloud(&self, cloud: usize) -> Option<usize> {
+        if self.placements.is_empty() {
+            (cloud < self.data_clouds as usize).then_some(cloud)
+        } else {
+            self.placements.iter().position(|&c| c as usize == cloud)
+        }
+    }
+
+    /// The cloud holding block slot `slot`.
+    pub fn cloud_for_slot(&self, slot: usize) -> usize {
+        self.placements.get(slot).map_or(slot, |&c| c as usize)
+    }
 }
 
 /// The metadata object of a data unit.
@@ -89,10 +126,23 @@ impl DataUnitMetadata {
             w.put_bytes(&v.hash);
             w.put_u64(v.size);
             w.put_u64(v.block_size);
-            w.put_u32(v.data_clouds);
+            // Non-identity placements piggyback on the high bit of the
+            // data-cloud count, so identity versions (the only kind written
+            // before placement existed) still encode to the original bytes.
+            if v.placements.is_empty() {
+                w.put_u32(v.data_clouds);
+            } else {
+                w.put_u32(PLACEMENT_FLAG | v.data_clouds);
+            }
             w.put_u64(v.block_hashes.len() as u64);
             for h in &v.block_hashes {
                 w.put_bytes(h);
+            }
+            if !v.placements.is_empty() {
+                w.put_u64(v.placements.len() as u64);
+                for &c in &v.placements {
+                    w.put_u32(c);
+                }
             }
         }
         w.finish()
@@ -116,7 +166,9 @@ impl DataUnitMetadata {
             hash.copy_from_slice(&hash_bytes);
             let size = r.get_u64()?;
             let block_size = r.get_u64()?;
-            let data_clouds = r.get_u32()?;
+            let raw_clouds = r.get_u32()?;
+            let placed = raw_clouds & PLACEMENT_FLAG != 0;
+            let data_clouds = raw_clouds & !PLACEMENT_FLAG;
             let hash_count = r.get_u64()? as usize;
             let mut block_hashes = Vec::with_capacity(hash_count.min(64));
             for _ in 0..hash_count {
@@ -130,6 +182,22 @@ impl DataUnitMetadata {
                 h.copy_from_slice(&bytes);
                 block_hashes.push(h);
             }
+            let mut placements = Vec::new();
+            if placed {
+                let placement_count = r.get_u64()? as usize;
+                if placement_count != data_clouds as usize {
+                    return Err(DecodeError {
+                        reason: format!(
+                            "placement count {placement_count} does not match \
+                             {data_clouds} block slots"
+                        ),
+                    });
+                }
+                placements.reserve(placement_count.min(64));
+                for _ in 0..placement_count {
+                    placements.push(r.get_u32()?);
+                }
+            }
             versions.push(VersionInfo {
                 version,
                 hash,
@@ -137,6 +205,7 @@ impl DataUnitMetadata {
                 block_size,
                 data_clouds,
                 block_hashes,
+                placements,
             });
         }
         Ok(DataUnitMetadata { name, versions })
@@ -156,6 +225,7 @@ mod tests {
             block_size: (content.len() as u64).div_ceil(2),
             data_clouds: 3,
             block_hashes: vec![sha256(b"block0"), sha256(b"block1"), sha256(b"block2")],
+            placements: Vec::new(),
         }
     }
 
@@ -199,6 +269,63 @@ mod tests {
         assert_eq!(md.versions[0].version, 4);
         // Pruning with enough slack removes nothing.
         assert!(md.prune_old_versions(10).is_empty());
+    }
+
+    #[test]
+    fn placed_versions_round_trip_and_translate_slots() {
+        let mut md = DataUnitMetadata::new("placed");
+        let mut v = info(1, b"placed");
+        v.placements = vec![4, 1, 6];
+        md.push_version(v);
+        let decoded = DataUnitMetadata::decode(&md.encode()).unwrap();
+        assert_eq!(decoded, md);
+        let v = decoded.latest().unwrap();
+        assert_eq!(v.holder_clouds(), vec![4, 1, 6]);
+        assert_eq!(v.slot_for_cloud(4), Some(0));
+        assert_eq!(v.slot_for_cloud(1), Some(1));
+        assert_eq!(v.slot_for_cloud(6), Some(2));
+        assert_eq!(v.slot_for_cloud(0), None);
+        assert_eq!(v.cloud_for_slot(2), 6);
+    }
+
+    #[test]
+    fn identity_versions_translate_slots_as_before() {
+        let v = info(1, b"x");
+        assert_eq!(v.holder_clouds(), vec![0, 1, 2]);
+        assert_eq!(v.slot_for_cloud(2), Some(2));
+        assert_eq!(v.slot_for_cloud(3), None);
+        assert_eq!(v.cloud_for_slot(1), 1);
+    }
+
+    #[test]
+    fn identity_versions_encode_to_the_pre_placement_bytes() {
+        // Reconstruct the original encoder by hand: any change here means
+        // old committed registries would no longer decode bit-for-bit.
+        let mut md = DataUnitMetadata::new("compat");
+        md.push_version(info(1, b"v1"));
+        let mut w = crate::wire::Writer::new();
+        w.put_str("compat");
+        w.put_u64(1);
+        let v = &md.versions[0];
+        w.put_u64(v.version);
+        w.put_bytes(&v.hash);
+        w.put_u64(v.size);
+        w.put_u64(v.block_size);
+        w.put_u32(v.data_clouds);
+        w.put_u64(v.block_hashes.len() as u64);
+        for h in &v.block_hashes {
+            w.put_bytes(h);
+        }
+        assert_eq!(md.encode(), w.finish());
+    }
+
+    #[test]
+    fn mismatched_placement_count_fails_to_decode() {
+        let mut md = DataUnitMetadata::new("bad");
+        let mut v = info(1, b"v1");
+        v.placements = vec![4, 1]; // 2 placements for 3 slots
+        md.push_version(v);
+        assert!(DataUnitMetadata::decode(&md.encode()).is_err());
     }
 
     #[test]

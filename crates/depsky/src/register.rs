@@ -13,14 +13,46 @@ use cloud_store::error::StorageError;
 use cloud_store::store::{ObjectStore, OpCtx};
 use cloud_store::types::Acl;
 use parking_lot::Mutex;
+use placement::{PlacementPolicy, ProviderMatrix};
 use scfs_crypto::{
     combine_shares, sha256, split_secret, ChaCha20, ContentHash, ErasureCoder, KeyGenerator, Share,
 };
+use sim_core::time::SimInstant;
+use sim_core::units::Bytes;
 
 use crate::config::{DepSkyConfig, Protocol};
 use crate::metadata::{DataUnitMetadata, VersionInfo};
 use crate::quorum::{advance_to_nth_success, parallel_access, CloudOutcome};
 use crate::wire::{Reader, Writer};
+
+/// How a placement-aware client selects clouds: the shared provider matrix
+/// (whose health every observed outcome feeds), the policy ranking it, and
+/// the write geometry.
+#[derive(Clone)]
+pub struct PlacementSpec {
+    /// The provider registry; shared with the harness so reports can read
+    /// the same health state the policies act on.
+    pub matrix: Arc<ProviderMatrix>,
+    /// The policy choosing write targets and read orders.
+    pub policy: Arc<dyn PlacementPolicy>,
+    /// Number of clouds holding data blocks per version (the paper's
+    /// `n − f` under preferred quorums).
+    pub width: usize,
+    /// Number of block-store acknowledgements a write waits for
+    /// (`data_shards ≤ write_wait ≤ width`; `width − write_wait` stragglers
+    /// are off the critical path).
+    pub write_wait: usize,
+}
+
+impl std::fmt::Debug for PlacementSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PlacementSpec")
+            .field("policy", &self.policy.name())
+            .field("width", &self.width)
+            .field("write_wait", &self.write_wait)
+            .finish()
+    }
+}
 
 /// Receipt returned by a successful write.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -51,6 +83,11 @@ pub struct DepSkyClient {
     coder: ErasureCoder,
     keygen: Mutex<KeyGenerator>,
     metadata_cache: Mutex<BTreeMap<String, DataUnitMetadata>>,
+    /// `None` runs the paper's fixed placement over exactly `total_clouds()`
+    /// clouds — byte-identical to the pre-placement client. `Some` lets a
+    /// policy choose which clouds of a (possibly larger) pool serve each
+    /// operation.
+    placement: Option<PlacementSpec>,
 }
 
 impl std::fmt::Debug for DepSkyClient {
@@ -87,6 +124,58 @@ impl DepSkyClient {
             coder,
             keygen: Mutex::new(KeyGenerator::from_seed(seed)),
             metadata_cache: Mutex::new(BTreeMap::new()),
+            placement: None,
+        })
+    }
+
+    /// Creates a placement-aware client over a cloud pool that may be larger
+    /// than the protocol's `n`: `spec.width` clouds (chosen per write by
+    /// `spec.policy`) hold each version's blocks, metadata goes to every
+    /// cloud with majority acknowledgement, and reads race a policy-chosen
+    /// subset with escalation to the remaining holders.
+    pub fn with_placement(
+        clouds: Vec<Arc<dyn ObjectStore>>,
+        config: DepSkyConfig,
+        spec: PlacementSpec,
+        seed: u64,
+    ) -> Result<Self, StorageError> {
+        if clouds.len() < config.total_clouds() {
+            return Err(StorageError::invalid(format!(
+                "placement needs at least {} clouds, got {}",
+                config.total_clouds(),
+                clouds.len()
+            )));
+        }
+        if spec.matrix.len() != clouds.len() {
+            return Err(StorageError::invalid(format!(
+                "provider matrix covers {} clouds but the pool has {}",
+                spec.matrix.len(),
+                clouds.len()
+            )));
+        }
+        let data_shards = config.data_shards();
+        if spec.width < data_shards || spec.width > clouds.len() {
+            return Err(StorageError::invalid(format!(
+                "placement width {} outside [{data_shards}, {}]",
+                spec.width,
+                clouds.len()
+            )));
+        }
+        if spec.write_wait < data_shards || spec.write_wait > spec.width {
+            return Err(StorageError::invalid(format!(
+                "write wait {} outside [{data_shards}, {}]",
+                spec.write_wait, spec.width
+            )));
+        }
+        let coder = ErasureCoder::new(data_shards, spec.width - data_shards)
+            .map_err(|e| StorageError::invalid(e.to_string()))?;
+        Ok(DepSkyClient {
+            clouds,
+            config,
+            coder,
+            keygen: Mutex::new(KeyGenerator::from_seed(seed)),
+            metadata_cache: Mutex::new(BTreeMap::new()),
+            placement: Some(spec),
         })
     }
 
@@ -98,6 +187,43 @@ impl DepSkyClient {
     /// The clouds backing this client.
     pub fn clouds(&self) -> &[Arc<dyn ObjectStore>] {
         &self.clouds
+    }
+
+    /// The placement specification, if this client is placement-aware.
+    pub fn placement(&self) -> Option<&PlacementSpec> {
+        self.placement.as_ref()
+    }
+
+    /// Number of clouds holding data blocks for each written version.
+    fn block_width(&self) -> usize {
+        self.placement
+            .as_ref()
+            .map_or(self.config.data_clouds(), |s| s.width)
+    }
+
+    /// Acknowledgements a metadata write (or read) waits for. The fixed
+    /// deployment uses the protocol's `n − f`; a placement-aware pool uses a
+    /// majority of the pool, so any two metadata quorums intersect.
+    fn metadata_quorum(&self) -> usize {
+        if self.placement.is_some() {
+            self.clouds.len() / 2 + 1
+        } else {
+            self.config.write_quorum()
+        }
+    }
+
+    /// Feeds observed outcomes into the provider matrix's health state (a
+    /// no-op for fixed-placement clients).
+    fn record_outcomes<T>(&self, start: SimInstant, outcomes: &[CloudOutcome<T>]) {
+        if let Some(spec) = &self.placement {
+            for o in outcomes {
+                spec.matrix.record(
+                    o.cloud_index,
+                    o.completed_at.duration_since(start),
+                    o.is_ok(),
+                );
+            }
+        }
     }
 
     fn metadata_key(name: &str) -> String {
@@ -154,7 +280,7 @@ impl DepSkyClient {
     ) -> Result<WriteReceipt, StorageError> {
         let version = metadata.next_version();
         let hash = sha256(data);
-        let data_clouds = self.config.data_clouds();
+        let data_clouds = self.block_width();
         let data_shards = self.config.data_shards();
 
         // Prepare the per-cloud block payloads.
@@ -191,22 +317,43 @@ impl DepSkyClient {
         let block_size = payloads.first().map_or(0, |p| p.len() as u64);
         let block_hashes: Vec<ContentHash> = payloads.iter().map(|p| sha256(p)).collect();
 
-        // Phase 1: store the data blocks in parallel.
-        let slots: Vec<usize> = (0..data_clouds).collect();
-        let outcomes = parallel_access(ctx, &self.clouds, &slots, |slot, cloud, c| {
-            // The cloud index equals the slot index for data blocks.
+        // Phase 1: store the data blocks in parallel on the clouds the
+        // placement policy picks (the first `width` clouds when fixed).
+        let targets: Vec<usize> = match &self.placement {
+            Some(spec) => spec.policy.write_targets(
+                &spec.matrix,
+                spec.width,
+                spec.write_wait,
+                Bytes::new(block_size),
+            ),
+            None => (0..data_clouds).collect(),
+        };
+        let start = ctx.clock.now();
+        let outcomes = parallel_access(ctx, &self.clouds, &targets, |cloud_index, cloud, c| {
+            // Block slot `i` lives on cloud `targets[i]`.
+            let slot = targets
+                .iter()
+                .position(|&t| t == cloud_index)
+                .unwrap_or(cloud_index);
             cloud.put(c, &Self::block_key(name, version, slot), &payloads[slot])
         });
-        let needed = if self.config.preferred_quorum {
-            data_clouds
-        } else {
-            self.config.write_quorum()
+        self.record_outcomes(start, &outcomes);
+        let needed = match &self.placement {
+            Some(spec) => spec.write_wait,
+            None if self.config.preferred_quorum => data_clouds,
+            None => self.config.write_quorum(),
         };
         if !advance_to_nth_success(ctx, &outcomes, needed) {
             return Err(quorum_error(&outcomes, needed));
         }
 
         // Phase 2: update and store the metadata object in every cloud.
+        let identity: Vec<usize> = (0..data_clouds).collect();
+        let placements: Vec<u32> = if targets == identity {
+            Vec::new()
+        } else {
+            targets.iter().map(|&c| c as u32).collect()
+        };
         metadata.push_version(VersionInfo {
             version,
             hash,
@@ -214,14 +361,18 @@ impl DepSkyClient {
             block_size,
             data_clouds: data_clouds as u32,
             block_hashes,
+            placements,
         });
         let encoded_md = metadata.encode();
         let all: Vec<usize> = (0..self.clouds.len()).collect();
+        let start = ctx.clock.now();
         let outcomes = parallel_access(ctx, &self.clouds, &all, |_, cloud, c| {
             cloud.put(c, &Self::metadata_key(name), &encoded_md)
         });
-        if !advance_to_nth_success(ctx, &outcomes, self.config.write_quorum()) {
-            return Err(quorum_error(&outcomes, self.config.write_quorum()));
+        self.record_outcomes(start, &outcomes);
+        let md_quorum = self.metadata_quorum();
+        if !advance_to_nth_success(ctx, &outcomes, md_quorum) {
+            return Err(quorum_error(&outcomes, md_quorum));
         }
 
         self.metadata_cache
@@ -315,9 +466,12 @@ impl DepSkyClient {
     ) -> Result<DataUnitMetadata, StorageError> {
         let all: Vec<usize> = (0..self.clouds.len()).collect();
         let key = Self::metadata_key(name);
+        let start = ctx.clock.now();
         let outcomes = parallel_access(ctx, &self.clouds, &all, |_, cloud, c| cloud.get(c, &key));
-        // Wait for n − f responses of any kind before deciding.
-        let quorum = self.config.write_quorum();
+        self.record_outcomes(start, &outcomes);
+        // Wait for a quorum of responses of any kind before deciding
+        // (`n − f` on the fixed deployment, a pool majority when placed).
+        let quorum = self.metadata_quorum();
         if outcomes.len() >= quorum {
             ctx.clock.advance_to(outcomes[quorum - 1].completed_at);
         }
@@ -392,35 +546,39 @@ impl DepSkyClient {
         self.read_version(ctx, name, &info)
     }
 
-    /// Fetches and reconstructs one specific version.
-    fn read_version(
+    /// Issues block GETs against one wave of holder clouds, folding hash-
+    /// valid blocks into `valid` until `needed` are gathered. Returns the
+    /// instant the quorum was reached (if it was) and the last completion.
+    fn fetch_block_wave(
         &self,
         ctx: &mut OpCtx<'_>,
         name: &str,
         info: &VersionInfo,
-    ) -> Result<Vec<u8>, StorageError> {
-        let slots: Vec<usize> = (0..info.data_clouds as usize).collect();
-        let outcomes = parallel_access(ctx, &self.clouds, &slots, |slot, cloud, c| {
+        wave: &[usize],
+        needed: usize,
+        valid: &mut Vec<BlockPayload>,
+    ) -> (Option<SimInstant>, Option<SimInstant>) {
+        if wave.is_empty() {
+            return (None, None);
+        }
+        let start = ctx.clock.now();
+        let outcomes = parallel_access(ctx, &self.clouds, wave, |cloud_index, cloud, c| {
+            let slot = info.slot_for_cloud(cloud_index).unwrap_or(cloud_index);
             cloud.get(c, &Self::block_key(name, info.version, slot))
         });
-
-        let needed = match self.config.protocol {
-            Protocol::ConfidentialAvailable => self.config.data_shards(),
-            Protocol::Available => 1,
-        };
-
+        self.record_outcomes(start, &outcomes);
         // Walk the outcomes in completion order, keeping only blocks whose
         // hash matches the metadata, until enough valid blocks are gathered.
-        let mut valid: Vec<BlockPayload> = Vec::new();
         let mut reached_at = None;
         for outcome in &outcomes {
             if let Ok(bytes) = &outcome.result {
-                let slot = outcome.cloud_index;
-                let expected = info.block_hashes.get(slot);
+                let expected = info
+                    .slot_for_cloud(outcome.cloud_index)
+                    .and_then(|slot| info.block_hashes.get(slot));
                 if expected.is_some_and(|h| h == &sha256(bytes)) {
                     if let Ok(block) = decode_block(bytes) {
                         valid.push(block);
-                        if valid.len() == needed {
+                        if valid.len() >= needed {
                             reached_at = Some(outcome.completed_at);
                             break;
                         }
@@ -428,13 +586,64 @@ impl DepSkyClient {
                 }
             }
         }
+        (reached_at, outcomes.last().map(|o| o.completed_at))
+    }
+
+    /// Fetches and reconstructs one specific version.
+    fn read_version(
+        &self,
+        ctx: &mut OpCtx<'_>,
+        name: &str,
+        info: &VersionInfo,
+    ) -> Result<Vec<u8>, StorageError> {
+        let needed = match self.config.protocol {
+            Protocol::ConfidentialAvailable => self.config.data_shards(),
+            Protocol::Available => 1,
+        };
+        let holders: Vec<usize> = info
+            .holder_clouds()
+            .into_iter()
+            .filter(|&c| c < self.clouds.len())
+            .collect();
+        // Fixed placement races every holder at once (the paper's read). A
+        // placement-aware read races only the policy's first `needed` picks
+        // and widens to the remaining holders on a miss or failure.
+        let order: Vec<usize> = match &self.placement {
+            Some(spec) => {
+                spec.policy
+                    .read_order(&spec.matrix, &holders, needed, Bytes::new(info.block_size))
+            }
+            None => holders,
+        };
+        let wave_len = if self.placement.is_some() {
+            needed.min(order.len())
+        } else {
+            order.len()
+        };
+        let (primary, fallback) = order.split_at(wave_len);
+
+        let mut valid: Vec<BlockPayload> = Vec::new();
+        let (mut reached_at, mut last) =
+            self.fetch_block_wave(ctx, name, info, primary, needed, &mut valid);
+        if reached_at.is_none() && !fallback.is_empty() {
+            // The primary wave fell short: escalate to the rest of the
+            // holders. The widening can only start once the first wave has
+            // fully resolved, so the escalation pays its latency.
+            if let Some(at) = last {
+                ctx.clock.advance_to(at);
+            }
+            let (escalated, escalated_last) =
+                self.fetch_block_wave(ctx, name, info, fallback, needed, &mut valid);
+            reached_at = escalated;
+            last = escalated_last.or(last);
+        }
         match reached_at {
             Some(at) => {
                 ctx.clock.advance_to(at);
             }
             None => {
-                if let Some(last) = outcomes.last() {
-                    ctx.clock.advance_to(last.completed_at);
+                if let Some(at) = last {
+                    ctx.clock.advance_to(at);
                 }
                 return Err(StorageError::QuorumNotReached {
                     needed,
@@ -505,8 +714,13 @@ impl DepSkyClient {
             return Ok(0);
         }
         for info in &removed {
-            let slots: Vec<usize> = (0..info.data_clouds as usize).collect();
-            let outcomes = parallel_access(ctx, &self.clouds, &slots, |slot, cloud, c| {
+            let holders: Vec<usize> = info
+                .holder_clouds()
+                .into_iter()
+                .filter(|&c| c < self.clouds.len())
+                .collect();
+            let outcomes = parallel_access(ctx, &self.clouds, &holders, |cloud_index, cloud, c| {
+                let slot = info.slot_for_cloud(cloud_index).unwrap_or(cloud_index);
                 cloud.delete(c, &Self::block_key(name, info.version, slot))
             });
             // Deletions are best-effort; advance past the slowest attempt.
@@ -517,8 +731,9 @@ impl DepSkyClient {
         let outcomes = parallel_access(ctx, &self.clouds, &all, |_, cloud, c| {
             cloud.put(c, &Self::metadata_key(name), &encoded)
         });
-        if !advance_to_nth_success(ctx, &outcomes, self.config.write_quorum()) {
-            return Err(quorum_error(&outcomes, self.config.write_quorum()));
+        let md_quorum = self.metadata_quorum();
+        if !advance_to_nth_success(ctx, &outcomes, md_quorum) {
+            return Err(quorum_error(&outcomes, md_quorum));
         }
         self.metadata_cache.lock().insert(name.to_string(), md);
         Ok(removed.len())
@@ -535,8 +750,13 @@ impl DepSkyClient {
             },
         };
         for info in &md.versions {
-            let slots: Vec<usize> = (0..info.data_clouds as usize).collect();
-            let outcomes = parallel_access(ctx, &self.clouds, &slots, |slot, cloud, c| {
+            let holders: Vec<usize> = info
+                .holder_clouds()
+                .into_iter()
+                .filter(|&c| c < self.clouds.len())
+                .collect();
+            let outcomes = parallel_access(ctx, &self.clouds, &holders, |cloud_index, cloud, c| {
+                let slot = info.slot_for_cloud(cloud_index).unwrap_or(cloud_index);
                 cloud.delete(c, &Self::block_key(name, info.version, slot))
             });
             crate::quorum::advance_to_all(ctx, &outcomes);
@@ -559,19 +779,20 @@ impl DepSkyClient {
         };
         let all: Vec<usize> = (0..self.clouds.len()).collect();
         let md_key = Self::metadata_key(name);
-        let outcomes = parallel_access(ctx, &self.clouds, &all, |slot, cloud, c| {
+        let outcomes = parallel_access(ctx, &self.clouds, &all, |cloud_index, cloud, c| {
             cloud.set_acl(c, &md_key, acl.clone()).or(Ok(()))?;
             // Each cloud also updates the ACL of the blocks it holds.
             for info in &md.versions {
-                if slot < info.data_clouds as usize {
+                if let Some(slot) = info.slot_for_cloud(cloud_index) {
                     let _ =
                         cloud.set_acl(c, &Self::block_key(name, info.version, slot), acl.clone());
                 }
             }
             Ok(())
         });
-        if !advance_to_nth_success(ctx, &outcomes, self.config.write_quorum()) {
-            return Err(quorum_error(&outcomes, self.config.write_quorum()));
+        let md_quorum = self.metadata_quorum();
+        if !advance_to_nth_success(ctx, &outcomes, md_quorum) {
+            return Err(quorum_error(&outcomes, md_quorum));
         }
         Ok(())
     }
@@ -628,6 +849,7 @@ mod tests {
     use super::*;
     use cloud_store::providers::{ProviderProfile, ProviderSet};
     use cloud_store::sim_cloud::SimulatedCloud;
+    use proptest::prelude::*;
     use sim_core::fault::FaultPlan;
     use sim_core::latency::LatencyModel;
     use sim_core::time::{Clock, SimInstant};
@@ -925,5 +1147,169 @@ mod tests {
                 .unwrap(),
             data
         );
+    }
+
+    // ---- placement-aware clients over the heterogeneous matrix ----
+
+    use placement::{PolicyKind, ProviderMatrix};
+
+    fn matrix_clouds(seed: u64) -> (Vec<Arc<SimulatedCloud>>, Arc<ProviderMatrix>) {
+        let profiles = ProviderSet::heterogeneous_matrix();
+        let matrix = Arc::new(ProviderMatrix::new(profiles.clone()));
+        let sims = profiles
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| Arc::new(SimulatedCloud::new(p, seed.wrapping_add(i as u64))))
+            .collect();
+        (sims, matrix)
+    }
+
+    fn placed_client(
+        sims: &[Arc<SimulatedCloud>],
+        matrix: Arc<ProviderMatrix>,
+        kind: PolicyKind,
+        seed: u64,
+    ) -> DepSkyClient {
+        let spec = PlacementSpec {
+            matrix,
+            policy: kind.build(),
+            width: 3,
+            write_wait: 2,
+        };
+        DepSkyClient::with_placement(as_stores(sims), DepSkyConfig::scfs_default(), spec, seed)
+            .unwrap()
+    }
+
+    #[test]
+    fn placed_clients_round_trip_under_every_policy() {
+        let kinds = [
+            PolicyKind::AllClouds,
+            PolicyKind::CheapestQuorum { slo_millis: 2_500 },
+            PolicyKind::FastestRead,
+        ];
+        for kind in kinds {
+            let (sims, matrix) = matrix_clouds(11);
+            let ds = placed_client(&sims, matrix.clone(), kind, 42);
+            let mut clock = Clock::new();
+            let mut c = ctx(&mut clock);
+            let data = vec![0xABu8; 9_000];
+            let receipt = ds.write_new(&mut c, "f", &data).unwrap();
+            // Let the eventual-consistency windows of the archive and flaky
+            // tiers lapse — SCFS's consistency-anchor loop retries across
+            // this gap; a raw DepSky read must simply wait it out.
+            c.clock.advance(sim_core::time::SimDuration::from_secs(60));
+            let (read, info) = ds.read_latest(&mut c, "f").unwrap();
+            assert_eq!(read, data, "{}", kind.label());
+            assert_eq!(info.version, 1);
+            // A fresh client with no metadata cache resolves the placement
+            // from the encoded metadata alone. Its clock starts well past
+            // the eventual-consistency visibility windows of the archive
+            // and flaky tiers.
+            let reader = placed_client(&sims, matrix, kind, 43);
+            let mut clock_b = Clock::new();
+            clock_b.advance(sim_core::time::SimDuration::from_secs(3_600));
+            let mut cb = ctx(&mut clock_b);
+            assert_eq!(
+                reader.read_by_hash(&mut cb, "f", &receipt.hash).unwrap(),
+                data,
+                "{}",
+                kind.label()
+            );
+        }
+    }
+
+    #[test]
+    fn cheapest_quorum_writes_record_their_placement() {
+        let (sims, matrix) = matrix_clouds(7);
+        let ds = placed_client(
+            &sims,
+            matrix,
+            PolicyKind::CheapestQuorum { slo_millis: 2_500 },
+            1,
+        );
+        let mut clock = Clock::new();
+        let mut c = ctx(&mut clock);
+        ds.write_new(&mut c, "f", &vec![5u8; 4096]).unwrap();
+        let md = ds.read_metadata(&mut c, "f").unwrap();
+        let info = md.latest().unwrap();
+        // The matrix puts the premium tier at index 0, so the cheapest
+        // quorum is never the identity and the placement must be explicit.
+        assert_eq!(info.placements.len(), 3);
+        assert!(!info.holder_clouds().contains(&0));
+        // Exactly the holders store a block for this version.
+        for (cloud, sim) in sims.iter().enumerate() {
+            let holds = info.slot_for_cloud(cloud).is_some();
+            let key = DepSkyClient::block_key("f", 1, info.slot_for_cloud(cloud).unwrap_or(0));
+            let mut probe_clock = Clock::new();
+            probe_clock.advance(sim_core::time::SimDuration::from_secs(3_600));
+            let mut pc = ctx(&mut probe_clock);
+            assert_eq!(sim.get(&mut pc, &key).is_ok(), holds, "cloud {cloud}");
+        }
+    }
+
+    #[test]
+    fn placed_reads_escalate_past_a_holder_outage() {
+        let (sims, matrix) = matrix_clouds(23);
+        let ds = placed_client(&sims, matrix.clone(), PolicyKind::FastestRead, 9);
+        let mut clock = Clock::new();
+        let mut c = ctx(&mut clock);
+        let data = vec![0x5Au8; 6_000];
+        let receipt = ds.write_new(&mut c, "f", &data).unwrap();
+        let md = ds.read_metadata(&mut c, "f").unwrap();
+        let holders = md.latest().unwrap().holder_clouds();
+
+        // Knock out the holder FastestRead would race first (the healthiest
+        // one); the first wave falls short and the read must widen to the
+        // remaining holders instead of failing.
+        let spec = ds.placement().unwrap();
+        let first = spec
+            .policy
+            .read_order(&spec.matrix, &holders, 2, Bytes::new(1))[0];
+        sims[first].set_fault_plan(
+            FaultPlan::outage(SimInstant::EPOCH, SimInstant::from_secs(1_000_000)),
+            3,
+        );
+
+        let reader = placed_client(&sims, matrix, PolicyKind::FastestRead, 10);
+        let mut clock_b = Clock::new();
+        clock_b.advance(sim_core::time::SimDuration::from_secs(3_600));
+        let mut cb = ctx(&mut clock_b);
+        assert_eq!(
+            reader.read_by_hash(&mut cb, "f", &receipt.hash).unwrap(),
+            data
+        );
+    }
+
+    proptest! {
+        // ISSUE 9 satellite: FastestRead escalation never loses
+        // read-your-writes under injected provider outages. Any single cloud
+        // of the pool — holder or not, including the slow archive and the
+        // flaky regional store — may go dark after the write; the 2-of-3
+        // erasure geometry plus wave widening must still reconstruct.
+        #[test]
+        fn prop_fastest_read_survives_any_single_outage(choice in 0u64..(7 * 64)) {
+            // One integer encodes (faulted cloud, payload variant) — the
+            // proptest shim has no tuple strategies.
+            let faulted = (choice % 7) as usize;
+            let variant = choice / 7;
+            let (sims, matrix) = matrix_clouds(variant);
+            let ds = placed_client(&sims, matrix.clone(), PolicyKind::FastestRead, variant);
+            let mut clock = Clock::new();
+            let mut c = ctx(&mut clock);
+            let data = vec![(variant % 251) as u8; 512 + (variant as usize) * 37];
+            let receipt = ds.write_new(&mut c, "f", &data).unwrap();
+
+            sims[faulted].set_fault_plan(
+                FaultPlan::outage(SimInstant::EPOCH, SimInstant::from_secs(1_000_000)),
+                variant,
+            );
+
+            let reader = placed_client(&sims, matrix, PolicyKind::FastestRead, variant + 1);
+            let mut clock_b = Clock::new();
+            clock_b.advance(sim_core::time::SimDuration::from_secs(3_600));
+            let mut cb = ctx(&mut clock_b);
+            let read = reader.read_by_hash(&mut cb, "f", &receipt.hash).unwrap();
+            prop_assert_eq!(read, data);
+        }
     }
 }

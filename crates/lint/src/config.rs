@@ -68,11 +68,16 @@ impl Default for LintConfig {
         allow("scfs_crypto", &["proptest"]);
         allow("cloud_store", &["sim_core", "parking_lot"]);
         allow(
+            "placement",
+            &["sim_core", "cloud_store", "parking_lot", "proptest"],
+        );
+        allow(
             "depsky",
             &[
                 "sim_core",
                 "cloud_store",
                 "scfs_crypto",
+                "placement",
                 "parking_lot",
                 "proptest",
             ],
@@ -85,6 +90,7 @@ impl Default for LintConfig {
                 "cloud_store",
                 "scfs_crypto",
                 "depsky",
+                "placement",
                 "coord",
                 "parking_lot",
             ],
@@ -100,6 +106,7 @@ impl Default for LintConfig {
                 "cloud_store",
                 "scfs_crypto",
                 "depsky",
+                "placement",
                 "coord",
                 "scfs",
                 "baselines",
@@ -107,7 +114,15 @@ impl Default for LintConfig {
         );
         allow(
             "bench",
-            &["sim_core", "workloads", "criterion", "coord", "scfs"],
+            &[
+                "sim_core",
+                "cloud_store",
+                "workloads",
+                "criterion",
+                "coord",
+                "scfs",
+                "placement",
+            ],
         );
         allow("lint", &[]);
         allow(
@@ -117,6 +132,7 @@ impl Default for LintConfig {
                 "cloud_store",
                 "scfs_crypto",
                 "depsky",
+                "placement",
                 "coord",
                 "scfs",
                 "baselines",
@@ -125,10 +141,17 @@ impl Default for LintConfig {
             ],
         );
         LintConfig {
-            order_sensitive_crates: set(&["sim_core", "scfs", "coord", "depsky", "workloads"]),
-            error_path_crates: set(&["scfs", "coord", "depsky"]),
+            order_sensitive_crates: set(&[
+                "sim_core",
+                "scfs",
+                "coord",
+                "depsky",
+                "placement",
+                "workloads",
+            ]),
+            error_path_crates: set(&["scfs", "coord", "depsky", "placement"]),
             clock_home_crate: "sim_core".to_string(),
-            ambient_clock_crates: set(&["scfs", "coord", "depsky"]),
+            ambient_clock_crates: set(&["scfs", "coord", "depsky", "placement"]),
             dag,
             module_rules: vec![ModuleRule {
                 file: "crates/scfs/src/agent.rs",
@@ -147,6 +170,7 @@ impl Default for LintConfig {
                 "cloud_store",
                 "scfs_crypto",
                 "depsky",
+                "placement",
                 "coord",
                 "scfs",
                 "baselines",

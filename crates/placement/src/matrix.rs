@@ -1,0 +1,250 @@
+//! The provider matrix: static profiles plus deterministic per-provider
+//! health tracking.
+//!
+//! Policies need two kinds of information about each cloud: what it *should*
+//! cost and take (the published price book and latency profile) and how it is
+//! *actually* behaving (observed latencies and error rates). The matrix keeps
+//! both. Health is an exponentially-weighted moving average fed from every
+//! `CloudOutcome` the DepSky client observes, so a provider that starts
+//! timing out or dropping requests drifts away from its advertised profile
+//! and the policies route around it — deterministically, because the inputs
+//! are virtual-time durations, not wall-clock measurements.
+
+use cloud_store::providers::ProviderProfile;
+use parking_lot::Mutex;
+use sim_core::time::SimDuration;
+use sim_core::units::Bytes;
+
+/// Smoothing factor of the health EWMAs: high enough that a burst of slow or
+/// failed requests shows up within a handful of observations, low enough that
+/// one outlier does not flip a policy decision.
+const EWMA_ALPHA: f64 = 0.3;
+
+/// Per-provider health state: observed request latency and error rate.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ProviderHealth {
+    /// EWMA of observed operation latencies in milliseconds (`None` until the
+    /// first observation).
+    pub latency_ewma_millis: Option<f64>,
+    /// EWMA of the error indicator (1.0 = failed, 0.0 = succeeded); starts
+    /// at 0, i.e. providers are trusted until they misbehave.
+    pub error_ewma: f64,
+    /// Number of observations folded in.
+    pub samples: u64,
+}
+
+/// The registry of providers a placement-aware DepSky deployment runs over.
+pub struct ProviderMatrix {
+    profiles: Vec<ProviderProfile>,
+    health: Mutex<Vec<ProviderHealth>>,
+}
+
+impl std::fmt::Debug for ProviderMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProviderMatrix")
+            .field("providers", &self.profiles.len())
+            .finish()
+    }
+}
+
+impl ProviderMatrix {
+    /// Builds a matrix over the given profiles with clean health state.
+    pub fn new(profiles: Vec<ProviderProfile>) -> Self {
+        let health = vec![ProviderHealth::default(); profiles.len()];
+        ProviderMatrix {
+            profiles,
+            health: Mutex::new(health),
+        }
+    }
+
+    /// Number of providers in the matrix.
+    pub fn len(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// Whether the matrix is empty.
+    pub fn is_empty(&self) -> bool {
+        self.profiles.is_empty()
+    }
+
+    /// The static profile of provider `cloud`.
+    pub fn profile(&self, cloud: usize) -> &ProviderProfile {
+        &self.profiles[cloud]
+    }
+
+    /// All profiles, in index order.
+    pub fn profiles(&self) -> &[ProviderProfile] {
+        &self.profiles
+    }
+
+    /// Current health snapshot of provider `cloud`.
+    pub fn health(&self, cloud: usize) -> ProviderHealth {
+        self.health.lock()[cloud]
+    }
+
+    /// Folds one observed operation into provider `cloud`'s health: its
+    /// virtual-time latency and whether it succeeded.
+    pub fn record(&self, cloud: usize, latency: SimDuration, ok: bool) {
+        let mut health = self.health.lock();
+        let Some(h) = health.get_mut(cloud) else {
+            return;
+        };
+        let millis = latency.as_millis_f64();
+        h.latency_ewma_millis = Some(match h.latency_ewma_millis {
+            None => millis,
+            Some(prev) => EWMA_ALPHA * millis + (1.0 - EWMA_ALPHA) * prev,
+        });
+        let err = if ok { 0.0 } else { 1.0 };
+        h.error_ewma = EWMA_ALPHA * err + (1.0 - EWMA_ALPHA) * h.error_ewma;
+        h.samples += 1;
+    }
+
+    /// Observed error rate of provider `cloud` (0 until a failure is seen).
+    pub fn error_rate(&self, cloud: usize) -> f64 {
+        self.health.lock().get(cloud).map_or(0.0, |h| h.error_ewma)
+    }
+
+    /// Predicted latency, in milliseconds, of one operation against `cloud`
+    /// that uploads `upload` and downloads `download` bytes. The per-request
+    /// component is the health EWMA once observations exist (so a degraded
+    /// provider is predicted degraded) and the profile's advertised mean
+    /// before that; transfer time always comes from the profile's bandwidth.
+    pub fn predicted_op_millis(&self, cloud: usize, upload: Bytes, download: Bytes) -> f64 {
+        let profile = &self.profiles[cloud];
+        let request = match self
+            .health
+            .lock()
+            .get(cloud)
+            .and_then(|h| h.latency_ewma_millis)
+        {
+            Some(observed) => observed,
+            None => profile.latency.request.mean().as_millis_f64(),
+        };
+        request
+            + profile.latency.upload.transfer_time(upload).as_millis_f64()
+            + profile
+                .latency
+                .download
+                .transfer_time(download)
+                .as_millis_f64()
+    }
+
+    /// Dollar cost of writing one `block`-sized object to `cloud` and keeping
+    /// it for a month: the PUT request, the inbound traffic and 30 days of
+    /// storage rent.
+    pub fn write_cost_dollars(&self, cloud: usize, block: Bytes) -> f64 {
+        let p = &self.profiles[cloud].prices;
+        (p.put_op_cost() + p.upload_cost(block) + p.storage_cost(block, 30.0)).as_dollars()
+    }
+
+    /// Dollar cost of reading one `block`-sized object back from `cloud`:
+    /// the GET request plus the outbound traffic.
+    pub fn read_cost_dollars(&self, cloud: usize, block: Bytes) -> f64 {
+        let p = &self.profiles[cloud].prices;
+        (p.get_op_cost() + p.download_cost(block)).as_dollars()
+    }
+
+    /// Dollar cost of one full write-then-read round trip of a `block`-sized
+    /// object on `cloud` — the score [`crate::policy::CheapestQuorum`]
+    /// minimizes per quorum member.
+    pub fn round_trip_cost_dollars(&self, cloud: usize, block: Bytes) -> f64 {
+        self.write_cost_dollars(cloud, block) + self.read_cost_dollars(cloud, block)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloud_store::providers::ProviderSet;
+
+    fn matrix() -> ProviderMatrix {
+        ProviderMatrix::new(ProviderSet::heterogeneous_matrix())
+    }
+
+    #[test]
+    fn prediction_starts_from_the_profile_mean() {
+        let m = matrix();
+        for cloud in 0..m.len() {
+            let predicted = m.predicted_op_millis(cloud, Bytes::kib(4), Bytes::ZERO);
+            let advertised = m
+                .profile(cloud)
+                .latency
+                .mean_op(Bytes::kib(4), Bytes::ZERO)
+                .as_millis_f64();
+            assert!(
+                (predicted - advertised).abs() < 1e-9,
+                "cloud {cloud}: {predicted} vs {advertised}"
+            );
+        }
+    }
+
+    #[test]
+    fn recording_latencies_moves_the_prediction() {
+        let m = matrix();
+        let before = m.predicted_op_millis(0, Bytes::ZERO, Bytes::ZERO);
+        for _ in 0..20 {
+            m.record(0, SimDuration::from_millis(5_000), true);
+        }
+        let after = m.predicted_op_millis(0, Bytes::ZERO, Bytes::ZERO);
+        assert!(after > before * 10.0, "EWMA should converge towards 5000ms");
+        assert!(after <= 5_000.0 + 1e-9);
+        assert_eq!(m.health(0).samples, 20);
+    }
+
+    #[test]
+    fn error_rate_rises_on_failures_and_decays_on_successes() {
+        let m = matrix();
+        assert_eq!(m.error_rate(2), 0.0);
+        for _ in 0..10 {
+            m.record(2, SimDuration::from_millis(700), false);
+        }
+        let degraded = m.error_rate(2);
+        assert!(degraded > 0.9, "ten straight failures: {degraded}");
+        for _ in 0..10 {
+            m.record(2, SimDuration::from_millis(700), true);
+        }
+        assert!(m.error_rate(2) < degraded / 5.0);
+    }
+
+    #[test]
+    fn ewma_is_deterministic() {
+        let a = matrix();
+        let b = matrix();
+        for i in 0..50u64 {
+            let latency = SimDuration::from_millis(100 + (i * 37) % 900);
+            a.record((i % 7) as usize, latency, i % 5 != 0);
+            b.record((i % 7) as usize, latency, i % 5 != 0);
+        }
+        for cloud in 0..a.len() {
+            assert_eq!(
+                a.predicted_op_millis(cloud, Bytes::kib(4), Bytes::ZERO),
+                b.predicted_op_millis(cloud, Bytes::kib(4), Bytes::ZERO)
+            );
+            assert_eq!(a.error_rate(cloud), b.error_rate(cloud));
+        }
+    }
+
+    #[test]
+    fn costs_reflect_the_price_books() {
+        let m = matrix();
+        let block = Bytes::kib(64);
+        let premium = 0usize; // matrix order: premium first, archive last
+        let archive = m.len() - 1;
+        assert_eq!(m.profile(premium).id, "premium");
+        assert_eq!(m.profile(archive).id, "archive");
+        assert!(
+            m.round_trip_cost_dollars(archive, block) < m.round_trip_cost_dollars(premium, block)
+        );
+        for cloud in 0..m.len() {
+            assert!(m.write_cost_dollars(cloud, block) > 0.0);
+            assert!(m.read_cost_dollars(cloud, block) > 0.0);
+        }
+    }
+
+    #[test]
+    fn out_of_range_records_are_ignored() {
+        let m = matrix();
+        m.record(99, SimDuration::from_millis(1), false);
+        assert_eq!(m.error_rate(99), 0.0);
+    }
+}

@@ -165,6 +165,13 @@ pub struct ScfsConfig {
     /// metadata tuples across that many ABD register groups by directory
     /// hash, scaling aggregate metadata throughput near-linearly.
     pub metadata_shards: usize,
+    /// Which placement policy the cloud-of-clouds backend uses to choose
+    /// clouds per DepSky operation when deployed over a heterogeneous
+    /// provider matrix (`placement::PolicyKind`). The paper's fixed layout
+    /// is [`placement::PolicyKind::AllClouds`]; the harness building the
+    /// backend (`workloads::setup`) consumes this knob — it has no effect
+    /// on a plain four-cloud deployment.
+    pub placement: placement::PolicyKind,
 }
 
 impl ScfsConfig {
@@ -190,12 +197,20 @@ impl ScfsConfig {
             anchor_read_retries: 50,
             anchor_retry_backoff: SimDuration::from_millis(200),
             metadata_shards: 1,
+            placement: placement::PolicyKind::AllClouds,
         }
     }
 
     /// Partitions the metadata namespace over `shards` register groups.
     pub fn with_metadata_shards(mut self, shards: usize) -> Self {
         self.metadata_shards = shards.max(1);
+        self
+    }
+
+    /// Selects the placement policy a matrix-backed cloud-of-clouds
+    /// deployment uses to pick clouds per operation.
+    pub fn with_placement_policy(mut self, policy: placement::PolicyKind) -> Self {
+        self.placement = policy;
         self
     }
 

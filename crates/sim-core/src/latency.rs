@@ -74,6 +74,39 @@ impl LatencyModel {
         SimDuration::from_millis_f64(millis.max(0.0))
     }
 
+    /// Scales the model by `factor` (every sampled and mean latency grows by
+    /// the same multiple) — used by degraded-provider sweeps that slow one
+    /// cloud down without changing the shape of its distribution.
+    pub fn scaled(&self, factor: f64) -> Self {
+        let f = factor.max(0.0);
+        match *self {
+            LatencyModel::Constant { millis } => LatencyModel::Constant { millis: millis * f },
+            LatencyModel::Uniform {
+                lo_millis,
+                hi_millis,
+            } => LatencyModel::Uniform {
+                lo_millis: lo_millis * f,
+                hi_millis: hi_millis * f,
+            },
+            LatencyModel::Normal {
+                mean_millis,
+                std_dev_millis,
+                min_millis,
+            } => LatencyModel::Normal {
+                mean_millis: mean_millis * f,
+                std_dev_millis: std_dev_millis * f,
+                min_millis: min_millis * f,
+            },
+            LatencyModel::LogNormal {
+                median_millis,
+                sigma,
+            } => LatencyModel::LogNormal {
+                median_millis: median_millis * f,
+                sigma,
+            },
+        }
+    }
+
     /// The expected (mean) latency of this model, used by analytical cost
     /// estimates and by tests that check calibration.
     pub fn mean(&self) -> SimDuration {
@@ -185,6 +218,18 @@ impl LatencyProfile {
             + self.upload.transfer_time(upload)
             + self.download.transfer_time(download)
     }
+
+    /// Slows the whole profile down by `factor`: request latency multiplies,
+    /// bandwidth divides, so both small-object and bulk operations degrade by
+    /// the same multiple.
+    pub fn scaled(&self, factor: f64) -> Self {
+        let f = factor.max(1e-9);
+        LatencyProfile {
+            request: self.request.scaled(f),
+            upload: BandwidthModel::mib_per_sec(self.upload.mib_per_sec / f),
+            download: BandwidthModel::mib_per_sec(self.download.mib_per_sec / f),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -263,6 +308,26 @@ mod tests {
         assert!((d.as_secs_f64() - 1.1).abs() < 1e-9);
         let d = p.mean_op(Bytes::ZERO, Bytes::mib(20));
         assert!((d.as_secs_f64() - 1.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scaled_profile_multiplies_mean_op() {
+        let p = LatencyProfile {
+            request: LatencyModel::LogNormal {
+                median_millis: 100.0,
+                sigma: 0.3,
+            },
+            upload: BandwidthModel::mib_per_sec(10.0),
+            download: BandwidthModel::mib_per_sec(20.0),
+        };
+        let slow = p.scaled(10.0);
+        let base = p.mean_op(Bytes::mib(1), Bytes::ZERO).as_secs_f64();
+        let degraded = slow.mean_op(Bytes::mib(1), Bytes::ZERO).as_secs_f64();
+        assert!(
+            (degraded / base - 10.0).abs() < 1e-6,
+            "ratio {}",
+            degraded / base
+        );
     }
 
     #[test]

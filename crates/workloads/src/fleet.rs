@@ -238,6 +238,21 @@ struct MountState {
 /// teams, fewer mounts than teams) or if the file system returns an error
 /// other than a write-lock conflict.
 pub fn run_fleet(cfg: &FleetConfig) -> FleetReport {
+    let env = SharedScfsEnv::new(cfg.backend, cfg.mode, cfg.seed);
+    run_fleet_in(&env, cfg)
+}
+
+/// Runs one fleet on an **existing** shared environment — the hook that
+/// lets harnesses drive the same workload over a custom backend (e.g. a
+/// placement-aware cloud-of-clouds over [`crate::setup::MatrixEnv`]) while
+/// keeping every arrival, think time and popularity draw identical to
+/// [`run_fleet`]. `cfg.backend` is ignored; `env.mode` must match
+/// `cfg.mode`.
+///
+/// # Panics
+///
+/// Same contract as [`run_fleet`].
+pub fn run_fleet_in(env: &SharedScfsEnv, cfg: &FleetConfig) -> FleetReport {
     assert!(
         cfg.mode.uses_coordination(),
         "the fleet shares directories; Mode::NonSharing cannot"
@@ -245,8 +260,6 @@ pub fn run_fleet(cfg: &FleetConfig) -> FleetReport {
     assert!(cfg.teams > 0, "need at least one team");
     assert!(cfg.mounts >= cfg.teams, "need at least one mount per team");
     assert!(cfg.files_per_team > 0, "need files to operate on");
-
-    let env = SharedScfsEnv::new(cfg.backend, cfg.mode, cfg.seed);
 
     // Population: one writer mount per team creates the shared directory.
     // The epoch every operating mount starts at lies past the last commit

@@ -14,7 +14,8 @@ use coord::replication::{ReplicatedCoordinator, ReplicationConfig};
 use coord::service::CoordinationService;
 use coord::sharded::{ShardTopology, ShardedCoordinator};
 use depsky::config::DepSkyConfig;
-use depsky::register::DepSkyClient;
+use depsky::register::{DepSkyClient, PlacementSpec};
+use placement::{PolicyKind, ProviderMatrix};
 use scfs::agent::ScfsAgent;
 use scfs::backend::{CloudOfCloudsStorage, FileStorage, SingleCloudStorage};
 use scfs::config::{Mode, ScfsConfig};
@@ -148,11 +149,87 @@ impl SharedScfsEnv {
     }
 }
 
-/// Builds the storage backend (with WAN provider profiles).
+/// A cloud-of-clouds environment over an explicit heterogeneous provider
+/// matrix, keeping handles the plain [`SharedScfsEnv`] hides: the simulated
+/// clouds (for fault injection, ledgers and stored-byte accounting) and the
+/// shared [`ProviderMatrix`] whose health state the placement policy reads.
+#[derive(Clone)]
+pub struct MatrixEnv {
+    /// The mountable environment (same shape the fleet harness drives).
+    pub env: SharedScfsEnv,
+    /// The simulated clouds, in matrix index order.
+    pub clouds: Vec<Arc<SimulatedCloud>>,
+    /// The provider matrix shared with the placement policy.
+    pub matrix: Arc<ProviderMatrix>,
+}
+
+impl MatrixEnv {
+    /// Builds a shared cloud-of-clouds environment over `profiles` with a
+    /// placement-aware DepSky client: `policy` picks `width` clouds per
+    /// write (waiting for `write_wait` block acknowledgements) and orders
+    /// reads, with the paper's Byzantine coordination service alongside.
+    pub fn coc_matrix(
+        profiles: Vec<ProviderProfile>,
+        policy: PolicyKind,
+        width: usize,
+        write_wait: usize,
+        mode: Mode,
+        seed: u64,
+    ) -> Self {
+        let clouds: Vec<Arc<SimulatedCloud>> = profiles
+            .iter()
+            .enumerate()
+            .map(|(i, p)| Arc::new(SimulatedCloud::new(p.clone(), seed.wrapping_add(i as u64))))
+            .collect();
+        let matrix = Arc::new(ProviderMatrix::new(profiles));
+        let stores: Vec<Arc<dyn ObjectStore>> = clouds
+            .iter()
+            .map(|c| c.clone() as Arc<dyn ObjectStore>)
+            .collect();
+        let spec = PlacementSpec {
+            matrix: matrix.clone(),
+            policy: policy.build(),
+            width,
+            write_wait,
+        };
+        let depsky = DepSkyClient::with_placement(stores, DepSkyConfig::scfs_default(), spec, seed)
+            .expect("matrix, width and write_wait are consistent");
+        let storage = Arc::new(CloudOfCloudsStorage::new(depsky));
+        let coordinator = if mode.uses_coordination() {
+            Some(build_coordinator(Backend::CloudOfClouds, seed))
+        } else {
+            None
+        };
+        MatrixEnv {
+            env: SharedScfsEnv {
+                storage,
+                coordinator,
+                mode,
+            },
+            clouds,
+            matrix,
+        }
+    }
+}
+
+/// Builds the storage backend (with WAN provider profiles). The single-cloud
+/// backend simulates Amazon S3, as in the paper; use [`build_storage_on`] to
+/// run it over any other provider.
 pub fn build_storage(backend: Backend, seed: u64) -> Arc<dyn FileStorage> {
+    build_storage_on(backend, &ProviderProfile::amazon_s3(), seed)
+}
+
+/// Builds the storage backend with an explicit single-cloud provider.
+/// `single_cloud` backs the [`Backend::Aws`] variant; the cloud-of-clouds
+/// backend keeps its fixed four-provider set regardless.
+pub fn build_storage_on(
+    backend: Backend,
+    single_cloud: &ProviderProfile,
+    seed: u64,
+) -> Arc<dyn FileStorage> {
     match backend {
         Backend::Aws => {
-            let cloud = Arc::new(SimulatedCloud::new(ProviderProfile::amazon_s3(), seed));
+            let cloud = Arc::new(SimulatedCloud::new(single_cloud.clone(), seed));
             Arc::new(SingleCloudStorage::new(cloud))
         }
         Backend::CloudOfClouds => {
@@ -205,7 +282,19 @@ pub fn build_coordinator_sharded(
 
 /// Builds one SCFS variant with the paper's default configuration.
 pub fn build_scfs(backend: Backend, mode: Mode, config: ScfsConfig, seed: u64) -> ScfsAgent {
-    let storage = build_storage(backend, seed);
+    build_scfs_on(backend, &ProviderProfile::amazon_s3(), mode, config, seed)
+}
+
+/// Builds one SCFS variant with an explicit single-cloud provider backing
+/// the AWS backend.
+pub fn build_scfs_on(
+    backend: Backend,
+    single_cloud: &ProviderProfile,
+    mode: Mode,
+    config: ScfsConfig,
+    seed: u64,
+) -> ScfsAgent {
+    let storage = build_storage_on(backend, single_cloud, seed);
     let coordinator = if mode.uses_coordination() {
         Some(build_coordinator_sharded(
             backend,
@@ -219,23 +308,37 @@ pub fn build_scfs(backend: Backend, mode: Mode, config: ScfsConfig, seed: u64) -
         .expect("configuration is consistent")
 }
 
-/// Builds any of the nine evaluated systems on a fresh environment.
+/// Builds any of the nine evaluated systems on a fresh environment, with
+/// the single-cloud systems on Amazon S3 as in the paper.
 pub fn build_system(kind: SystemKind, seed: u64) -> Box<dyn FileSystem> {
+    build_system_on(kind, &ProviderProfile::amazon_s3(), seed)
+}
+
+/// Builds any of the nine evaluated systems with an explicit single-cloud
+/// provider backing the SCFS-AWS variants and the S3FS/S3QL baselines.
+pub fn build_system_on(
+    kind: SystemKind,
+    single_cloud: &ProviderProfile,
+    seed: u64,
+) -> Box<dyn FileSystem> {
     match kind {
-        SystemKind::ScfsAwsNs => Box::new(build_scfs(
+        SystemKind::ScfsAwsNs => Box::new(build_scfs_on(
             Backend::Aws,
+            single_cloud,
             Mode::NonSharing,
             ScfsConfig::paper_default(Mode::NonSharing),
             seed,
         )),
-        SystemKind::ScfsAwsNb => Box::new(build_scfs(
+        SystemKind::ScfsAwsNb => Box::new(build_scfs_on(
             Backend::Aws,
+            single_cloud,
             Mode::NonBlocking,
             ScfsConfig::paper_default(Mode::NonBlocking),
             seed,
         )),
-        SystemKind::ScfsAwsB => Box::new(build_scfs(
+        SystemKind::ScfsAwsB => Box::new(build_scfs_on(
             Backend::Aws,
+            single_cloud,
             Mode::Blocking,
             ScfsConfig::paper_default(Mode::Blocking),
             seed,
@@ -259,11 +362,11 @@ pub fn build_system(kind: SystemKind, seed: u64) -> Box<dyn FileSystem> {
             seed,
         )),
         SystemKind::S3fs => {
-            let cloud = Arc::new(SimulatedCloud::new(ProviderProfile::amazon_s3(), seed));
+            let cloud = Arc::new(SimulatedCloud::new(single_cloud.clone(), seed));
             Box::new(S3fsLike::new("alice".into(), cloud, seed))
         }
         SystemKind::S3ql => {
-            let cloud = Arc::new(SimulatedCloud::new(ProviderProfile::amazon_s3(), seed));
+            let cloud = Arc::new(SimulatedCloud::new(single_cloud.clone(), seed));
             Box::new(S3qlLike::new("alice".into(), cloud, seed))
         }
         SystemKind::LocalFs => Box::new(LocalFs::new("alice".into(), seed)),
@@ -295,6 +398,29 @@ mod tests {
         let labels: std::collections::BTreeSet<_> =
             SystemKind::all().into_iter().map(|k| k.label()).collect();
         assert_eq!(labels.len(), SystemKind::all().len());
+    }
+
+    #[test]
+    fn matrix_env_round_trips_and_feeds_provider_health() {
+        let menv = MatrixEnv::coc_matrix(
+            ProviderSet::heterogeneous_matrix(),
+            PolicyKind::CheapestQuorum { slo_millis: 2_500 },
+            3,
+            2,
+            Mode::Blocking,
+            11,
+        );
+        let mut alice = menv.env.mount("alice", ScfsConfig::test(Mode::Blocking), 1);
+        let data = vec![9u8; 8192];
+        alice.write_file("/m/doc.bin", &data).unwrap();
+        assert_eq!(alice.read_file("/m/doc.bin").unwrap(), data);
+        // Blocks landed on some subset of the matrix clouds...
+        assert!(menv.clouds.iter().any(|c| c.stored_bytes().get() > 0));
+        // ...and every observed outcome fed the shared health state.
+        let samples: u64 = (0..menv.matrix.len())
+            .map(|i| menv.matrix.health(i).samples)
+            .sum();
+        assert!(samples > 0, "writes must feed the provider health EWMAs");
     }
 
     #[test]

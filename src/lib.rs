@@ -5,6 +5,7 @@ pub use baselines;
 pub use cloud_store;
 pub use coord;
 pub use depsky;
+pub use placement;
 pub use scfs;
 pub use scfs_crypto;
 pub use sim_core;
