@@ -1,0 +1,94 @@
+//! The replay controller: a decision vector driving the schedule seam.
+//!
+//! Exploration represents a schedule as a plain `Vec<usize>`: the i-th
+//! choice point of the run takes option `decisions[i]`, and any point past
+//! the end of the vector takes option 0 (the default, deterministic order).
+//! The controller records every point it answers — kind, site, option count
+//! and the option actually chosen — into a shared [`RunLog`], which is how
+//! the explorer learns the branching structure of the run it just executed.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use sim_core::schedule::{ChoicePoint, ScheduleController};
+
+/// One answered choice point, as recorded during a run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChoiceRecord {
+    /// Stable kind name (`lane`, `delivery`, `journal`).
+    pub kind: &'static str,
+    /// The site label the instrumented code passed (lane name, register
+    /// key, `gc-replay`, …).
+    pub site: String,
+    /// How many options the point offered (always ≥ 2; the seam answers
+    /// singleton points itself).
+    pub options: usize,
+    /// The option taken, after clamping to the valid range.
+    pub chose: usize,
+}
+
+/// The trace of one run: every choice point answered, in order.
+#[derive(Debug, Default)]
+pub struct RunLog {
+    /// The answered points, in the order they were reached.
+    pub records: Vec<ChoiceRecord>,
+}
+
+/// A [`ScheduleController`] that replays a decision vector positionally and
+/// logs what it answered.
+pub struct VectorController {
+    decisions: Vec<usize>,
+    log: Arc<Mutex<RunLog>>,
+}
+
+impl VectorController {
+    /// Creates a controller replaying `decisions`, recording into `log`.
+    pub fn new(decisions: Vec<usize>, log: Arc<Mutex<RunLog>>) -> Self {
+        VectorController { decisions, log }
+    }
+}
+
+impl ScheduleController for VectorController {
+    fn choose(&mut self, point: &ChoicePoint<'_>) -> usize {
+        let mut log = self.log.lock();
+        let idx = log.records.len();
+        let want = self.decisions.get(idx).copied().unwrap_or(0);
+        let chose = want.min(point.options.saturating_sub(1));
+        log.records.push(ChoiceRecord {
+            kind: point.kind.name(),
+            site: point.site.to_string(),
+            options: point.options,
+            chose,
+        });
+        chose
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::schedule::{ChoiceKind, ControllerSlot};
+
+    #[test]
+    fn replays_vector_then_defaults_to_zero() {
+        let log = Arc::new(Mutex::new(RunLog::default()));
+        let slot = ControllerSlot::new(VectorController::new(vec![2, 1], log.clone()));
+        assert_eq!(slot.choose(ChoiceKind::LaneDispatch, "a", 4), 2);
+        assert_eq!(slot.choose(ChoiceKind::ReplicaDelivery, "b", 3), 1);
+        assert_eq!(slot.choose(ChoiceKind::JournalReplay, "c", 3), 0);
+        let log = log.lock();
+        assert_eq!(log.records.len(), 3);
+        assert_eq!(log.records[0].kind, "lane");
+        assert_eq!(log.records[0].options, 4);
+        assert_eq!(log.records[1].site, "b");
+        assert_eq!(log.records[2].chose, 0);
+    }
+
+    #[test]
+    fn out_of_range_decision_is_clamped_and_recorded_clamped() {
+        let log = Arc::new(Mutex::new(RunLog::default()));
+        let slot = ControllerSlot::new(VectorController::new(vec![9], log.clone()));
+        assert_eq!(slot.choose(ChoiceKind::LaneDispatch, "a", 3), 2);
+        assert_eq!(log.lock().records[0].chose, 2);
+    }
+}

@@ -1,0 +1,115 @@
+//! Acceptance tests of the model-checking pipeline: explore → serialize →
+//! replay round-trips exactly, the shrinker reduces a messy known-bad
+//! schedule below a hard bound, and the committed corpus under
+//! `tests/schedules/` replays clean.
+
+use std::path::PathBuf;
+
+use check::blob::{Expect, Schedule};
+use check::explore::{explore, ExploreConfig};
+use check::scenario::ScenarioKind;
+use check::shrink::shrink;
+use proptest::prelude::*;
+
+proptest! {
+    /// Any decision vector, serialized as a schedule blob and parsed back,
+    /// replays to the identical observable trace — the property the corpus
+    /// workflow stands on.
+    #[test]
+    fn prop_explore_serialize_replay_is_trace_identical(
+        seed in 0u64..32,
+        raw in collection::vec(0usize..4, 0..12),
+    ) {
+        let outcome = ScenarioKind::AbdQuorum.run(seed, false, &raw);
+        // Pin what the run actually chose (clamped), not the raw vector:
+        // the blob stores the schedule as executed.
+        let chosen: Vec<usize> = outcome.records.iter().map(|r| r.chose).collect();
+        let sched = Schedule::from_run(ScenarioKind::AbdQuorum, seed, false, chosen, &outcome);
+        let parsed = Schedule::parse(&sched.serialize(&outcome.records)).unwrap();
+        prop_assert_eq!(&parsed, &sched);
+        let replayed = parsed.replay().unwrap();
+        prop_assert_eq!(replayed.trace_hash, outcome.trace_hash);
+        prop_assert_eq!(replayed.records, outcome.records);
+    }
+}
+
+/// A deliberately messy superset of the minimal stale-read schedule: extra
+/// inert deviations before and after the one that matters. The shrinker
+/// must strip it to at most one preemption in at most eight steps.
+#[test]
+fn shrinker_reduces_seeded_known_bad_schedule_below_bound() {
+    let messy = vec![1, 0, 2, 0, 1, 0, 1, 1];
+    let outcome = ScenarioKind::AbdQuorum.run(7, true, &messy);
+    assert!(
+        !outcome.violations.is_empty(),
+        "the seeded known-bad schedule must violate before shrinking"
+    );
+    let (minimal, _runs) = shrink(ScenarioKind::AbdQuorum, 7, true, &messy);
+    assert!(minimal.len() <= 8, "shrunk schedule too long: {minimal:?}");
+    let preemptions = minimal.iter().filter(|&&d| d != 0).count();
+    assert!(
+        preemptions <= 1,
+        "shrunk schedule keeps {preemptions} preemptions: {minimal:?}"
+    );
+    let shrunk_outcome = ScenarioKind::AbdQuorum.run(7, true, &minimal);
+    assert!(
+        !shrunk_outcome.violations.is_empty(),
+        "the shrunk schedule must still violate"
+    );
+}
+
+/// The quorum-off-by-one mutant is caught by a smoke-budget exploration and
+/// the clean register is not — the seeded-mutant acceptance gate.
+#[test]
+fn mutant_is_caught_and_clean_code_is_not() {
+    let cfg = ExploreConfig::smoke();
+    let caught = explore(ScenarioKind::AbdQuorum, 7, true, &cfg);
+    assert!(
+        caught.first_violation.is_some(),
+        "the read-quorum-skew mutant must be caught under the smoke budget"
+    );
+    let clean = explore(
+        ScenarioKind::AbdQuorum,
+        7,
+        false,
+        &ExploreConfig {
+            max_runs: 200,
+            max_preemptions: 2,
+        },
+    );
+    assert!(
+        clean.first_violation.is_none(),
+        "the correct quorum must survive exploration: {:?}",
+        clean.first_violation
+    );
+}
+
+/// Every committed schedule blob replays with its pinned trace hash and
+/// expectation. This is the same gate CI runs via `scfs-check replay`.
+#[test]
+fn committed_schedule_corpus_replays_clean() {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/schedules");
+    let mut blobs: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .expect("tests/schedules must exist")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "sched"))
+        .collect();
+    blobs.sort();
+    assert!(
+        blobs.len() >= 2,
+        "the corpus must hold at least the mutant witness and a pass pin"
+    );
+    let mut saw_violation_pin = false;
+    for path in blobs {
+        let text = std::fs::read_to_string(&path).unwrap();
+        let sched = Schedule::parse(&text).unwrap_or_else(|e| panic!("{path:?}: {e}"));
+        sched
+            .replay()
+            .unwrap_or_else(|e| panic!("{path:?} failed replay: {e}"));
+        saw_violation_pin |= sched.expect == Expect::Violation;
+    }
+    assert!(
+        saw_violation_pin,
+        "the corpus must pin at least one shrunk violation witness"
+    );
+}

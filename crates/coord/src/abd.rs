@@ -42,9 +42,11 @@ use parking_lot::Mutex;
 use sim_core::fault::{FaultDecision, FaultInjector, FaultPlan};
 use sim_core::parallel::{join_all, run_forked, ForkedRun};
 use sim_core::rng::DetRng;
+use sim_core::schedule::{ChoiceKind, ControllerSlot};
 use sim_core::time::{SimDuration, SimInstant};
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use crate::commands::{Command, Reply, SignedCommand};
@@ -74,6 +76,15 @@ pub struct RegisterGroup {
     config: ReplicationConfig,
     replicas: Vec<Mutex<ReplicaNode>>,
     rng: Mutex<DetRng>,
+    /// Schedule-controller seam: empty in production (replies are processed
+    /// in arrival order); the model checker installs one to explore other
+    /// delivery orders.
+    controller: Mutex<ControllerSlot>,
+    /// Mutation-testing knob: how much to *narrow* the read-side decision
+    /// quorum below `write_quorum` (clamped at 1). Zero in production; the
+    /// model checker sets 1 to plant the classic quorum-off-by-one bug and
+    /// prove the explorer catches it.
+    read_quorum_skew: AtomicUsize,
 }
 
 /// What one replica answered to an ABD read round.
@@ -91,14 +102,18 @@ impl ReadReply {
 }
 
 impl RegisterGroup {
-    /// Creates a group; panics on an inconsistent configuration (these are
-    /// produced by [`ReplicationConfig`] constructors, so a mismatch is a
-    /// programming error).
-    pub fn new(config: ReplicationConfig, seed: u64) -> Self {
-        config
-            .validate()
-            // scfs-lint: allow(E002, constructor-time config validation is a programming error, not a runtime fault)
-            .expect("replication configuration is inconsistent");
+    /// Creates a group; rejects an inconsistent configuration (replica list
+    /// not matching the mode) with the typed error from
+    /// [`ReplicationConfig::validate`].
+    pub fn new(config: ReplicationConfig, seed: u64) -> Result<Self, CoordError> {
+        config.validate()?;
+        Ok(RegisterGroup::from_validated(config, seed))
+    }
+
+    /// Builds the group from a configuration already known to be
+    /// consistent — the [`ReplicationConfig`] constructors only produce
+    /// consistent ones.
+    fn from_validated(config: ReplicationConfig, seed: u64) -> Self {
         let replicas = (0..config.replicas.len())
             .map(|_| {
                 Mutex::new(ReplicaNode {
@@ -112,15 +127,41 @@ impl RegisterGroup {
             config,
             replicas,
             rng: Mutex::new(DetRng::new(seed)),
+            controller: Mutex::new(ControllerSlot::inactive()),
+            read_quorum_skew: AtomicUsize::new(0),
         }
     }
 
     /// An instantaneous single-node group for unit tests.
     pub fn test() -> Self {
-        RegisterGroup::new(
+        RegisterGroup::from_validated(
             ReplicationConfig::test_instant(ReplicationMode::SingleNode),
             0,
         )
+    }
+
+    /// Installs a schedule controller driving reply-delivery order. Only the
+    /// model checker does this; an inactive slot (the default) keeps replies
+    /// in arrival order.
+    pub fn install_schedule_controller(&self, slot: ControllerSlot) {
+        *self.controller.lock() = slot;
+    }
+
+    /// Mutation-testing knob: narrows the read-side decision quorum by
+    /// `skew` (clamped at 1 reply). `scfs-check` uses this to seed the
+    /// quorum-off-by-one bug its acceptance run must catch; production code
+    /// never calls it.
+    pub fn set_read_quorum_skew(&self, skew: usize) {
+        self.read_quorum_skew.store(skew, Ordering::Relaxed);
+    }
+
+    /// Applies the installed controller's delivery order to a round's
+    /// replies; with no controller (production) the arrival order is kept
+    /// untouched.
+    fn deliver<T>(&self, site: &str, mut runs: Vec<ForkedRun<T>>) -> Vec<ForkedRun<T>> {
+        let slot = self.controller.lock().clone();
+        slot.permute(ChoiceKind::ReplicaDelivery, site, &mut runs);
+        runs
     }
 
     /// The deployment configuration.
@@ -192,7 +233,8 @@ impl RegisterGroup {
     /// ABD read: query all replicas, decide from a quorum, write back on
     /// disagreement.
     pub fn read(&self, ctx: &mut OpCtx<'_>, key: &str) -> Result<Entry, CoordError> {
-        let wq = self.config.mode.write_quorum();
+        let skew = self.read_quorum_skew.load(Ordering::Relaxed);
+        let wq = self.config.mode.write_quorum().saturating_sub(skew).max(1);
         let rq = self.config.mode.reply_quorum();
         let runs = self.round(ctx, |store, at, corrupt| {
             let (ts, state, updated_at) = store.abd_snapshot(key, at);
@@ -203,21 +245,26 @@ impl RegisterGroup {
                 updated_at,
             }
         });
+        let runs = self.deliver(key, runs);
 
-        // Walk replies in arrival order; once `write_quorum` have arrived,
+        // Walk replies in delivery order; once `write_quorum` have arrived,
         // look for a value supported by `reply_quorum` matching replies,
         // extending the considered set one reply at a time if the first
-        // quorum does not agree enough.
+        // quorum does not agree enough. The decision instant is the latest
+        // arrival among the replies actually considered (identical to the
+        // deciding reply's arrival when delivery order is arrival order).
         let mut considered: Vec<&ReadReply> = Vec::new();
         let mut decided: Option<(ReadReply, SimInstant)> = None;
+        let mut latest = SimInstant::EPOCH;
         for run in &runs {
             let Some(reply) = &run.value else { continue };
+            latest = latest.max(run.completed_at);
             considered.push(reply);
             if considered.len() < wq {
                 continue;
             }
             if let Some(winner) = vote(&considered, rq) {
-                decided = Some((winner, run.completed_at));
+                decided = Some((winner, latest));
                 break;
             }
         }
@@ -238,9 +285,12 @@ impl RegisterGroup {
             if let Some(state) = &winner.state {
                 let mut install = state.clone();
                 install.version = winner.ts;
-                let install_runs = self.round(ctx, |store, at, _| {
-                    store.abd_install(key, install.clone(), at)
-                });
+                let install_runs = self.deliver(
+                    key,
+                    self.round(ctx, |store, at, _| {
+                        store.abd_install(key, install.clone(), at)
+                    }),
+                );
                 let ok = sim_core::parallel::join_nth(
                     ctx.clock,
                     install_runs
@@ -283,16 +333,21 @@ impl RegisterGroup {
         // Phase 1: timestamp query. Byzantine replicas cannot forge
         // timestamps (commands are signed), so the plain quorum max is safe;
         // at worst a corrupt replica burns sequence numbers.
-        let ts_runs = self.round(ctx, |store, at, _| store.abd_snapshot(key, at).0);
+        let ts_runs = self.deliver(
+            key,
+            self.round(ctx, |store, at, _| store.abd_snapshot(key, at).0),
+        );
         let mut max_ts = 0u64;
         let mut acks = 0usize;
+        let mut latest = SimInstant::EPOCH;
         let mut decided_at = None;
         for run in &ts_runs {
             let Some(ts) = run.value else { continue };
             max_ts = max_ts.max(ts);
             acks += 1;
+            latest = latest.max(run.completed_at);
             if acks == wq {
-                decided_at = Some(run.completed_at);
+                decided_at = Some(latest);
                 break;
             }
         }
@@ -311,25 +366,30 @@ impl RegisterGroup {
         // Phase 2: install on a write quorum. `Stale` still acknowledges —
         // the write is linearized before the newer one that beat it.
         let who = ctx.account.clone();
-        let write_runs = self.round(ctx, |store, at, _| {
-            store.abd_write(key, ts, Arc::clone(&value), &who, at)
-        });
+        let write_runs = self.deliver(
+            key,
+            self.round(ctx, |store, at, _| {
+                store.abd_write(key, ts, Arc::clone(&value), &who, at)
+            }),
+        );
         let mut installs = 0usize;
         let mut denials = 0usize;
+        let mut latest = SimInstant::EPOCH;
         for run in &write_runs {
             let Some(outcome) = run.value else { continue };
+            latest = latest.max(run.completed_at);
             match outcome {
                 AbdWriteOutcome::Installed | AbdWriteOutcome::Stale => {
                     installs += 1;
                     if installs == wq {
-                        ctx.clock.advance_to(run.completed_at);
+                        ctx.clock.advance_to(latest);
                         return Ok(ts);
                     }
                 }
                 AbdWriteOutcome::Denied => {
                     denials += 1;
                     if denials == rq {
-                        ctx.clock.advance_to(run.completed_at);
+                        ctx.clock.advance_to(latest);
                         return Err(CoordError::AccessDenied {
                             key: key.to_string(),
                             account: who.to_string(),
@@ -350,23 +410,28 @@ impl RegisterGroup {
     pub fn list(&self, ctx: &mut OpCtx<'_>, prefix: &str) -> Result<Vec<String>, CoordError> {
         let wq = self.config.mode.write_quorum();
         let who = ctx.account.clone();
-        let runs = self.round(ctx, |store, at, corrupt| {
-            if corrupt {
-                None
-            } else {
-                Some(store.list(prefix, &who, at))
-            }
-        });
+        let runs = self.deliver(
+            prefix,
+            self.round(ctx, |store, at, corrupt| {
+                if corrupt {
+                    None
+                } else {
+                    Some(store.list(prefix, &who, at))
+                }
+            }),
+        );
         let mut union: BTreeSet<String> = BTreeSet::new();
         let mut acks = 0usize;
+        let mut latest = SimInstant::EPOCH;
         for run in &runs {
             let Some(Some(keys)) = &run.value else {
                 continue;
             };
             union.extend(keys.iter().cloned());
             acks += 1;
+            latest = latest.max(run.completed_at);
             if acks == wq {
-                ctx.clock.advance_to(run.completed_at);
+                ctx.clock.advance_to(latest);
                 return Ok(union.into_iter().collect());
             }
         }
@@ -385,15 +450,19 @@ impl RegisterGroup {
         prefix: &str,
     ) -> Result<Vec<(String, EntryState)>, CoordError> {
         let wq = self.config.mode.write_quorum();
-        let runs = self.round(ctx, |store, at, corrupt| {
-            if corrupt {
-                None
-            } else {
-                Some(store.collect_prefix(prefix, at))
-            }
-        });
+        let runs = self.deliver(
+            prefix,
+            self.round(ctx, |store, at, corrupt| {
+                if corrupt {
+                    None
+                } else {
+                    Some(store.collect_prefix(prefix, at))
+                }
+            }),
+        );
         let mut merged: BTreeMap<String, (u64, EntryState)> = BTreeMap::new();
         let mut acks = 0usize;
+        let mut latest = SimInstant::EPOCH;
         for run in &runs {
             let Some(Some(entries)) = &run.value else {
                 continue;
@@ -407,8 +476,9 @@ impl RegisterGroup {
                 }
             }
             acks += 1;
+            latest = latest.max(run.completed_at);
             if acks == wq {
-                ctx.clock.advance_to(run.completed_at);
+                ctx.clock.advance_to(latest);
                 return Ok(merged.into_iter().map(|(k, (_, s))| (k, s)).collect());
             }
         }
@@ -568,6 +638,7 @@ mod tests {
             ReplicationConfig::test_instant(ReplicationMode::CrashFaultTolerant { f: 1 }),
             seed,
         )
+        .unwrap()
     }
 
     #[test]
@@ -615,7 +686,7 @@ mod tests {
 
     #[test]
     fn read_masks_one_crashed_replica() {
-        let group = RegisterGroup::new(ReplicationConfig::metro_crash(1), 7);
+        let group = RegisterGroup::new(ReplicationConfig::metro_crash(1), 7).unwrap();
         let mut clock = Clock::new();
         let mut c = ctx(&mut clock, "alice");
         group.write(&mut c, "/f", b"v".to_vec().into()).unwrap();
@@ -630,7 +701,8 @@ mod tests {
         let group = RegisterGroup::new(
             ReplicationConfig::test_instant(ReplicationMode::ByzantineFaultTolerant { f: 1 }),
             5,
-        );
+        )
+        .unwrap();
         group.set_fault(2, FaultPlan::always_byzantine(), 11);
         let mut clock = Clock::new();
         let mut c = ctx(&mut clock, "alice");
@@ -673,7 +745,7 @@ mod tests {
         // processing capacity: with 4 ms mean processing, 100 reads cannot
         // complete in less than ~400 ms of virtual time even though the
         // clients run concurrently on forked clocks.
-        let group = RegisterGroup::new(ReplicationConfig::metro_crash(1), 9);
+        let group = RegisterGroup::new(ReplicationConfig::metro_crash(1), 9).unwrap();
         let mut clock = Clock::new();
         let mut c = ctx(&mut clock, "alice");
         group.write(&mut c, "/f", b"v".to_vec().into()).unwrap();

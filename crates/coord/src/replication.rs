@@ -228,14 +228,18 @@ pub struct ReplicatedCoordinator {
 }
 
 impl ReplicatedCoordinator {
-    /// Creates a coordinator; panics if the configuration is inconsistent
-    /// (configurations are produced by the constructors above, so this is a
-    /// programming error rather than a runtime condition).
-    pub fn new(config: ReplicationConfig, seed: u64) -> Self {
-        config
-            .validate()
-            // scfs-lint: allow(E002, constructor-time config validation is a programming error, not a runtime fault)
-            .expect("replication configuration is inconsistent");
+    /// Creates a coordinator; rejects an inconsistent configuration (replica
+    /// list not matching the mode) with the typed error from
+    /// [`ReplicationConfig::validate`].
+    pub fn new(config: ReplicationConfig, seed: u64) -> Result<Self, CoordError> {
+        config.validate()?;
+        Ok(ReplicatedCoordinator::from_validated(config, seed))
+    }
+
+    /// Builds the coordinator from a configuration already known to be
+    /// consistent — the [`ReplicationConfig`] constructors only produce
+    /// consistent ones.
+    fn from_validated(config: ReplicationConfig, seed: u64) -> Self {
         let replica_faults = (0..config.replicas.len())
             .map(|_| Mutex::new(FaultInjector::inert()))
             .collect();
@@ -251,7 +255,7 @@ impl ReplicatedCoordinator {
 
     /// Creates an instantaneous single-node coordinator for unit tests.
     pub fn test() -> Self {
-        ReplicatedCoordinator::new(
+        ReplicatedCoordinator::from_validated(
             ReplicationConfig::test_instant(ReplicationMode::SingleNode),
             0,
         )
@@ -633,7 +637,7 @@ mod tests {
 
     #[test]
     fn aws_backend_access_latency_is_60_to_100ms() {
-        let coord = ReplicatedCoordinator::new(ReplicationConfig::aws_single_ec2(), 1);
+        let coord = ReplicatedCoordinator::new(ReplicationConfig::aws_single_ec2(), 1).unwrap();
         let mut clock = Clock::new();
         let mut c = ctx(&mut clock, "alice");
         let n = 50;
@@ -651,7 +655,7 @@ mod tests {
 
     #[test]
     fn coc_byzantine_latency_is_comparable_to_aws() {
-        let coord = ReplicatedCoordinator::new(ReplicationConfig::coc_byzantine(), 2);
+        let coord = ReplicatedCoordinator::new(ReplicationConfig::coc_byzantine(), 2).unwrap();
         let mut clock = Clock::new();
         let mut c = ctx(&mut clock, "alice");
         let n = 50;
@@ -672,7 +676,8 @@ mod tests {
         let coord = ReplicatedCoordinator::new(
             ReplicationConfig::test_instant(ReplicationMode::ByzantineFaultTolerant { f: 1 }),
             3,
-        );
+        )
+        .unwrap();
         coord.set_replica_fault(2, FaultPlan::always_byzantine(), 9);
         let mut clock = Clock::new();
         let mut c = ctx(&mut clock, "alice");
@@ -685,7 +690,8 @@ mod tests {
         let coord = ReplicatedCoordinator::new(
             ReplicationConfig::test_instant(ReplicationMode::ByzantineFaultTolerant { f: 1 }),
             3,
-        );
+        )
+        .unwrap();
         coord.set_replica_fault(0, FaultPlan::crash_at(SimInstant::EPOCH), 1);
         coord.set_replica_fault(1, FaultPlan::crash_at(SimInstant::EPOCH), 2);
         let mut clock = Clock::new();
@@ -701,7 +707,8 @@ mod tests {
         let coord = ReplicatedCoordinator::new(
             ReplicationConfig::test_instant(ReplicationMode::CrashFaultTolerant { f: 1 }),
             4,
-        );
+        )
+        .unwrap();
         coord.set_replica_fault(1, FaultPlan::crash_at(SimInstant::EPOCH), 5);
         let mut clock = Clock::new();
         let mut c = ctx(&mut clock, "alice");
@@ -761,8 +768,8 @@ mod tests {
 
     #[test]
     fn expected_update_latency_orders_modes() {
-        let single = ReplicatedCoordinator::new(ReplicationConfig::aws_single_ec2(), 1);
-        let coc = ReplicatedCoordinator::new(ReplicationConfig::coc_byzantine(), 1);
+        let single = ReplicatedCoordinator::new(ReplicationConfig::aws_single_ec2(), 1).unwrap();
+        let coc = ReplicatedCoordinator::new(ReplicationConfig::coc_byzantine(), 1).unwrap();
         // Both should be within the same order of magnitude (60-150 ms).
         let s = single.expected_update_latency().as_millis_f64();
         let c = coc.expected_update_latency().as_millis_f64();

@@ -78,8 +78,10 @@ pub struct ShardedCoordinator {
 
 impl ShardedCoordinator {
     /// Builds the plane: one register group per shard, deterministically
-    /// seeded from `seed` so runs are reproducible.
-    pub fn new(topology: ShardTopology, seed: u64) -> Self {
+    /// seeded from `seed` so runs are reproducible. Rejects an inconsistent
+    /// group configuration with the typed error from
+    /// [`ReplicationConfig::validate`](crate::replication::ReplicationConfig::validate).
+    pub fn new(topology: ShardTopology, seed: u64) -> Result<Self, CoordError> {
         let groups = (0..topology.shards)
             .map(|i| {
                 RegisterGroup::new(
@@ -87,12 +89,12 @@ impl ShardedCoordinator {
                     seed.wrapping_add(0x9e37_79b9_7f4a_7c15_u64.wrapping_mul(i as u64 + 1)),
                 )
             })
-            .collect();
-        ShardedCoordinator {
+            .collect::<Result<Vec<_>, CoordError>>()?;
+        Ok(ShardedCoordinator {
             router: NamespaceRouter::new(topology.shards),
             groups,
             accesses: AtomicU64::new(0),
-        }
+        })
     }
 
     /// The router in use (tests and diagnostics).
@@ -310,7 +312,7 @@ mod tests {
     }
 
     fn plane(shards: usize, seed: u64) -> ShardedCoordinator {
-        ShardedCoordinator::new(ShardTopology::test(shards), seed)
+        ShardedCoordinator::new(ShardTopology::test(shards), seed).unwrap()
     }
 
     #[test]

@@ -38,6 +38,11 @@ pub struct LintConfig {
     /// ambient clocks (C003). Workload/bench harnesses are the legitimate
     /// clock roots and are left out.
     pub ambient_clock_crates: BTreeSet<String>,
+    /// Crates allowed to implement `ScheduleController` in non-test code
+    /// (C004): the seam's home and the model checker. Anyone else
+    /// implementing the trait is smuggling schedule nondeterminism into
+    /// production code paths.
+    pub schedule_controller_crates: BTreeSet<String>,
     /// The declared crate DAG: crate → crates it may import (L001). Crates
     /// not listed may import nothing from the workspace.
     pub dag: BTreeMap<String, BTreeSet<String>>,
@@ -126,6 +131,17 @@ impl Default for LintConfig {
         );
         allow("lint", &[]);
         allow(
+            "check",
+            &[
+                "sim_core",
+                "cloud_store",
+                "coord",
+                "scfs",
+                "parking_lot",
+                "proptest",
+            ],
+        );
+        allow(
             "scfs_repro",
             &[
                 "sim_core",
@@ -152,6 +168,7 @@ impl Default for LintConfig {
             error_path_crates: set(&["scfs", "coord", "depsky", "placement"]),
             clock_home_crate: "sim_core".to_string(),
             ambient_clock_crates: set(&["scfs", "coord", "depsky", "placement"]),
+            schedule_controller_crates: set(&["sim_core", "check"]),
             dag,
             module_rules: vec![ModuleRule {
                 file: "crates/scfs/src/agent.rs",
@@ -177,6 +194,7 @@ impl Default for LintConfig {
                 "workloads",
                 "bench",
                 "lint",
+                "check",
                 "parking_lot",
                 "criterion",
                 "proptest",

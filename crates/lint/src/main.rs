@@ -3,12 +3,15 @@
 //! ```text
 //! scfs-lint check [--root DIR] [--baseline PATH] [--json PATH]
 //! scfs-lint emit-baseline [--root DIR] [--baseline PATH]
+//! scfs-lint list-rules [--markdown]
 //! ```
 //!
 //! `check` exits 0 when the tree carries no violations beyond the committed
 //! baseline and the baseline is not stale, 1 on violations/drift, 2 on usage
 //! or I/O errors. `emit-baseline` rewrites `lint-baseline.toml` from the
-//! current tree, locking in any reductions.
+//! current tree, locking in any reductions. `list-rules` prints the rule
+//! catalog with scopes rendered from the live config; `--markdown` emits the
+//! exact table the README embeds, so the docs are generated, not maintained.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -28,28 +31,32 @@ struct Args {
     root: PathBuf,
     baseline: PathBuf,
     json: Option<PathBuf>,
+    markdown: bool,
 }
 
 fn usage() -> String {
-    "usage: scfs-lint <check|emit-baseline> [--root DIR] [--baseline PATH] [--json PATH]"
+    "usage: scfs-lint <check|emit-baseline|list-rules> [--root DIR] \
+     [--baseline PATH] [--json PATH] [--markdown]"
         .to_string()
 }
 
 fn parse_args(mut argv: std::env::Args) -> Result<Args, String> {
     let _bin = argv.next();
     let command = argv.next().ok_or_else(usage)?;
-    if command != "check" && command != "emit-baseline" {
+    if command != "check" && command != "emit-baseline" && command != "list-rules" {
         return Err(usage());
     }
     let mut root = PathBuf::from(".");
     let mut baseline: Option<PathBuf> = None;
     let mut json = None;
+    let mut markdown = false;
     while let Some(flag) = argv.next() {
         let mut value = || argv.next().ok_or_else(|| format!("{flag} needs a value"));
         match flag.as_str() {
             "--root" => root = PathBuf::from(value()?),
             "--baseline" => baseline = Some(PathBuf::from(value()?)),
             "--json" => json = Some(PathBuf::from(value()?)),
+            "--markdown" => markdown = true,
             _ => return Err(usage()),
         }
     }
@@ -59,6 +66,7 @@ fn parse_args(mut argv: std::env::Args) -> Result<Args, String> {
         root,
         baseline,
         json,
+        markdown,
     })
 }
 
@@ -66,6 +74,17 @@ fn run() -> Result<bool, String> {
     let args = parse_args(std::env::args())?;
     let cfg = LintConfig::default();
     match args.command.as_str() {
+        "list-rules" => {
+            if args.markdown {
+                print!("{}", lint::rules::catalog_markdown(&cfg));
+            } else {
+                for r in lint::rules::rule_catalog(&cfg) {
+                    println!("{}  {:<12} {}", r.id, r.class, r.summary);
+                    println!("      scope: {}", r.scope);
+                }
+            }
+            Ok(true)
+        }
         "emit-baseline" => {
             let report = lint_workspace(&args.root, &cfg)?;
             let base = Baseline::from_violations(&report.violations);

@@ -12,6 +12,7 @@
 //! | C001 | clock        | `Pending<T>` / `Clock`-returning fns are `#[must_use]`  |
 //! | C002 | clock        | no `Pending` token discarded via `let _ =` unsettled    |
 //! | C003 | clock        | no ambient `Clock::new`/`starting_at` on the data path  |
+//! | C004 | schedule     | no `ScheduleController` impls outside the checker seam  |
 //! | L001 | layering     | imports respect the declared crate DAG                  |
 //! | L002 | layering     | module-scoped bans (agent never touches blob APIs)      |
 //! | E001 | errors       | no `.unwrap()` in data-path code                        |
@@ -47,6 +48,145 @@ pub struct Violation {
     pub waived: Option<String>,
 }
 
+/// One row of the rule catalog: what `scfs-lint list-rules` prints and what
+/// the README's generated "Static analysis" table is built from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuleInfo {
+    /// Stable rule id (`D001`, …).
+    pub id: &'static str,
+    /// Rule class (`determinism`, `clock`, `schedule`, `layering`,
+    /// `errors`, `waivers`).
+    pub class: &'static str,
+    /// One-line invariant statement.
+    pub summary: &'static str,
+    /// Which non-test code the rule applies to, rendered from the active
+    /// [`LintConfig`] so the catalog can never drift from the scopes the
+    /// checker actually enforces.
+    pub scope: String,
+}
+
+fn join_set(set: &BTreeSet<String>) -> String {
+    set.iter().cloned().collect::<Vec<_>>().join(", ")
+}
+
+/// The full rule catalog, with scopes rendered from `cfg`.
+pub fn rule_catalog(cfg: &LintConfig) -> Vec<RuleInfo> {
+    let order = join_set(&cfg.order_sensitive_crates);
+    let errors = join_set(&cfg.error_path_crates);
+    let clocks = join_set(&cfg.ambient_clock_crates);
+    let sched = format!(
+        "all crates except {}",
+        join_set(&cfg.schedule_controller_crates)
+    );
+    let row = |id, class, summary, scope: &str| RuleInfo {
+        id,
+        class,
+        summary,
+        scope: scope.to_string(),
+    };
+    vec![
+        row(
+            "D001",
+            "determinism",
+            "no wall-clock time (`std::time::{Instant, SystemTime}`)",
+            &order,
+        ),
+        row(
+            "D002",
+            "determinism",
+            "no ambient randomness (`rand::`, `thread_rng`, …)",
+            &order,
+        ),
+        row(
+            "D003",
+            "determinism",
+            "no seeded std hashing (`RandomState`, `DefaultHasher`)",
+            &order,
+        ),
+        row(
+            "D004",
+            "determinism",
+            "no `HashMap`/`HashSet` iteration in order-sensitive code",
+            &order,
+        ),
+        row(
+            "C001",
+            "clock",
+            "`Pending<T>` / `Clock`-returning fns are `#[must_use]`",
+            &cfg.clock_home_crate,
+        ),
+        row(
+            "C002",
+            "clock",
+            "no `Pending` token discarded via `let _ =` unsettled",
+            "all workspace crates",
+        ),
+        row(
+            "C003",
+            "clock",
+            "no ambient `Clock::new`/`starting_at` on the data path",
+            &clocks,
+        ),
+        row(
+            "C004",
+            "schedule",
+            "no `ScheduleController` impls outside the checker seam",
+            &sched,
+        ),
+        row(
+            "L001",
+            "layering",
+            "imports respect the declared crate DAG",
+            "all workspace crates",
+        ),
+        row(
+            "L002",
+            "layering",
+            "module-scoped bans (agent never touches blob APIs)",
+            "per-module (see config)",
+        ),
+        row(
+            "E001",
+            "errors",
+            "no `.unwrap()` in data-path code",
+            &errors,
+        ),
+        row(
+            "E002",
+            "errors",
+            "no `.expect(…)` in data-path code",
+            &errors,
+        ),
+        row(
+            "E003",
+            "errors",
+            "no `panic!`/`unreachable!`/`todo!`/`unimplemented!`",
+            &errors,
+        ),
+        row(
+            "W001",
+            "waivers",
+            "every waiver carries a reason",
+            "all workspace crates",
+        ),
+    ]
+}
+
+/// Renders the catalog as the markdown table the README embeds between its
+/// `<!-- scfs-lint:rules:begin -->` / `end` markers.
+pub fn catalog_markdown(cfg: &LintConfig) -> String {
+    let mut out = String::new();
+    out.push_str("| ID | Class | Scope (non-test code) | Invariant |\n");
+    out.push_str("|----|-------|-----------------------|-----------|\n");
+    for r in rule_catalog(cfg) {
+        out.push_str(&format!(
+            "| {} | {} | {} | {} |\n",
+            r.id, r.class, r.scope, r.summary
+        ));
+    }
+    out
+}
+
 /// Runs every applicable rule over `sf` and applies inline waivers.
 pub fn lint_file(sf: &SourceFile, cfg: &LintConfig) -> Vec<Violation> {
     let mut out = Vec::new();
@@ -61,6 +201,9 @@ pub fn lint_file(sf: &SourceFile, cfg: &LintConfig) -> Vec<Violation> {
     dropped_pending(sf, &mut out);
     if cfg.ambient_clock_crates.contains(&sf.crate_name) {
         ambient_clock(sf, &mut out);
+    }
+    if !cfg.schedule_controller_crates.contains(&sf.crate_name) {
+        schedule_controller_impls(sf, &mut out);
     }
     crate_dag(sf, cfg, &mut out);
     module_bans(sf, cfg, &mut out);
@@ -506,6 +649,56 @@ fn ambient_clock(sf: &SourceFile, out: &mut Vec<Violation>) {
     }
 }
 
+// --- C004: ScheduleController implementations ------------------------------
+
+/// Only the seam's home crate (where the default deterministic order lives)
+/// and the model checker may implement `ScheduleController` in non-test
+/// code. A production impl would feed alternative schedules into the
+/// simulator's dispatch points — reintroducing the nondeterminism the seam
+/// exists to explore, not to ship.
+fn schedule_controller_impls(sf: &SourceFile, out: &mut Vec<Violation>) {
+    let toks = &sf.tokens;
+    for i in 0..toks.len() {
+        if ident_at(sf, i) != Some("impl") || sf.is_test(i) {
+            continue;
+        }
+        // Scan the impl header up to `{`; the implemented trait is the last
+        // path segment before a generic-depth-0 `for`.
+        let mut j = i + 1;
+        let mut angle = 0usize;
+        let mut last: Option<&str> = None;
+        let mut trait_name: Option<&str> = None;
+        while j < toks.len() && !punct_at(sf, j, '{') && !punct_at(sf, j, ';') {
+            match &toks[j].tok {
+                Tok::Punct('<') => angle += 1,
+                Tok::Punct('>') => angle = angle.saturating_sub(1),
+                Tok::Ident(name) if angle == 0 => {
+                    if name == "for" {
+                        trait_name = last;
+                        break;
+                    }
+                    last = Some(name.as_str());
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        if trait_name == Some("ScheduleController") {
+            push(
+                out,
+                "C004",
+                sf,
+                line_of(sf, i),
+                "`ScheduleController` may only be implemented by sim_core \
+                 (the default deterministic order) and the `check` model \
+                 checker; an impl here injects schedule nondeterminism into \
+                 production code"
+                    .to_string(),
+            );
+        }
+    }
+}
+
 // --- L001: crate DAG -------------------------------------------------------
 
 fn crate_dag(sf: &SourceFile, cfg: &LintConfig, out: &mut Vec<Violation>) {
@@ -803,6 +996,54 @@ mod tests {
             "fn f() { let c = Clock::starting_at(t); }",
         );
         assert!(active(&vs, "C003").is_empty());
+    }
+
+    #[test]
+    fn c004_flags_controller_impls_outside_the_checker_seam() {
+        let src = "struct Evil;\nimpl ScheduleController for Evil {\n    fn choose(&self, p: &ChoicePoint) -> usize { 1 }\n}\n";
+        let vs = lint("scfs", "crates/scfs/src/x.rs", src);
+        assert_eq!(active(&vs, "C004").len(), 1);
+        // Generic impls are still caught.
+        let generic =
+            "impl<T: Send> ScheduleController for Wrapper<T> { fn choose(&self) -> usize { 0 } }";
+        let vs = lint("coord", "crates/coord/src/x.rs", generic);
+        assert_eq!(active(&vs, "C004").len(), 1);
+        // The seam's home and the model checker legitimately implement it.
+        let vs = lint("sim_core", "crates/sim-core/src/x.rs", src);
+        assert!(active(&vs, "C004").is_empty());
+        let vs = lint("check", "crates/check/src/x.rs", src);
+        assert!(active(&vs, "C004").is_empty());
+        // Test scaffolding may build ad-hoc controllers anywhere.
+        let in_test = format!("#[cfg(test)]\nmod tests {{\n{src}\n}}");
+        let vs = lint("scfs", "crates/scfs/src/x.rs", &in_test);
+        assert!(active(&vs, "C004").is_empty());
+        // Inherent impls and other traits are not confused for the seam.
+        let vs = lint(
+            "scfs",
+            "crates/scfs/src/x.rs",
+            "impl Evil { fn schedule_controller(&self) {} }\nimpl Display for Evil {}",
+        );
+        assert!(active(&vs, "C004").is_empty());
+    }
+
+    #[test]
+    fn rule_catalog_covers_every_rule_the_checker_fires() {
+        let cfg = LintConfig::default();
+        let catalog = rule_catalog(&cfg);
+        let ids: Vec<&str> = catalog.iter().map(|r| r.id).collect();
+        for id in [
+            "D001", "D002", "D003", "D004", "C001", "C002", "C003", "C004", "L001", "L002", "E001",
+            "E002", "E003", "W001",
+        ] {
+            assert!(ids.contains(&id), "catalog is missing {id}");
+        }
+        // Scopes render from the live config, so a scope change shows up
+        // in `list-rules` (and the README drift test) automatically.
+        let c004 = catalog.iter().find(|r| r.id == "C004").unwrap();
+        assert!(c004.scope.contains("sim_core") && c004.scope.contains("check"));
+        let md = catalog_markdown(&cfg);
+        assert!(md.starts_with("| ID |"));
+        assert_eq!(md.lines().count(), 2 + catalog.len());
     }
 
     #[test]

@@ -1,0 +1,34 @@
+//! The README's "Static analysis" rule table is generated, not maintained:
+//! this test fails the build the moment the committed block and
+//! `scfs-lint list-rules --markdown` disagree, so rule or scope changes
+//! must regenerate the docs in the same PR.
+
+use std::path::PathBuf;
+
+use lint::config::LintConfig;
+use lint::rules::catalog_markdown;
+
+const BEGIN: &str = "<!-- scfs-lint:rules:begin -->";
+const END: &str = "<!-- scfs-lint:rules:end -->";
+
+#[test]
+fn readme_rule_table_matches_the_generated_catalog() {
+    let readme = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../README.md");
+    let text = std::fs::read_to_string(&readme).expect("README.md must exist at the repo root");
+    let start = text
+        .find(BEGIN)
+        .expect("README.md must carry the scfs-lint:rules:begin marker");
+    let end = text
+        .find(END)
+        .expect("README.md must carry the scfs-lint:rules:end marker");
+    assert!(start < end, "rule-table markers are out of order");
+    let committed = text[start + BEGIN.len()..end].trim();
+    let generated = catalog_markdown(&LintConfig::default());
+    assert_eq!(
+        committed,
+        generated.trim(),
+        "README rule table drifted from the live catalog; regenerate it with \
+         `cargo run -p lint --release -- list-rules --markdown` and paste the \
+         output between the markers"
+    );
+}

@@ -13,6 +13,7 @@ use coord::service::{CoordinationService, SessionId};
 use sim_core::background::{BackgroundScheduler, Pending};
 use sim_core::latency::LatencyProfile;
 use sim_core::rng::DetRng;
+use sim_core::schedule::ControllerSlot;
 use sim_core::time::{Clock, SimDuration, SimInstant};
 use sim_core::units::Bytes;
 
@@ -23,6 +24,7 @@ use crate::config::{Mode, ScfsConfig};
 use crate::durability::DurabilityLevel;
 use crate::error::ScfsError;
 use crate::fs::FileSystem;
+use crate::invariant::InvariantViolation;
 use crate::metadata_service::MetadataService;
 use crate::transfer::{execute_plan, TransferOptions, TransferPlan};
 use crate::types::{normalize_path, ChunkMap, FileHandle, FileMetadata, FileType, OpenFlags};
@@ -302,6 +304,33 @@ impl ScfsAgent {
     /// token's ready instant; free if already past it).
     pub fn wait_for<T>(&mut self, token: &Pending<T>) {
         self.clock.advance_to(token.ready_at());
+    }
+
+    /// Installs one schedule controller into every nondeterminism point this
+    /// agent drives: its background scheduler's lane dispatch and its
+    /// storage backend's GC journal replay. Only the model checker
+    /// (`scfs-check`) calls this; production agents keep the empty slot and
+    /// the deterministic schedule.
+    pub fn install_schedule_controller(&mut self, slot: ControllerSlot) {
+        self.scheduler.install_schedule_controller(slot.clone());
+        self.storage.install_schedule_controller(slot);
+    }
+
+    /// Appends any violated agent-side structural invariants to `out`: the
+    /// cache tiers' byte accounting and the storage backend's chunkstore
+    /// refcount/journal invariants. The model checker runs this after every
+    /// step of a schedule; tests can assert the list stays empty.
+    pub fn check_invariants(&self, out: &mut Vec<InvariantViolation>) {
+        self.cache.check_invariants(out);
+        self.storage.check_invariants(out);
+    }
+
+    /// Number of background jobs (uploads, prefetch, GC) still in flight at
+    /// this agent's current instant. Zero once the agent has slept past
+    /// [`ScfsAgent::background_drain_instant`] — the "every `Pending`
+    /// settled at drain" quiescence check.
+    pub fn background_in_flight(&self) -> usize {
+        self.scheduler.in_flight(self.clock.now())
     }
 
     /// Drops the records of background uploads that have completed by now.

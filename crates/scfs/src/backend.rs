@@ -35,6 +35,7 @@ use depsky::register::DepSkyClient;
 use parking_lot::Mutex;
 use scfs_crypto::{sha256, to_hex, ContentHash};
 use sim_core::background::{BackgroundScheduler, Pending};
+use sim_core::schedule::{ChoiceKind, ControllerSlot};
 use sim_core::time::SimInstant;
 
 use crate::chunkstore::{
@@ -42,6 +43,7 @@ use crate::chunkstore::{
 };
 use crate::durability::DurabilityLevel;
 use crate::error::ScfsError;
+use crate::invariant::InvariantViolation;
 use crate::transfer::{execute_plan, TransferOptions, TransferPlan};
 use crate::types::ChunkMap;
 
@@ -228,6 +230,10 @@ struct PruneResult {
 struct StoreState {
     registry: VersionRegistry,
     chunks: ChunkStore,
+    /// Schedule-controller seam: empty in production (journal replay walks
+    /// entries oldest-first); the model checker installs one to explore
+    /// other replay interleavings.
+    controller: ControllerSlot,
 }
 
 impl StoreState {
@@ -454,6 +460,20 @@ pub trait FileStorage: Send + Sync {
     /// journal).
     fn pending_releases(&self) -> usize {
         0
+    }
+
+    /// Installs a schedule controller driving the GC journal-replay order.
+    /// Only the model checker calls this; backends without a journal (and
+    /// test doubles) can ignore it — the default does nothing.
+    fn install_schedule_controller(&self, slot: ControllerSlot) {
+        let _ = slot;
+    }
+
+    /// Appends any violated storage invariants (chunkstore refcounts and
+    /// journal bookkeeping) to `out`. Backends without a chunk store have
+    /// nothing to check — the default reports nothing.
+    fn check_invariants(&self, out: &mut Vec<InvariantViolation>) {
+        let _ = out;
     }
 
     /// Propagates an ACL to the manifests storing `id` in the cloud(s).
@@ -739,11 +759,18 @@ impl<B: ChunkedBackend> FileStorage for B {
         opts: &JournalOpts,
     ) -> Result<ReplayReport, ScfsError> {
         let mut report = ReplayReport::default();
-        let snapshot = self
-            .state()
-            .lock()
-            .chunks
-            .pending_snapshot(opts.replay_batch);
+        let mut snapshot = {
+            let state = self.state().lock();
+            state.chunks.pending_snapshot(opts.replay_batch)
+        };
+        {
+            // Model-checking seam: explore other replay interleavings of
+            // this batch (the order entries of one pass race each other).
+            // With no controller installed the snapshot order — oldest
+            // first — is kept untouched.
+            let slot = self.state().lock().controller.clone();
+            slot.permute(ChoiceKind::JournalReplay, "gc-replay", &mut snapshot);
+        }
         for entry in snapshot {
             report.attempted += 1;
             let retried = entry.attempts > 0;
@@ -803,6 +830,14 @@ impl<B: ChunkedBackend> FileStorage for B {
 
     fn pending_releases(&self) -> usize {
         self.state().lock().chunks.pending_len()
+    }
+
+    fn install_schedule_controller(&self, slot: ControllerSlot) {
+        self.state().lock().controller = slot;
+    }
+
+    fn check_invariants(&self, out: &mut Vec<InvariantViolation>) {
+        self.state().lock().chunks.check_invariants(out);
     }
 
     fn set_acl(&self, ctx: &mut OpCtx<'_>, id: &str, acl: &Acl) -> Result<(), ScfsError> {

@@ -26,6 +26,7 @@ use sim_core::units::Bytes;
 
 use super::policy::{CachePolicy, EntryId, PolicyKind};
 use super::CacheConfig;
+use crate::invariant::InvariantViolation;
 
 /// Statistics of one cache tier.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -171,6 +172,50 @@ impl CacheTier {
     /// Whether the tier is empty.
     pub fn is_empty(&self) -> bool {
         self.index.is_empty()
+    }
+
+    /// Appends any violated byte-accounting invariants to `out`: `used` is
+    /// exactly the sum of resident payload sizes, never exceeds capacity,
+    /// and the key index covers exactly the occupied slots.
+    pub fn check_invariants(&self, out: &mut Vec<InvariantViolation>) {
+        let resident: u64 = self
+            .slots
+            .iter()
+            .flatten()
+            .map(|entry| entry.data.len() as u64)
+            .sum();
+        if resident != self.used {
+            out.push(InvariantViolation::new(
+                "cache.used-bytes-accounting",
+                format!(
+                    "{} tier: used counter {} but resident payloads total {}",
+                    self.name, self.used, resident
+                ),
+            ));
+        }
+        if self.used > self.capacity.get() {
+            out.push(InvariantViolation::new(
+                "cache.capacity-exceeded",
+                format!(
+                    "{} tier: used {} exceeds capacity {}",
+                    self.name,
+                    self.used,
+                    self.capacity.get()
+                ),
+            ));
+        }
+        let occupied = self.slots.iter().flatten().count();
+        if occupied != self.index.len() {
+            out.push(InvariantViolation::new(
+                "cache.index-slot-mismatch",
+                format!(
+                    "{} tier: {} occupied slots but {} indexed keys",
+                    self.name,
+                    occupied,
+                    self.index.len()
+                ),
+            ));
+        }
     }
 
     fn charge(&mut self, clock: &mut Clock, upload: Bytes, download: Bytes) {
@@ -504,6 +549,13 @@ impl TieredCache {
     /// The disk tier.
     pub fn disk(&self) -> &CacheTier {
         &self.disk
+    }
+
+    /// Appends any violated byte-accounting invariants of both tiers to
+    /// `out` (see [`CacheTier::check_invariants`]).
+    pub fn check_invariants(&self, out: &mut Vec<InvariantViolation>) {
+        self.memory.check_invariants(out);
+        self.disk.check_invariants(out);
     }
 
     /// Combined statistics snapshot.

@@ -78,6 +78,8 @@ use std::collections::{BTreeMap, BTreeSet, HashSet, VecDeque};
 use cloud_store::types::AccountId;
 use scfs_crypto::{to_hex, ContentHash};
 
+use crate::invariant::InvariantViolation;
+
 /// Account name of the shared chunk-store principal that owns every blob in
 /// the global chunk namespace.
 pub const CHUNK_STORE_PRINCIPAL: &str = "scfs-chunkstore";
@@ -165,6 +167,11 @@ pub struct ChunkStore {
     /// Most recently applied entries (bounded by `JournalOpts::keep_applied`).
     applied: VecDeque<JournalEntry>,
     next_seq: u64,
+    /// Times a release dropped a reference that was not held. The counts
+    /// themselves saturate at zero (an underflow must not corrupt
+    /// neighbouring chunks' counts), so this counter is the only trace a
+    /// double-release leaves; [`ChunkStore::check_invariants`] reports it.
+    underflows: u64,
 }
 
 impl ChunkStore {
@@ -216,6 +223,9 @@ impl ChunkStore {
     pub fn release_version(&mut self, chunks: impl IntoIterator<Item = ContentHash>) {
         for chunk in chunks {
             let rc = self.refcounts.entry(chunk).or_insert(0);
+            if *rc == 0 {
+                self.underflows += 1;
+            }
             *rc = rc.saturating_sub(1);
             if *rc == 0 {
                 self.append(ReleaseTarget::Chunk(chunk));
@@ -373,6 +383,41 @@ impl ChunkStore {
             })
             .collect()
     }
+
+    /// Times a release dropped a reference that was not held (the counts
+    /// themselves saturate, so this is the only observable trace). Must be
+    /// zero: a nonzero value means some schedule double-released a version
+    /// or released one that never committed.
+    pub fn refcount_underflows(&self) -> u64 {
+        self.underflows
+    }
+
+    /// Appends any violated chunkstore invariants to `out`: refcounts never
+    /// went negative (no release without a matching retain), and journal
+    /// sequence numbers are unique and below the allocation cursor.
+    pub fn check_invariants(&self, out: &mut Vec<InvariantViolation>) {
+        if self.underflows > 0 {
+            out.push(InvariantViolation::new(
+                "chunkstore.refcount-underflow",
+                format!("{} release(s) without a matching retain", self.underflows),
+            ));
+        }
+        let mut seen = BTreeSet::new();
+        for entry in self.pending.iter().chain(self.applied.iter()) {
+            if entry.seq >= self.next_seq {
+                out.push(InvariantViolation::new(
+                    "chunkstore.journal-seq-range",
+                    format!("entry seq {} >= next_seq {}", entry.seq, self.next_seq),
+                ));
+            }
+            if !seen.insert(entry.seq) {
+                out.push(InvariantViolation::new(
+                    "chunkstore.journal-seq-duplicate",
+                    format!("journal seq {} appears twice", entry.seq),
+                ));
+            }
+        }
+    }
 }
 
 /// The set of blobs that may legitimately exist in the cloud(s) for one
@@ -487,6 +532,25 @@ mod tests {
         store.release_version(shared.iter().copied());
         assert_eq!(store.refcount(&h(1)), 0);
         assert_eq!(store.pending_len(), 2, "zero-count chunks get intents");
+    }
+
+    #[test]
+    fn underflow_is_counted_and_reported() {
+        let mut store = ChunkStore::default();
+        let set: BTreeSet<ContentHash> = [h(1)].into_iter().collect();
+        store.retain_version(&set);
+        let mut violations = Vec::new();
+        store.check_invariants(&mut violations);
+        assert!(violations.is_empty());
+        // Releasing twice against one retain is a double-release: the count
+        // saturates (no corruption) but the invariant check reports it.
+        store.release_version(set.iter().copied());
+        store.release_version(set.iter().copied());
+        assert_eq!(store.refcount(&h(1)), 0);
+        assert_eq!(store.refcount_underflows(), 1);
+        store.check_invariants(&mut violations);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].name, "chunkstore.refcount-underflow");
     }
 
     #[test]

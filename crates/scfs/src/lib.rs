@@ -106,6 +106,7 @@ pub mod cost;
 pub mod durability;
 pub mod error;
 pub mod fs;
+pub mod invariant;
 pub mod metadata_service;
 pub mod pns;
 pub mod transfer;
@@ -119,6 +120,7 @@ pub use cost::{CostBackend, CostModel};
 pub use durability::{DurabilityLevel, SysCall};
 pub use error::ScfsError;
 pub use fs::FileSystem;
+pub use invariant::InvariantViolation;
 pub use sim_core::background::{BackgroundScheduler, Pending};
 pub use transfer::{TransferOptions, TransferPlan};
 pub use types::{CdcParams, ChunkMap, FileHandle, FileMetadata, FileType, OpenFlags};

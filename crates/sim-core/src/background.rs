@@ -19,8 +19,9 @@
 //! single scalar "background cursor" that used to serialize *all* background
 //! work behind one imaginary uploader thread.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
+use crate::schedule::{ChoiceKind, ControllerSlot};
 use crate::time::{Clock, SimDuration, SimInstant};
 
 /// A completion token for one background operation: the value the operation
@@ -125,14 +126,19 @@ impl<T> Pending<T> {
 #[derive(Debug, Default)]
 pub struct BackgroundScheduler {
     /// Per-lane completion cursors: a job on lane `k` starts no earlier than
-    /// the completion of the previous job on `k`.
-    lanes: HashMap<String, SimInstant>,
+    /// the completion of the previous job on `k`. Ordered so the schedule
+    /// controller's dispatch candidates enumerate deterministically.
+    lanes: BTreeMap<String, SimInstant>,
     /// Completion instants of recently spawned jobs (pruned against the
     /// spawn-time horizon); the in-flight window.
     completions: Vec<SimInstant>,
     /// Completion instant of the last-finishing job ever spawned.
     drain: SimInstant,
     spawned: u64,
+    /// Schedule-controller seam: empty in production (jobs dispatch at the
+    /// default instant); the model checker installs one to delay dispatches
+    /// behind other in-flight lanes.
+    controller: ControllerSlot,
 }
 
 impl BackgroundScheduler {
@@ -153,7 +159,7 @@ impl BackgroundScheduler {
         lane: Option<&str>,
         job: impl FnOnce(&mut Clock) -> T,
     ) -> Pending<T> {
-        let started_at = match lane {
+        let mut started_at = match lane {
             Some(key) => self
                 .lanes
                 .get(key)
@@ -162,6 +168,26 @@ impl BackgroundScheduler {
                 .max(now),
             None => now,
         };
+        if self.controller.is_active() {
+            // Candidate dispatch instants: the default, or delayed behind
+            // any other in-flight lane (modelling a background thread that
+            // gets scheduled late). Choice 0 is always the default.
+            let mut candidates: Vec<SimInstant> = self
+                .lanes
+                .values()
+                .copied()
+                .filter(|cursor| *cursor > started_at)
+                .collect();
+            candidates.sort_unstable();
+            candidates.dedup();
+            let site = lane.unwrap_or("<none>");
+            let pick = self
+                .controller
+                .choose(ChoiceKind::LaneDispatch, site, 1 + candidates.len());
+            if pick > 0 {
+                started_at = candidates[pick - 1];
+            }
+        }
         let mut clock = Clock::starting_at(started_at);
         let value = job(&mut clock);
         let ready_at = clock.now();
@@ -202,6 +228,13 @@ impl BackgroundScheduler {
     /// Total number of jobs ever spawned.
     pub fn jobs_spawned(&self) -> u64 {
         self.spawned
+    }
+
+    /// Installs a schedule controller driving lane-dispatch decisions. Only
+    /// the model checker does this; an inactive slot (the default) keeps
+    /// dispatch at the deterministic instant.
+    pub fn install_schedule_controller(&mut self, slot: ControllerSlot) {
+        self.controller = slot;
     }
 }
 
@@ -278,6 +311,48 @@ mod tests {
         assert_eq!(sched.in_flight(SimInstant::from_millis(200)), 0);
         assert_eq!(sched.next_completion(SimInstant::from_millis(200)), None);
         assert_eq!(sched.jobs_spawned(), 2);
+    }
+
+    #[test]
+    fn controller_can_delay_dispatch_behind_another_lane() {
+        use crate::schedule::{ChoicePoint, ControllerSlot, ScheduleController};
+
+        /// Picks the last candidate at every lane-dispatch point.
+        struct DelayMost;
+        impl ScheduleController for DelayMost {
+            fn choose(&mut self, point: &ChoicePoint<'_>) -> usize {
+                point.options - 1
+            }
+        }
+
+        let mut sched = BackgroundScheduler::new();
+        let now = SimInstant::from_millis(10);
+        let _a = sched.spawn(now, Some("file-a"), delay_job(100));
+        sched.install_schedule_controller(ControllerSlot::new(DelayMost));
+        // Without a controller, b would start at `now`; the controller
+        // delays its dispatch behind file-a's in-flight completion.
+        let b = sched.spawn(now, Some("file-b"), delay_job(80));
+        assert_eq!(b.started_at(), SimInstant::from_millis(110));
+        assert_eq!(b.ready_at(), SimInstant::from_millis(190));
+    }
+
+    #[test]
+    fn deterministic_controller_matches_empty_slot() {
+        use crate::schedule::{ControllerSlot, DeterministicController};
+
+        let mut plain = BackgroundScheduler::new();
+        let mut driven = BackgroundScheduler::new();
+        driven.install_schedule_controller(ControllerSlot::new(DeterministicController));
+        let now = SimInstant::from_millis(5);
+        for (sched, lane) in [(&mut plain, "x"), (&mut driven, "x")] {
+            let a = sched.spawn(now, Some(lane), delay_job(40));
+            let b = sched.spawn(now, Some("y"), delay_job(20));
+            let c = sched.spawn(now, Some(lane), delay_job(10));
+            assert_eq!(a.started_at(), now);
+            assert_eq!(b.started_at(), now);
+            assert_eq!(c.started_at(), a.ready_at());
+        }
+        assert_eq!(plain.drain_instant(), driven.drain_instant());
     }
 
     #[test]

@@ -17,6 +17,11 @@
 //! * [`background`] — completion tokens ([`background::Pending`]) and the
 //!   lane-based [`background::BackgroundScheduler`] for work that outlives
 //!   the call that started it (write-back uploads, prefetch, GC).
+//! * [`schedule`] — the [`schedule::ScheduleController`] seam: every
+//!   instrumented nondeterminism point (lane dispatch, replica delivery,
+//!   journal replay) asks an optional controller how to order candidates,
+//!   which is what the `scfs-check` model checker drives. Empty slots are
+//!   inert and keep traces byte-identical.
 //! * [`fault`] — fault injection: outage windows, drop probabilities and
 //!   data corruption, used to exercise the Byzantine-fault-tolerant paths.
 //! * [`stats`] — mean/percentile summaries used when reporting the paper's
@@ -33,6 +38,7 @@ pub mod fault;
 pub mod latency;
 pub mod parallel;
 pub mod rng;
+pub mod schedule;
 pub mod stats;
 pub mod time;
 pub mod trace;
@@ -43,6 +49,9 @@ pub use fault::{FaultInjector, FaultPlan, OutageWindow};
 pub use latency::{BandwidthModel, LatencyModel, LatencyProfile};
 pub use parallel::ForkedRun;
 pub use rng::DetRng;
+pub use schedule::{
+    ChoiceKind, ChoicePoint, ControllerSlot, DeterministicController, ScheduleController,
+};
 pub use stats::{Histogram, Summary};
 pub use time::{Clock, SimDuration, SimInstant};
 pub use trace::{TraceEvent, Tracer};

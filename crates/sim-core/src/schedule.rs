@@ -1,0 +1,295 @@
+//! The schedule-controller seam for systematic interleaving exploration.
+//!
+//! The simulator is deterministic: given a seed, every run makes the same
+//! scheduling decisions in the same order. That is what makes traces
+//! reproducible — and also what means each seed exercises exactly *one*
+//! interleaving of the concurrency the model permits. This module is the
+//! seam that lets a model checker (the `check` crate's `scfs-check` binary)
+//! drive those decisions instead: each nondeterminism point the simulator
+//! owns asks its [`ControllerSlot`] how to order a small set of candidates,
+//! and a [`ScheduleController`] answers.
+//!
+//! Three decision points are instrumented, one per [`ChoiceKind`]:
+//!
+//! * **Lane dispatch** — when the [`BackgroundScheduler`] starts a job, the
+//!   controller may delay it behind other in-flight lanes
+//!   ([`ChoiceKind::LaneDispatch`]).
+//! * **Replica delivery** — the order in which a `coord::abd` broadcast
+//!   round's replies are processed by the client
+//!   ([`ChoiceKind::ReplicaDelivery`]).
+//! * **Journal replay** — the order in which GC replays pending
+//!   release-journal entries ([`ChoiceKind::JournalReplay`]).
+//!
+//! **The seam is zero-cost when unused.** An empty slot (the default
+//! everywhere) answers every ordering query with `None`, the caller keeps
+//! its existing deterministic order, and traces stay byte-identical with
+//! pre-seam builds — the determinism regression tests in
+//! `tests/determinism.rs` pin this. Production code must never install a
+//! controller; lint rule C004 flags `ScheduleController` impls outside
+//! `sim-core` and `crates/check`.
+//!
+//! [`BackgroundScheduler`]: crate::background::BackgroundScheduler
+
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// Which instrumented nondeterminism point is asking for a decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ChoiceKind {
+    /// `BackgroundScheduler::spawn`: which start instant a job dispatches at.
+    LaneDispatch,
+    /// `coord::abd` round processing: which outstanding reply arrives next.
+    ReplicaDelivery,
+    /// Chunkstore GC: which pending release-journal entry replays next.
+    JournalReplay,
+}
+
+impl ChoiceKind {
+    /// Stable short name, used in schedule blobs and trace output.
+    pub fn name(self) -> &'static str {
+        match self {
+            ChoiceKind::LaneDispatch => "lane",
+            ChoiceKind::ReplicaDelivery => "delivery",
+            ChoiceKind::JournalReplay => "journal",
+        }
+    }
+}
+
+/// One decision request: the kind of nondeterminism, a site label naming
+/// the specific call site (lane name, register key, journal batch), and how
+/// many candidates there are to choose from.
+#[derive(Debug, Clone, Copy)]
+pub struct ChoicePoint<'a> {
+    /// The instrumented nondeterminism point asking.
+    pub kind: ChoiceKind,
+    /// Call-site label (e.g. the lane name or register key) for diagnostics
+    /// and replay-divergence detection.
+    pub site: &'a str,
+    /// Number of candidates; the answer must be in `0..options`. Choice `0`
+    /// is always the default deterministic order's pick.
+    pub options: usize,
+}
+
+/// A scheduling oracle: answers each [`ChoicePoint`] with the index of the
+/// candidate to take next.
+///
+/// Implementations outside `sim-core` and the `check` crate are flagged by
+/// lint rule C004 — production paths must run the default deterministic
+/// order (an empty [`ControllerSlot`]).
+pub trait ScheduleController: Send {
+    /// Picks one of `point.options` candidates. Index `0` is always the
+    /// default deterministic choice; out-of-range answers are clamped.
+    fn choose(&mut self, point: &ChoicePoint<'_>) -> usize;
+}
+
+/// The always-default controller: picks candidate `0` at every point,
+/// reproducing the deterministic schedule explicitly. Installing it is
+/// behaviourally identical to installing nothing; the explorer uses it as
+/// the root of the schedule tree.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DeterministicController;
+
+impl ScheduleController for DeterministicController {
+    fn choose(&mut self, _point: &ChoicePoint<'_>) -> usize {
+        0
+    }
+}
+
+/// An optionally-installed, shareable [`ScheduleController`].
+///
+/// Every instrumented component holds one of these; the default (empty)
+/// slot is inert and the component keeps its deterministic order. The
+/// checker installs one shared controller into every slot of the system
+/// under test, so a single decision sequence drives all three
+/// nondeterminism points in program order.
+#[derive(Clone, Default)]
+pub struct ControllerSlot {
+    inner: Option<Arc<Mutex<dyn ScheduleController>>>,
+}
+
+impl ControllerSlot {
+    /// An empty slot: every component keeps its default deterministic
+    /// order. This is the production configuration.
+    pub fn inactive() -> Self {
+        ControllerSlot::default()
+    }
+
+    /// Wraps `controller` for installation into the system under test.
+    pub fn new(controller: impl ScheduleController + 'static) -> Self {
+        ControllerSlot {
+            inner: Some(Arc::new(Mutex::new(controller))),
+        }
+    }
+
+    /// Whether a controller is installed. Inactive slots make every
+    /// instrumented decision a no-op.
+    pub fn is_active(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Asks the controller to pick one of `options` candidates; returns `0`
+    /// (the deterministic default) when the slot is empty or `options < 2`.
+    pub fn choose(&self, kind: ChoiceKind, site: &str, options: usize) -> usize {
+        if options < 2 {
+            return 0;
+        }
+        match &self.inner {
+            None => 0,
+            Some(ctrl) => {
+                let point = ChoicePoint {
+                    kind,
+                    site,
+                    options,
+                };
+                ctrl.lock().choose(&point).min(options - 1)
+            }
+        }
+    }
+
+    /// Builds a processing order over `n` candidates by repeatedly asking
+    /// the controller to pick among the remaining ones.
+    ///
+    /// Returns `None` when the slot is empty or there is nothing to reorder
+    /// (`n < 2`) — the caller keeps its existing order without allocating,
+    /// which is what keeps the seam zero-cost in production. A controller
+    /// that always answers `0` produces the identity permutation.
+    pub fn order(&self, kind: ChoiceKind, site: &str, n: usize) -> Option<Vec<usize>> {
+        let ctrl = self.inner.as_ref()?;
+        if n < 2 {
+            return None;
+        }
+        let mut remaining: Vec<usize> = (0..n).collect();
+        let mut order = Vec::with_capacity(n);
+        let mut ctrl = ctrl.lock();
+        while remaining.len() > 1 {
+            let point = ChoicePoint {
+                kind,
+                site,
+                options: remaining.len(),
+            };
+            let pick = ctrl.choose(&point).min(remaining.len() - 1);
+            order.push(remaining.remove(pick));
+        }
+        order.push(remaining[0]);
+        Some(order)
+    }
+
+    /// Applies [`ControllerSlot::order`] to a vector in place: an empty slot
+    /// leaves `items` untouched (and unallocated-for).
+    pub fn permute<T>(&self, kind: ChoiceKind, site: &str, items: &mut Vec<T>) {
+        if let Some(order) = self.order(kind, site, items.len()) {
+            let mut slots: Vec<Option<T>> = items.drain(..).map(Some).collect();
+            for idx in order {
+                let item = slots[idx].take().expect("permutation indices are unique");
+                items.push(item);
+            }
+        }
+    }
+}
+
+impl fmt::Debug for ControllerSlot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ControllerSlot")
+            .field("active", &self.is_active())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Replays a fixed decision list, then falls back to the default.
+    struct Scripted {
+        picks: Vec<usize>,
+        cursor: usize,
+    }
+
+    impl ScheduleController for Scripted {
+        fn choose(&mut self, _point: &ChoicePoint<'_>) -> usize {
+            let pick = self.picks.get(self.cursor).copied().unwrap_or(0);
+            self.cursor += 1;
+            pick
+        }
+    }
+
+    #[test]
+    fn inactive_slot_is_inert() {
+        let slot = ControllerSlot::inactive();
+        assert!(!slot.is_active());
+        assert_eq!(slot.choose(ChoiceKind::LaneDispatch, "x", 5), 0);
+        assert_eq!(slot.order(ChoiceKind::ReplicaDelivery, "x", 4), None);
+        let mut items = vec![1, 2, 3];
+        slot.permute(ChoiceKind::JournalReplay, "x", &mut items);
+        assert_eq!(items, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn deterministic_controller_is_identity() {
+        let slot = ControllerSlot::new(DeterministicController);
+        assert!(slot.is_active());
+        assert_eq!(
+            slot.order(ChoiceKind::ReplicaDelivery, "k", 4),
+            Some(vec![0, 1, 2, 3])
+        );
+        let mut items = vec!["a", "b", "c"];
+        slot.permute(ChoiceKind::ReplicaDelivery, "k", &mut items);
+        assert_eq!(items, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn scripted_controller_reorders() {
+        // 4 candidates: pick index 2 of [0,1,2,3], then 1 of [0,1,3], then
+        // 1 of [0,3] → order [2, 1, 3, 0].
+        let slot = ControllerSlot::new(Scripted {
+            picks: vec![2, 1, 1],
+            cursor: 0,
+        });
+        assert_eq!(
+            slot.order(ChoiceKind::JournalReplay, "gc", 4),
+            Some(vec![2, 1, 3, 0])
+        );
+    }
+
+    #[test]
+    fn out_of_range_picks_clamp() {
+        let slot = ControllerSlot::new(Scripted {
+            picks: vec![99, 99],
+            cursor: 0,
+        });
+        assert_eq!(
+            slot.order(ChoiceKind::LaneDispatch, "l", 3),
+            Some(vec![2, 1, 0])
+        );
+        let fresh = ControllerSlot::new(Scripted {
+            picks: vec![99],
+            cursor: 0,
+        });
+        assert_eq!(fresh.choose(ChoiceKind::LaneDispatch, "l", 3), 2);
+    }
+
+    #[test]
+    fn single_candidate_needs_no_controller_call() {
+        let slot = ControllerSlot::new(Scripted {
+            picks: vec![1],
+            cursor: 0,
+        });
+        assert_eq!(slot.choose(ChoiceKind::LaneDispatch, "l", 1), 0);
+        assert_eq!(slot.order(ChoiceKind::LaneDispatch, "l", 1), None);
+    }
+
+    #[test]
+    fn shared_slot_drives_one_controller() {
+        let slot = ControllerSlot::new(Scripted {
+            picks: vec![1, 1],
+            cursor: 0,
+        });
+        let clone = slot.clone();
+        // Both handles consume from the same script, in call order.
+        assert_eq!(slot.choose(ChoiceKind::LaneDispatch, "a", 2), 1);
+        assert_eq!(clone.choose(ChoiceKind::ReplicaDelivery, "b", 2), 1);
+        assert_eq!(clone.choose(ChoiceKind::ReplicaDelivery, "b", 2), 0);
+    }
+}

@@ -119,7 +119,9 @@ impl SharedScfsEnv {
     pub fn with_topology(backend: Backend, mode: Mode, topology: ShardTopology, seed: u64) -> Self {
         let storage = build_storage(backend, seed);
         let coordinator = if mode.uses_coordination() {
-            Some(Arc::new(ShardedCoordinator::new(topology, seed)) as Arc<dyn CoordinationService>)
+            let plane = ShardedCoordinator::new(topology, seed)
+                .expect("topology constructors produce consistent configurations");
+            Some(Arc::new(plane) as Arc<dyn CoordinationService>)
         } else {
             None
         };
@@ -254,7 +256,9 @@ pub fn build_coordinator(backend: Backend, seed: u64) -> Arc<dyn CoordinationSer
         Backend::Aws => ReplicationConfig::aws_single_ec2(),
         Backend::CloudOfClouds => ReplicationConfig::coc_byzantine(),
     };
-    Arc::new(ReplicatedCoordinator::new(config, seed))
+    let coord = ReplicatedCoordinator::new(config, seed)
+        .expect("backend constructors produce consistent configurations");
+    Arc::new(coord)
 }
 
 /// Builds the coordination service for a backend with `shards` register
@@ -274,10 +278,9 @@ pub fn build_coordinator_sharded(
         Backend::Aws => ReplicationConfig::metro_crash(1),
         Backend::CloudOfClouds => ReplicationConfig::coc_byzantine(),
     };
-    Arc::new(ShardedCoordinator::new(
-        ShardTopology::new(shards, group),
-        seed,
-    ))
+    let plane = ShardedCoordinator::new(ShardTopology::new(shards, group), seed)
+        .expect("topology constructors produce consistent configurations");
+    Arc::new(plane)
 }
 
 /// Builds one SCFS variant with the paper's default configuration.

@@ -33,10 +33,10 @@ fn main() {
         .collect();
     let depsky = DepSkyClient::new(clouds, DepSkyConfig::scfs_default(), 11).expect("depsky");
     let storage = Arc::new(CloudOfCloudsStorage::new(depsky));
-    let coordinator: Arc<dyn CoordinationService> = Arc::new(ReplicatedCoordinator::new(
-        ReplicationConfig::coc_byzantine(),
-        11,
-    ));
+    let coordinator: Arc<dyn CoordinationService> = Arc::new(
+        ReplicatedCoordinator::new(ReplicationConfig::coc_byzantine(), 11)
+            .expect("coc_byzantine is a consistent configuration"),
+    );
 
     let mut fs = ScfsAgent::mount(
         "ops-team".into(),

@@ -20,10 +20,10 @@ fn main() {
     //    in EC2 — the paper's "AWS backend".
     let cloud = Arc::new(SimulatedCloud::new(ProviderProfile::amazon_s3(), 1));
     let storage = Arc::new(SingleCloudStorage::new(cloud.clone()));
-    let coordinator: Arc<dyn CoordinationService> = Arc::new(ReplicatedCoordinator::new(
-        ReplicationConfig::aws_single_ec2(),
-        1,
-    ));
+    let coordinator: Arc<dyn CoordinationService> = Arc::new(
+        ReplicatedCoordinator::new(ReplicationConfig::aws_single_ec2(), 1)
+            .expect("aws_single_ec2 is a consistent configuration"),
+    );
 
     // 2. Mount the agent in blocking mode (full consistency-on-close).
     let mut fs = ScfsAgent::mount(

@@ -37,10 +37,9 @@ fn fixture(seed: u64) -> CocFixture {
     let depsky = DepSkyClient::new(clouds, DepSkyConfig::scfs_default(), seed).unwrap();
     CocFixture {
         sims,
-        coordinator: Arc::new(ReplicatedCoordinator::new(
-            ReplicationConfig::coc_byzantine(),
-            seed,
-        )),
+        coordinator: Arc::new(
+            ReplicatedCoordinator::new(ReplicationConfig::coc_byzantine(), seed).unwrap(),
+        ),
         storage: Arc::new(CloudOfCloudsStorage::new(depsky)),
     }
 }

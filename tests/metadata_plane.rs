@@ -115,7 +115,7 @@ proptest! {
     /// points).
     #[test]
     fn prop_abd_reads_are_linearizable(seed in any::<u32>(), write_delay in 0u64..30, reads in collection::vec(0u64..150, 4..9)) {
-        let group = RegisterGroup::new(ReplicationConfig::metro_crash(1), seed as u64);
+        let group = RegisterGroup::new(ReplicationConfig::metro_crash(1), seed as u64).unwrap();
         let base = SimInstant::from_secs(1);
 
         // Install the old value well before the contention window.
@@ -187,7 +187,7 @@ proptest! {
 
 #[test]
 fn reads_survive_a_crashed_replica_in_every_shard() {
-    let plane = ShardedCoordinator::new(ShardTopology::metro(2, 1), 11);
+    let plane = ShardedCoordinator::new(ShardTopology::metro(2, 1), 11).unwrap();
     let mut clock = Clock::new();
     let mut ctx = OpCtx::new(&mut clock, "alice".into());
     for i in 0..8 {
@@ -216,7 +216,8 @@ fn reads_outvote_a_byzantine_replica() {
     let plane = ShardedCoordinator::new(
         ShardTopology::new(2, ReplicationConfig::coc_byzantine()),
         13,
-    );
+    )
+    .unwrap();
     let mut clock = Clock::new();
     let mut ctx = OpCtx::new(&mut clock, "alice".into());
     plane.put(&mut ctx, "/dir/file", b"truth".to_vec()).unwrap();
@@ -233,7 +234,7 @@ fn reads_outvote_a_byzantine_replica() {
 
 #[test]
 fn reads_ride_out_a_replica_outage() {
-    let plane = ShardedCoordinator::new(ShardTopology::metro(1, 1), 17);
+    let plane = ShardedCoordinator::new(ShardTopology::metro(1, 1), 17).unwrap();
     let mut clock = Clock::new();
     let mut ctx = OpCtx::new(&mut clock, "alice".into());
     plane.put(&mut ctx, "/dir/file", b"v1".to_vec()).unwrap();
@@ -260,7 +261,7 @@ fn reads_ride_out_a_replica_outage() {
 
 #[test]
 fn sharded_plane_serves_the_full_coordination_api() {
-    let plane = ShardedCoordinator::new(ShardTopology::test(4), 23);
+    let plane = ShardedCoordinator::new(ShardTopology::test(4), 23).unwrap();
     let mut clock = Clock::new();
     let mut ctx = OpCtx::new(&mut clock, "alice".into());
 
